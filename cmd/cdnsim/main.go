@@ -1,0 +1,203 @@
+// Command cdnsim regenerates the paper's evaluation (§5): the
+// response-time CDFs of Figures 3–5, the model-accuracy comparison of
+// Figure 6 and the §5.2 headline latency-gain summary.
+//
+// Usage:
+//
+//	cdnsim -figure 3            # Figure 3 at paper scale
+//	cdnsim -figure all -quick   # everything at reduced scale
+//	cdnsim -figure 6 -requests 200000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all")
+		quick    = flag.Bool("quick", false, "use the reduced-scale configuration (fast smoke run)")
+		seed     = flag.Uint64("seed", 1, "scenario seed (topology, workload, placement)")
+		trace    = flag.Uint64("trace", 99, "request-trace seed")
+		requests = flag.Int("requests", 0, "override the measured request count")
+		warmup   = flag.Int("warmup", 0, "override the cache warm-up request count")
+		objects  = flag.Int("objects", 0, "override L, the objects per site")
+		theta    = flag.Float64("theta", 0, "override the Zipf parameter θ")
+		plot     = flag.Bool("plot", false, "render CDF panels as ASCII charts instead of tables")
+	)
+	flag.Parse()
+	renderPlots = *plot
+
+	opts := repro.DefaultOptions()
+	if *quick {
+		opts = repro.QuickOptions()
+	}
+	opts.Base.Seed = *seed
+	opts.TraceSeed = *trace
+	if *requests > 0 {
+		opts.Sim.Requests = *requests
+	}
+	if *warmup > 0 {
+		opts.Sim.Warmup = *warmup
+	}
+	if *objects > 0 {
+		opts.Base.Workload.ObjectsPerSite = *objects
+	}
+	if *theta > 0 {
+		opts.Base.Workload.Theta = *theta
+	}
+
+	if err := run(*figure, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "cdnsim:", err)
+		os.Exit(1)
+	}
+}
+
+// renderPlots switches the CDF panels from tables to ASCII charts.
+var renderPlots bool
+
+func run(figure string, opts repro.Options) error {
+	printPanels := func(panels []repro.Panel, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, p := range panels {
+			if renderPlots {
+				fmt.Println(repro.FormatPanelPlot(p))
+			} else {
+				fmt.Println(repro.FormatPanel(p))
+			}
+		}
+		return nil
+	}
+	switch figure {
+	case "3":
+		return printPanels(repro.Figure3(opts))
+	case "4":
+		return printPanels(repro.Figure4(opts))
+	case "5":
+		return printPanels(repro.Figure5(opts))
+	case "6":
+		rows, err := repro.Figure6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatFig6(rows))
+		return nil
+	case "summary":
+		rows, err := repro.Summary(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatSummary(rows))
+		return nil
+	case "clusters":
+		for _, n := range []int{2, 4, 8} {
+			rows, err := repro.ClusterComparison(opts, n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(repro.FormatClusterRows(rows, n))
+		}
+		return nil
+	case "consistency":
+		rows, err := repro.ConsistencyComparison(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatConsistencyRows(rows))
+		return nil
+	case "availability":
+		rows, err := repro.AvailabilityComparison(opts, []int{0, 2, 5, 10}, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatAvailabilityRows(rows))
+		return nil
+	case "redirection":
+		rows, err := repro.RedirectionComparison(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatRedirectRows(rows))
+		return nil
+	case "kmedian":
+		rows, err := repro.KMedianQuality(opts, []int{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatKMedianRows(rows))
+		return nil
+	case "model":
+		rows, err := repro.ModelComparison(opts, []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatModelCompareRows(rows))
+		robust, err := repro.ModelRobustness(opts, []float64{0, 0.2, 0.4, 0.6})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatRobustnessRows(robust))
+		return nil
+	case "updates":
+		rows, err := repro.UpdateSweep(opts, []float64{0, 0.1, 0.25, 0.5, 1.0})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatUpdateRows(rows))
+		return nil
+	case "seeds":
+		rows, err := repro.SummaryOverSeeds(opts, []uint64{1, 2, 3, 4, 5})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatGainStats(rows))
+		return nil
+	case "heterogeneity":
+		rows, err := repro.HeterogeneityComparison(opts, []float64{0, 0.4, 0.8, 1.2})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatHeterogeneityRows(rows))
+		return nil
+	case "drift":
+		cfg := repro.DefaultDriftConfig()
+		rows, err := repro.DriftComparison(opts, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatDriftRows(rows, cfg))
+		return nil
+	case "ablations":
+		policy, err := repro.CachePolicyAblation(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatPolicyRows(policy))
+		theta, err := repro.ThetaSweep(opts, []float64{0.6, 0.8, 1.0, 1.2, 1.4})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatThetaRows(theta))
+		pl, err := repro.PlacementAblation(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatPlacementRows(pl))
+		return nil
+	case "all":
+		for _, f := range []string{"3", "4", "5", "6", "summary", "ablations", "clusters", "consistency", "availability", "drift", "redirection", "kmedian", "model", "updates", "heterogeneity"} {
+			if err := run(f, opts); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all)", figure)
+	}
+}

@@ -1,0 +1,101 @@
+// Command lrutable builds, inspects and queries the paper's §4
+// pre-computed hit-ratio tables: h(p, K) for one site shape (L objects,
+// Zipf θ) on a (p, K) grid, stored in a compact binary file. A placement
+// controller loads the table once and answers every hit-ratio query in
+// O(1), exactly as the paper's implementation notes describe.
+//
+// Usage:
+//
+//	lrutable -build table.bin -objects 2000 -theta 1.0
+//	lrutable -info table.bin
+//	lrutable -query table.bin -p 0.05 -k 750
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lrumodel"
+)
+
+func main() {
+	var (
+		build   = flag.String("build", "", "write a table to this file")
+		info    = flag.String("info", "", "describe an existing table file")
+		query   = flag.String("query", "", "query an existing table file")
+		objects = flag.Int("objects", 2000, "objects per site (L)")
+		theta   = flag.Float64("theta", 1.0, "Zipf parameter θ")
+		pStep   = flag.Float64("pstep", 1e-3, "popularity granularity (the paper uses 1e-5)")
+		pMax    = flag.Float64("pmax", 1.0, "popularity upper bound")
+		kStep   = flag.Float64("kstep", 5, "K granularity in time slots (the paper's value)")
+		kMax    = flag.Float64("kmax", 50000, "K upper bound")
+		p       = flag.Float64("p", 0.05, "query: site popularity")
+		k       = flag.Float64("k", 500, "query: eviction horizon K")
+	)
+	flag.Parse()
+	if err := run(*build, *info, *query, *objects, *theta, *pStep, *pMax, *kStep, *kMax, *p, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "lrutable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(build, info, query string, objects int, theta, pStep, pMax, kStep, kMax, p, k float64) error {
+	switch {
+	case build != "":
+		tab := lrumodel.BuildTable(objects, theta, pStep, pMax, kStep, kMax)
+		f, err := os.Create(build)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := tab.WriteTo(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote table (L=%d, θ=%.2f, %d KB) to %s\n",
+			objects, theta, n>>10, build)
+		return f.Close()
+	case info != "":
+		tab, err := load(info)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("table: L=%d θ=%.2f\n", tab.Objects, tab.Theta)
+		fmt.Printf("grid:  p ∈ [0, %g] step %g, K ∈ [0, %g] step %g\n",
+			tab.PMax, tab.PStep, tab.KMax, tab.KStep)
+		fmt.Println("sample surface h(p, K):")
+		fmt.Printf("%8s", "p\\K")
+		ks := []float64{tab.KMax / 100, tab.KMax / 20, tab.KMax / 4, tab.KMax}
+		for _, kk := range ks {
+			fmt.Printf("%10.0f", kk)
+		}
+		fmt.Println()
+		for _, pp := range []float64{0.01, 0.05, 0.2, 0.5, 1.0} {
+			fmt.Printf("%8.2f", pp)
+			for _, kk := range ks {
+				fmt.Printf("%10.4f", tab.Lookup(pp, kk))
+			}
+			fmt.Println()
+		}
+		return nil
+	case query != "":
+		tab, err := load(query)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("h(p=%g, K=%g) = %.6f\n", p, k, tab.Lookup(p, k))
+		return nil
+	default:
+		return fmt.Errorf("need -build FILE, -info FILE or -query FILE")
+	}
+}
+
+func load(path string) (*lrumodel.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lrumodel.ReadTable(f)
+}

@@ -1,0 +1,101 @@
+// Command topogen generates and describes the GT-ITM-style transit–stub
+// topologies of §5.1: node/edge counts, hop-count diameter, degree
+// distribution, and the stub-domain structure the CDN servers and primary
+// sites are placed into.
+//
+// Usage:
+//
+//	topogen                      # the paper's ~560-node default
+//	topogen -transit 2 -stubs 4 -stubnodes 8 -seed 7
+//	topogen -place 50            # also sample 50 server locations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func main() {
+	def := topology.DefaultConfig()
+	var (
+		transit      = flag.Int("transit", def.TransitDomains, "transit domains")
+		transitNodes = flag.Int("transitnodes", def.TransitNodesPerDomain, "nodes per transit domain")
+		stubs        = flag.Int("stubs", def.StubsPerTransitNode, "stub domains per transit node")
+		stubNodes    = flag.Int("stubnodes", def.StubNodesPerStub, "nodes per stub domain")
+		extraProb    = flag.Float64("extraprob", def.ExtraEdgeProb, "extra intra-domain edge probability")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		place        = flag.Int("place", 0, "sample this many stub placements (servers/origins)")
+		dot          = flag.String("dot", "", "write the topology in Graphviz DOT format to this file")
+	)
+	flag.Parse()
+
+	cfg := topology.Config{
+		TransitDomains:        *transit,
+		TransitNodesPerDomain: *transitNodes,
+		StubsPerTransitNode:   *stubs,
+		StubNodesPerStub:      *stubNodes,
+		ExtraEdgeProb:         *extraProb,
+		ExtraTransitEdges:     def.ExtraTransitEdges,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+	r := xrand.New(*seed)
+	topo := topology.Generate(cfg, r)
+
+	fmt.Printf("transit-stub topology (seed %d)\n", *seed)
+	fmt.Printf("  nodes:        %d (%d transit, %d stub)\n",
+		topo.G.N(), len(topo.TransitNodes), topo.G.N()-len(topo.TransitNodes))
+	fmt.Printf("  edges:        %d\n", topo.G.M())
+	fmt.Printf("  stub domains: %d x %d nodes\n", len(topo.StubDomains), cfg.StubNodesPerStub)
+	fmt.Printf("  connected:    %v\n", topo.G.Connected())
+	fmt.Printf("  diameter:     %.0f hops\n", topo.G.Diameter())
+
+	// Degree histogram.
+	maxDeg := 0
+	for v := 0; v < topo.G.N(); v++ {
+		if d := topo.G.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for v := 0; v < topo.G.N(); v++ {
+		counts[topo.G.Degree(v)]++
+	}
+	fmt.Println("  degree histogram:")
+	for d, c := range counts {
+		if c > 0 {
+			fmt.Printf("    deg %2d: %4d nodes\n", d, c)
+		}
+	}
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		if err := topo.WriteDOT(f); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote DOT graph to %s (render with: dot -Tsvg)\n", *dot)
+	}
+
+	if *place > 0 {
+		nodes := topo.PlaceInStubs(*place, r.Split("placement"))
+		fmt.Printf("\nplaced %d nodes in stub domains:\n", *place)
+		for i, n := range nodes {
+			fmt.Printf("  #%-3d node %-4d (stub domain %d)\n", i, n, topo.StubOf[n])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command tracegen records and inspects synthetic CDN request traces in
+// the repository's binary format (internal/trace). A recorded trace can
+// be replayed through the simulator so that different placements are
+// compared on byte-identical traffic, or handed to other tooling.
+//
+// Usage:
+//
+//	tracegen -out trace.bin -requests 1500000 -seed 1 -trace 99
+//	tracegen -stats trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "record a trace to this file")
+		statsIn  = flag.String("stats", "", "summarize an existing trace file")
+		requests = flag.Int("requests", 1500000, "records to write")
+		seed     = flag.Uint64("seed", 1, "scenario seed")
+		traceSd  = flag.Uint64("trace", 99, "request sampling seed")
+		quick    = flag.Bool("quick", false, "reduced-scale scenario")
+		lambda   = flag.Float64("lambda", 0, "uncacheable request fraction")
+	)
+	flag.Parse()
+
+	switch {
+	case *out != "":
+		if err := record(*out, *requests, *seed, *traceSd, *quick, *lambda); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	case *statsIn != "":
+		if err := summarize(*statsIn); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -out FILE or -stats FILE")
+		os.Exit(2)
+	}
+}
+
+func record(path string, requests int, seed, traceSeed uint64, quick bool, lambda float64) error {
+	cfg := scenario.Default()
+	if quick {
+		cfg.Topology.TransitDomains = 1
+		cfg.Topology.TransitNodesPerDomain = 2
+		cfg.Topology.StubsPerTransitNode = 3
+		cfg.Topology.StubNodesPerStub = 5
+		cfg.Workload.Servers = 10
+		cfg.Workload.LowSites, cfg.Workload.MediumSites, cfg.Workload.HighSites = 4, 8, 4
+		cfg.Workload.ObjectsPerSite = 120
+	}
+	cfg.Seed = seed
+	cfg.Workload.Lambda = lambda
+	sc, err := scenario.Build(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, trace.Header{
+		Servers:        sc.Sys.N(),
+		Sites:          sc.Sys.M(),
+		ObjectsPerSite: cfg.Workload.ObjectsPerSite,
+	})
+	if err != nil {
+		return err
+	}
+	stream := sc.Stream(xrand.New(traceSeed))
+	for i := 0; i < requests; i++ {
+		if err := w.Write(stream.Next()); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d servers, %d sites) to %s\n",
+		w.Count(), sc.Sys.N(), sc.Sys.M(), path)
+	return f.Close()
+}
+
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	h := r.Header()
+	perServer := make([]int64, h.Servers)
+	perSite := make([]int64, h.Sites)
+	var total, uncacheable int64
+	for {
+		req, ok := r.Next()
+		if !ok {
+			break
+		}
+		total++
+		perServer[req.Server]++
+		perSite[req.Site]++
+		if !req.Cacheable {
+			uncacheable++
+		}
+	}
+	fmt.Printf("trace: %d records, %d servers, %d sites, L=%d\n",
+		total, h.Servers, h.Sites, h.ObjectsPerSite)
+	if total == 0 {
+		return nil
+	}
+	fmt.Printf("uncacheable fraction: %.4f\n", float64(uncacheable)/float64(total))
+	fmt.Println("requests per site:")
+	for j, c := range perSite {
+		fmt.Printf("  site %2d: %8d (%.4f)\n", j, c, float64(c)/float64(total))
+	}
+	var minS, maxS int64 = 1 << 62, 0
+	for _, c := range perServer {
+		if c < minS {
+			minS = c
+		}
+		if c > maxS {
+			maxS = c
+		}
+	}
+	fmt.Printf("per-server records: min %d, max %d\n", minS, maxS)
+	return nil
+}

@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro"
+)
+
+// The analytical model used stand-alone, as §3.2 intends: predict the
+// LRU hit ratio of a 2000-object Zipf(1.0) site at several cache sizes.
+func ExampleNewLRUPredictor() {
+	pred := repro.NewLRUPredictor(
+		[]repro.SiteSpec{{Objects: 2000, Theta: 1.0}},
+		[]float64{1}, // request weights (single site)
+		1,            // average object size: unit => bytes == slots
+		2000,         // largest cache that will be queried
+	)
+	for _, slots := range []int64{100, 400, 1600} {
+		fmt.Printf("B=%-5d h=%.2f\n", slots, pred.SiteHitRatio(0, slots))
+	}
+	// Output:
+	// B=100   h=0.50
+	// B=400   h=0.70
+	// B=1600  h=0.91
+}
+
+// Building a scenario and running the paper's three mechanisms on one
+// trace. Mean latencies vary with the scenario; the ordering is the
+// paper's headline result.
+func ExampleHybridPlacement() {
+	cfg := repro.QuickOptions().Base
+	cfg.CapacityFrac = 0.10
+	sc := repro.MustBuildScenario(cfg)
+
+	hybrid, err := repro.HybridPlacement(sc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	replication := repro.ReplicationPlacement(sc)
+	caching := repro.CachingPlacement(sc)
+
+	simCfg := repro.DefaultSim()
+	simCfg.Requests, simCfg.Warmup = 60000, 60000
+
+	mHybrid := repro.MustSimulate(sc, hybrid.Placement, simCfg, 1)
+	simCfg.UseCache = false
+	mRepl := repro.MustSimulate(sc, replication.Placement, simCfg, 1)
+	simCfg.UseCache = true
+	mCache := repro.MustSimulate(sc, caching.Placement, simCfg, 1)
+
+	fmt.Println("hybrid beats replication:", mHybrid.MeanRTMs < mRepl.MeanRTMs)
+	fmt.Println("hybrid beats caching:", mHybrid.MeanRTMs < mCache.MeanRTMs)
+	fmt.Println("hybrid placed replicas:", hybrid.Placement.Replicas() > 0)
+	// Output:
+	// hybrid beats replication: true
+	// hybrid beats caching: true
+	// hybrid placed replicas: true
+}
+
+// Recording a trace and replaying it produces bit-identical metrics.
+func ExampleSimulateTrace() {
+	cfg := repro.QuickOptions().Base
+	sc := repro.MustBuildScenario(cfg)
+	p := repro.CachingPlacement(sc)
+
+	simCfg := repro.DefaultSim()
+	simCfg.Requests, simCfg.Warmup = 30000, 10000
+
+	live := repro.MustSimulate(sc, p.Placement, simCfg, 7)
+
+	// Record the same stream, then replay it.
+	var buf bytes.Buffer
+	w, _ := repro.NewTraceWriter(&buf, repro.TraceHeader{
+		Servers:        sc.Sys.N(),
+		Sites:          sc.Sys.M(),
+		ObjectsPerSite: cfg.Workload.ObjectsPerSite,
+	})
+	stream := sc.Stream(repro.NewRand(7))
+	for i := 0; i < simCfg.Requests+simCfg.Warmup; i++ {
+		if err := w.Write(stream.Next()); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	r, _ := repro.NewTraceReader(&buf)
+	replay, err := repro.SimulateTrace(sc, p.Placement, simCfg, r)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("identical mean RT:", live.MeanRTMs == replay.MeanRTMs)
+	fmt.Println("identical hits:", live.CacheHits == replay.CacheHits)
+	// Output:
+	// identical mean RT: true
+	// identical hits: true
+}

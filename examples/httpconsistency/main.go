@@ -1,0 +1,79 @@
+// httpconsistency: the §3.3 consistency discussion over real HTTP. The
+// example starts the CDN as live servers, caches an object at an edge,
+// modifies it at the origin, and fetches it again under both consistency
+// modes: weak (serve cached, possibly stale) and strong (revalidate with
+// If-None-Match, serve only validated bodies).
+//
+//	go run ./examples/httpconsistency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/httpcdn"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	w := workload.DefaultConfig()
+	w.Servers = 3
+	w.LowSites, w.MediumSites, w.HighSites = 1, 1, 1
+	w.ObjectsPerSite = 20
+	sc := scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 1,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      4,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.3,
+		Seed:         1,
+	})
+	// No replicas: every object flows through the edge caches.
+	p := core.NewPlacement(sc.Sys)
+
+	for _, mode := range []struct {
+		name       string
+		revalidate bool
+	}{
+		{"weak consistency (serve cached unconditionally)", false},
+		{"strong consistency (If-None-Match revalidation)", true},
+	} {
+		cfg := httpcdn.DefaultConfig()
+		cfg.RevalidateOnHit = mode.revalidate
+		cl, err := httpcdn.Start(sc, p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", mode.name)
+
+		const edge, site, object = 0, 0, 1
+		step := func(label string) {
+			res, err := cl.Fetch(edge, site, object)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-28s source=%-8s version=%d\n", label, res.Source, res.Version)
+		}
+		step("first fetch (cold):")
+		step("second fetch (cached):")
+		fmt.Println("  -> origin modifies the object (version 0 -> 1)")
+		cl.ModifyObject(site, object)
+		step("third fetch:")
+
+		stats := cl.EdgeStats(edge)
+		fmt.Printf("edge stats: hits=%d revalidations=%d 304s=%d\n\n",
+			stats.CacheHit, stats.Revalidations, stats.NotModified)
+		cl.Close()
+	}
+
+	fmt.Println("Weak consistency served version 0 after the modification — the")
+	fmt.Println("stale copy the paper's λ fraction models. Strong consistency paid")
+	fmt.Println("a conditional GET per hit (mostly cheap 304s) and never lied.")
+}

@@ -1,0 +1,67 @@
+// lrumodel: use the paper's analytical LRU hit-ratio model (§3.2) as a
+// stand-alone tool — the authors note "the model itself ... can be used
+// as stand-alone mechanism whenever such estimations are required."
+//
+// The example models one CDN server that caches four web sites of equal
+// catalog size but different popularity, prints the model's per-site hit
+// ratios across a range of cache sizes, and shows how the K approximation
+// of Equation (2) grows with the buffer.
+//
+//	go run ./examples/lrumodel
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Four sites, 2000 objects each, Zipf θ=1.0 object popularity.
+	// Request rates 8:4:2:1 — the "hot site" effect of [22].
+	specs := []repro.SiteSpec{
+		{Objects: 2000, Theta: 1.0},
+		{Objects: 2000, Theta: 1.0},
+		{Objects: 2000, Theta: 1.0},
+		{Objects: 2000, Theta: 1.0},
+	}
+	weights := []float64{8, 4, 2, 1}
+
+	// Unit-sized objects: cache bytes == LRU slots (B = c/ō with ō=1).
+	const maxCache = 4000
+	pred := repro.NewLRUPredictor(specs, weights, 1, maxCache)
+
+	fmt.Println("Analytical LRU model (Equations 1 and 2 of the paper)")
+	fmt.Println("four sites, L=2000 objects each, θ=1.0, request rates 8:4:2:1")
+	fmt.Println()
+	fmt.Printf("%8s %10s %8s %8s %8s %8s %9s\n",
+		"slots B", "K (Eq.2)", "h site0", "h site1", "h site2", "h site3", "overall")
+	for _, b := range []int64{50, 100, 200, 400, 800, 1600, 3200} {
+		fmt.Printf("%8d %10.0f", b, pred.K(b))
+		for j := range specs {
+			fmt.Printf(" %8.3f", pred.SiteHitRatio(j, b))
+		}
+		fmt.Printf(" %9.3f\n", pred.OverallHitRatio(b))
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println(" - K >= B always: an untouched object survives at least one full")
+	fmt.Println("   pass of the buffer, longer when popular objects keep hitting.")
+	fmt.Println(" - the hottest site (site0) enjoys the best hit ratio at every")
+	fmt.Println("   size — its objects are re-referenced before they reach the")
+	fmt.Println("   LRU position. This asymmetry is what the hybrid placement")
+	fmt.Println("   algorithm exploits when deciding which sites deserve replicas.")
+
+	// The λ adjustment of §3.3: 20% uncacheable requests scale the
+	// usable hit ratio by 0.8.
+	stale := make([]repro.SiteSpec, len(specs))
+	copy(stale, specs)
+	for j := range stale {
+		stale[j].Lambda = 0.2
+	}
+	predStale := repro.NewLRUPredictor(stale, weights, 1, maxCache)
+	fmt.Println()
+	fmt.Printf("with λ=0.2 uncacheable requests: overall hit ratio at B=800 drops %.3f -> %.3f\n",
+		pred.OverallHitRatio(800), predStale.OverallHitRatio(800))
+}

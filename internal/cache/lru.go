@@ -1,0 +1,122 @@
+package cache
+
+// LRU is a byte-capacity least-recently-used cache: the replacement policy
+// the paper models analytically (§3.2, Figure 1) and simulates (§5).
+// A Get moves the object to the most-recent position; evictions take the
+// least recently used object first.
+type LRU struct {
+	capacity int64
+	used     int64
+	items    map[Key]*entry
+	order    list
+	stats    Stats
+}
+
+var _ Cache = (*LRU)(nil)
+
+// NewLRU returns an LRU cache bounded to capacity bytes. A zero or
+// negative capacity yields a cache on which every Get misses and every
+// Put is rejected, which is exactly the pure-replication configuration.
+func NewLRU(capacity int64) *LRU {
+	c := &LRU{capacity: capacity, items: make(map[Key]*entry)}
+	c.order.init()
+	return c
+}
+
+// Get implements Cache.
+func (c *LRU) Get(k Key) bool {
+	if e, ok := c.items[k]; ok {
+		c.order.moveToBack(e)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Put implements Cache.
+func (c *LRU) Put(k Key, size int64) {
+	validateSize(size)
+	if e, ok := c.items[k]; ok {
+		c.used += size - e.size
+		e.size = size
+		c.order.moveToBack(e)
+		c.evictUntilFits()
+		return
+	}
+	if size > c.capacity {
+		c.stats.Rejections++
+		return
+	}
+	e := &entry{key: k, size: size}
+	c.items[k] = e
+	c.order.pushBack(e)
+	c.used += size
+	c.stats.Insertions++
+	c.evictUntilFits()
+}
+
+func (c *LRU) evictUntilFits() {
+	for c.used > c.capacity {
+		victim := c.order.front()
+		if victim == nil {
+			return
+		}
+		c.order.remove(victim)
+		delete(c.items, victim.key)
+		c.used -= victim.size
+		c.stats.Evictions++
+	}
+}
+
+// Contains implements Cache.
+func (c *LRU) Contains(k Key) bool {
+	_, ok := c.items[k]
+	return ok
+}
+
+// Remove implements Cache.
+func (c *LRU) Remove(k Key) {
+	if e, ok := c.items[k]; ok {
+		c.order.remove(e)
+		delete(c.items, k)
+		c.used -= e.size
+	}
+}
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Used implements Cache.
+func (c *LRU) Used() int64 { return c.used }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Resize implements Cache.
+func (c *LRU) Resize(capacity int64) {
+	c.capacity = capacity
+	c.evictUntilFits()
+}
+
+// Clear implements Cache.
+func (c *LRU) Clear() {
+	c.items = make(map[Key]*entry)
+	c.order.init()
+	c.used = 0
+	c.stats = Stats{}
+}
+
+// Stats implements Cache.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// VictimOrder returns the cached keys from next-evicted to most recently
+// used. It exposes the LRU stack of Figure 1 for tests and for the model
+// validation tooling; the slice is a copy.
+func (c *LRU) VictimOrder() []Key {
+	out := make([]Key, 0, c.order.n)
+	for e := c.order.root.next; e != &c.order.root; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// TestClusterModelPredictsSimulatedCost extends the paper's Figure 6
+// validation to cluster granularity: the hybrid algorithm's predicted
+// cost over cluster units must track the trace-driven simulation, with
+// the truncated-Zipf (RankOffset) specs feeding the model.
+func TestClusterModelPredictsSimulatedCost(t *testing.T) {
+	sc := buildScenario(t)
+	c, err := PopularityClusters(sc.Work, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitSys := c.DeriveSystem(sc.Sys)
+	res, err := placement.Hybrid(unitSys, placement.HybridConfig{
+		Specs:          c.Specs(sc.Work, 0),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Requests = 150000
+	cfg.Warmup = 150000
+	cfg.KeepResponseTimes = false
+	cfg.UnitOf = c.UnitOf
+	m, err := sim.Run(sc, res.Placement, cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanHops <= 0 {
+		t.Skip("degenerate: everything served locally")
+	}
+	relErr := math.Abs(res.PredictedCost-m.MeanHops) / m.MeanHops
+	if relErr > 0.25 {
+		t.Fatalf("cluster-granularity model: predicted %.4f vs simulated %.4f (err %.0f%%)",
+			res.PredictedCost, m.MeanHops, 100*relErr)
+	}
+}
+
+// TestClusterSimAccounting verifies that simulating with UnitOf keeps the
+// request accounting identity intact.
+func TestClusterSimAccounting(t *testing.T) {
+	sc := buildScenario(t)
+	c, err := PopularityClusters(sc.Work, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitSys := c.DeriveSystem(sc.Sys)
+	res := placement.GreedyGlobal(unitSys)
+	cfg := sim.DefaultConfig()
+	cfg.Requests = 60000
+	cfg.Warmup = 20000
+	cfg.UseCache = false
+	cfg.KeepResponseTimes = false
+	cfg.UnitOf = c.UnitOf
+	m, err := sim.Run(sc, res.Placement, cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LocalReplica == 0 {
+		t.Fatal("no cluster replica ever served locally")
+	}
+	sum := m.LocalReplica + m.CacheHits + m.CacheMisses + m.Bypass + m.RemoteServer + m.OriginFetch
+	// Redirected requests are double-counted (remote/origin split), so
+	// reconstruct: local + redirected = requests.
+	redirected := m.RemoteServer + m.OriginFetch
+	if m.LocalReplica+redirected != int64(m.Requests) {
+		t.Fatalf("accounting: local %d + redirected %d != %d (raw sum %d)",
+			m.LocalReplica, redirected, m.Requests, sum)
+	}
+}

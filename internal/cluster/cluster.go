@@ -1,0 +1,132 @@
+// Package cluster implements per-cluster replication, the paper's stated
+// future-work comparison (§5.3): "against a per-cluster replication
+// scheme hybrid will again be the winner with the latency reduction
+// varying in between the per-site replication and the caching case...
+// Proving the validity of the above claim is left for future work."
+//
+// Following Chen et al. [6]'s popularity-based clustering, each site's
+// objects are split into clusters of consecutive popularity ranks. A
+// cluster becomes an independent placement unit: it has its own byte
+// size, its own share of the site's demand (the popularity mass of its
+// rank band), and its own origin (the site's primary copy). Placement
+// algorithms then run unchanged on a derived core.System whose columns
+// are clusters instead of whole sites, and the simulator maps each
+// request to the cluster that owns its object.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lrumodel"
+	"repro/internal/workload"
+)
+
+// Unit is one placement unit: a band of consecutive popularity ranks of
+// one site.
+type Unit struct {
+	ID       int
+	Site     int
+	FromRank int // 1-based, inclusive
+	ToRank   int // inclusive
+	Bytes    int64
+	// Mass is the within-site popularity mass of the band: the
+	// fraction of the site's requests that hit this cluster.
+	Mass float64
+}
+
+// Objects returns the number of objects in the unit.
+func (u Unit) Objects() int { return u.ToRank - u.FromRank + 1 }
+
+// Clustering is a partition of every site's catalog into units.
+type Clustering struct {
+	Units []Unit
+	// unitOf[site] maps object rank-1 to the owning unit's ID.
+	unitOf [][]int
+}
+
+// PopularityClusters partitions each site of w into perSite clusters of
+// (nearly) equal object count by consecutive popularity rank — the
+// "popularity band" clustering of [6]. perSite = 1 degenerates to
+// per-site replication.
+func PopularityClusters(w *workload.Workload, perSite int) (*Clustering, error) {
+	if perSite < 1 {
+		return nil, fmt.Errorf("cluster: perSite = %d", perSite)
+	}
+	c := &Clustering{unitOf: make([][]int, len(w.Sites))}
+	for si, site := range w.Sites {
+		L := len(site.Objects)
+		n := perSite
+		if n > L {
+			n = L
+		}
+		c.unitOf[si] = make([]int, L)
+		for ci := 0; ci < n; ci++ {
+			from := ci*L/n + 1
+			to := (ci + 1) * L / n
+			u := Unit{
+				ID:       len(c.Units),
+				Site:     si,
+				FromRank: from,
+				ToRank:   to,
+				Mass:     site.Zipf.CDF(to) - site.Zipf.CDF(from-1),
+			}
+			for k := from; k <= to; k++ {
+				u.Bytes += site.Objects[k-1]
+				c.unitOf[si][k-1] = u.ID
+			}
+			c.Units = append(c.Units, u)
+		}
+	}
+	return c, nil
+}
+
+// UnitOf returns the ID of the unit owning the given object (1-based
+// rank) of the given site.
+func (c *Clustering) UnitOf(site, object int) int {
+	return c.unitOf[site][object-1]
+}
+
+// DeriveSystem builds the placement problem over clusters: a core.System
+// with one column per unit. Server costs and capacities carry over;
+// demand and origin costs are inherited from the unit's site, demand
+// scaled by the unit's popularity mass.
+func (c *Clustering) DeriveSystem(sys *core.System) *core.System {
+	n := sys.N()
+	m := len(c.Units)
+	d := &core.System{
+		CostServer: sys.CostServer,
+		CostOrigin: make([][]float64, n),
+		SiteBytes:  make([]int64, m),
+		Capacity:   sys.Capacity,
+		Demand:     make([][]float64, n),
+	}
+	for _, u := range c.Units {
+		d.SiteBytes[u.ID] = u.Bytes
+	}
+	for i := 0; i < n; i++ {
+		d.CostOrigin[i] = make([]float64, m)
+		d.Demand[i] = make([]float64, m)
+		for _, u := range c.Units {
+			d.CostOrigin[i][u.ID] = sys.CostOrigin[i][u.Site]
+			d.Demand[i][u.ID] = sys.Demand[i][u.Site] * u.Mass
+		}
+	}
+	return d
+}
+
+// Specs returns the analytical-model description of every unit: a
+// truncated Zipf band (RankOffset = FromRank-1) with the site's θ and the
+// given λ. Used to run the hybrid algorithm at cluster granularity.
+func (c *Clustering) Specs(w *workload.Workload, lambda float64) []lrumodel.SiteSpec {
+	specs := make([]lrumodel.SiteSpec, len(c.Units))
+	for _, u := range c.Units {
+		specs[u.ID] = lrumodel.SiteSpec{
+			Objects:    u.Objects(),
+			Theta:      w.Sites[u.Site].Zipf.Theta,
+			Lambda:     lambda,
+			RankOffset: u.FromRank - 1,
+		}
+	}
+	return specs
+}

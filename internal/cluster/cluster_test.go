@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Servers = 6
+	cfg.LowSites, cfg.MediumSites, cfg.HighSites = 2, 2, 2
+	cfg.ObjectsPerSite = 100
+	return workload.MustGenerate(cfg, xrandNew(1))
+}
+
+func TestPopularityClustersPartition(t *testing.T) {
+	w := testWorkload(t)
+	c, err := PopularityClusters(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Units) != 6*4 {
+		t.Fatalf("%d units, want 24", len(c.Units))
+	}
+	for si, site := range w.Sites {
+		var bytes int64
+		var mass float64
+		objects := 0
+		prevTo := 0
+		for _, u := range c.Units {
+			if u.Site != si {
+				continue
+			}
+			if u.FromRank != prevTo+1 {
+				t.Fatalf("site %d: cluster starts at %d, want %d", si, u.FromRank, prevTo+1)
+			}
+			prevTo = u.ToRank
+			bytes += u.Bytes
+			mass += u.Mass
+			objects += u.Objects()
+		}
+		if prevTo != len(site.Objects) {
+			t.Fatalf("site %d: clusters end at %d of %d", si, prevTo, len(site.Objects))
+		}
+		if bytes != site.Bytes {
+			t.Fatalf("site %d: cluster bytes %d != site bytes %d", si, bytes, site.Bytes)
+		}
+		if objects != len(site.Objects) {
+			t.Fatalf("site %d: %d clustered objects", si, objects)
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Fatalf("site %d: cluster mass sums to %v", si, mass)
+		}
+	}
+}
+
+func TestHeadClusterIsHottest(t *testing.T) {
+	w := testWorkload(t)
+	c, err := PopularityClusters(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each site, the first cluster (top ranks) must carry the
+	// most popularity mass per object — that is the entire point of
+	// popularity clustering.
+	for si := range w.Sites {
+		var units []Unit
+		for _, u := range c.Units {
+			if u.Site == si {
+				units = append(units, u)
+			}
+		}
+		for k := 1; k < len(units); k++ {
+			if units[k].Mass > units[k-1].Mass {
+				t.Fatalf("site %d: cluster %d hotter than %d", si, k, k-1)
+			}
+		}
+		// With θ=1 and 4 equal bands over 100 objects the head band
+		// holds well over half the site's mass.
+		if units[0].Mass < 0.5 {
+			t.Fatalf("site %d: head cluster mass %v suspiciously small", si, units[0].Mass)
+		}
+	}
+}
+
+func TestUnitOfConsistent(t *testing.T) {
+	w := testWorkload(t)
+	c, err := PopularityClusters(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, site := range w.Sites {
+		for k := 1; k <= len(site.Objects); k++ {
+			u := c.Units[c.UnitOf(si, k)]
+			if u.Site != si || k < u.FromRank || k > u.ToRank {
+				t.Fatalf("UnitOf(%d,%d) = unit %+v", si, k, u)
+			}
+		}
+	}
+}
+
+func TestSingleClusterEqualsSites(t *testing.T) {
+	w := testWorkload(t)
+	c, err := PopularityClusters(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Units) != len(w.Sites) {
+		t.Fatalf("%d units for %d sites", len(c.Units), len(w.Sites))
+	}
+	for j, u := range c.Units {
+		if u.Site != j || u.Bytes != w.Sites[j].Bytes || math.Abs(u.Mass-1) > 1e-9 {
+			t.Fatalf("unit %d: %+v", j, u)
+		}
+	}
+}
+
+func TestMoreClustersThanObjectsClamps(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Servers = 2
+	cfg.LowSites, cfg.MediumSites, cfg.HighSites = 1, 0, 1
+	cfg.ObjectsPerSite = 3
+	w := workload.MustGenerate(cfg, xrandNew(2))
+	c, err := PopularityClusters(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Units) != 6 { // 3 per site
+		t.Fatalf("%d units, want 6", len(c.Units))
+	}
+}
+
+func TestPopularityClustersRejectsBadCount(t *testing.T) {
+	w := testWorkload(t)
+	if _, err := PopularityClusters(w, 0); err == nil {
+		t.Fatal("perSite=0 accepted")
+	}
+}
+
+func TestDeriveSystemValid(t *testing.T) {
+	sc := buildScenario(t)
+	c, err := PopularityClusters(sc.Work, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.DeriveSystem(sc.Sys)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != len(c.Units) || d.N() != sc.Sys.N() {
+		t.Fatalf("derived dims %dx%d", d.N(), d.M())
+	}
+	// Demand must be conserved: summing unit demand recovers site
+	// demand and the global total of 1.
+	total := 0.0
+	for i := range d.Demand {
+		for _, u := range c.Units {
+			total += d.Demand[i][u.ID]
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("derived demand sums to %v", total)
+	}
+	// Origin cost is inherited from the unit's site.
+	for _, u := range c.Units {
+		if d.CostOrigin[0][u.ID] != sc.Sys.CostOrigin[0][u.Site] {
+			t.Fatalf("unit %d origin cost mismatch", u.ID)
+		}
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	sc := buildScenario(t)
+	c, err := PopularityClusters(sc.Work, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := c.Specs(sc.Work, 0.1)
+	for _, u := range c.Units {
+		s := specs[u.ID]
+		if s.Objects != u.Objects() || s.RankOffset != u.FromRank-1 || s.Lambda != 0.1 {
+			t.Fatalf("unit %d spec %+v vs unit %+v", u.ID, s, u)
+		}
+	}
+}
+
+func buildScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	w := workload.DefaultConfig()
+	w.Servers = 6
+	w.LowSites, w.MediumSites, w.HighSites = 2, 2, 2
+	w.ObjectsPerSite = 100
+	return scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      4,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.15,
+		Seed:         3,
+	})
+}

@@ -1,0 +1,6 @@
+package cluster
+
+import "repro/internal/xrand"
+
+// xrandNew keeps the test files terse.
+func xrandNew(seed uint64) *xrand.Source { return xrand.New(seed) }

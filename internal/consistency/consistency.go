@@ -1,0 +1,277 @@
+// Package consistency implements the cache-consistency mechanisms the
+// paper assumes exist but does not build (§3.3): it lets the CDN operator
+// check what the λ abstraction ("a fraction λ_j of requests return
+// uncacheable/stale documents") corresponds to in a system with real
+// object modifications.
+//
+// Objects are modified by independent Poisson processes; each object's
+// mean modification interval is drawn (deterministically, by hash) from a
+// configurable range — the paper cites [22]'s observation that "the
+// duration between successive modifications of an object is relatively
+// large (between one and 24 hours)". Because Poisson modification is
+// memoryless, a cached copy fetched at time t0 has been invalidated by
+// time t with probability 1 − exp(−(t−t0)/mean): no global modification
+// state is needed, the simulator draws the Bernoulli lazily at access
+// time.
+//
+// Two mechanisms are modeled, following the taxonomy in §3.3:
+//
+//   - Invalidation: strong consistency through server-based invalidation
+//     (Liu & Cao [18]). A cached copy that has been modified is never
+//     served; the access becomes a miss that refetches from SN. Stale
+//     serves are zero by construction.
+//   - TTL: weak consistency. A cached copy is served without checking
+//     until its time-to-live expires; within the TTL the client may
+//     receive a stale document. On expiry the copy is revalidated at SN
+//     (paying the redirection latency).
+//
+// Site replicas are always consistent, as the paper assumes for its
+// strong-consistency experiment ("site replicas are always consistent,
+// while cached pages must be refreshed").
+package consistency
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/xrand"
+)
+
+// Mechanism selects the consistency protocol.
+type Mechanism string
+
+// The implemented mechanisms.
+const (
+	// Invalidation is strong consistency via server-based invalidation.
+	Invalidation Mechanism = "invalidation"
+	// TTL is weak consistency with a fixed time-to-live.
+	TTL Mechanism = "ttl"
+)
+
+// Config controls one consistency simulation.
+type Config struct {
+	Mechanism Mechanism
+	// TTLSeconds is the time-to-live for the TTL mechanism.
+	TTLSeconds float64
+	// RequestRate is the global request arrival rate (requests/second)
+	// of the Poisson arrival process that drives the virtual clock.
+	RequestRate float64
+	// ModMinSeconds / ModMaxSeconds bound the per-object mean
+	// modification intervals ([22]: one to 24 hours).
+	ModMinSeconds, ModMaxSeconds float64
+	// Requests / Warmup mirror sim.Config.
+	Requests, Warmup int
+	// FirstHopMs / PerHopMs mirror sim.Config (20 ms each in §5.1).
+	FirstHopMs, PerHopMs float64
+}
+
+// DefaultConfig returns an hour-scale TTL under the paper's latency
+// parameters, with modification intervals of 1–24 hours and a request
+// rate high enough that caches see many requests per modification.
+func DefaultConfig() Config {
+	return Config{
+		Mechanism:     TTL,
+		TTLSeconds:    3600,
+		RequestRate:   2000,
+		ModMinSeconds: 3600,
+		ModMaxSeconds: 24 * 3600,
+		Requests:      300000,
+		Warmup:        300000,
+		FirstHopMs:    20,
+		PerHopMs:      20,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Mechanism != Invalidation && c.Mechanism != TTL:
+		return fmt.Errorf("consistency: unknown mechanism %q", c.Mechanism)
+	case c.Mechanism == TTL && c.TTLSeconds <= 0:
+		return fmt.Errorf("consistency: TTLSeconds = %v", c.TTLSeconds)
+	case c.RequestRate <= 0:
+		return fmt.Errorf("consistency: RequestRate = %v", c.RequestRate)
+	case c.ModMinSeconds <= 0 || c.ModMaxSeconds < c.ModMinSeconds:
+		return fmt.Errorf("consistency: modification interval [%v, %v]",
+			c.ModMinSeconds, c.ModMaxSeconds)
+	case c.Requests < 1 || c.Warmup < 0:
+		return fmt.Errorf("consistency: Requests=%d Warmup=%d", c.Requests, c.Warmup)
+	case c.FirstHopMs < 0 || c.PerHopMs < 0:
+		return fmt.Errorf("consistency: negative delay")
+	}
+	return nil
+}
+
+// Metrics aggregates the measured phase of a consistency run.
+type Metrics struct {
+	Requests int
+	// MeanRTMs is the mean response time including revalidations.
+	MeanRTMs float64
+	// StaleServes counts requests answered with an out-of-date cached
+	// copy (only possible under TTL).
+	StaleServes int64
+	// Revalidations counts cache hits that had to travel to SN anyway
+	// (expired TTL, or invalidated copy under strong consistency).
+	Revalidations int64
+	// CacheHits counts fresh local cache serves; CacheMisses counts
+	// cold misses.
+	CacheHits, CacheMisses int64
+	// LocalReplica counts requests served by local site replicas.
+	LocalReplica int64
+}
+
+// StaleFraction is the fraction of measured requests served stale.
+func (m *Metrics) StaleFraction() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.StaleServes) / float64(m.Requests)
+}
+
+// EffectiveLambda is the fraction of cache accesses that could not be
+// served fresh from the cache (revalidations over cache accesses) — the
+// quantity the paper's λ abstracts.
+func (m *Metrics) EffectiveLambda() float64 {
+	accesses := m.CacheHits + m.Revalidations
+	if accesses == 0 {
+		return 0
+	}
+	return float64(m.Revalidations) / float64(accesses)
+}
+
+// entryMeta tracks freshness state of one cached object at one server.
+type entryMeta struct {
+	fetchedAt float64 // virtual seconds
+}
+
+// Run simulates the consistency mechanism over the scenario and
+// placement. Caches use LRU over the placement's free space, exactly as
+// the main simulator; on top of that, every cached entry carries its
+// fetch time and the mechanism decides whether a hit may be served.
+func Run(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.System() != sc.Sys {
+		return nil, fmt.Errorf("consistency: placement belongs to a different system")
+	}
+	n := sc.Sys.N()
+	caches := make([]*cache.LRU, n)
+	meta := make([]map[cache.Key]*entryMeta, n)
+	for i := 0; i < n; i++ {
+		caches[i] = cache.NewLRU(p.Free(i))
+		meta[i] = make(map[cache.Key]*entryMeta)
+	}
+
+	stream := sc.Stream(r)
+	clockRand := r.Split("clock")
+	modRand := r.Split("modifications")
+
+	m := &Metrics{}
+	var clock, totalRT float64
+	total := cfg.Warmup + cfg.Requests
+	for t := 0; t < total; t++ {
+		clock += clockRand.ExpFloat64() / cfg.RequestRate
+		req := stream.Next()
+		i, j := req.Server, req.Site
+		measured := t >= cfg.Warmup
+		if measured {
+			m.Requests++
+		}
+
+		var rt float64
+		switch {
+		case p.Has(i, j):
+			rt = cfg.FirstHopMs
+			if measured {
+				m.LocalReplica++
+			}
+		default:
+			key := cache.Key{Site: j, Object: req.Object}
+			remote := cfg.FirstHopMs + cfg.PerHopMs*p.NearestCost(i, j)
+			if caches[i].Get(key) {
+				em := meta[i][key]
+				age := clock - em.fetchedAt
+				switch cfg.Mechanism {
+				case Invalidation:
+					if modifiedSince(age, meanMod(cfg, j, req.Object), modRand) {
+						// The origin invalidated this copy; refetch.
+						rt = remote
+						em.fetchedAt = clock
+						if measured {
+							m.Revalidations++
+						}
+					} else {
+						rt = cfg.FirstHopMs
+						if measured {
+							m.CacheHits++
+						}
+					}
+				case TTL:
+					if age > cfg.TTLSeconds {
+						rt = remote
+						if modifiedSince(age, meanMod(cfg, j, req.Object), modRand) {
+							// Refetch resets freshness either way.
+						}
+						em.fetchedAt = clock
+						if measured {
+							m.Revalidations++
+						}
+					} else {
+						rt = cfg.FirstHopMs
+						if measured {
+							m.CacheHits++
+							if modifiedSince(age, meanMod(cfg, j, req.Object), modRand) {
+								m.StaleServes++
+							}
+						}
+					}
+				}
+			} else {
+				rt = remote
+				caches[i].Put(key, sc.Work.Size(j, req.Object))
+				if caches[i].Contains(key) {
+					meta[i][key] = &entryMeta{fetchedAt: clock}
+				}
+				if measured {
+					m.CacheMisses++
+				}
+				// Trim metadata of evicted entries lazily.
+				if len(meta[i]) > 2*caches[i].Len()+64 {
+					for k := range meta[i] {
+						if !caches[i].Contains(k) {
+							delete(meta[i], k)
+						}
+					}
+				}
+			}
+		}
+		if measured {
+			totalRT += rt
+		}
+	}
+	if m.Requests > 0 {
+		m.MeanRTMs = totalRT / float64(m.Requests)
+	}
+	return m, nil
+}
+
+// modifiedSince draws whether a Poisson-modified object changed within
+// the given age. Memorylessness makes the lazy draw exact.
+func modifiedSince(age, mean float64, r *xrand.Source) bool {
+	if age <= 0 {
+		return false
+	}
+	return r.Float64() < 1-math.Exp(-age/mean)
+}
+
+// meanMod returns the object's mean modification interval, a
+// deterministic hash-based draw from [ModMin, ModMax].
+func meanMod(cfg Config, site, object int) float64 {
+	u := xrand.Mix(uint64(site)<<32|uint64(object), "modinterval")
+	frac := float64(u>>11) / (1 << 53)
+	return cfg.ModMinSeconds + frac*(cfg.ModMaxSeconds-cfg.ModMinSeconds)
+}

@@ -1,0 +1,238 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func smallScenario() *scenario.Scenario {
+	w := workload.DefaultConfig()
+	w.Servers = 8
+	w.LowSites, w.MediumSites, w.HighSites = 2, 4, 2
+	w.ObjectsPerSite = 100
+	return scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      5,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.15,
+		Seed:         1,
+	})
+}
+
+func fastConfig(mech Mechanism) Config {
+	cfg := DefaultConfig()
+	cfg.Mechanism = mech
+	cfg.Requests = 60000
+	cfg.Warmup = 30000
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Mechanism = "bogus" },
+		func(c *Config) { c.Mechanism = TTL; c.TTLSeconds = 0 },
+		func(c *Config) { c.RequestRate = 0 },
+		func(c *Config) { c.ModMinSeconds = 0 },
+		func(c *Config) { c.ModMaxSeconds = c.ModMinSeconds - 1 },
+		func(c *Config) { c.Requests = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.FirstHopMs = -1 },
+	}
+	for i, mu := range mutations {
+		c := DefaultConfig()
+		mu(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestInvalidationNeverServesStale(t *testing.T) {
+	sc := smallScenario()
+	p := core.NewPlacement(sc.Sys)
+	m, err := Run(sc, p, fastConfig(Invalidation), xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StaleServes != 0 {
+		t.Fatalf("strong consistency served %d stale documents", m.StaleServes)
+	}
+	if m.CacheHits == 0 || m.CacheMisses == 0 {
+		t.Fatal("degenerate run")
+	}
+}
+
+func TestTTLTradesFreshnessForLatency(t *testing.T) {
+	sc := smallScenario()
+	p := core.NewPlacement(sc.Sys)
+
+	short := fastConfig(TTL)
+	short.TTLSeconds = 30
+	long := fastConfig(TTL)
+	long.TTLSeconds = 6 * 3600
+
+	mShort, err := Run(sc, p, short, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLong, err := Run(sc, p, long, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer TTL: fewer revalidations, more stale serves, lower RT.
+	if mLong.Revalidations >= mShort.Revalidations {
+		t.Errorf("revalidations did not drop with TTL: %d -> %d",
+			mShort.Revalidations, mLong.Revalidations)
+	}
+	if mLong.StaleServes <= mShort.StaleServes {
+		t.Errorf("stale serves did not grow with TTL: %d -> %d",
+			mShort.StaleServes, mLong.StaleServes)
+	}
+	if mLong.MeanRTMs >= mShort.MeanRTMs {
+		t.Errorf("mean RT did not drop with TTL: %.2f -> %.2f",
+			mShort.MeanRTMs, mLong.MeanRTMs)
+	}
+}
+
+func TestInvalidationLatencyBetweenTTLExtremes(t *testing.T) {
+	sc := smallScenario()
+	p := core.NewPlacement(sc.Sys)
+
+	inv, err := Run(sc, p, fastConfig(Invalidation), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager := fastConfig(TTL)
+	eager.TTLSeconds = 1 // revalidate almost every hit
+	mEager, err := Run(sc, p, eager, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong consistency only refetches actually-modified copies, so it
+	// must be cheaper than revalidate-always...
+	if inv.MeanRTMs >= mEager.MeanRTMs {
+		t.Errorf("invalidation %.2f not cheaper than TTL=1s %.2f",
+			inv.MeanRTMs, mEager.MeanRTMs)
+	}
+	// ...and its effective λ must be small when modification intervals
+	// (hours) dwarf inter-request times.
+	if l := inv.EffectiveLambda(); l <= 0 || l > 0.2 {
+		t.Errorf("effective lambda %v implausible", l)
+	}
+}
+
+func TestReplicasAlwaysFresh(t *testing.T) {
+	sc := smallScenario()
+	p := core.NewPlacement(sc.Sys)
+	// Replicate everything everywhere (give servers room first).
+	for i := range sc.Sys.Capacity {
+		sc.Sys.Capacity[i] = sc.Work.TotalBytes * 2
+	}
+	p = core.NewPlacement(sc.Sys)
+	for i := 0; i < sc.Sys.N(); i++ {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if err := p.Replicate(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m, err := Run(sc, p, fastConfig(TTL), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StaleServes != 0 || m.Revalidations != 0 {
+		t.Fatal("replica serves incurred consistency traffic")
+	}
+	if m.LocalReplica != int64(m.Requests) {
+		t.Fatal("not all requests were replica-local")
+	}
+	if m.MeanRTMs != 20 {
+		t.Fatalf("mean RT %v, want 20", m.MeanRTMs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	sc := smallScenario()
+	p := core.NewPlacement(sc.Sys)
+	a, err := Run(sc, p, fastConfig(TTL), xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, p, fastConfig(TTL), xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRTMs != b.MeanRTMs || a.StaleServes != b.StaleServes {
+		t.Fatal("identical seeds diverged")
+	}
+}
+
+func TestRunRejectsForeignPlacement(t *testing.T) {
+	a := smallScenario()
+	b := scenario.MustBuild(scenario.Config{
+		Topology:     a.Cfg.Topology,
+		Workload:     a.Cfg.Workload,
+		CapacityFrac: a.Cfg.CapacityFrac,
+		Seed:         99,
+	})
+	if _, err := Run(a, core.NewPlacement(b.Sys), fastConfig(TTL), xrand.New(1)); err == nil {
+		t.Fatal("foreign placement accepted")
+	}
+}
+
+func TestModifiedSince(t *testing.T) {
+	r := xrand.New(13)
+	if modifiedSince(0, 100, r) {
+		t.Fatal("zero age reported modified")
+	}
+	if modifiedSince(-5, 100, r) {
+		t.Fatal("negative age reported modified")
+	}
+	// Empirical frequency must match 1-exp(-age/mean).
+	const age, mean = 50.0, 100.0
+	want := 1 - math.Exp(-age/mean)
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if modifiedSince(age, mean, r) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("modification frequency %v, want %v", got, want)
+	}
+}
+
+func TestMeanModDeterministicAndBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	for site := 0; site < 5; site++ {
+		for obj := 1; obj <= 50; obj++ {
+			a := meanMod(cfg, site, obj)
+			b := meanMod(cfg, site, obj)
+			if a != b {
+				t.Fatal("meanMod not deterministic")
+			}
+			if a < cfg.ModMinSeconds || a > cfg.ModMaxSeconds {
+				t.Fatalf("meanMod %v outside [%v,%v]", a, cfg.ModMinSeconds, cfg.ModMaxSeconds)
+			}
+		}
+	}
+	if meanMod(cfg, 1, 2) == meanMod(cfg, 2, 1) {
+		t.Fatal("meanMod collision for swapped coordinates (suspicious hash)")
+	}
+}

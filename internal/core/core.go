@@ -1,0 +1,319 @@
+// Package core implements the paper's system model (§3): N CDN servers
+// with storage capacities s(i), M hosted sites with sizes o_j and one
+// primary copy each, hop-count communication costs C(i,j), the boolean
+// replication matrix X, the nearest-replicator tables SN, and the
+// cumulative transfer cost
+//
+//	D = Σ_i Σ_j (r_j^(i) − l_j^(i)) · C(i, SN_j^(i))
+//
+// that the replica placement problem minimizes subject to the per-server
+// storage constraint Σ_j X_ij·o_j ≤ s(i) (§3.1).
+//
+// A Placement tracks X incrementally: creating a replica updates the
+// nearest-replicator table of every server in O(N) and the remaining free
+// space (which the hybrid scheme hands to the LRU cache). The placement
+// algorithms in internal/placement drive this type.
+package core
+
+import "fmt"
+
+// System is an immutable description of one CDN deployment: topology
+// costs, site sizes and per-server demand. Placements reference a System
+// and never modify it.
+type System struct {
+	// CostServer[i][k] is C(i,k) between servers i and k in hops;
+	// symmetric with zero diagonal.
+	CostServer [][]float64
+	// CostOrigin[i][j] is C(i, SP_j): server i to the origin (primary
+	// site) of site j.
+	CostOrigin [][]float64
+	// SiteBytes[j] is o_j.
+	SiteBytes []int64
+	// Capacity[i] is s(i) in bytes.
+	Capacity []int64
+	// Demand[i][j] is r_j^(i), the request rate of server i for site
+	// j. Any positive scale; the experiments normalize ΣΣ = 1 so that
+	// costs read as hops per request.
+	Demand [][]float64
+}
+
+// N returns the number of CDN servers.
+func (s *System) N() int { return len(s.Capacity) }
+
+// M returns the number of hosted sites.
+func (s *System) M() int { return len(s.SiteBytes) }
+
+// Validate checks structural consistency; placement algorithms assume a
+// valid System and do not re-check.
+func (s *System) Validate() error {
+	n, m := s.N(), s.M()
+	if n == 0 || m == 0 {
+		return fmt.Errorf("core: empty system (N=%d, M=%d)", n, m)
+	}
+	if len(s.CostServer) != n || len(s.CostOrigin) != n || len(s.Demand) != n {
+		return fmt.Errorf("core: matrix row counts disagree with N=%d", n)
+	}
+	for i := 0; i < n; i++ {
+		if len(s.CostServer[i]) != n {
+			return fmt.Errorf("core: CostServer[%d] has %d cols, want %d", i, len(s.CostServer[i]), n)
+		}
+		if len(s.CostOrigin[i]) != m {
+			return fmt.Errorf("core: CostOrigin[%d] has %d cols, want %d", i, len(s.CostOrigin[i]), m)
+		}
+		if len(s.Demand[i]) != m {
+			return fmt.Errorf("core: Demand[%d] has %d cols, want %d", i, len(s.Demand[i]), m)
+		}
+		if s.CostServer[i][i] != 0 {
+			return fmt.Errorf("core: CostServer[%d][%d] = %v, want 0", i, i, s.CostServer[i][i])
+		}
+		if s.Capacity[i] < 0 {
+			return fmt.Errorf("core: Capacity[%d] = %d", i, s.Capacity[i])
+		}
+		for k := 0; k < n; k++ {
+			if s.CostServer[i][k] < 0 {
+				return fmt.Errorf("core: negative cost C(%d,%d)", i, k)
+			}
+			if s.CostServer[i][k] != s.CostServer[k][i] {
+				return fmt.Errorf("core: asymmetric cost C(%d,%d)", i, k)
+			}
+		}
+		for j := 0; j < m; j++ {
+			if s.CostOrigin[i][j] < 0 {
+				return fmt.Errorf("core: negative origin cost C(%d, SP_%d)", i, j)
+			}
+			if s.Demand[i][j] < 0 {
+				return fmt.Errorf("core: negative demand r_%d^(%d)", j, i)
+			}
+		}
+	}
+	for j, o := range s.SiteBytes {
+		if o <= 0 {
+			return fmt.Errorf("core: SiteBytes[%d] = %d", j, o)
+		}
+	}
+	return nil
+}
+
+// Origin is the sentinel "server index" of a site's primary copy in
+// nearest-replicator tables.
+const Origin = -1
+
+// Placement is the mutable replication state: the X matrix of §3.1 plus
+// the derived nearest-replicator (SN) tables and per-server free space.
+type Placement struct {
+	sys *System
+	x   [][]bool
+	// nearest[i][j] is SN_j^(i): the server holding the replica of
+	// site j closest to server i, or Origin.
+	nearest [][]int
+	// nearestCost[i][j] is C(i, SN_j^(i)); 0 when X_ij = 1.
+	nearestCost [][]float64
+	free        []int64
+	replicas    int
+}
+
+// NewPlacement returns the empty placement: only primary copies exist,
+// every SN points at the origin, and all storage is free (the hybrid
+// algorithm's "all storage space is given to caching" starting state).
+func NewPlacement(sys *System) *Placement {
+	n, m := sys.N(), sys.M()
+	p := &Placement{
+		sys:         sys,
+		x:           make([][]bool, n),
+		nearest:     make([][]int, n),
+		nearestCost: make([][]float64, n),
+		free:        make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		p.x[i] = make([]bool, m)
+		p.nearest[i] = make([]int, m)
+		p.nearestCost[i] = make([]float64, m)
+		p.free[i] = sys.Capacity[i]
+		for j := 0; j < m; j++ {
+			p.nearest[i][j] = Origin
+			p.nearestCost[i][j] = sys.CostOrigin[i][j]
+		}
+	}
+	return p
+}
+
+// System returns the system the placement belongs to.
+func (p *Placement) System() *System { return p.sys }
+
+// Has reports X_ij.
+func (p *Placement) Has(i, j int) bool { return p.x[i][j] }
+
+// Free returns the unreplicated bytes of server i — the cache space under
+// the hybrid scheme.
+func (p *Placement) Free(i int) int64 { return p.free[i] }
+
+// Replicas returns the total number of replicas created.
+func (p *Placement) Replicas() int { return p.replicas }
+
+// Nearest returns SN_j^(i) (a server index, or Origin) and its cost.
+// If X_ij = 1 it returns (i, 0).
+func (p *Placement) Nearest(i, j int) (server int, cost float64) {
+	return p.nearest[i][j], p.nearestCost[i][j]
+}
+
+// NearestCost returns C(i, SN_j^(i)).
+func (p *Placement) NearestCost(i, j int) float64 { return p.nearestCost[i][j] }
+
+// CanReplicate reports whether site j fits into server i's free space and
+// is not already replicated there.
+func (p *Placement) CanReplicate(i, j int) bool {
+	return !p.x[i][j] && p.sys.SiteBytes[j] <= p.free[i]
+}
+
+// Replicate creates the replica (i, j), updating free space and every
+// server's SN entry for site j. It returns an error if the replica
+// already exists or violates the capacity constraint.
+func (p *Placement) Replicate(i, j int) error {
+	_, err := p.ReplicateTracked(i, j)
+	return err
+}
+
+// ReplicateTracked is Replicate that also reports the servers whose
+// SN entry for site j strictly improved (the placement algorithms use
+// this for exact incremental benefit maintenance). The slice is freshly
+// allocated and always includes i when the call succeeds.
+func (p *Placement) ReplicateTracked(i, j int) ([]int, error) {
+	if p.x[i][j] {
+		return nil, fmt.Errorf("core: replica (%d,%d) already exists", i, j)
+	}
+	if o := p.sys.SiteBytes[j]; o > p.free[i] {
+		return nil, fmt.Errorf("core: site %d (%d bytes) exceeds free space %d at server %d",
+			j, o, p.free[i], i)
+	}
+	p.x[i][j] = true
+	p.free[i] -= p.sys.SiteBytes[j]
+	p.replicas++
+	// The new replica can only improve SN entries for site j.
+	var improved []int
+	for k := 0; k < p.sys.N(); k++ {
+		if c := p.sys.CostServer[k][i]; c < p.nearestCost[k][j] {
+			p.nearest[k][j] = i
+			p.nearestCost[k][j] = c
+			improved = append(improved, k)
+		}
+	}
+	// i itself is always affected (its free space changed) even if its
+	// SN entry was already optimal.
+	if len(improved) == 0 || improved[0] != i {
+		found := false
+		for _, k := range improved {
+			if k == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			improved = append(improved, i)
+		}
+	}
+	return improved, nil
+}
+
+// Clone deep-copies the placement (the System is shared).
+func (p *Placement) Clone() *Placement {
+	q := &Placement{sys: p.sys, replicas: p.replicas}
+	q.x = make([][]bool, len(p.x))
+	q.nearest = make([][]int, len(p.nearest))
+	q.nearestCost = make([][]float64, len(p.nearestCost))
+	q.free = append([]int64(nil), p.free...)
+	for i := range p.x {
+		q.x[i] = append([]bool(nil), p.x[i]...)
+		q.nearest[i] = append([]int(nil), p.nearest[i]...)
+		q.nearestCost[i] = append([]float64(nil), p.nearestCost[i]...)
+	}
+	return q
+}
+
+// HitRatioFunc supplies the expected local-service fraction h_j^(i) for a
+// (server, site) pair under the current cache configuration. The pure
+// replication problem uses ZeroHitRatio.
+type HitRatioFunc func(i, j int) float64
+
+// ZeroHitRatio models a system without caches: l_j^(i) = 0 everywhere.
+func ZeroHitRatio(i, j int) float64 { return 0 }
+
+// Cost evaluates the paper's objective D for this placement:
+//
+//	D = Σ_i Σ_j (1 − h_j^(i)) · r_j^(i) · C(i, SN_j^(i))
+//
+// Replicated pairs contribute zero (C(i,i) = 0). With demand normalized
+// to 1, D is the expected cost per request in hops.
+func (p *Placement) Cost(h HitRatioFunc) float64 {
+	total := 0.0
+	for i := 0; i < p.sys.N(); i++ {
+		for j := 0; j < p.sys.M(); j++ {
+			c := p.nearestCost[i][j]
+			if c == 0 {
+				continue
+			}
+			total += (1 - h(i, j)) * p.sys.Demand[i][j] * c
+		}
+	}
+	return total
+}
+
+// UpdateCost evaluates the update-propagation component of the
+// read-plus-update FAP objective (§2.2, [19, 28]): every update to site
+// j travels from its primary copy to each replica,
+//
+//	U = Σ_j u_j · Σ_i X_ij · C(i, SP_j),
+//
+// where updateRates[j] is u_j on the same scale as the read demand.
+// The paper's experiments use u = 0 (read-only); the update-sweep
+// extension exercises this term.
+func (p *Placement) UpdateCost(updateRates []float64) float64 {
+	if len(updateRates) != p.sys.M() {
+		panic(fmt.Sprintf("core: %d update rates for %d sites", len(updateRates), p.sys.M()))
+	}
+	total := 0.0
+	for j := 0; j < p.sys.M(); j++ {
+		if updateRates[j] == 0 {
+			continue
+		}
+		for i := 0; i < p.sys.N(); i++ {
+			if p.x[i][j] {
+				total += updateRates[j] * p.sys.CostOrigin[i][j]
+			}
+		}
+	}
+	return total
+}
+
+// CheckInvariants verifies the internal consistency of the placement
+// against a recomputation from scratch; used by tests and enabled in the
+// simulator's debug path.
+func (p *Placement) CheckInvariants() error {
+	for i := 0; i < p.sys.N(); i++ {
+		var used int64
+		for j := 0; j < p.sys.M(); j++ {
+			if p.x[i][j] {
+				used += p.sys.SiteBytes[j]
+			}
+			// Recompute SN_j^(i) from scratch.
+			bestSrv, bestCost := Origin, p.sys.CostOrigin[i][j]
+			for k := 0; k < p.sys.N(); k++ {
+				if p.x[k][j] && p.sys.CostServer[i][k] < bestCost {
+					bestSrv, bestCost = k, p.sys.CostServer[i][k]
+				}
+			}
+			if p.nearestCost[i][j] != bestCost {
+				return fmt.Errorf("core: SN cost (%d,%d) = %v, recomputed %v",
+					i, j, p.nearestCost[i][j], bestCost)
+			}
+			_ = bestSrv // cost equality is the binding invariant; ties may differ
+		}
+		if used+p.free[i] != p.sys.Capacity[i] {
+			return fmt.Errorf("core: server %d used %d + free %d != capacity %d",
+				i, used, p.free[i], p.sys.Capacity[i])
+		}
+		if p.free[i] < 0 {
+			return fmt.Errorf("core: server %d negative free space", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// testSystem builds a small hand-checkable system:
+// 3 servers on a line (0-1-2, unit hops), 2 sites.
+// Origins: site 0 at distance {4,3,2}, site 1 at distance {1,2,3}.
+func testSystem() *System {
+	return &System{
+		CostServer: [][]float64{
+			{0, 1, 2},
+			{1, 0, 1},
+			{2, 1, 0},
+		},
+		CostOrigin: [][]float64{
+			{4, 1},
+			{3, 2},
+			{2, 3},
+		},
+		SiteBytes: []int64{100, 60},
+		Capacity:  []int64{150, 150, 150},
+		Demand: [][]float64{
+			{0.2, 0.1},
+			{0.1, 0.2},
+			{0.2, 0.2},
+		},
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	if err := testSystem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemValidateRejects(t *testing.T) {
+	mutations := []func(*System){
+		func(s *System) { s.Capacity = nil },
+		func(s *System) { s.SiteBytes = nil },
+		func(s *System) { s.CostServer = s.CostServer[:2] },
+		func(s *System) { s.CostServer[0] = s.CostServer[0][:2] },
+		func(s *System) { s.CostOrigin[1] = s.CostOrigin[1][:1] },
+		func(s *System) { s.Demand[2] = s.Demand[2][:1] },
+		func(s *System) { s.CostServer[1][1] = 5 },
+		func(s *System) { s.CostServer[0][1] = -1; s.CostServer[1][0] = -1 },
+		func(s *System) { s.CostServer[0][1] = 9 }, // asymmetric
+		func(s *System) { s.CostOrigin[0][0] = -2 },
+		func(s *System) { s.Demand[0][0] = -0.1 },
+		func(s *System) { s.Capacity[0] = -1 },
+		func(s *System) { s.SiteBytes[0] = 0 },
+	}
+	for i, m := range mutations {
+		s := testSystem()
+		m(s)
+		if s.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewPlacementInitialState(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	for i := 0; i < sys.N(); i++ {
+		if p.Free(i) != sys.Capacity[i] {
+			t.Fatalf("server %d free %d, want full capacity", i, p.Free(i))
+		}
+		for j := 0; j < sys.M(); j++ {
+			if p.Has(i, j) {
+				t.Fatalf("replica (%d,%d) in empty placement", i, j)
+			}
+			srv, cost := p.Nearest(i, j)
+			if srv != Origin || cost != sys.CostOrigin[i][j] {
+				t.Fatalf("SN(%d,%d) = (%d,%v), want origin", i, j, srv, cost)
+			}
+		}
+	}
+	if p.Replicas() != 0 {
+		t.Fatal("fresh placement has replicas")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateUpdatesNearest(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	if err := p.Replicate(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Server 1 now serves site 0 locally.
+	if srv, cost := p.Nearest(1, 0); srv != 1 || cost != 0 {
+		t.Fatalf("SN(1,0) = (%d,%v), want (1,0)", srv, cost)
+	}
+	// Server 0: replica at 1 costs 1 < origin cost 4.
+	if srv, cost := p.Nearest(0, 0); srv != 1 || cost != 1 {
+		t.Fatalf("SN(0,0) = (%d,%v), want (1,1)", srv, cost)
+	}
+	// Server 2: replica at 1 costs 1 < origin cost 2.
+	if srv, cost := p.Nearest(2, 0); srv != 1 || cost != 1 {
+		t.Fatalf("SN(2,0) = (%d,%v), want (1,1)", srv, cost)
+	}
+	// Site 1 untouched.
+	if srv, _ := p.Nearest(0, 1); srv != Origin {
+		t.Fatal("SN for site 1 changed")
+	}
+	if p.Free(1) != 50 {
+		t.Fatalf("free space %d, want 50", p.Free(1))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateKeepsCloserOrigin(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	// Site 1's origin is at distance 1 from server 0; a replica at
+	// server 2 (distance 2) must not displace it.
+	if err := p.Replicate(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv, cost := p.Nearest(0, 1); srv != Origin || cost != 1 {
+		t.Fatalf("SN(0,1) = (%d,%v), want origin at cost 1", srv, cost)
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	if err := p.Replicate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Replicate(0, 0); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	// Server 0 has 50 bytes free; site 1 needs 60.
+	if err := p.Replicate(0, 1); err == nil {
+		t.Fatal("capacity violation accepted")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanReplicate(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	if !p.CanReplicate(0, 0) {
+		t.Fatal("feasible replica reported infeasible")
+	}
+	if err := p.Replicate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanReplicate(0, 0) {
+		t.Fatal("existing replica reported feasible")
+	}
+	if p.CanReplicate(0, 1) {
+		t.Fatal("oversized replica reported feasible")
+	}
+	if !p.CanReplicate(1, 1) {
+		t.Fatal("feasible replica reported infeasible")
+	}
+}
+
+func TestCostNoCaching(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	// D = Σ r_ij * C(i, SP_j) initially.
+	want := 0.2*4 + 0.1*1 + 0.1*3 + 0.2*2 + 0.2*2 + 0.2*3
+	if got := p.Cost(ZeroHitRatio); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("initial cost %v, want %v", got, want)
+	}
+	// Replicating site 0 at server 2 reroutes site-0 demand.
+	if err := p.Replicate(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	want = 0.2*2 + 0.1*1 + 0.1*1 + 0.2*2 + 0 + 0.2*3
+	if got := p.Cost(ZeroHitRatio); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost after replica %v, want %v", got, want)
+	}
+}
+
+func TestCostWithHitRatio(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	// A 50% hit ratio everywhere halves the redirection cost.
+	full := p.Cost(ZeroHitRatio)
+	half := p.Cost(func(i, j int) float64 { return 0.5 })
+	if math.Abs(half-full/2) > 1e-12 {
+		t.Fatalf("half-hit cost %v, want %v", half, full/2)
+	}
+	// Perfect caching absorbs everything.
+	if got := p.Cost(func(i, j int) float64 { return 1 }); got != 0 {
+		t.Fatalf("perfect-cache cost %v, want 0", got)
+	}
+}
+
+func TestCostMonotoneUnderReplication(t *testing.T) {
+	// Adding replicas can never increase the no-cache cost.
+	sys := testSystem()
+	p := NewPlacement(sys)
+	prev := p.Cost(ZeroHitRatio)
+	order := []struct{ i, j int }{{0, 0}, {1, 1}, {2, 0}, {2, 1}}
+	for _, step := range order {
+		if !p.CanReplicate(step.i, step.j) {
+			continue
+		}
+		if err := p.Replicate(step.i, step.j); err != nil {
+			t.Fatal(err)
+		}
+		cur := p.Cost(ZeroHitRatio)
+		if cur > prev+1e-12 {
+			t.Fatalf("cost rose from %v to %v after replica %v", prev, cur, step)
+		}
+		prev = cur
+	}
+}
+
+func TestClone(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	if err := p.Replicate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	if err := q.Replicate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has(1, 1) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !q.Has(0, 0) {
+		t.Fatal("clone lost existing replica")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Replicas() != 2 || p.Replicas() != 1 {
+		t.Fatalf("replica counts %d/%d, want 2/1", q.Replicas(), p.Replicas())
+	}
+}
+
+// TestRandomizedInvariants drives random feasible replications on random
+// systems and checks invariants plus cost monotonicity throughout.
+func TestRandomizedInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		r := xrand.New(seed)
+		n, m := 4+r.Intn(8), 3+r.Intn(8)
+		sys := randomSystem(r, n, m)
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p := NewPlacement(sys)
+		prev := p.Cost(ZeroHitRatio)
+		for step := 0; step < 200; step++ {
+			i, j := r.Intn(n), r.Intn(m)
+			if !p.CanReplicate(i, j) {
+				continue
+			}
+			if err := p.Replicate(i, j); err != nil {
+				t.Fatal(err)
+			}
+			cur := p.Cost(ZeroHitRatio)
+			if cur > prev+1e-9 {
+				t.Fatalf("seed %d: cost increased %v -> %v", seed, prev, cur)
+			}
+			prev = cur
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// randomSystem builds a random valid system with metric-ish costs derived
+// from random points on a line (guarantees symmetry and zero diagonal).
+func randomSystem(r *xrand.Source, n, m int) *System {
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = r.Float64() * 10
+	}
+	sys := &System{
+		CostServer: make([][]float64, n),
+		CostOrigin: make([][]float64, n),
+		Demand:     make([][]float64, n),
+		SiteBytes:  make([]int64, m),
+		Capacity:   make([]int64, n),
+	}
+	originPos := make([]float64, m)
+	for j := range originPos {
+		originPos[j] = r.Float64() * 10
+		sys.SiteBytes[j] = int64(10 + r.Intn(90))
+	}
+	for i := 0; i < n; i++ {
+		sys.CostServer[i] = make([]float64, n)
+		sys.CostOrigin[i] = make([]float64, m)
+		sys.Demand[i] = make([]float64, m)
+		sys.Capacity[i] = int64(50 + r.Intn(200))
+		for k := 0; k < n; k++ {
+			sys.CostServer[i][k] = math.Abs(pos[i] - pos[k])
+		}
+		for j := 0; j < m; j++ {
+			sys.CostOrigin[i][j] = math.Abs(pos[i]-originPos[j]) + 1
+			sys.Demand[i][j] = r.Float64()
+		}
+	}
+	return sys
+}

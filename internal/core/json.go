@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// placementDoc is the serialized form of a placement decision: just the
+// replica list plus the system dimensions it was computed for. A CDN
+// operator persists the controller's decision and reloads it at the
+// edge; the SN tables and free-space accounting are derived on load.
+type placementDoc struct {
+	Servers  int      `json:"servers"`
+	Sites    int      `json:"sites"`
+	Replicas [][2]int `json:"replicas"` // (server, site) pairs
+}
+
+// SaveJSON writes the placement's replica set as JSON.
+func (p *Placement) SaveJSON(w io.Writer) error {
+	doc := placementDoc{Servers: p.sys.N(), Sites: p.sys.M()}
+	for i := 0; i < p.sys.N(); i++ {
+		for j := 0; j < p.sys.M(); j++ {
+			if p.x[i][j] {
+				doc.Replicas = append(doc.Replicas, [2]int{i, j})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadJSON reconstructs a placement over sys from SaveJSON output. It
+// verifies dimensions and replays every replica through the capacity
+// checks, so a document saved for a different deployment fails loudly
+// rather than corrupting state.
+func LoadJSON(sys *System, r io.Reader) (*Placement, error) {
+	var doc placementDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding placement: %w", err)
+	}
+	if doc.Servers != sys.N() || doc.Sites != sys.M() {
+		return nil, fmt.Errorf("core: placement is for a %dx%d system, this one is %dx%d",
+			doc.Servers, doc.Sites, sys.N(), sys.M())
+	}
+	p := NewPlacement(sys)
+	for _, pair := range doc.Replicas {
+		i, j := pair[0], pair[1]
+		if i < 0 || i >= sys.N() || j < 0 || j >= sys.M() {
+			return nil, fmt.Errorf("core: replica (%d,%d) out of range", i, j)
+		}
+		if err := p.Replicate(i, j); err != nil {
+			return nil, fmt.Errorf("core: replaying placement: %w", err)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestPlacementJSONRoundTrip(t *testing.T) {
+	sys := testSystem()
+	p := NewPlacement(sys)
+	if err := p.Replicate(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Replicate(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadJSON(sys, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Replicas() != 2 || !q.Has(0, 0) || !q.Has(1, 1) {
+		t.Fatal("replica set lost in round trip")
+	}
+	// Derived state (SN tables, free space) must be identical.
+	for i := 0; i < sys.N(); i++ {
+		if q.Free(i) != p.Free(i) {
+			t.Fatalf("server %d free space %d vs %d", i, q.Free(i), p.Free(i))
+		}
+		for j := 0; j < sys.M(); j++ {
+			if q.NearestCost(i, j) != p.NearestCost(i, j) {
+				t.Fatalf("SN cost (%d,%d) differs", i, j)
+			}
+		}
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadJSONRejects(t *testing.T) {
+	sys := testSystem()
+	cases := []string{
+		`not json`,
+		`{"servers": 99, "sites": 2, "replicas": []}`,
+		`{"servers": 3, "sites": 99, "replicas": []}`,
+		`{"servers": 3, "sites": 2, "replicas": [[5, 0]]}`,
+		`{"servers": 3, "sites": 2, "replicas": [[0, -1]]}`,
+		`{"servers": 3, "sites": 2, "replicas": [[0, 0], [0, 0]]}`, // duplicate
+		`{"servers": 3, "sites": 2, "unknown": 1, "replicas": []}`,
+	}
+	for i, raw := range cases {
+		if _, err := LoadJSON(sys, strings.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted: %s", i, raw)
+		}
+	}
+}
+
+func TestLoadJSONRejectsOverCapacity(t *testing.T) {
+	sys := testSystem()
+	// Both sites at server 0 exceed its 150-byte capacity (100+60).
+	raw := `{"servers": 3, "sites": 2, "replicas": [[0, 0], [0, 1]]}`
+	if _, err := LoadJSON(sys, strings.NewReader(raw)); err == nil {
+		t.Fatal("over-capacity placement accepted")
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	r := xrand.New(5)
+	sys := randomSystem(r, 8, 6)
+	p := NewPlacement(sys)
+	for step := 0; step < 100; step++ {
+		i, j := r.Intn(8), r.Intn(6)
+		if p.CanReplicate(i, j) {
+			if err := p.Replicate(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadJSON(sys, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Replicas() != p.Replicas() {
+		t.Fatalf("replica count %d vs %d", q.Replicas(), p.Replicas())
+	}
+	if q.Cost(ZeroHitRatio) != p.Cost(ZeroHitRatio) {
+		t.Fatal("cost differs after round trip")
+	}
+}

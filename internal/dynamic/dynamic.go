@@ -1,0 +1,301 @@
+// Package dynamic grounds the paper's second motivation (§2.1): "the
+// placement decisions should remain fairly static for a considerable
+// time period... due to the fact that replica creation and migration
+// incurs a high transfer cost", while caching "operates on a per page
+// level and is inherently dynamic".
+//
+// It simulates a workload whose site popularities drift between epochs
+// (hot sites cool down, cold sites heat up — a multiplicative random
+// walk) and compares replica-placement strategies over time:
+//
+//   - static strategies place replicas once, on the first epoch's
+//     demand, and never move them;
+//   - adaptive strategies re-run their placement algorithm at every
+//     epoch boundary and pay the transfer cost of every replica they
+//     create (o_j bytes hauled over C(i, SP_j) hops from the primary);
+//   - caches persist across epochs and adapt for free, which is exactly
+//     the property the hybrid scheme banks on.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Strategy names a replica management policy over time.
+type Strategy string
+
+// The compared strategies.
+const (
+	// Caching never places replicas; only the LRU caches adapt.
+	Caching Strategy = "caching"
+	// StaticReplication places greedy-global replicas on the first
+	// epoch's demand and keeps them, with no caches.
+	StaticReplication Strategy = "static-replication"
+	// StaticHybrid runs the hybrid algorithm once on the first epoch's
+	// demand; its caches keep adapting afterwards.
+	StaticHybrid Strategy = "static-hybrid"
+	// AdaptiveReplication re-runs greedy-global every epoch, paying
+	// transfer costs, with no caches.
+	AdaptiveReplication Strategy = "adaptive-replication"
+	// AdaptiveHybrid re-runs the hybrid algorithm every epoch, paying
+	// transfer costs; caches are resized to the new free space.
+	AdaptiveHybrid Strategy = "adaptive-hybrid"
+)
+
+// Config controls a drift simulation.
+type Config struct {
+	// Epochs is the number of demand epochs.
+	Epochs int
+	// RequestsPerEpoch is the measured request count per epoch.
+	RequestsPerEpoch int
+	// Warmup is the unmeasured cache warm-up before the first epoch.
+	Warmup int
+	// Drift is the per-epoch log-normal popularity shock σ: site
+	// weights evolve w' = w·exp(σ·ξ), ξ ~ N(0,1), then renormalize.
+	// 0 freezes the workload; 0.5 reshuffles noticeably per epoch.
+	Drift float64
+	// FirstHopMs / PerHopMs mirror sim.Config.
+	FirstHopMs, PerHopMs float64
+}
+
+// DefaultConfig drifts noticeably over 8 epochs.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:           8,
+		RequestsPerEpoch: 200000,
+		Warmup:           200000,
+		Drift:            0.6,
+		FirstHopMs:       20,
+		PerHopMs:         20,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Epochs < 1:
+		return fmt.Errorf("dynamic: Epochs = %d", c.Epochs)
+	case c.RequestsPerEpoch < 1:
+		return fmt.Errorf("dynamic: RequestsPerEpoch = %d", c.RequestsPerEpoch)
+	case c.Warmup < 0:
+		return fmt.Errorf("dynamic: Warmup = %d", c.Warmup)
+	case c.Drift < 0:
+		return fmt.Errorf("dynamic: Drift = %v", c.Drift)
+	case c.FirstHopMs < 0 || c.PerHopMs < 0:
+		return fmt.Errorf("dynamic: negative delay")
+	}
+	return nil
+}
+
+// EpochResult is one epoch's measurement for one strategy.
+type EpochResult struct {
+	Epoch    int
+	MeanRTMs float64
+	// TransferGBHops is the replica-movement volume paid at this
+	// epoch's boundary: Σ o_j·C(i, SP_j) over created replicas, in
+	// GB·hops.
+	TransferGBHops float64
+	Replicas       int
+}
+
+// Result aggregates a strategy's run.
+type Result struct {
+	Strategy Strategy
+	Epochs   []EpochResult
+	// MeanRTMs is the request-weighted mean over all epochs.
+	MeanRTMs float64
+	// TotalTransferGBHops sums the boundary transfer volumes.
+	TotalTransferGBHops float64
+}
+
+// Run simulates the strategy over the drifting workload. The demand
+// drift sequence is derived from seed alone, so every strategy sees the
+// identical sequence of workloads and request traces.
+func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(seed)
+	driftRand := root.Split("drift")
+
+	// Per-epoch site weights, starting from the scenario's own.
+	weights := make([]float64, sc.Sys.M())
+	for j, s := range sc.Work.Sites {
+		weights[j] = s.Weight
+	}
+	// The per-server spread stays fixed; demand columns scale with the
+	// drifting weights (§5.1's truncated-normal spread is a property of
+	// client geography, not of site popularity).
+	spread := make([][]float64, sc.Sys.N())
+	for i := range spread {
+		spread[i] = make([]float64, sc.Sys.M())
+		for j := range spread[i] {
+			if sc.Work.Sites[j].Weight > 0 {
+				spread[i][j] = sc.Sys.Demand[i][j] / sc.Work.Sites[j].Weight
+			}
+		}
+	}
+
+	res := &Result{Strategy: strat}
+	var p *core.Placement
+	var caches []cache.Cache
+	useCache := strat == Caching || strat == StaticHybrid || strat == AdaptiveHybrid
+	var totalRT float64
+	var totalReq int
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sys := systemWithWeights(sc, spread, weights)
+		w := workloadWithWeights(sc, spread, weights)
+
+		// (Re)place replicas according to the strategy.
+		var transfer float64
+		replaceNow := epoch == 0 || strat == AdaptiveReplication || strat == AdaptiveHybrid
+		if replaceNow {
+			newP, err := place(strat, sys, sc, w)
+			if err != nil {
+				return nil, err
+			}
+			transfer = transferVolume(sc, p, newP)
+			p = newP
+			if useCache {
+				if caches == nil {
+					caches = make([]cache.Cache, sc.Sys.N())
+					for i := range caches {
+						caches[i] = cache.NewLRU(p.Free(i))
+					}
+				} else {
+					for i := range caches {
+						caches[i].Resize(p.Free(i))
+					}
+				}
+			}
+		}
+
+		// Simulate the epoch on the drifted workload.
+		stream := workload.NewStream(w, root.Split(fmt.Sprintf("trace-%d", epoch)))
+		warm := 0
+		if epoch == 0 {
+			warm = cfg.Warmup
+		}
+		er := EpochResult{Epoch: epoch, TransferGBHops: transfer, Replicas: p.Replicas()}
+		var rtSum float64
+		for t := 0; t < warm+cfg.RequestsPerEpoch; t++ {
+			req := stream.Next()
+			i, j := req.Server, req.Site
+			var hops float64
+			switch {
+			case p.Has(i, j):
+				hops = 0
+			case useCache:
+				key := cache.Key{Site: j, Object: req.Object}
+				if caches[i].Get(key) {
+					hops = 0
+				} else {
+					hops = p.NearestCost(i, j)
+					caches[i].Put(key, sc.Work.Size(j, req.Object))
+				}
+			default:
+				hops = p.NearestCost(i, j)
+			}
+			if t >= warm {
+				rtSum += cfg.FirstHopMs + cfg.PerHopMs*hops
+			}
+		}
+		er.MeanRTMs = rtSum / float64(cfg.RequestsPerEpoch)
+		res.Epochs = append(res.Epochs, er)
+		totalRT += rtSum
+		totalReq += cfg.RequestsPerEpoch
+		res.TotalTransferGBHops += transfer
+
+		// Drift the weights for the next epoch.
+		if epoch < cfg.Epochs-1 {
+			sum := 0.0
+			for j := range weights {
+				weights[j] *= math.Exp(cfg.Drift * driftRand.NormFloat64())
+				sum += weights[j]
+			}
+			for j := range weights {
+				weights[j] /= sum
+			}
+		}
+	}
+	res.MeanRTMs = totalRT / float64(totalReq)
+	return res, nil
+}
+
+// place builds the strategy's placement on the epoch's demand.
+func place(strat Strategy, sys *core.System, sc *scenario.Scenario, w *workload.Workload) (*core.Placement, error) {
+	switch strat {
+	case Caching:
+		return core.NewPlacement(sys), nil
+	case StaticReplication, AdaptiveReplication:
+		return placement.GreedyGlobal(sys).Placement, nil
+	case StaticHybrid, AdaptiveHybrid:
+		res, err := placement.Hybrid(sys, placement.HybridConfig{
+			Specs:          w.Specs(),
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Placement, nil
+	default:
+		return nil, fmt.Errorf("dynamic: unknown strategy %q", strat)
+	}
+}
+
+// transferVolume is the GB·hops hauled to realize newP given oldP: each
+// replica present in newP but not oldP fetches o_j bytes from the
+// primary site of O_j.
+func transferVolume(sc *scenario.Scenario, oldP, newP *core.Placement) float64 {
+	var v float64
+	for i := 0; i < sc.Sys.N(); i++ {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if newP.Has(i, j) && (oldP == nil || !oldP.Has(i, j)) {
+				v += float64(sc.Sys.SiteBytes[j]) * sc.Sys.CostOrigin[i][j]
+			}
+		}
+	}
+	return v / 1e9
+}
+
+// systemWithWeights derives the epoch's core.System: shared costs and
+// capacities, demand scaled to the drifted weights.
+func systemWithWeights(sc *scenario.Scenario, spread [][]float64, weights []float64) *core.System {
+	sys := &core.System{
+		CostServer: sc.Sys.CostServer,
+		CostOrigin: sc.Sys.CostOrigin,
+		SiteBytes:  sc.Sys.SiteBytes,
+		Capacity:   sc.Sys.Capacity,
+		Demand:     make([][]float64, sc.Sys.N()),
+	}
+	for i := range sys.Demand {
+		sys.Demand[i] = make([]float64, sc.Sys.M())
+		for j := range sys.Demand[i] {
+			sys.Demand[i][j] = spread[i][j] * weights[j]
+		}
+	}
+	return sys
+}
+
+// workloadWithWeights derives the epoch's workload view (shared catalogs,
+// drifted demand) for stream generation and the hybrid's model inputs.
+func workloadWithWeights(sc *scenario.Scenario, spread [][]float64, weights []float64) *workload.Workload {
+	w := *sc.Work
+	w.Demand = make([][]float64, len(sc.Work.Demand))
+	for i := range w.Demand {
+		w.Demand[i] = make([]float64, len(weights))
+		for j := range w.Demand[i] {
+			w.Demand[i][j] = spread[i][j] * weights[j]
+		}
+	}
+	return &w
+}

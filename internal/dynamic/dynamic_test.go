@@ -1,0 +1,202 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func smallScenario() *scenario.Scenario {
+	w := workload.DefaultConfig()
+	w.Servers = 8
+	w.LowSites, w.MediumSites, w.HighSites = 4, 8, 4
+	w.ObjectsPerSite = 100
+	return scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   3,
+			StubNodesPerStub:      5,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.10,
+		Seed:         1,
+	})
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	cfg.RequestsPerEpoch = 30000
+	cfg.Warmup = 30000
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.RequestsPerEpoch = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.Drift = -0.1 },
+		func(c *Config) { c.PerHopMs = -1 },
+	}
+	for i, m := range mutations {
+		c := DefaultConfig()
+		m(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCachingPaysNoTransfer(t *testing.T) {
+	sc := smallScenario()
+	res, err := Run(sc, Caching, fastConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTransferGBHops != 0 {
+		t.Fatalf("caching paid %v GB·hops of transfer", res.TotalTransferGBHops)
+	}
+	if len(res.Epochs) != 5 {
+		t.Fatalf("%d epochs", len(res.Epochs))
+	}
+	for _, e := range res.Epochs {
+		if e.Replicas != 0 {
+			t.Fatal("caching created replicas")
+		}
+		if e.MeanRTMs <= 0 {
+			t.Fatal("empty epoch")
+		}
+	}
+}
+
+func TestStaticStrategiesTransferOnce(t *testing.T) {
+	sc := smallScenario()
+	for _, strat := range []Strategy{StaticReplication, StaticHybrid} {
+		res, err := Run(sc, strat, fastConfig(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Epochs[0].TransferGBHops <= 0 {
+			t.Fatalf("%s: no initial placement transfer", strat)
+		}
+		for _, e := range res.Epochs[1:] {
+			if e.TransferGBHops != 0 {
+				t.Fatalf("%s: static strategy moved replicas at epoch %d", strat, e.Epoch)
+			}
+		}
+	}
+}
+
+func TestAdaptiveKeepsMoving(t *testing.T) {
+	sc := smallScenario()
+	res, err := Run(sc, AdaptiveHybrid, fastConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0.0
+	for _, e := range res.Epochs[1:] {
+		moved += e.TransferGBHops
+	}
+	if moved <= 0 {
+		t.Fatal("adaptive strategy never moved a replica under drift")
+	}
+	// Adaptive re-placement must also pay more transfer in total than
+	// the one-shot static placement.
+	static, err := Run(sc, StaticHybrid, fastConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTransferGBHops <= static.TotalTransferGBHops {
+		t.Fatalf("adaptive transfer %v not above static %v",
+			res.TotalTransferGBHops, static.TotalTransferGBHops)
+	}
+}
+
+func TestDriftHurtsStaticReplicationMost(t *testing.T) {
+	// The paper's motivation: under drift, a static pure-replication
+	// deployment decays, while strategies with caches adapt. A single
+	// drift draw can randomly favor either side, so compare the decay
+	// (later-epoch RT minus first-epoch RT) averaged over seeds.
+	sc := smallScenario()
+	cfg := fastConfig()
+	cfg.Drift = 0.8
+	var declineR, declineH float64
+	for seed := uint64(11); seed < 17; seed++ {
+		repl, err := Run(sc, StaticReplication, cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := Run(sc, StaticHybrid, cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 1; e < len(repl.Epochs); e++ {
+			declineR += repl.Epochs[e].MeanRTMs - repl.Epochs[0].MeanRTMs
+			declineH += hyb.Epochs[e].MeanRTMs - hyb.Epochs[0].MeanRTMs
+		}
+		// Per seed, the hybrid stays ahead overall.
+		if hyb.MeanRTMs >= repl.MeanRTMs {
+			t.Errorf("seed %d: static hybrid %.2f not better than static replication %.2f",
+				seed, hyb.MeanRTMs, repl.MeanRTMs)
+		}
+	}
+	if declineH >= declineR {
+		t.Errorf("avg decay: hybrid %.2f ms, replication %.2f ms: caching did not cushion drift",
+			declineH, declineR)
+	}
+}
+
+func TestZeroDriftStaticMatchesAdaptiveRT(t *testing.T) {
+	// Without drift, re-placing every epoch cannot improve latency;
+	// the adaptive strategy only pays (zero additional) transfer.
+	sc := smallScenario()
+	cfg := fastConfig()
+	cfg.Drift = 0
+	static, err := Run(sc, StaticHybrid, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(sc, AdaptiveHybrid, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.TotalTransferGBHops != static.TotalTransferGBHops {
+		t.Fatalf("zero drift but adaptive transferred %v vs static %v",
+			adaptive.TotalTransferGBHops, static.TotalTransferGBHops)
+	}
+	diff := adaptive.MeanRTMs - static.MeanRTMs
+	if diff < -1 || diff > 1 {
+		t.Fatalf("zero-drift RT differs: static %.2f vs adaptive %.2f",
+			static.MeanRTMs, adaptive.MeanRTMs)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	sc := smallScenario()
+	a, err := Run(sc, AdaptiveHybrid, fastConfig(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, AdaptiveHybrid, fastConfig(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRTMs != b.MeanRTMs || a.TotalTransferGBHops != b.TotalTransferGBHops {
+		t.Fatal("identical seeds diverged")
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	sc := smallScenario()
+	if _, err := Run(sc, Strategy("bogus"), fastConfig(), 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAvailabilityComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 50000
+	opts.Sim.Warmup = 50000
+	rows, err := AvailabilityComparison(opts, []int{0, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 (3 mechanisms x 2 levels)", len(rows))
+	}
+	get := func(m Mechanism, k int) AvailabilityRow {
+		for _, r := range rows {
+			if r.Mechanism == m && r.FailedOrigins == k {
+				return r
+			}
+		}
+		t.Fatalf("row (%s, %d) missing", m, k)
+		return AvailabilityRow{}
+	}
+
+	// With no failed origins nothing is unavailable.
+	for _, m := range []Mechanism{MechReplication, MechCaching, MechHybrid} {
+		if u := get(m, 0).Unavailability; u != 0 {
+			t.Errorf("%s: unavailability %v with all origins up", m, u)
+		}
+	}
+	// With failed origins, pure caching loses the most traffic, and the
+	// hybrid (which holds real replicas) loses no more than caching.
+	cach := get(MechCaching, 4)
+	hyb := get(MechHybrid, 4)
+	if cach.Unavailability == 0 {
+		t.Error("caching fully available with 4 dead origins (suspicious)")
+	}
+	if hyb.Unavailability > cach.Unavailability {
+		t.Errorf("hybrid unavailability %.4f worse than caching %.4f",
+			hyb.Unavailability, cach.Unavailability)
+	}
+	// Replication keeps no caches, so it can never serve dead-origin
+	// content at stale risk.
+	if get(MechReplication, 4).StaleRiskFrac != 0 {
+		t.Error("pure replication reported stale-risk serves")
+	}
+
+	if out := FormatAvailabilityRows(rows); !strings.Contains(out, "unavailable") {
+		t.Error("formatting lost the header")
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// ClusterRow is one mechanism of the per-cluster replication comparison.
+type ClusterRow struct {
+	Name     string
+	MeanRTMs float64
+	MeanHops float64
+	Replicas int
+}
+
+// ClusterComparison settles the paper's §5.3 future-work claim: against
+// per-cluster replication (Chen et al. [6], here: popularity-band
+// clusters), the hybrid scheme should "again be the winner with the
+// latency reduction varying in between the per-site replication and the
+// caching case". It compares, on one trace:
+//
+//   - per-site replication (greedy-global, no caches)
+//   - per-cluster replication (greedy-global over clusters, no caches)
+//   - pure caching
+//   - the hybrid algorithm at site granularity (the paper's)
+//   - the hybrid algorithm at cluster granularity (a further extension)
+func ClusterComparison(opts Options, clustersPerSite int) ([]ClusterRow, error) {
+	sc, err := scenario.Build(opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.PopularityClusters(sc.Work, clustersPerSite)
+	if err != nil {
+		return nil, err
+	}
+	unitSys := cl.DeriveSystem(sc.Sys)
+	if err := unitSys.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: derived cluster system invalid: %w", err)
+	}
+	lambda := opts.Base.Workload.Lambda
+
+	type job struct {
+		name     string
+		build    func() (*placement.Result, error)
+		useCache bool
+		units    bool
+	}
+	jobs := []job{
+		{"replication/site", func() (*placement.Result, error) {
+			return placement.GreedyGlobal(sc.Sys), nil
+		}, false, false},
+		{"replication/cluster", func() (*placement.Result, error) {
+			return placement.GreedyGlobal(unitSys), nil
+		}, false, true},
+		{"caching", func() (*placement.Result, error) {
+			return placement.None(sc.Sys), nil
+		}, true, false},
+		{"hybrid/site", func() (*placement.Result, error) {
+			return placement.Hybrid(sc.Sys, placement.HybridConfig{
+				Specs:          sc.Work.Specs(),
+				AvgObjectBytes: sc.Work.AvgObjectBytes,
+			})
+		}, true, false},
+		{"hybrid/cluster", func() (*placement.Result, error) {
+			return placement.Hybrid(unitSys, placement.HybridConfig{
+				Specs:          cl.Specs(sc.Work, lambda),
+				AvgObjectBytes: sc.Work.AvgObjectBytes,
+			})
+		}, true, true},
+	}
+
+	rows := make([]ClusterRow, len(jobs))
+	err = parallelFor(len(jobs), func(ji int) error {
+		j := jobs[ji]
+		res, err := j.build()
+		if err != nil {
+			return err
+		}
+		simCfg := opts.Sim
+		simCfg.UseCache = j.useCache
+		simCfg.KeepResponseTimes = false
+		if j.units {
+			simCfg.UnitOf = cl.UnitOf
+		}
+		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return err
+		}
+		rows[ji] = ClusterRow{
+			Name:     j.name,
+			MeanRTMs: m.MeanRTMs,
+			MeanHops: m.MeanHops,
+			Replicas: res.Placement.Replicas(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatClusterRows renders the per-cluster comparison.
+func FormatClusterRows(rows []ClusterRow, clustersPerSite int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.3 future work — per-cluster replication (%d clusters/site)\n", clustersPerSite)
+	b.WriteString("mechanism             mean RT (ms)  cost (hops)  replicas\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-21s %12.2f %12.3f %9d\n", r.Name, r.MeanRTMs, r.MeanHops, r.Replicas)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 60000
+	opts.Sim.Warmup = 60000
+	rows, err := ClusterComparison(opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]ClusterRow{}
+	for _, r := range rows {
+		if r.MeanRTMs <= 0 {
+			t.Fatalf("%s: empty row", r.Name)
+		}
+		byName[r.Name] = r
+	}
+
+	site := byName["replication/site"]
+	clus := byName["replication/cluster"]
+	hybS := byName["hybrid/site"]
+	hybC := byName["hybrid/cluster"]
+
+	// [6]'s result: cluster-grain replication beats per-site
+	// replication (finer units use the same storage better).
+	if clus.MeanRTMs >= site.MeanRTMs {
+		t.Errorf("cluster replication %.2f not better than site replication %.2f",
+			clus.MeanRTMs, site.MeanRTMs)
+	}
+	// The granularity-matched form of the paper's §5.3 claim: the
+	// hybrid principle wins against pure replication at the same
+	// granularity. (The literal site-hybrid vs cluster-replication
+	// comparison flips with fine clustering; see EXPERIMENTS.md.)
+	if hybC.MeanRTMs >= clus.MeanRTMs {
+		t.Errorf("cluster hybrid %.2f not better than cluster replication %.2f",
+			hybC.MeanRTMs, clus.MeanRTMs)
+	}
+	// Finer placement units can only help the hybrid too.
+	if hybC.MeanRTMs >= hybS.MeanRTMs {
+		t.Errorf("cluster hybrid %.2f not better than site hybrid %.2f",
+			hybC.MeanRTMs, hybS.MeanRTMs)
+	}
+	// Cluster replication must create more (smaller) replicas than
+	// site replication under the same storage.
+	if clus.Replicas <= site.Replicas {
+		t.Errorf("cluster replicas %d not more numerous than site replicas %d",
+			clus.Replicas, site.Replicas)
+	}
+
+	if out := FormatClusterRows(rows, 4); !strings.Contains(out, "hybrid/cluster") {
+		t.Error("formatting lost rows")
+	}
+}
+
+func TestClusterComparisonRejectsBadCount(t *testing.T) {
+	if _, err := ClusterComparison(QuickOptions(), 0); err == nil {
+		t.Fatal("perSite=0 accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConsistencyComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 50000
+	opts.Sim.Warmup = 30000
+	rows, err := ConsistencyComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byName := map[string]ConsistencyRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	inv := byName["invalidation (strong)"]
+	ttl10 := byName["ttl 10 min"]
+	ttl6h := byName["ttl 6 hours"]
+
+	// Strong consistency never serves stale documents.
+	if inv.StaleFraction != 0 {
+		t.Errorf("invalidation stale fraction %v", inv.StaleFraction)
+	}
+	// Longer TTLs serve more stale documents but cost less latency.
+	if ttl6h.StaleFraction <= ttl10.StaleFraction {
+		t.Errorf("stale fraction did not grow with TTL: %v -> %v",
+			ttl10.StaleFraction, ttl6h.StaleFraction)
+	}
+	if ttl6h.MeanRTMs >= ttl10.MeanRTMs {
+		t.Errorf("latency did not drop with TTL: %v -> %v",
+			ttl10.MeanRTMs, ttl6h.MeanRTMs)
+	}
+	// Effective λ decreases as revalidation gets lazier.
+	if ttl6h.EffectiveLambda >= ttl10.EffectiveLambda {
+		t.Errorf("effective lambda did not drop with TTL: %v -> %v",
+			ttl10.EffectiveLambda, ttl6h.EffectiveLambda)
+	}
+
+	if out := FormatConsistencyRows(rows); !strings.Contains(out, "effective-λ") {
+		t.Error("formatting lost the header")
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dynamic"
+)
+
+func TestDriftComparison(t *testing.T) {
+	opts := QuickOptions()
+	cfg := dynamic.DefaultConfig()
+	cfg.Epochs = 4
+	cfg.RequestsPerEpoch = 30000
+	cfg.Warmup = 30000
+	rows, err := DriftComparison(opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byStrat := map[dynamic.Strategy]DriftRow{}
+	for _, r := range rows {
+		if r.MeanRTMs <= 0 {
+			t.Fatalf("%s: empty row", r.Strategy)
+		}
+		byStrat[r.Strategy] = r
+	}
+	// Caching pays zero transfer; every replica strategy pays some.
+	if byStrat[dynamic.Caching].TotalTransferGBHops != 0 {
+		t.Error("caching paid transfer")
+	}
+	if byStrat[dynamic.StaticHybrid].TotalTransferGBHops <= 0 {
+		t.Error("static hybrid paid no transfer")
+	}
+	// Adaptive re-placement hauls strictly more bytes than static.
+	if byStrat[dynamic.AdaptiveHybrid].TotalTransferGBHops <= byStrat[dynamic.StaticHybrid].TotalTransferGBHops {
+		t.Error("adaptive hybrid transfer not above static hybrid")
+	}
+	// The hybrid family beats pure static replication on latency.
+	if byStrat[dynamic.StaticHybrid].MeanRTMs >= byStrat[dynamic.StaticReplication].MeanRTMs {
+		t.Errorf("static hybrid %.2f not better than static replication %.2f",
+			byStrat[dynamic.StaticHybrid].MeanRTMs, byStrat[dynamic.StaticReplication].MeanRTMs)
+	}
+
+	if out := FormatDriftRows(rows, cfg); !strings.Contains(out, "transfer") {
+		t.Error("formatting lost the header")
+	}
+}

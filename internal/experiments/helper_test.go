@@ -1,0 +1,9 @@
+package experiments
+
+import "repro/internal/scenario"
+
+// buildScenarioForTest keeps the test file free of the scenario import
+// dance when only a built scenario is needed.
+func buildScenarioForTest(cfg scenario.Config) (*scenario.Scenario, error) {
+	return scenario.Build(cfg)
+}

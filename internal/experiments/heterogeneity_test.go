@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeterogeneityComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 50000
+	opts.Sim.Warmup = 50000
+	rows, err := HeterogeneityComparison(opts, []float64{0, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.HybridMs <= 0 || r.ReplicationMs <= 0 || r.CachingMs <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		// The hybrid keeps beating both stand-alone mechanisms even
+		// with heterogeneous capacities.
+		if r.HybridMs >= r.ReplicationMs || r.HybridMs >= r.CachingMs {
+			t.Errorf("spread %v: hybrid %.2f vs repl %.2f / cache %.2f",
+				r.Spread, r.HybridMs, r.ReplicationMs, r.CachingMs)
+		}
+		if r.HybridGainPct() <= 0 {
+			t.Errorf("spread %v: non-positive hybrid gain", r.Spread)
+		}
+	}
+	if out := FormatHeterogeneityRows(rows); !strings.Contains(out, "spread") {
+		t.Error("formatting lost the header")
+	}
+}

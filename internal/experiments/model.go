@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/lrumodel"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// ModelCompareRow is one cache size of the model-comparison sweep.
+type ModelCompareRow struct {
+	Slots  int
+	PaperH float64 // Equations (1)+(2)
+	CheH   float64 // Che's characteristic-time approximation
+	SimH   float64 // trace-driven LRU ground truth
+}
+
+// ModelComparison sweeps a single shared LRU cache over sizes and
+// compares the paper's analytical hit ratio (Equations 1 and 2) and
+// Che's characteristic-time approximation against a trace-driven
+// simulation — a model ablation the paper does not run. The workload is
+// the configured site mix collapsed onto one cache with unit-size
+// objects, the setting in which both models are defined.
+func ModelComparison(opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
+	wcfg := opts.Base.Workload
+	w, err := workload.Generate(wcfg, xrand.New(opts.Base.Seed))
+	if err != nil {
+		return nil, err
+	}
+	specs := w.Specs()
+	weights := make([]float64, len(w.Sites))
+	for j, s := range w.Sites {
+		weights[j] = s.Weight
+	}
+	totalObjects := wcfg.Sites() * wcfg.ObjectsPerSite
+	pred := lrumodel.NewPredictor(specs, weights, 1, int64(totalObjects))
+
+	rows := make([]ModelCompareRow, len(slotFracs))
+	err = parallelFor(len(slotFracs), func(fi int) error {
+		slots := int(slotFracs[fi] * float64(totalObjects))
+		if slots < 1 {
+			slots = 1
+		}
+		rows[fi] = ModelCompareRow{
+			Slots:  slots,
+			PaperH: pred.OverallHitRatio(int64(slots)),
+			CheH:   pred.CheOverallHitRatio(int64(slots)),
+			SimH:   simulateSharedLRU(specs, weights, slots, 800000, xrand.New(opts.TraceSeed+uint64(fi))),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// simulateSharedLRU measures the overall hit ratio of one LRU cache fed
+// by the IRM mixture of all sites (unit-size objects).
+func simulateSharedLRU(specs []lrumodel.SiteSpec, weights []float64, slots, requests int, r *xrand.Source) float64 {
+	c := cache.NewLRU(int64(slots))
+	zipfs := make([]*stats.Zipf, len(specs))
+	for j, s := range specs {
+		zipfs[j] = stats.NewZipf(s.Objects, s.Theta)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	cdf := make([]float64, len(weights))
+	cum := 0.0
+	for j, w := range weights {
+		cum += w / total
+		cdf[j] = cum
+	}
+	warm := requests / 4
+	var hits, lookups float64
+	for i := 0; i < requests; i++ {
+		u := r.Float64()
+		site := 0
+		for site < len(cdf)-1 && u > cdf[site] {
+			site++
+		}
+		key := cache.Key{Site: site, Object: zipfs[site].Sample(r)}
+		hit := c.Get(key)
+		if !hit {
+			c.Put(key, 1)
+		}
+		if i >= warm {
+			lookups++
+			if hit {
+				hits++
+			}
+		}
+	}
+	return hits / lookups
+}
+
+// FormatModelCompareRows renders the model-comparison sweep.
+func FormatModelCompareRows(rows []ModelCompareRow) string {
+	var b strings.Builder
+	b.WriteString("Model ablation — paper Eq.(1)+(2) vs Che approximation vs simulated LRU\n")
+	b.WriteString("slots B     paper-h      che-h      sim-h   paper-err    che-err\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9d %9.4f %10.4f %10.4f %+11.4f %+10.4f\n",
+			r.Slots, r.PaperH, r.CheH, r.SimH, r.PaperH-r.SimH, r.CheH-r.SimH)
+	}
+	return b.String()
+}
+
+// RobustnessRow is one locality level of the IRM-assumption stress test.
+type RobustnessRow struct {
+	LocalityProb float64
+	Predicted    float64 // hybrid's model-predicted cost (IRM assumption)
+	Actual       float64 // simulated cost under the correlated workload
+}
+
+// ErrPct is the relative prediction error in percent.
+func (r RobustnessRow) ErrPct() float64 {
+	if r.Actual == 0 {
+		return 0
+	}
+	return 100 * (r.Predicted - r.Actual) / r.Actual
+}
+
+// ModelRobustness stresses the model's independent-reference assumption:
+// the workload gains temporal locality (requests repeat recent objects)
+// while the hybrid algorithm keeps planning with the IRM model. The
+// growing gap between predicted and simulated cost bounds how far the
+// paper's approach can be trusted on correlated traffic.
+func ModelRobustness(opts Options, probs []float64) ([]RobustnessRow, error) {
+	rows := make([]RobustnessRow, len(probs))
+	err := parallelFor(len(probs), func(pi int) error {
+		cfg := opts.Base
+		cfg.Workload.LocalityProb = probs[pi]
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+			Specs:          sc.Work.Specs(),
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+		})
+		if err != nil {
+			return err
+		}
+		simCfg := opts.Sim
+		simCfg.UseCache = true
+		simCfg.KeepResponseTimes = false
+		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return err
+		}
+		rows[pi] = RobustnessRow{
+			LocalityProb: probs[pi],
+			Predicted:    res.PredictedCost,
+			Actual:       m.MeanHops,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatRobustnessRows renders the IRM stress test.
+func FormatRobustnessRows(rows []RobustnessRow) string {
+	var b strings.Builder
+	b.WriteString("IRM stress — model accuracy under temporal locality (hops/request)\n")
+	b.WriteString("locality    predicted     actual      err%\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10.2f %10.3f %10.3f %9.2f\n",
+			r.LocalityProb, r.Predicted, r.Actual, r.ErrPct())
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelComparison(t *testing.T) {
+	opts := QuickOptions()
+	rows, err := ModelComparison(opts, []float64{0.02, 0.05, 0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prevSim := -1.0
+	for _, r := range rows {
+		for name, h := range map[string]float64{"paper": r.PaperH, "che": r.CheH, "sim": r.SimH} {
+			if h < 0 || h > 1 {
+				t.Fatalf("B=%d: %s hit ratio %v", r.Slots, name, h)
+			}
+		}
+		if r.SimH < prevSim-0.01 {
+			t.Fatalf("simulated hit ratio decreased at B=%d", r.Slots)
+		}
+		prevSim = r.SimH
+		// Che is the tighter approximation under IRM.
+		cheErr := math.Abs(r.CheH - r.SimH)
+		if cheErr > 0.03 {
+			t.Errorf("B=%d: Che error %.4f", r.Slots, cheErr)
+		}
+		// The paper's model stays within its documented envelope.
+		if paperErr := math.Abs(r.PaperH - r.SimH); paperErr > 0.08 {
+			t.Errorf("B=%d: paper-model error %.4f", r.Slots, paperErr)
+		}
+	}
+	if out := FormatModelCompareRows(rows); !strings.Contains(out, "che-h") {
+		t.Error("formatting lost the header")
+	}
+}
+
+func TestModelRobustness(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 60000
+	opts.Sim.Warmup = 60000
+	rows, err := ModelRobustness(opts, []float64{0, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Predicted <= 0 || r.Actual <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	// Locality makes real caches perform better than the IRM model
+	// expects: the actual cost drops below the IRM-based prediction,
+	// so the overestimate grows with the locality level.
+	if rows[1].ErrPct() <= rows[0].ErrPct() {
+		t.Errorf("model error did not grow with locality: %.2f%% -> %.2f%%",
+			rows[0].ErrPct(), rows[1].ErrPct())
+	}
+	if out := FormatRobustnessRows(rows); !strings.Contains(out, "locality") {
+		t.Error("formatting lost the header")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GainStats aggregates the §5.2 headline gains over several scenario
+// seeds: different topologies, workloads and placements, same
+// experimental procedure. The paper reports single-instance numbers;
+// this harness adds the dispersion a careful reproduction should check.
+type GainStats struct {
+	CapacityPct, LambdaPct int
+	Seeds                  int
+	// Mean and (sample) standard deviation of the gain versus each
+	// stand-alone mechanism, in percent.
+	VsReplicationMean, VsReplicationStd float64
+	VsCachingMean, VsCachingStd         float64
+}
+
+// SummaryOverSeeds runs Summary for every seed and aggregates per
+// parameter setting. Seeds run sequentially (each Summary already
+// parallelizes internally).
+func SummaryOverSeeds(opts Options, seeds []uint64) ([]GainStats, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	type acc struct {
+		repl, cache []float64
+	}
+	accs := map[[2]int]*acc{}
+	var order [][2]int
+	for _, seed := range seeds {
+		o := opts
+		o.Base.Seed = seed
+		o.TraceSeed = opts.TraceSeed + seed
+		rows, err := Summary(o)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range rows {
+			key := [2]int{g.CapacityPct, g.LambdaPct}
+			a, ok := accs[key]
+			if !ok {
+				a = &acc{}
+				accs[key] = a
+				order = append(order, key)
+			}
+			a.repl = append(a.repl, g.VsReplicationPct())
+			a.cache = append(a.cache, g.VsCachingPct())
+		}
+	}
+	var out []GainStats
+	for _, key := range order {
+		a := accs[key]
+		rm, rs := meanStd(a.repl)
+		cm, cs := meanStd(a.cache)
+		out = append(out, GainStats{
+			CapacityPct:       key[0],
+			LambdaPct:         key[1],
+			Seeds:             len(a.repl),
+			VsReplicationMean: rm, VsReplicationStd: rs,
+			VsCachingMean: cm, VsCachingStd: cs,
+		})
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)-1))
+}
+
+// FormatGainStats renders the multi-seed summary.
+func FormatGainStats(rows []GainStats) string {
+	var b strings.Builder
+	b.WriteString("§5.2 headline over multiple scenario seeds (gain %, mean ± std)\n")
+	b.WriteString("capacity%  λ%   seeds    vs-replication      vs-caching\n")
+	for _, g := range rows {
+		fmt.Fprintf(&b, "%8d %4d %7d %10.1f ± %-5.1f %10.1f ± %-5.1f\n",
+			g.CapacityPct, g.LambdaPct, g.Seeds,
+			g.VsReplicationMean, g.VsReplicationStd,
+			g.VsCachingMean, g.VsCachingStd)
+	}
+	return b.String()
+}

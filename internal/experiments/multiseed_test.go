@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryOverSeeds(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 40000
+	opts.Sim.Warmup = 40000
+	rows, err := SummaryOverSeeds(opts, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d settings, want 4", len(rows))
+	}
+	for _, g := range rows {
+		if g.Seeds != 3 {
+			t.Fatalf("setting (%d,%d): %d seeds", g.CapacityPct, g.LambdaPct, g.Seeds)
+		}
+		// The hybrid's advantage over replication must survive
+		// averaging over instances.
+		if g.VsReplicationMean <= 0 {
+			t.Errorf("setting (%d,%d): mean gain vs replication %.1f%%",
+				g.CapacityPct, g.LambdaPct, g.VsReplicationMean)
+		}
+		if g.VsReplicationStd < 0 || g.VsCachingStd < 0 {
+			t.Error("negative standard deviation")
+		}
+	}
+	if out := FormatGainStats(rows); !strings.Contains(out, "seeds") {
+		t.Error("formatting lost the header")
+	}
+}
+
+func TestSummaryOverSeedsRejectsEmpty(t *testing.T) {
+	if _, err := SummaryOverSeeds(QuickOptions(), nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 6})
+	if m != 4 {
+		t.Fatalf("mean %v", m)
+	}
+	if math.Abs(s-2) > 1e-12 {
+		t.Fatalf("std %v, want 2", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty input not zeroed")
+	}
+	if m, s := meanStd([]float64{7}); m != 7 || s != 0 {
+		t.Fatal("single sample mishandled")
+	}
+}

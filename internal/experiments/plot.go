@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// plotGlyphs picks a distinct glyph per series: the first unused letter
+// of the mechanism's name, falling back to digits.
+func plotGlyphs(series []Series) []byte {
+	glyphs := make([]byte, len(series))
+	used := map[byte]bool{' ': true, '*': true}
+	for si, s := range series {
+		g := byte(0)
+		for i := 0; i < len(s.Mechanism); i++ {
+			c := s.Mechanism[i]
+			if c >= 'a' && c <= 'z' && !used[c] {
+				g = c
+				break
+			}
+		}
+		if g == 0 {
+			for c := byte('1'); c <= '9'; c++ {
+				if !used[c] {
+					g = c
+					break
+				}
+			}
+		}
+		used[g] = true
+		glyphs[si] = g
+	}
+	return glyphs
+}
+
+// FormatPanelPlot renders a panel's CDF curves as an ASCII chart —
+// the terminal rendition of the paper's Figures 3–5. The y axis is the
+// CDF (0 to 1), the x axis the response-time grid; each mechanism draws
+// with its own glyph (first letter of its name where unambiguous).
+func FormatPanelPlot(p Panel) string {
+	const rows = 20
+	if len(p.Series) == 0 || len(p.Series[0].CDF) == 0 {
+		return fmt.Sprintf("%s — no data\n", p.ID)
+	}
+	cols := len(p.Series[0].CDF)
+	grid := make([][]byte, rows+1)
+	for y := range grid {
+		grid[y] = make([]byte, cols)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	glyphs := plotGlyphs(p.Series)
+	for si, s := range p.Series {
+		sym := glyphs[si]
+		for x, pt := range s.CDF {
+			y := int(pt.Frac*float64(rows) + 0.5)
+			if y > rows {
+				y = rows
+			}
+			row := rows - y // row 0 is the top (CDF = 1)
+			if grid[row][x] == ' ' {
+				grid[row][x] = sym
+			} else if grid[row][x] != sym {
+				grid[row][x] = '*' // overlapping curves
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", p.ID, p.Title)
+	for y := 0; y <= rows; y++ {
+		frac := float64(rows-y) / float64(rows)
+		fmt.Fprintf(&b, "%5.2f |", frac)
+		for x := 0; x < cols; x++ {
+			b.WriteByte(grid[y][x])
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("      +")
+	b.WriteString(strings.Repeat("--", cols))
+	b.WriteByte('\n')
+	// x-axis labels every 5 grid points.
+	b.WriteString("       ")
+	for x := 0; x < cols; x += 5 {
+		label := fmt.Sprintf("%.0f", p.Series[0].CDF[x].X)
+		b.WriteString(label)
+		pad := 10 - len(label) // 5 grid points × 2 chars each
+		if pad > 0 && x+5 < cols {
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+	}
+	b.WriteString(" ms\n")
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "       %c = %s (mean %.1f ms)\n",
+			glyphs[si], s.Mechanism, s.MeanRTMs)
+	}
+	b.WriteString("       * = overlapping curves\n")
+	return b.String()
+}

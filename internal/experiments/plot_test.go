@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func syntheticPanel() Panel {
+	mk := func(mech Mechanism, fracs []float64, mean float64) Series {
+		cdf := make([]stats.CDFPoint, len(fracs))
+		for i, f := range fracs {
+			cdf[i] = stats.CDFPoint{X: float64(i * 20), Frac: f}
+		}
+		return Series{Mechanism: mech, CDF: cdf, MeanRTMs: mean}
+	}
+	return Panel{
+		ID:    "figX",
+		Title: "synthetic",
+		Series: []Series{
+			mk(MechReplication, []float64{0, 0.1, 0.3, 0.6, 0.9, 1, 1, 1, 1, 1, 1}, 70),
+			mk(MechCaching, []float64{0, 0.6, 0.62, 0.65, 0.7, 0.8, 0.9, 0.95, 0.98, 1, 1}, 60),
+			mk(MechHybrid, []float64{0, 0.58, 0.6, 0.7, 0.85, 0.95, 1, 1, 1, 1, 1}, 50),
+		},
+	}
+}
+
+func TestFormatPanelPlot(t *testing.T) {
+	out := FormatPanelPlot(syntheticPanel())
+	for _, want := range []string{"figX", "1.00 |", "0.00 |", "ms", "r = replication", "c = caching", "h = hybrid"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Every series glyph must appear in the grid body.
+	body := out[:strings.Index(out, "      +")]
+	for _, sym := range []string{"r", "c", "h"} {
+		if !strings.Contains(body, sym) {
+			t.Errorf("glyph %q never plotted", sym)
+		}
+	}
+	// Line count sanity: 21 grid rows + axes + legend.
+	if lines := strings.Count(out, "\n"); lines < 25 {
+		t.Errorf("plot has only %d lines", lines)
+	}
+}
+
+func TestFormatPanelPlotEmpty(t *testing.T) {
+	out := FormatPanelPlot(Panel{ID: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty panel output %q", out)
+	}
+}

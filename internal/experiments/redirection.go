@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/redirect"
+	"repro/internal/scenario"
+	"repro/internal/xrand"
+)
+
+// RedirectRow is one redirection policy's measurement.
+type RedirectRow struct {
+	Policy      redirect.Policy
+	MeanRTMs    float64
+	MeanQueueMs float64
+	MeanHops    float64
+	MaxShare    float64
+	ShareCV     float64
+	Detours     int64
+}
+
+// RedirectionComparison explores the §2.2 design axis the paper holds
+// fixed ("where to redirect a client request"): under a replica-rich
+// greedy-global deployment with constrained server capacity, it compares
+// nearest-replica redirection (the paper's SN) against load-aware
+// selection ([9]-style) and blind rotation.
+func RedirectionComparison(opts Options) ([]RedirectRow, error) {
+	sc, err := scenario.Build(opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	p := placement.GreedyGlobal(sc.Sys).Placement
+
+	policies := []redirect.Policy{redirect.Nearest, redirect.LoadAware, redirect.Spread}
+	rows := make([]RedirectRow, len(policies))
+	err = parallelFor(len(policies), func(pi int) error {
+		cfg := redirect.DefaultConfig()
+		cfg.Policy = policies[pi]
+		cfg.Requests = opts.Sim.Requests
+		cfg.Warmup = opts.Sim.Warmup
+		cfg.FirstHopMs = opts.Sim.FirstHopMs
+		cfg.PerHopMs = opts.Sim.PerHopMs
+		cfg.CapacityFactor = 1.0 // tight: hotspots hurt
+		cfg.ServiceMs = 10
+		cfg.SlackHops = 6
+		cfg.UseCache = false
+		m, err := redirect.Run(sc, p, cfg, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return err
+		}
+		rows[pi] = RedirectRow{
+			Policy:      policies[pi],
+			MeanRTMs:    m.MeanRTMs,
+			MeanQueueMs: m.MeanQueueMs,
+			MeanHops:    m.MeanHops,
+			MaxShare:    m.MaxShare,
+			ShareCV:     m.ShareCV,
+			Detours:     m.Detours,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatRedirectRows renders the redirection comparison.
+func FormatRedirectRows(rows []RedirectRow) string {
+	var b strings.Builder
+	b.WriteString("§2.2 design axis — redirection policies under greedy-global replicas\n")
+	b.WriteString("policy       mean RT (ms)  queue (ms)   hops  max-share  share-CV  detours\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.2f %11.2f %6.3f %10.3f %9.3f %8d\n",
+			r.Policy, r.MeanRTMs, r.MeanQueueMs, r.MeanHops, r.MaxShare, r.ShareCV, r.Detours)
+	}
+	return b.String()
+}

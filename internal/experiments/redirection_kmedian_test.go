@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRedirectionComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 50000
+	opts.Sim.Warmup = 40000
+	rows, err := RedirectionComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byPol := map[string]RedirectRow{}
+	for _, r := range rows {
+		byPol[string(r.Policy)] = r
+	}
+	near := byPol["nearest"]
+	aware := byPol["load-aware"]
+	spread := byPol["spread"]
+
+	if near.Detours != 0 {
+		t.Error("nearest policy detoured")
+	}
+	// Load-aware flattens load relative to nearest.
+	if aware.ShareCV >= near.ShareCV {
+		t.Errorf("load-aware CV %.3f not below nearest %.3f", aware.ShareCV, near.ShareCV)
+	}
+	// Blind rotation pays hop cost without reducing queueing enough.
+	if spread.MeanHops <= near.MeanHops {
+		t.Errorf("spread hops %.3f not above nearest %.3f", spread.MeanHops, near.MeanHops)
+	}
+	if out := FormatRedirectRows(rows); !strings.Contains(out, "share-CV") {
+		t.Error("formatting lost the header")
+	}
+}
+
+func TestKMedianQuality(t *testing.T) {
+	opts := QuickOptions()
+	rows, err := KMedianQuality(opts, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sites == 0 {
+			t.Fatalf("k=%d: no instances evaluated", r.K)
+		}
+		if r.MeanGreedyRatio < 1-1e-9 {
+			t.Errorf("k=%d: greedy beat the optimum (%v)", r.K, r.MeanGreedyRatio)
+		}
+		// [14]'s "very good solution quality".
+		if r.MeanGreedyRatio > 1.1 {
+			t.Errorf("k=%d: greedy averaged %.3fx optimal", r.K, r.MeanGreedyRatio)
+		}
+		// Swap never loses to greedy.
+		if r.MeanSwapRatio > r.MeanGreedyRatio+1e-9 {
+			t.Errorf("k=%d: swap (%.4f) worse than greedy (%.4f)",
+				r.K, r.MeanSwapRatio, r.MeanGreedyRatio)
+		}
+	}
+	if out := FormatKMedianRows(rows); !strings.Contains(out, "greedy/opt") {
+		t.Error("formatting lost the header")
+	}
+}

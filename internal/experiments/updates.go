@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// UpdateRow is one write-intensity level of the read+update sweep.
+type UpdateRow struct {
+	// UpdateRatio is the update volume relative to each site's read
+	// volume (0 = the paper's read-only setting).
+	UpdateRatio float64
+	// HybridReadHops / GreedyReadHops are the simulated read costs.
+	HybridReadHops, GreedyReadHops float64
+	// HybridUpdateHops / GreedyUpdateHops are the analytic update
+	// propagation costs per request.
+	HybridUpdateHops, GreedyUpdateHops float64
+	// HybridReplicas / GreedyReplicas count the placed replicas.
+	HybridReplicas, GreedyReplicas int
+	// CachingReadHops is the replica-free baseline (no update cost).
+	CachingReadHops float64
+}
+
+// HybridTotal is the hybrid's read+update cost per request.
+func (r UpdateRow) HybridTotal() float64 { return r.HybridReadHops + r.HybridUpdateHops }
+
+// GreedyTotal is greedy-global's read+update cost per request.
+func (r UpdateRow) GreedyTotal() float64 { return r.GreedyReadHops + r.GreedyUpdateHops }
+
+// UpdateSweep extends the paper to the read-plus-update FAP objective of
+// §2.2 ([19, 28]): as sites take writes, every replica pays propagation
+// cost, replicas become less attractive, and both update-aware
+// algorithms should retreat toward caching — which pays no propagation
+// (cache freshness is the λ mechanism of §3.3).
+func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
+	sc, err := scenario.Build(opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	// Site read volumes: column sums of the demand matrix.
+	readVolume := make([]float64, sc.Sys.M())
+	for i := range sc.Sys.Demand {
+		for j, d := range sc.Sys.Demand[i] {
+			readVolume[j] += d
+		}
+	}
+	// Caching baseline is update-independent: run it once.
+	pure := placement.None(sc.Sys)
+	simCfg := opts.Sim
+	simCfg.UseCache = true
+	simCfg.KeepResponseTimes = false
+	mPure, err := sim.Run(sc, pure.Placement, simCfg, xrand.New(opts.TraceSeed))
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]UpdateRow, len(ratios))
+	err = parallelFor(len(ratios), func(ri int) error {
+		ratio := ratios[ri]
+		rates := make([]float64, sc.Sys.M())
+		for j := range rates {
+			rates[j] = ratio * readVolume[j]
+		}
+		hyb, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+			Specs:          sc.Work.Specs(),
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			UpdateRates:    rates,
+		})
+		if err != nil {
+			return err
+		}
+		greedy := placement.GreedyGlobalUpdates(sc.Sys, rates)
+
+		cfgCache := opts.Sim
+		cfgCache.UseCache = true
+		cfgCache.KeepResponseTimes = false
+		mHyb, err := sim.Run(sc, hyb.Placement, cfgCache, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return err
+		}
+		cfgNoCache := cfgCache
+		cfgNoCache.UseCache = false
+		mGreedy, err := sim.Run(sc, greedy.Placement, cfgNoCache, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return err
+		}
+		rows[ri] = UpdateRow{
+			UpdateRatio:      ratio,
+			HybridReadHops:   mHyb.MeanHops,
+			GreedyReadHops:   mGreedy.MeanHops,
+			HybridUpdateHops: hyb.Placement.UpdateCost(rates),
+			GreedyUpdateHops: greedy.Placement.UpdateCost(rates),
+			HybridReplicas:   hyb.Placement.Replicas(),
+			GreedyReplicas:   greedy.Placement.Replicas(),
+			CachingReadHops:  mPure.MeanHops,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatUpdateRows renders the read+update sweep.
+func FormatUpdateRows(rows []UpdateRow) string {
+	var b strings.Builder
+	b.WriteString("§2.2 extended — read+update objective (hops/request; caching baseline pays no updates)\n")
+	b.WriteString("u/r     hybrid(read+upd=total)   #rep   greedy(read+upd=total)   #rep   caching\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6.2f %7.3f+%6.3f=%7.3f %6d %8.3f+%6.3f=%7.3f %6d %9.3f\n",
+			r.UpdateRatio,
+			r.HybridReadHops, r.HybridUpdateHops, r.HybridTotal(), r.HybridReplicas,
+			r.GreedyReadHops, r.GreedyUpdateHops, r.GreedyTotal(), r.GreedyReplicas,
+			r.CachingReadHops)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUpdateSweep(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 50000
+	opts.Sim.Warmup = 50000
+	rows, err := UpdateSweep(opts, []float64{0, 0.2, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Read-only: no update cost anywhere.
+	if rows[0].HybridUpdateHops != 0 || rows[0].GreedyUpdateHops != 0 {
+		t.Error("update cost at ratio 0")
+	}
+	// Write-heavy traffic must push both algorithms to fewer replicas.
+	if rows[2].HybridReplicas > rows[0].HybridReplicas {
+		t.Errorf("hybrid replicas grew with writes: %d -> %d",
+			rows[0].HybridReplicas, rows[2].HybridReplicas)
+	}
+	if rows[2].GreedyReplicas >= rows[0].GreedyReplicas {
+		t.Errorf("greedy replicas did not shrink with writes: %d -> %d",
+			rows[0].GreedyReplicas, rows[2].GreedyReplicas)
+	}
+	// The hybrid's total cost beats update-aware greedy at every level:
+	// it can fall back on caching, greedy cannot.
+	for _, r := range rows {
+		if r.HybridTotal() >= r.GreedyTotal() {
+			t.Errorf("ratio %v: hybrid total %.3f not below greedy %.3f",
+				r.UpdateRatio, r.HybridTotal(), r.GreedyTotal())
+		}
+	}
+	// The caching baseline is the same in every row.
+	if rows[0].CachingReadHops != rows[2].CachingReadHops {
+		t.Error("caching baseline varied with update ratio")
+	}
+	if out := FormatUpdateRows(rows); !strings.Contains(out, "caching") {
+		t.Error("formatting lost the header")
+	}
+}

@@ -1,0 +1,237 @@
+// Package graph implements the undirected weighted graphs and the
+// shortest-path machinery the CDN model is built on. The paper's
+// communication cost C(i, j) between two nodes is "the cumulative cost of
+// the shortest path between the two nodes (e.g., the total number of
+// hops)" (§3); we compute it once with Dijkstra from every node of
+// interest, exactly as the authors do for their GT-ITM topology.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Graph is an undirected weighted graph over nodes 0..N-1 stored as
+// adjacency lists. Parallel edges are collapsed to the cheapest one;
+// self-loops are rejected.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// Edge is one directed half of an undirected edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// New creates a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: New(%d)", n))
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// AddEdge inserts an undirected edge {u, v} with the given positive
+// weight. If the edge already exists, the smaller weight wins. It panics
+// on self-loops, out-of-range endpoints or non-positive weights — all of
+// which indicate topology-generator bugs.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: edge {%d,%d} has invalid weight %v", u, v, w))
+	}
+	if g.updateIfExists(u, v, w) {
+		g.updateIfExists(v, u, w)
+		return
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, Weight: w})
+}
+
+func (g *Graph) updateIfExists(u, v int, w float64) bool {
+	for i := range g.adj[u] {
+		if g.adj[u][i].To == v {
+			if w < g.adj[u][i].Weight {
+				g.adj[u][i].Weight = w
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The slice is shared; callers
+// must not modify it.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Connected reports whether the graph is connected (true for empty and
+// single-node graphs).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Dijkstra computes single-source shortest-path distances from src.
+// Unreachable nodes get +Inf. Edge weights are the graph's weights; for
+// hop counts build the graph with unit weights.
+func (g *Graph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(pq, nodeItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPaths computes the full all-pairs distance matrix by running
+// Dijkstra from every node, fanned out across CPU cores (each source's
+// search is independent and the graph is read-only during the sweep).
+func (g *Graph) ShortestPaths() [][]float64 {
+	sources := make([]int, g.n)
+	for i := range sources {
+		sources[i] = i
+	}
+	return g.ShortestPathsFrom(sources)
+}
+
+// ShortestPathsFrom computes the distance rows only for the given source
+// nodes, returned in the same order, in parallel. The CDN model only
+// needs rows for servers and origins, not for every router.
+func (g *Graph) ShortestPathsFrom(sources []int) [][]float64 {
+	d := make([][]float64, len(sources))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		for i, s := range sources {
+			d[i] = g.Dijkstra(s)
+		}
+		return d
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				d[i] = g.Dijkstra(sources[i])
+			}
+		}()
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return d
+}
+
+// Diameter returns the largest finite pairwise distance, or +Inf if the
+// graph is disconnected, or 0 for graphs with fewer than 2 nodes.
+func (g *Graph) Diameter() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	max := 0.0
+	for i := 0; i < g.n; i++ {
+		for _, d := range g.Dijkstra(i) {
+			if math.IsInf(d, 1) {
+				return math.Inf(1)
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// nodeItem / nodeHeap implement the priority queue for Dijkstra.
+type nodeItem struct {
+	node int
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,480 @@
+// Package httpcdn materializes the CDN model as real HTTP servers: one
+// origin server per hosted site and one edge server per CDN node, all
+// listening on loopback sockets. It exists to show that the library's
+// placement decisions drive an actual content delivery network, not only
+// the trace-driven simulator:
+//
+//   - an edge that holds a replica of a site serves its objects
+//     directly;
+//   - otherwise the edge consults its byte-bounded LRU cache;
+//   - on a miss it fetches from the nearest replicator (the placement's
+//     SN entry — another edge, or the site's origin) over real HTTP,
+//     stores the body, and serves it.
+//
+// Peer fetches carry an internal header so a peer that no longer holds
+// the object falls through to the origin instead of recursing through
+// the mesh. Object bodies are deterministic byte patterns checked
+// end-to-end by the tests.
+//
+// The artificial per-hop delay of the paper's latency model (§5.1) can
+// be injected to make measured latencies meaningful in the demo binary.
+package httpcdn
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Source values reported in the X-Cdn-Source response header.
+const (
+	SourceReplica = "replica"
+	SourceCache   = "cache"
+	SourcePeer    = "peer"
+	SourceOrigin  = "origin"
+)
+
+// internalHeader marks edge-to-edge fetches to prevent recursion.
+const internalHeader = "X-Cdn-Internal"
+
+// Config controls a cluster.
+type Config struct {
+	// PerHopDelay is the artificial network delay per topology hop,
+	// applied by the fetching edge before contacting a remote source
+	// (0 for tests; ~1ms/hop makes the demo's latencies meaningful).
+	PerHopDelay time.Duration
+	// MaxObjectBytes caps synthetic payload sizes so heavy-tailed
+	// catalogs do not ship tens of megabytes through the demo.
+	MaxObjectBytes int64
+	// RevalidateOnHit enforces strong consistency the way §3.3's
+	// server-based invalidation does, but with HTTP's native
+	// machinery: every cache hit sends a conditional GET
+	// (If-None-Match) to the origin and serves the cached body only
+	// on 304 Not Modified. Off = weak consistency (serve cached
+	// bodies unconditionally, possibly stale).
+	RevalidateOnHit bool
+}
+
+// DefaultConfig returns a zero-delay, 64 KiB-capped configuration.
+func DefaultConfig() Config {
+	return Config{MaxObjectBytes: 64 << 10}
+}
+
+// Cluster is a running set of origin and edge HTTP servers.
+type Cluster struct {
+	sc  *scenario.Scenario
+	p   *core.Placement
+	cfg Config
+
+	origins []*httptest.Server // one per site
+	edges   []*edge            // one per CDN server
+	client  *http.Client
+
+	// versions tracks origin-side object versions for the consistency
+	// machinery; bumped by ModifyObject.
+	verMu    sync.Mutex
+	versions map[cache.Key]int
+}
+
+// version returns the current origin-side version of an object.
+func (c *Cluster) version(site, object int) int {
+	c.verMu.Lock()
+	defer c.verMu.Unlock()
+	return c.versions[cache.Key{Site: site, Object: object}]
+}
+
+// ModifyObject bumps an object's version at its origin, invalidating
+// every cached copy (under RevalidateOnHit) and changing its payload.
+func (c *Cluster) ModifyObject(site, object int) {
+	c.verMu.Lock()
+	defer c.verMu.Unlock()
+	c.versions[cache.Key{Site: site, Object: object}]++
+}
+
+// etagFor is the strong validator origins attach and edges echo back.
+func etagFor(site, object, version int) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("/obj/%d/%d@%d", site, object, version))
+}
+
+// edge is one CDN node: an HTTP server with a replica set and a cache.
+type edge struct {
+	id      int
+	cluster *Cluster
+	srv     *httptest.Server
+
+	mu    sync.Mutex
+	cache *cache.LRU
+	// cachedVer remembers the version of each cached body for the
+	// consistency machinery.
+	cachedVer map[cache.Key]int
+	stats     EdgeStats
+}
+
+// EdgeStats counts one edge's serves by source.
+type EdgeStats struct {
+	Replica, CacheHit, PeerFetch, OriginFetch int64
+	// Revalidations counts conditional GETs sent on cache hits
+	// (RevalidateOnHit); NotModified counts the 304 replies among them.
+	Revalidations, NotModified int64
+}
+
+// Start launches the cluster: origins first, then edges. Always Close a
+// started cluster.
+func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, error) {
+	if p.System() != sc.Sys {
+		return nil, fmt.Errorf("httpcdn: placement belongs to a different system")
+	}
+	if cfg.MaxObjectBytes <= 0 {
+		cfg.MaxObjectBytes = 64 << 10
+	}
+	c := &Cluster{
+		sc:       sc,
+		p:        p,
+		cfg:      cfg,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		versions: make(map[cache.Key]int),
+	}
+	for j := 0; j < sc.Sys.M(); j++ {
+		site := j
+		c.origins = append(c.origins, httptest.NewServer(http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				c.serveOrigin(site, w, r)
+			})))
+	}
+	for i := 0; i < sc.Sys.N(); i++ {
+		e := &edge{id: i, cluster: c, cache: cache.NewLRU(p.Free(i)), cachedVer: make(map[cache.Key]int)}
+		e.srv = httptest.NewServer(http.HandlerFunc(e.serve))
+		c.edges = append(c.edges, e)
+	}
+	return c, nil
+}
+
+// Close shuts down every server.
+func (c *Cluster) Close() {
+	for _, e := range c.edges {
+		e.srv.Close()
+	}
+	for _, o := range c.origins {
+		o.Close()
+	}
+}
+
+// EdgeURL returns the base URL of edge i.
+func (c *Cluster) EdgeURL(i int) string { return c.edges[i].srv.URL }
+
+// EdgeStats returns a snapshot of edge i's counters.
+func (c *Cluster) EdgeStats(i int) EdgeStats {
+	e := c.edges[i]
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// objectPath builds the canonical object URL path.
+func objectPath(site, object int) string {
+	return fmt.Sprintf("/obj/%d/%d", site, object)
+}
+
+// parsePath extracts (site, object) from an object path.
+func (c *Cluster) parsePath(path string) (site, object int, err error) {
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(parts) != 3 || parts[0] != "obj" {
+		return 0, 0, fmt.Errorf("httpcdn: bad path %q", path)
+	}
+	site, err = strconv.Atoi(parts[1])
+	if err != nil || site < 0 || site >= c.sc.Sys.M() {
+		return 0, 0, fmt.Errorf("httpcdn: bad site in %q", path)
+	}
+	object, err = strconv.Atoi(parts[2])
+	if err != nil || object < 1 || object > len(c.sc.Work.Sites[site].Objects) {
+		return 0, 0, fmt.Errorf("httpcdn: bad object in %q", path)
+	}
+	return site, object, nil
+}
+
+// objectSize is the demo payload size for an object.
+func (c *Cluster) objectSize(site, object int) int64 {
+	sz := c.sc.Work.Size(site, object)
+	if sz > c.cfg.MaxObjectBytes {
+		sz = c.cfg.MaxObjectBytes
+	}
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
+
+// writeBody streams the deterministic payload of the given version for
+// (site, object).
+func (c *Cluster) writeBody(w http.ResponseWriter, site, object, version int, source string) {
+	size := c.objectSize(site, object)
+	w.Header().Set("X-Cdn-Source", source)
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("Etag", etagFor(site, object, version))
+	w.WriteHeader(http.StatusOK)
+	writePattern(w, site, object, version, size)
+}
+
+// writePattern emits the deterministic byte pattern of an object version.
+func writePattern(w io.Writer, site, object, version int, size int64) {
+	var chunk [4096]byte
+	seed := byte(site*31 + object*7 + version*13)
+	for i := range chunk {
+		chunk[i] = seed + byte(i)
+	}
+	for size > 0 {
+		n := int64(len(chunk))
+		if n > size {
+			n = size
+		}
+		if _, err := w.Write(chunk[:n]); err != nil {
+			return
+		}
+		size -= n
+	}
+}
+
+// VerifyBody checks that body matches the deterministic pattern of the
+// given object version.
+func VerifyBody(body []byte, site, object, version int) bool {
+	seed := byte(site*31 + object*7 + version*13)
+	for i, b := range body {
+		if b != seed+byte(i%4096) {
+			return false
+		}
+	}
+	return true
+}
+
+// versionFromETag parses the version out of an Etag header produced by
+// etagFor; it returns 0 for unrecognized tags.
+func versionFromETag(etag string) int {
+	at := strings.LastIndexByte(etag, '@')
+	if at < 0 {
+		return 0
+	}
+	end := at + 1
+	for end < len(etag) && etag[end] >= '0' && etag[end] <= '9' {
+		end++
+	}
+	v, err := strconv.Atoi(etag[at+1 : end])
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// serveOrigin handles requests at a site's primary server, including
+// conditional GETs: a matching If-None-Match validator earns a 304.
+func (c *Cluster) serveOrigin(site int, w http.ResponseWriter, r *http.Request) {
+	s, object, err := c.parsePath(r.URL.Path)
+	if err != nil || s != site {
+		http.NotFound(w, r)
+		return
+	}
+	version := c.version(site, object)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etagFor(site, object, version) {
+		w.Header().Set("Etag", etagFor(site, object, version))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	c.writeBody(w, site, object, version, SourceOrigin)
+}
+
+// serve handles a request at an edge: replica, then cache, then fetch.
+func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
+	c := e.cluster
+	site, object, err := c.parsePath(r.URL.Path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+
+	if c.p.Has(e.id, site) {
+		e.mu.Lock()
+		e.stats.Replica++
+		e.mu.Unlock()
+		// Replicas are kept consistent by the CDN (§5.2: "site
+		// replicas are always consistent"): serve the live version.
+		c.writeBody(w, site, object, c.version(site, object), SourceReplica)
+		return
+	}
+
+	key := cache.Key{Site: site, Object: object}
+	e.mu.Lock()
+	hit := e.cache.Get(key)
+	ver := e.cachedVer[key]
+	if hit {
+		e.stats.CacheHit++
+	}
+	e.mu.Unlock()
+	if hit {
+		if c.cfg.RevalidateOnHit {
+			fresh, newVer, ok := e.revalidate(r, site, object, ver)
+			if ok {
+				if fresh {
+					c.writeBody(w, site, object, ver, SourceCache)
+					return
+				}
+				// The origin shipped a newer version; replace the
+				// cached copy and serve it.
+				e.mu.Lock()
+				e.cachedVer[key] = newVer
+				e.mu.Unlock()
+				c.writeBody(w, site, object, newVer, SourceCache)
+				return
+			}
+			// Revalidation failed; fall through to a full fetch.
+		} else {
+			// Weak consistency: serve the cached version as-is,
+			// stale or not.
+			c.writeBody(w, site, object, ver, SourceCache)
+			return
+		}
+	}
+
+	// Internal peer fetches that miss fall through to the origin; a
+	// client-facing miss redirects to SN (peer or origin).
+	internal := r.Header.Get(internalHeader) != ""
+	srv, hops := c.p.Nearest(e.id, site)
+	url := c.origins[site].URL
+	source := SourceOrigin
+	if !internal && srv != core.Origin {
+		url = c.edges[srv].srv.URL
+		source = SourcePeer
+	}
+	if internal {
+		hops = c.sc.Sys.CostOrigin[e.id][site]
+	}
+	if c.cfg.PerHopDelay > 0 {
+		time.Sleep(time.Duration(hops * float64(c.cfg.PerHopDelay)))
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+objectPath(site, object), nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set(internalHeader, "1")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		http.Error(w, "upstream failure", http.StatusBadGateway)
+		return
+	}
+
+	e.mu.Lock()
+	e.cache.Put(key, int64(len(body)))
+	if e.cache.Contains(key) {
+		e.cachedVer[key] = versionFromETag(resp.Header.Get("Etag"))
+	}
+	if len(e.cachedVer) > 2*e.cache.Len()+64 {
+		for k := range e.cachedVer {
+			if !e.cache.Contains(k) {
+				delete(e.cachedVer, k)
+			}
+		}
+	}
+	if source == SourcePeer {
+		e.stats.PeerFetch++
+	} else {
+		e.stats.OriginFetch++
+	}
+	e.mu.Unlock()
+
+	w.Header().Set("X-Cdn-Source", source)
+	w.Header().Set("Etag", resp.Header.Get("Etag"))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		return
+	}
+}
+
+// revalidate sends a conditional GET to the origin for a cached object.
+// It returns (fresh, newVersion, ok): fresh means the cached version is
+// still current (304); otherwise newVersion is the origin's current
+// version. ok=false means the origin could not be reached.
+func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int) (fresh bool, newVersion int, ok bool) {
+	c := e.cluster
+	e.mu.Lock()
+	e.stats.Revalidations++
+	e.mu.Unlock()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		c.origins[site].URL+objectPath(site, object), nil)
+	if err != nil {
+		return false, 0, false
+	}
+	req.Header.Set("If-None-Match", etagFor(site, object, cachedVersion))
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, 0, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		e.mu.Lock()
+		e.stats.NotModified++
+		e.mu.Unlock()
+		return true, cachedVersion, true
+	case http.StatusOK:
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return false, 0, false
+		}
+		return false, versionFromETag(resp.Header.Get("Etag")), true
+	default:
+		return false, 0, false
+	}
+}
+
+// FetchResult describes one client fetch through the cluster.
+type FetchResult struct {
+	Source string
+	Bytes  int64
+	// Version is the object version the response body carried (parsed
+	// from its ETag) — stale serves show an outdated version.
+	Version int
+	Latency time.Duration
+}
+
+// Fetch issues a client request for (site, object) at the given
+// first-hop edge and verifies the payload.
+func (c *Cluster) Fetch(firstHop, site, object int) (FetchResult, error) {
+	start := time.Now()
+	resp, err := c.client.Get(c.EdgeURL(firstHop) + objectPath(site, object))
+	if err != nil {
+		return FetchResult{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return FetchResult{}, fmt.Errorf("httpcdn: status %d", resp.StatusCode)
+	}
+	version := versionFromETag(resp.Header.Get("Etag"))
+	if !VerifyBody(body, site, object, version) {
+		return FetchResult{}, fmt.Errorf("httpcdn: corrupted payload for %s", objectPath(site, object))
+	}
+	return FetchResult{
+		Source:  resp.Header.Get("X-Cdn-Source"),
+		Bytes:   int64(len(body)),
+		Version: version,
+		Latency: time.Since(start),
+	}, nil
+}

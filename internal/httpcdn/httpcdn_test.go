@@ -1,0 +1,298 @@
+package httpcdn
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func smallScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	w := workload.DefaultConfig()
+	w.Servers = 4
+	w.LowSites, w.MediumSites, w.HighSites = 2, 2, 2
+	w.ObjectsPerSite = 40
+	return scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      3,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.25,
+		Seed:         1,
+	})
+}
+
+func startHybridCluster(t *testing.T) (*scenario.Scenario, *core.Placement, *Cluster) {
+	t.Helper()
+	sc := smallScenario(t)
+	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Start(sc, res.Placement, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return sc, res.Placement, cl
+}
+
+func TestReplicaServedLocally(t *testing.T) {
+	sc, p, cl := startHybridCluster(t)
+	// Find a replicated (edge, site) pair; fall back to creating one.
+	edge, site := -1, -1
+	for i := 0; i < sc.Sys.N() && edge < 0; i++ {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if p.Has(i, j) {
+				edge, site = i, j
+				break
+			}
+		}
+	}
+	if edge < 0 {
+		t.Skip("no replicas placed in this configuration")
+	}
+	res, err := cl.Fetch(edge, site, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceReplica {
+		t.Fatalf("source %q, want replica", res.Source)
+	}
+	if got := cl.EdgeStats(edge).Replica; got != 1 {
+		t.Fatalf("replica counter %d", got)
+	}
+}
+
+func TestMissThenCacheHit(t *testing.T) {
+	sc, p, cl := startHybridCluster(t)
+	// Find a non-replicated pair.
+	edge, site := -1, -1
+	for i := 0; i < sc.Sys.N() && edge < 0; i++ {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if !p.Has(i, j) {
+				edge, site = i, j
+				break
+			}
+		}
+	}
+	if edge < 0 {
+		t.Fatal("everything replicated?")
+	}
+	first, err := cl.Fetch(edge, site, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != SourcePeer && first.Source != SourceOrigin {
+		t.Fatalf("first fetch source %q", first.Source)
+	}
+	second, err := cl.Fetch(edge, site, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != SourceCache {
+		t.Fatalf("second fetch source %q, want cache", second.Source)
+	}
+	if first.Bytes != second.Bytes {
+		t.Fatalf("byte counts differ: %d vs %d", first.Bytes, second.Bytes)
+	}
+	_ = sc
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	sc, _, cl := startHybridCluster(t)
+	// Fetch the same object via two different edges; the bodies (sizes
+	// capped) must be identical byte patterns.
+	a, err := cl.Fetch(0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Fetch(sc.Sys.N()-1, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes != b.Bytes {
+		t.Fatalf("sizes differ: %d vs %d", a.Bytes, b.Bytes)
+	}
+}
+
+func TestVerifyBody(t *testing.T) {
+	var buf bytes.Buffer
+	writePattern(&buf, 2, 7, 0, 10000)
+	if !VerifyBody(buf.Bytes(), 2, 7, 0) {
+		t.Fatal("pattern does not verify")
+	}
+	corrupted := append([]byte(nil), buf.Bytes()...)
+	corrupted[5000] ^= 0xff
+	if VerifyBody(corrupted, 2, 7, 0) {
+		t.Fatal("corruption not detected")
+	}
+	if VerifyBody(buf.Bytes(), 3, 7, 0) {
+		t.Fatal("wrong object verified")
+	}
+	if VerifyBody(buf.Bytes(), 2, 7, 1) {
+		t.Fatal("wrong version verified")
+	}
+}
+
+func TestVersionFromETag(t *testing.T) {
+	if got := versionFromETag(etagFor(3, 9, 42)); got != 42 {
+		t.Fatalf("parsed version %d, want 42", got)
+	}
+	if got := versionFromETag(`"no-version-here"`); got != 0 {
+		t.Fatalf("garbage etag parsed to %d", got)
+	}
+	if got := versionFromETag(""); got != 0 {
+		t.Fatalf("empty etag parsed to %d", got)
+	}
+}
+
+func TestConsistencyOverHTTP(t *testing.T) {
+	sc := smallScenario(t)
+	p := core.NewPlacement(sc.Sys) // no replicas: everything cacheable
+
+	run := func(revalidate bool) (stale bool, stats EdgeStats) {
+		cfg := DefaultConfig()
+		cfg.RevalidateOnHit = revalidate
+		cl, err := Start(sc, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		const edge, site, object = 0, 0, 2
+		// Prime the cache.
+		first, err := cl.Fetch(edge, site, object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Version != 0 {
+			t.Fatalf("fresh object at version %d", first.Version)
+		}
+		// Second fetch must hit the cache.
+		second, err := cl.Fetch(edge, site, object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Source != SourceCache {
+			t.Fatalf("second fetch source %q", second.Source)
+		}
+		// Modify at the origin, fetch again.
+		cl.ModifyObject(site, object)
+		third, err := cl.Fetch(edge, site, object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return third.Version == 0, cl.EdgeStats(edge)
+	}
+
+	// Weak consistency serves the stale version 0.
+	stale, weakStats := run(false)
+	if !stale {
+		t.Error("weak consistency unexpectedly served the fresh version")
+	}
+	if weakStats.Revalidations != 0 {
+		t.Error("weak mode revalidated")
+	}
+
+	// Strong consistency revalidates and serves version 1.
+	stale, strongStats := run(true)
+	if stale {
+		t.Error("strong consistency served a stale version")
+	}
+	if strongStats.Revalidations == 0 {
+		t.Error("strong mode never revalidated")
+	}
+	if strongStats.NotModified == 0 {
+		t.Error("no 304 replies despite an unmodified second fetch")
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	_, _, cl := startHybridCluster(t)
+	for _, path := range []string{"/", "/obj", "/obj/0", "/obj/99/1", "/obj/0/0", "/obj/0/9999", "/obj/x/y"} {
+		resp, err := cl.client.Get(cl.EdgeURL(0) + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			t.Errorf("path %q served OK", path)
+		}
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	sc, _, cl := startHybridCluster(t)
+	stream := sc.Stream(xrand.New(5))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		reqs := make([]workload.Request, 50)
+		for i := range reqs {
+			reqs[i] = stream.Next()
+		}
+		wg.Add(1)
+		go func(reqs []workload.Request) {
+			defer wg.Done()
+			for _, r := range reqs {
+				if _, err := cl.Fetch(r.Server, r.Site, r.Object); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(reqs)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRunHitRatio(t *testing.T) {
+	sc, _, cl := startHybridCluster(t)
+	stream := sc.Stream(xrand.New(9))
+	sources := map[string]int{}
+	for i := 0; i < 600; i++ {
+		req := stream.Next()
+		res, err := cl.Fetch(req.Server, req.Site, req.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[res.Source]++
+	}
+	if sources[SourceCache] == 0 {
+		t.Error("no cache hits over 600 requests")
+	}
+	if sources[SourceCache]+sources[SourceReplica]+sources[SourcePeer]+sources[SourceOrigin] != 600 {
+		t.Errorf("source accounting wrong: %v", sources)
+	}
+}
+
+func TestStartRejectsForeignPlacement(t *testing.T) {
+	a := smallScenario(t)
+	b := scenario.MustBuild(scenario.Config{
+		Topology:     a.Cfg.Topology,
+		Workload:     a.Cfg.Workload,
+		CapacityFrac: a.Cfg.CapacityFrac,
+		Seed:         2,
+	})
+	if _, err := Start(a, core.NewPlacement(b.Sys), DefaultConfig()); err == nil {
+		t.Fatal("foreign placement accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package kmedian implements the k-median formulation of replica
+// placement discussed in §2.2 of the paper: "given a graph with weights
+// on the nodes representing number of requests, and lengths on the
+// edges, place k servers on the nodes, in order to minimize the total
+// network cost". The paper's related work compares greedy heuristics
+// [23], greedy with back-tracking/exchange [12] and exact methods [17];
+// this package provides
+//
+//   - Greedy: the [23]-style greedy that adds the facility with the
+//     largest marginal gain k times;
+//   - Swap: local search by single-facility exchange, the classical
+//     5-approximation that subsumes [12]'s back-tracking greedy;
+//   - BruteForce: the exact optimum by enumeration, feasible for the
+//     paper's N = 50 with small k;
+//
+// so the repository can measure how far the greedy placements used in
+// the main experiments sit from optimal.
+//
+// An instance places replicas of ONE object: clients at node i issue
+// Demand[i] requests, a non-replica node fetches from its cheapest
+// facility or from the always-present root (the primary copy) at
+// RootCost[i].
+package kmedian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Instance is one k-median problem.
+type Instance struct {
+	// Cost[i][k] is the metric distance between candidate sites.
+	Cost [][]float64
+	// RootCost[i] is the distance to the primary copy, which always
+	// serves as a fallback facility.
+	RootCost []float64
+	// Demand[i] is the request weight of node i.
+	Demand []float64
+}
+
+// N returns the number of nodes.
+func (in *Instance) N() int { return len(in.Demand) }
+
+// Validate reports a structural error, or nil.
+func (in *Instance) Validate() error {
+	n := in.N()
+	if n == 0 {
+		return fmt.Errorf("kmedian: empty instance")
+	}
+	if len(in.Cost) != n || len(in.RootCost) != n {
+		return fmt.Errorf("kmedian: dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		if len(in.Cost[i]) != n {
+			return fmt.Errorf("kmedian: Cost[%d] has %d entries", i, len(in.Cost[i]))
+		}
+		if in.Demand[i] < 0 || in.RootCost[i] < 0 {
+			return fmt.Errorf("kmedian: negative demand or root cost at %d", i)
+		}
+	}
+	return nil
+}
+
+// CostOf evaluates the objective for a facility set: every node is
+// served by its cheapest facility or the root.
+func (in *Instance) CostOf(facilities []int) float64 {
+	total := 0.0
+	for i := 0; i < in.N(); i++ {
+		best := in.RootCost[i]
+		for _, f := range facilities {
+			if c := in.Cost[i][f]; c < best {
+				best = c
+			}
+		}
+		total += in.Demand[i] * best
+	}
+	return total
+}
+
+// Greedy picks k facilities, each maximizing the marginal cost
+// reduction; ties break toward the lower index. It returns the chosen
+// facilities and the final cost. Choosing fewer than k facilities
+// happens only when additional ones cannot reduce the cost.
+func (in *Instance) Greedy(k int) ([]int, float64) {
+	serve := append([]float64(nil), in.RootCost...)
+	var chosen []int
+	picked := make([]bool, in.N())
+	for len(chosen) < k {
+		bestGain, bestF := 0.0, -1
+		for f := 0; f < in.N(); f++ {
+			if picked[f] {
+				continue
+			}
+			gain := 0.0
+			for i := 0; i < in.N(); i++ {
+				if c := in.Cost[i][f]; c < serve[i] {
+					gain += in.Demand[i] * (serve[i] - c)
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestF = gain, f
+			}
+		}
+		if bestF < 0 {
+			break
+		}
+		picked[bestF] = true
+		chosen = append(chosen, bestF)
+		for i := 0; i < in.N(); i++ {
+			if c := in.Cost[i][bestF]; c < serve[i] {
+				serve[i] = c
+			}
+		}
+	}
+	return chosen, in.CostOf(chosen)
+}
+
+// Swap improves a facility set by single exchanges (replace one chosen
+// facility with one unchosen) until no exchange helps; the classical
+// local search. It returns the improved set and cost.
+func (in *Instance) Swap(facilities []int) ([]int, float64) {
+	cur := append([]int(nil), facilities...)
+	curCost := in.CostOf(cur)
+	for improved := true; improved; {
+		improved = false
+		inSet := make([]bool, in.N())
+		for _, f := range cur {
+			inSet[f] = true
+		}
+		for ci := 0; ci < len(cur) && !improved; ci++ {
+			for f := 0; f < in.N() && !improved; f++ {
+				if inSet[f] {
+					continue
+				}
+				old := cur[ci]
+				cur[ci] = f
+				if c := in.CostOf(cur); c < curCost-1e-12 {
+					curCost = c
+					improved = true
+				} else {
+					cur[ci] = old
+				}
+			}
+		}
+	}
+	return cur, curCost
+}
+
+// BruteForce returns the exact optimal k-facility set by enumeration.
+// It refuses instances where C(n, k) exceeds maxCombos (default 10M when
+// maxCombos <= 0) to keep runtime bounded.
+func (in *Instance) BruteForce(k int, maxCombos int64) ([]int, float64, error) {
+	n := in.N()
+	if k < 0 || k > n {
+		return nil, 0, fmt.Errorf("kmedian: k = %d with n = %d", k, n)
+	}
+	if maxCombos <= 0 {
+		maxCombos = 10_000_000
+	}
+	if c := binomial(n, k); c < 0 || c > maxCombos {
+		return nil, 0, fmt.Errorf("kmedian: C(%d,%d) exceeds enumeration budget %d", n, k, maxCombos)
+	}
+	best := math.Inf(1)
+	var bestSet []int
+	comb := make([]int, k)
+	for i := range comb {
+		comb[i] = i
+	}
+	for {
+		if c := in.CostOf(comb); c < best {
+			best = c
+			bestSet = append(bestSet[:0], comb...)
+		}
+		// Next combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && comb[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		comb[i]++
+		for j := i + 1; j < k; j++ {
+			comb[j] = comb[j-1] + 1
+		}
+	}
+	if k == 0 {
+		return nil, in.CostOf(nil), nil
+	}
+	return bestSet, best, nil
+}
+
+// binomial returns C(n, k), or -1 on overflow.
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		if c > math.MaxInt64/int64(n-i) {
+			return -1
+		}
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
+}

@@ -1,0 +1,255 @@
+package kmedian
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// lineInstance puts n nodes on a line with unit spacing, the root at
+// position -rootDist from node 0, and the given demands.
+func lineInstance(n int, rootDist float64, demand []float64) *Instance {
+	in := &Instance{
+		Cost:     make([][]float64, n),
+		RootCost: make([]float64, n),
+		Demand:   demand,
+	}
+	for i := 0; i < n; i++ {
+		in.Cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			in.Cost[i][j] = math.Abs(float64(i - j))
+		}
+		in.RootCost[i] = rootDist + float64(i)
+	}
+	return in
+}
+
+func randomInstance(r *xrand.Source, n int) *Instance {
+	pos := make([]float64, n)
+	for i := range pos {
+		pos[i] = r.Float64() * 30
+	}
+	rootPos := r.Float64() * 30
+	in := &Instance{
+		Cost:     make([][]float64, n),
+		RootCost: make([]float64, n),
+		Demand:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		in.Cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			in.Cost[i][j] = math.Abs(pos[i] - pos[j])
+		}
+		in.RootCost[i] = math.Abs(pos[i]-rootPos) + 1
+		in.Demand[i] = r.Float64()
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	in := lineInstance(4, 5, []float64{1, 1, 1, 1})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := lineInstance(4, 5, []float64{1, 1, 1, -1})
+	if bad.Validate() == nil {
+		t.Fatal("negative demand accepted")
+	}
+	empty := &Instance{}
+	if empty.Validate() == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+func TestCostOfNoFacilities(t *testing.T) {
+	in := lineInstance(3, 10, []float64{1, 2, 3})
+	// All traffic goes to the root: 1*10 + 2*11 + 3*12 = 68.
+	if got := in.CostOf(nil); got != 68 {
+		t.Fatalf("cost %v, want 68", got)
+	}
+}
+
+func TestCostOfWithFacility(t *testing.T) {
+	in := lineInstance(3, 10, []float64{1, 2, 3})
+	// Facility at node 1: dists {1,0,1} all < root.
+	if got := in.CostOf([]int{1}); got != 1*1+0+3*1 {
+		t.Fatalf("cost %v, want 4", got)
+	}
+}
+
+func TestGreedyPicksWeightedMedian(t *testing.T) {
+	// Node 2 has overwhelming demand; the first greedy facility must
+	// land there.
+	in := lineInstance(5, 100, []float64{1, 1, 50, 1, 1})
+	chosen, _ := in.Greedy(1)
+	if len(chosen) != 1 || chosen[0] != 2 {
+		t.Fatalf("greedy chose %v, want [2]", chosen)
+	}
+}
+
+func TestGreedyStopsWhenNoGain(t *testing.T) {
+	// Root at distance 0 from everyone: facilities cannot help.
+	in := &Instance{
+		Cost:     [][]float64{{0, 5}, {5, 0}},
+		RootCost: []float64{0, 0},
+		Demand:   []float64{1, 1},
+	}
+	chosen, cost := in.Greedy(2)
+	if len(chosen) != 0 || cost != 0 {
+		t.Fatalf("greedy chose %v at cost %v, want none at 0", chosen, cost)
+	}
+}
+
+func TestBruteForceSmall(t *testing.T) {
+	in := lineInstance(6, 20, []float64{1, 1, 1, 1, 1, 1})
+	set, cost, err := in.BruteForce(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("optimal set %v", set)
+	}
+	// Check optimality by full re-enumeration with CostOf.
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			if c := in.CostOf([]int{a, b}); c < cost-1e-12 {
+				t.Fatalf("found better set {%d,%d}: %v < %v", a, b, c, cost)
+			}
+		}
+	}
+}
+
+func TestBruteForceBudget(t *testing.T) {
+	in := randomInstance(xrand.New(1), 40)
+	if _, _, err := in.BruteForce(10, 1000); err == nil {
+		t.Fatal("enumeration budget not enforced")
+	}
+	if _, _, err := in.BruteForce(-1, 0); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestBruteForceZeroK(t *testing.T) {
+	in := lineInstance(3, 10, []float64{1, 1, 1})
+	set, cost, err := in.BruteForce(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 || cost != in.CostOf(nil) {
+		t.Fatalf("k=0 gave %v at %v", set, cost)
+	}
+}
+
+func TestGreedyNeverBeatsOptimal(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := randomInstance(xrand.New(seed), 14)
+		for k := 1; k <= 3; k++ {
+			_, gCost := in.Greedy(k)
+			_, oCost, err := in.BruteForce(k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gCost < oCost-1e-9 {
+				t.Fatalf("seed %d k=%d: greedy %v below optimal %v", seed, k, gCost, oCost)
+			}
+		}
+	}
+}
+
+func TestGreedyNearOptimalOnAverage(t *testing.T) {
+	// [14]'s observation: greedy achieves very good solution quality.
+	// Individual 1-D instances can trip greedy (myopic first pick), so
+	// assert the average ratio is small and the worst case bounded.
+	worst, sum, count := 1.0, 0.0, 0
+	for seed := uint64(0); seed < 15; seed++ {
+		in := randomInstance(xrand.New(seed), 16)
+		for k := 1; k <= 3; k++ {
+			_, gCost := in.Greedy(k)
+			_, oCost, err := in.BruteForce(k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oCost > 0 {
+				ratio := gCost / oCost
+				sum += ratio
+				count++
+				if ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+	}
+	if avg := sum / float64(count); avg > 1.15 {
+		t.Fatalf("greedy averaged %.3fx optimal — far beyond the literature's observations", avg)
+	}
+	if worst > 2.0 {
+		t.Fatalf("greedy strayed %.2fx from optimal on some instance", worst)
+	}
+}
+
+func TestSwapOnlyImproves(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		in := randomInstance(r, 12)
+		k := 1 + r.Intn(3)
+		g, gCost := in.Greedy(k)
+		if len(g) == 0 {
+			return true
+		}
+		s, sCost := in.Swap(g)
+		if sCost > gCost+1e-9 {
+			return false
+		}
+		return math.Abs(in.CostOf(s)-sCost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapReachesOptimalOftenEnough(t *testing.T) {
+	// Swap is a constant-factor local search; on small instances it
+	// lands on the exact optimum most of the time.
+	hits, trials := 0, 0
+	for seed := uint64(100); seed < 112; seed++ {
+		in := randomInstance(xrand.New(seed), 12)
+		g, _ := in.Greedy(2)
+		if len(g) < 2 {
+			continue
+		}
+		_, sCost := in.Swap(g)
+		_, oCost, err := in.BruteForce(2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		if sCost <= oCost+1e-9 {
+			hits++
+		}
+	}
+	if trials == 0 {
+		t.Skip("no usable instances")
+	}
+	if hits*2 < trials {
+		t.Fatalf("swap matched the optimum only %d/%d times", hits, trials)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {50, 3, 19600}, {10, 0, 1}, {10, 10, 1}, {4, 5, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+	if binomial(200, 100) != -1 {
+		t.Error("overflow not detected")
+	}
+}

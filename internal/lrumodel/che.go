@@ -1,0 +1,96 @@
+package lrumodel
+
+import "math"
+
+// This file implements Che's characteristic-time approximation of the
+// LRU hit ratio (Che, Tung, Wang, "Hierarchical web caching systems",
+// JSAC 2002) as a reference point for the paper's own model. Both take
+// identical inputs; comparing them against the trace-driven simulator
+// quantifies how much accuracy the paper's simpler Equation (2) gives up
+// (see the model-comparison experiment).
+//
+// Under the independent reference model, Che approximates that an object
+// with request probability p is present in an LRU cache of B slots iff
+// it was requested within the last T_C time slots, where the
+// characteristic time T_C solves
+//
+//	Σ_k 1 − (1 − p_k)^T_C = B,
+//
+// i.e. the expected number of distinct objects requested within T_C
+// equals the cache size. The per-object hit ratio is then
+// 1 − (1 − p_k)^T_C — structurally the paper's Equation (1) with T_C in
+// place of the Equation (2) K.
+
+// CheK computes the characteristic time T_C for the predictor's merged
+// object population and a cache of B slots, by bisection on the
+// monotone occupancy function. It returns +Inf when B covers every
+// object with positive probability.
+func (p *Predictor) CheK(B int) float64 {
+	if B <= 0 {
+		return 0
+	}
+	positive := 0
+	for j := range p.specs {
+		if p.pops[j] > 0 {
+			positive += p.specs[j].Objects
+		}
+	}
+	if B >= positive {
+		return math.Inf(1)
+	}
+	occupied := func(T float64) float64 {
+		total := 0.0
+		for j := range p.specs {
+			if p.pops[j] == 0 {
+				continue
+			}
+			z := p.zipfs[j]
+			for k := 1; k <= z.L; k++ {
+				q := p.pops[j] * z.PMF(k)
+				if q >= 1 {
+					total++
+					continue
+				}
+				total += 1 - math.Pow(1-q, T)
+			}
+		}
+		return total
+	}
+	// Bracket T: occupancy is increasing in T from 0 to `positive`.
+	lo, hi := 0.0, float64(B)
+	for occupied(hi) < float64(B) {
+		hi *= 2
+		if hi > 1e15 {
+			return math.Inf(1)
+		}
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-6*hi; iter++ {
+		mid := (lo + hi) / 2
+		if occupied(mid) < float64(B) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CheSiteHitRatio predicts site j's hit ratio with Che's approximation
+// at the given cache size, λ-adjusted like SiteHitRatio. Results are not
+// memoized: the experiment code calls it once per configuration.
+func (p *Predictor) CheSiteHitRatio(j int, cacheBytes int64) float64 {
+	T := p.CheK(p.B(cacheBytes))
+	h := hitRatioExact(p.pops[j], p.zipfs[j], T)
+	return h * (1 - p.specs[j].Lambda)
+}
+
+// CheOverallHitRatio is the request-weighted Che prediction across all
+// sites.
+func (p *Predictor) CheOverallHitRatio(cacheBytes int64) float64 {
+	T := p.CheK(p.B(cacheBytes))
+	total := 0.0
+	for j := range p.specs {
+		total += p.pops[j] * hitRatioExact(p.pops[j], p.zipfs[j], T) * (1 - p.specs[j].Lambda)
+	}
+	return total
+}

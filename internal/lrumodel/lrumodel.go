@@ -1,0 +1,409 @@
+// Package lrumodel implements the paper's analytical model of the LRU
+// cache hit ratio (§3.2), the first of its two contributions.
+//
+// The model considers one CDN server whose cache holds B object slots
+// (B = cache bytes / average object size). An object that enters the
+// cache and is never requested again is evicted after K subsequent
+// requests, where K is approximated by Equation (2):
+//
+//	K = Σ_{i=1..B} t_i,   t_i = 1 / (1 - (i-1)·p_B/(B-1))
+//
+// with p_B the cumulative popularity of the B most popular cacheable
+// objects. Given K, the steady-state hit ratio of site O_j whose objects
+// follow a Zipf-like distribution with parameter θ is Equation (1):
+//
+//	h_j = Σ_{k=1..L} [1 - (1 - p_j·α/k^θ)^K] · α/k^θ
+//
+// where p_j is the site's popularity at the server and α the Zipf
+// normalization constant. Uncacheable requests (§3.3) scale the result by
+// (1 - λ_j).
+//
+// Following the paper's implementation notes (§4), the merged
+// object-popularity list used for p_B is computed once when the predictor
+// is built and frozen afterwards ("calculating K during each iteration
+// produced the same result as... calculated once at the initialization
+// step"), and hit ratios are memoized on a quantized (site, p, K) grid
+// so that each lookup inside the placement loop is O(1). The paper quantizes
+// K with granularity 5 time slots; so does this package by default.
+package lrumodel
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SiteSpec carries the per-site statistics the model needs. A "site" is
+// whatever unit the placement operates on: a whole web site in the paper,
+// or one popularity cluster of a site under the per-cluster extension.
+type SiteSpec struct {
+	// Objects is L, the number of distinct objects of the unit.
+	Objects int
+	// Theta is the Zipf-like exponent of object popularity.
+	Theta float64
+	// Lambda is the fraction of the unit's requests that return
+	// uncacheable (or stale, under strong consistency) documents.
+	Lambda float64
+	// RankOffset shifts the Zipf ranks: the unit's objects occupy
+	// global popularity ranks RankOffset+1 .. RankOffset+Objects of
+	// their site. Zero (the paper's whole-site case) means ranks start
+	// at 1; popularity clusters of a site's tail use larger offsets.
+	RankOffset int
+}
+
+// DefaultKStep is the K-quantization granularity used for memoization,
+// matching the paper's "granularity of K was set to 5 time slots".
+const DefaultKStep = 5.0
+
+// DefaultPStep is the popularity-quantization granularity, matching the
+// paper's pre-computation "granularity of p ... set to 10^-5".
+const DefaultPStep = 1e-5
+
+// Predictor predicts per-site LRU hit ratios at a single CDN server.
+// It is built from the full site catalog and the server's (fixed) site
+// popularity vector; only the cache size varies across queries, which is
+// exactly how the hybrid placement algorithm uses it.
+//
+// A Predictor is not safe for concurrent use.
+type Predictor struct {
+	specs  []SiteSpec
+	pops   []float64 // p_j: normalized site popularity, frozen
+	zipfs  []*stats.Zipf
+	avgObj float64 // ō: average object size in bytes
+
+	// prefix[i] = cumulative popularity of the i most popular objects
+	// across all sites (frozen at construction), i in 0..len(prefix)-1.
+	prefix []float64
+
+	kStep float64
+	pStep float64
+	kmemo map[int]float64  // B -> K
+	hmemo map[hKey]float64 // (quantized p, quantized K) -> unadjusted hit ratio per site
+}
+
+type hKey struct {
+	site int
+	pq   int64 // quantized effective popularity bucket
+	kq   int64 // quantized K bucket; -1 encodes K = +Inf
+}
+
+// NewPredictor builds a predictor for one server.
+//
+// weights[j] is the server's request rate for site j (any positive scale;
+// normalized internally — the paper's p_j = r_j/Σ r_k). avgObjBytes is ō.
+// maxCacheBytes bounds the cache sizes that will ever be queried (the
+// server's total storage capacity); the frozen popularity prefix is
+// computed up to the corresponding B.
+func NewPredictor(specs []SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64) *Predictor {
+	if len(specs) != len(weights) {
+		panic(fmt.Sprintf("lrumodel: %d specs but %d weights", len(specs), len(weights)))
+	}
+	if avgObjBytes <= 0 {
+		panic(fmt.Sprintf("lrumodel: avgObjBytes = %v", avgObjBytes))
+	}
+	p := &Predictor{
+		specs:  specs,
+		avgObj: avgObjBytes,
+		kStep:  DefaultKStep,
+		pStep:  DefaultPStep,
+		kmemo:  make(map[int]float64),
+		hmemo:  make(map[hKey]float64),
+	}
+	total := 0.0
+	for j, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("lrumodel: negative weight %v for site %d", w, j))
+		}
+		total += w
+	}
+	p.pops = make([]float64, len(weights))
+	for j, w := range weights {
+		if total > 0 {
+			p.pops[j] = w / total
+		}
+	}
+	p.zipfs = make([]*stats.Zipf, len(specs))
+	for j, s := range specs {
+		if s.Objects < 1 {
+			panic(fmt.Sprintf("lrumodel: site %d has %d objects", j, s.Objects))
+		}
+		if s.Lambda < 0 || s.Lambda > 1 {
+			panic(fmt.Sprintf("lrumodel: site %d has lambda %v", j, s.Lambda))
+		}
+		if s.RankOffset < 0 {
+			panic(fmt.Sprintf("lrumodel: site %d has rank offset %d", j, s.RankOffset))
+		}
+		p.zipfs[j] = stats.NewZipfRange(s.RankOffset+1, s.Objects, s.Theta)
+	}
+	p.buildPrefix(p.B(maxCacheBytes))
+	return p
+}
+
+// buildPrefix merges the per-site object popularity lists (each sorted
+// descending by construction: Zipf PMFs decrease in rank) and stores the
+// cumulative mass of the top-i objects, for i up to maxB. This is the
+// sorted list of §4 used to estimate p_B, built once.
+func (p *Predictor) buildPrefix(maxB int) {
+	totalObjects := 0
+	for _, s := range p.specs {
+		totalObjects += s.Objects
+	}
+	n := maxB
+	if n > totalObjects {
+		n = totalObjects
+	}
+	p.prefix = make([]float64, n+1)
+
+	// k-way merge by popularity using a max-heap over (site, next rank).
+	h := &mergeHeap{}
+	for j := range p.specs {
+		if p.pops[j] > 0 {
+			heap.Push(h, mergeItem{
+				pop:  p.pops[j] * p.zipfs[j].PMF(1),
+				site: j,
+				rank: 1,
+			})
+		}
+	}
+	cum := 0.0
+	for i := 1; i <= n && h.Len() > 0; i++ {
+		it := heap.Pop(h).(mergeItem)
+		cum += it.pop
+		p.prefix[i] = cum
+		if it.rank < p.specs[it.site].Objects {
+			heap.Push(h, mergeItem{
+				pop:  p.pops[it.site] * p.zipfs[it.site].PMF(it.rank+1),
+				site: it.site,
+				rank: it.rank + 1,
+			})
+		}
+	}
+}
+
+// B converts a cache size in bytes to buffer slots: B ≈ c/ō (§3.2).
+func (p *Predictor) B(cacheBytes int64) int {
+	if cacheBytes <= 0 {
+		return 0
+	}
+	return int(float64(cacheBytes) / p.avgObj)
+}
+
+// TotalObjects returns the number of objects across all sites.
+func (p *Predictor) TotalObjects() int {
+	total := 0
+	for _, s := range p.specs {
+		total += s.Objects
+	}
+	return total
+}
+
+// TopMass returns the frozen p_B: the cumulative popularity of the B most
+// popular objects. B values beyond the frozen prefix clamp to its end.
+func (p *Predictor) TopMass(B int) float64 {
+	if B <= 0 {
+		return 0
+	}
+	if B >= len(p.prefix) {
+		return p.prefix[len(p.prefix)-1]
+	}
+	return p.prefix[B]
+}
+
+// K evaluates Equation (2) for the cache size in bytes. It returns 0 for
+// an empty cache and +Inf when every object fits (the cache never
+// evicts). Results are memoized per B.
+func (p *Predictor) K(cacheBytes int64) float64 {
+	return p.KForB(p.B(cacheBytes))
+}
+
+// KForB is K for an explicit slot count B.
+func (p *Predictor) KForB(B int) float64 {
+	if B <= 0 {
+		return 0
+	}
+	if B >= p.TotalObjects() {
+		return math.Inf(1)
+	}
+	if k, ok := p.kmemo[B]; ok {
+		return k
+	}
+	k := kApprox(B, p.TopMass(B))
+	p.kmemo[B] = k
+	return k
+}
+
+// kApprox is the raw Equation (2): K = Σ_{i=1..B} 1/(1 - (i-1)·pB/(B-1)).
+func kApprox(B int, pB float64) float64 {
+	if B <= 0 {
+		return 0
+	}
+	if B == 1 {
+		return 1
+	}
+	if pB >= 1 {
+		return math.Inf(1)
+	}
+	k := 0.0
+	step := pB / float64(B-1)
+	for i := 0; i < B; i++ {
+		denom := 1 - float64(i)*step
+		if denom <= 1e-12 {
+			return math.Inf(1)
+		}
+		k += 1 / denom
+	}
+	return k
+}
+
+// SiteHitRatio evaluates Equation (1) for site j with the given cache
+// size, adjusted by the uncacheable fraction (×(1-λ_j), §3.3). The
+// site's popularity is taken over all sites (visible mass 1) — the
+// pure-caching configuration where every site competes for the cache.
+func (p *Predictor) SiteHitRatio(j int, cacheBytes int64) float64 {
+	return p.siteHitRatioK(j, 1, p.K(cacheBytes))
+}
+
+// SiteHitRatioCond is SiteHitRatio with the site's popularity
+// renormalized over the sites still visible to the cache: when some sites
+// are replicated at the server, their requests no longer traverse the
+// cache, so "the popularity of the rest of the objects is increased
+// accordingly" (§4). visibleMass is the summed SitePopularity of the
+// non-replicated sites (site j included); it must be positive and at
+// least p_j.
+func (p *Predictor) SiteHitRatioCond(j int, visibleMass float64, cacheBytes int64) float64 {
+	if visibleMass <= 0 {
+		return 0
+	}
+	return p.siteHitRatioK(j, visibleMass, p.K(cacheBytes))
+}
+
+// SiteHitRatioForK is SiteHitRatio with an explicit K (used by the
+// validation tooling to probe the model surface directly).
+func (p *Predictor) SiteHitRatioForK(j int, K float64) float64 {
+	return p.siteHitRatioK(j, 1, K)
+}
+
+func (p *Predictor) siteHitRatioK(j int, visibleMass float64, K float64) float64 {
+	if j < 0 || j >= len(p.specs) {
+		panic(fmt.Sprintf("lrumodel: site %d out of range", j))
+	}
+	pEff := p.pops[j] / visibleMass
+	if pEff > 1 {
+		pEff = 1
+	}
+	key := hKey{site: j, pq: int64(math.Round(pEff / p.pStep)), kq: int64(-1)}
+	if !math.IsInf(K, 1) {
+		key.kq = int64(math.Round(K / p.kStep))
+	}
+	if h, ok := p.hmemo[key]; ok {
+		return h * (1 - p.specs[j].Lambda)
+	}
+	// Evaluate at the quantized grid point so the memo is
+	// self-consistent (the paper's pre-computed table does the same).
+	kEff := K
+	if key.kq >= 0 {
+		kEff = float64(key.kq) * p.kStep
+	}
+	h := hitRatioExact(float64(key.pq)*p.pStep, p.zipfs[j], kEff)
+	p.hmemo[key] = h
+	return h * (1 - p.specs[j].Lambda)
+}
+
+// hitRatioExact is the raw Equation (1) for one site: the probability
+// that the requested object was requested at least once within the last K
+// time slots, averaged over the site's Zipf-distributed object choice.
+func hitRatioExact(pSite float64, z *stats.Zipf, K float64) float64 {
+	if K <= 0 || pSite <= 0 {
+		return 0
+	}
+	h := 0.0
+	for k := 1; k <= z.L; k++ {
+		q := z.PMF(k)
+		pObj := pSite * q
+		var miss float64
+		switch {
+		case math.IsInf(K, 1):
+			miss = 0 // never evicted: always present after first request
+		case pObj >= 1:
+			miss = 0
+		default:
+			miss = math.Pow(1-pObj, K)
+		}
+		h += (1 - miss) * q
+	}
+	return h
+}
+
+// HitRatios returns the λ-adjusted hit ratio of every site at the given
+// cache size, with every site visible to the cache.
+func (p *Predictor) HitRatios(cacheBytes int64) []float64 {
+	out := make([]float64, len(p.specs))
+	K := p.K(cacheBytes)
+	for j := range p.specs {
+		out[j] = p.siteHitRatioK(j, 1, K)
+	}
+	return out
+}
+
+// HitRatiosCond is HitRatios with only the sites where visible[j] is true
+// traversing the cache; entries for invisible (replicated) sites are 0.
+func (p *Predictor) HitRatiosCond(visible []bool, cacheBytes int64) []float64 {
+	if len(visible) != len(p.specs) {
+		panic(fmt.Sprintf("lrumodel: %d visibility flags for %d sites", len(visible), len(p.specs)))
+	}
+	mass := 0.0
+	for j, v := range visible {
+		if v {
+			mass += p.pops[j]
+		}
+	}
+	out := make([]float64, len(p.specs))
+	if mass <= 0 {
+		return out
+	}
+	K := p.K(cacheBytes)
+	for j := range p.specs {
+		if visible[j] {
+			out[j] = p.siteHitRatioK(j, mass, K)
+		}
+	}
+	return out
+}
+
+// OverallHitRatio returns the request-weighted hit ratio Σ p_j·h_j at the
+// given cache size — the fraction of all requests at this server that the
+// cache absorbs (all sites visible).
+func (p *Predictor) OverallHitRatio(cacheBytes int64) float64 {
+	K := p.K(cacheBytes)
+	total := 0.0
+	for j := range p.specs {
+		total += p.pops[j] * p.siteHitRatioK(j, 1, K)
+	}
+	return total
+}
+
+// SitePopularity returns the frozen normalized popularity p_j.
+func (p *Predictor) SitePopularity(j int) float64 { return p.pops[j] }
+
+// mergeItem / mergeHeap implement the descending-popularity k-way merge.
+type mergeItem struct {
+	pop  float64
+	site int
+	rank int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].pop > h[j].pop }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

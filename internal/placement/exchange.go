@@ -1,0 +1,78 @@
+package placement
+
+import (
+	"repro/internal/core"
+)
+
+// GreedyExchange refines a greedy-global placement with the
+// back-tracking idea of [12] (§2.2: "a greedy [heuristic] that performs
+// back tracking offers the better results"): repeatedly try to replace
+// one placed replica with a not-placed one at the same server whenever
+// the swap lowers the no-cache objective, until no single swap improves.
+//
+// The placement is rebuilt from scratch on every trial swap — the SN
+// tables are incremental-add only — so this is O(swaps·N·M·(N+M));
+// fine at the paper's scale, and the refinement typically converges in
+// a handful of swaps.
+func GreedyExchange(sys *core.System) *Result {
+	base := GreedyGlobal(sys)
+	chosen := make(map[[2]int]bool, len(base.Steps))
+	for _, s := range base.Steps {
+		chosen[[2]int{s.Server, s.Site}] = true
+	}
+	cost := base.PredictedCost
+
+	improved := true
+	for improved {
+		improved = false
+		for old := range chosen {
+			i := old[0]
+			for j := 0; j < sys.M(); j++ {
+				cand := [2]int{i, j}
+				if chosen[cand] {
+					continue
+				}
+				delete(chosen, old)
+				chosen[cand] = true
+				if p, ok := rebuild(sys, chosen); ok {
+					if c := p.Cost(core.ZeroHitRatio); c < cost-1e-12 {
+						cost = c
+						improved = true
+						break
+					}
+				}
+				delete(chosen, cand)
+				chosen[old] = true
+			}
+			if improved {
+				break
+			}
+		}
+	}
+
+	final, ok := rebuild(sys, chosen)
+	if !ok {
+		// Cannot happen: the loop only commits feasible swaps.
+		return base
+	}
+	res := &Result{Placement: final, PredictedCost: final.Cost(core.ZeroHitRatio)}
+	for pair := range chosen {
+		res.Steps = append(res.Steps, Step{Server: pair[0], Site: pair[1]})
+	}
+	return res
+}
+
+// rebuild constructs a placement holding exactly the given replicas; ok
+// is false if the set violates a capacity constraint.
+func rebuild(sys *core.System, replicas map[[2]int]bool) (*core.Placement, bool) {
+	p := core.NewPlacement(sys)
+	for pair := range replicas {
+		if !p.CanReplicate(pair[0], pair[1]) {
+			return nil, false
+		}
+		if err := p.Replicate(pair[0], pair[1]); err != nil {
+			return nil, false
+		}
+	}
+	return p, true
+}

@@ -1,0 +1,462 @@
+// Package placement implements the replica placement algorithms of the
+// paper: the greedy-global baseline of [13, 15, 23] (§2.2, §5.2) and the
+// hybrid algorithm of Figure 2 (§4) that weighs every candidate replica
+// against the LRU cache space it would consume. Ad-hoc fixed-split,
+// random and local-popularity heuristics are included for the Figure 5
+// comparison and for ablations.
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lrumodel"
+	"repro/internal/xrand"
+)
+
+// Step records one replica creation decision.
+type Step struct {
+	Server, Site int
+	// Benefit is the algorithm's estimated cost reduction for the
+	// step (model-predicted for Hybrid, exact for GreedyGlobal).
+	Benefit float64
+	// PredictedCost is the objective D after applying the step, under
+	// the algorithm's own cost model.
+	PredictedCost float64
+}
+
+// Result is the outcome of a placement algorithm.
+type Result struct {
+	Placement *core.Placement
+	// PredictedCost is the final objective D under the algorithm's
+	// cost model (with caching for Hybrid, without for the others).
+	PredictedCost float64
+	Steps         []Step
+}
+
+// GreedyGlobal is the stand-alone replica placement baseline: during each
+// iteration all server-site pairs are compared and the one producing the
+// largest benefit is replicated; it terminates when servers are full or
+// the best remaining benefit is non-positive. No caching is assumed
+// (h = 0 everywhere).
+func GreedyGlobal(sys *core.System) *Result {
+	return GreedyGlobalUpdates(sys, nil)
+}
+
+// GreedyGlobalUpdates is GreedyGlobal under the read-plus-update FAP
+// objective (§2.2, [19, 28]): each candidate replica's benefit is
+// reduced by the update-propagation cost u_j·C(i, SP_j) it would incur.
+// nil updateRates means read-only (= GreedyGlobal).
+func GreedyGlobalUpdates(sys *core.System, updateRates []float64) *Result {
+	p := core.NewPlacement(sys)
+	res := &Result{Placement: p}
+	n, m := sys.N(), sys.M()
+	objective := func() float64 {
+		c := p.Cost(core.ZeroHitRatio)
+		if updateRates != nil {
+			c += p.UpdateCost(updateRates)
+		}
+		return c
+	}
+	// Cached benefit matrix with exact invalidation: placing (i*, j*)
+	// only changes SN entries of site j*, so only column j* needs
+	// recomputation (greedyBenefit depends on the placement solely
+	// through NearestCost(·, j) and Has(·, j)).
+	ben := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ben[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			ben[i][j] = greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j)
+		}
+	}
+	for {
+		bestB := 0.0
+		bestI, bestJ := -1, -1
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if ben[i][j] > bestB && p.CanReplicate(i, j) {
+					bestB, bestI, bestJ = ben[i][j], i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		mustReplicate(p, bestI, bestJ)
+		for i := 0; i < n; i++ {
+			ben[i][bestJ] = greedyBenefit(sys, p, i, bestJ) - updatePenalty(sys, updateRates, i, bestJ)
+		}
+		res.Steps = append(res.Steps, Step{
+			Server:        bestI,
+			Site:          bestJ,
+			Benefit:       bestB,
+			PredictedCost: objective(),
+		})
+	}
+	res.PredictedCost = objective()
+	return res
+}
+
+// greedyBenefit is the no-cache benefit of replica (i, j): the local
+// redirection cost removed plus the improvement for every other server
+// whose nearest replica of j gets closer.
+func greedyBenefit(sys *core.System, p *core.Placement, i, j int) float64 {
+	b := sys.Demand[i][j] * p.NearestCost(i, j)
+	for k := 0; k < sys.N(); k++ {
+		if k == i || p.Has(k, j) {
+			continue
+		}
+		if dc := p.NearestCost(k, j) - sys.CostServer[k][i]; dc > 0 {
+			b += dc * sys.Demand[k][j]
+		}
+	}
+	return b
+}
+
+// updatePenalty is the update-propagation cost a new replica (i, j)
+// would add: u_j · C(i, SP_j).
+func updatePenalty(sys *core.System, updateRates []float64, i, j int) float64 {
+	if updateRates == nil {
+		return 0
+	}
+	return updateRates[j] * sys.CostOrigin[i][j]
+}
+
+// HybridConfig parameterizes the hybrid algorithm.
+type HybridConfig struct {
+	// Specs carries the object-level statistics of every site for the
+	// analytical LRU model (λ included).
+	Specs []lrumodel.SiteSpec
+	// AvgObjectBytes is ō, used to convert cache bytes to LRU slots.
+	AvgObjectBytes float64
+	// Observer, if non-nil, is invoked after every replica creation;
+	// used by the step-by-step example and by tests.
+	Observer func(Step)
+	// UpdateRates, if non-nil, adds the read-plus-update FAP objective
+	// ([19, 28]): a candidate replica of site j at server i pays
+	// UpdateRates[j]·C(i, SP_j) in update propagation. Caches are
+	// invalidation-maintained and pay nothing here (their freshness
+	// cost is the λ term of §3.3).
+	UpdateRates []float64
+}
+
+// Hybrid is the paper's Figure 2 algorithm. It starts from a network
+// where all storage is cache, and at each iteration creates the replica
+// with the largest net benefit:
+//
+//	b_ij = (1 − h_j^(i)) · r_j^(i) · C(i, SN_j^(i))              (line 9)
+//	     − Σ_{k≠j} Δh_k^(i) · r_k^(i) · C(i, SN_k^(i))           (lines 10–13)
+//	     + Σ_{s≠i} max(0, C(s,SN_j^(s)) − C(s,i)) · (1−h_j^(s)) · r_j^(s)   (lines 14–17)
+//
+// where Δh is the model-predicted hit-ratio loss from shrinking server
+// i's cache by o_j bytes. It terminates when no candidate has positive
+// benefit or no site fits anywhere.
+func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
+	n, m := sys.N(), sys.M()
+	if len(cfg.Specs) != m {
+		return nil, fmt.Errorf("placement: %d specs for %d sites", len(cfg.Specs), m)
+	}
+	if cfg.AvgObjectBytes <= 0 {
+		return nil, fmt.Errorf("placement: AvgObjectBytes = %v", cfg.AvgObjectBytes)
+	}
+	if cfg.UpdateRates != nil && len(cfg.UpdateRates) != m {
+		return nil, fmt.Errorf("placement: %d update rates for %d sites", len(cfg.UpdateRates), m)
+	}
+	p := core.NewPlacement(sys)
+	res := &Result{Placement: p}
+
+	// Lines 1–5: build one predictor per server and the initial hit
+	// ratios with the whole capacity as cache. visMass tracks the
+	// summed popularity of the sites still traversing each server's
+	// cache; replicating a site removes its traffic from the cache and
+	// "the popularity of the rest of the objects is increased
+	// accordingly" (§4).
+	preds := make([]*lrumodel.Predictor, n)
+	h := make([][]float64, n)
+	visMass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		preds[i] = lrumodel.NewPredictor(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i])
+		h[i] = preds[i].HitRatios(p.Free(i))
+		visMass[i] = 1
+	}
+
+	hitFn := func(i, j int) float64 {
+		if p.Has(i, j) {
+			return 0 // irrelevant: C(i,i)=0
+		}
+		return h[i][j]
+	}
+
+	// Cached benefit matrix with exact invalidation. Placing (i*, j*)
+	// changes: (a) server i*'s cache size, visible mass and hit ratios
+	// — every candidate in row i*; (b) site j*'s SN table — every
+	// candidate in column j*; (c) the remote-benefit term
+	// (1 − h_j^(i*)) that other candidates earn from server i*, which
+	// shifts by the known Δh of (a) — a pure arithmetic adjustment.
+	// Together these reproduce the paper's full per-iteration
+	// re-evaluation exactly, at a fraction of the model lookups.
+	ben := make([][]float64, n)
+	evalBen := func(i, j int) float64 {
+		if !p.CanReplicate(i, j) {
+			return 0
+		}
+		return hybridBenefit(sys, p, preds, h, visMass, i, j) - updatePenalty(sys, cfg.UpdateRates, i, j)
+	}
+	for i := 0; i < n; i++ {
+		ben[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			ben[i][j] = evalBen(i, j)
+		}
+	}
+
+	// Lines 6–25: main loop.
+	for {
+		bestB := 0.0
+		bestI, bestJ := -1, -1
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if ben[i][j] > bestB && p.CanReplicate(i, j) { // line 8
+					bestB, bestI, bestJ = ben[i][j], i, j
+				}
+			}
+		}
+		if bestI < 0 { // no candidate with positive benefit
+			break
+		}
+		// Lines 18–25: create the replica and update bookkeeping.
+		hOld := append([]float64(nil), h[bestI]...)
+		improved, err := p.ReplicateTracked(bestI, bestJ)
+		if err != nil {
+			panic(fmt.Sprintf("placement: internal error: %v", err))
+		}
+		visMass[bestI] -= preds[bestI].SitePopularity(bestJ)
+		visible := make([]bool, m)
+		for k := 0; k < m; k++ {
+			visible[k] = !p.Has(bestI, k)
+		}
+		copy(h[bestI], preds[bestI].HitRatiosCond(visible, p.Free(bestI)))
+
+		// Stale entries after this placement:
+		//   - rows of servers whose SN entry for bestJ improved (their
+		//     shrink terms weight site bestJ by the new, lower
+		//     NearestCost) and the row of bestI (cache shrank);
+		//   - column bestJ for everyone (remote terms reference the
+		//     improved SN entries);
+		//   - the remote-term contribution (1−h_j^(bestI))·r of server
+		//     bestI to every other candidate, which shifted by the
+		//     known Δh — pure arithmetic, applied to rows not already
+		//     re-evaluated.
+		staleRow := make([]bool, n)
+		for _, k := range improved {
+			staleRow[k] = true
+		}
+		for j := 0; j < m; j++ {
+			if j == bestJ || p.Has(bestI, j) {
+				continue
+			}
+			dh := hOld[j] - h[bestI][j]
+			if dh == 0 {
+				continue
+			}
+			snCost := p.NearestCost(bestI, j)
+			w := dh * sys.Demand[bestI][j]
+			for i := 0; i < n; i++ {
+				if i == bestI || staleRow[i] {
+					continue
+				}
+				if dc := snCost - sys.CostServer[bestI][i]; dc > 0 {
+					ben[i][j] += dc * w
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if staleRow[i] {
+				for j := 0; j < m; j++ {
+					ben[i][j] = evalBen(i, j)
+				}
+			} else {
+				ben[i][bestJ] = evalBen(i, bestJ)
+			}
+		}
+		step := Step{
+			Server:        bestI,
+			Site:          bestJ,
+			Benefit:       bestB,
+			PredictedCost: hybridObjective(p, hitFn, cfg.UpdateRates),
+		}
+		res.Steps = append(res.Steps, step)
+		if cfg.Observer != nil {
+			cfg.Observer(step)
+		}
+	}
+	res.PredictedCost = hybridObjective(p, hitFn, cfg.UpdateRates)
+	return res, nil
+}
+
+// hybridObjective is the hybrid's full predicted objective: the cached
+// read cost plus, when configured, the update-propagation cost.
+func hybridObjective(p *core.Placement, hitFn core.HitRatioFunc, updateRates []float64) float64 {
+	c := p.Cost(hitFn)
+	if updateRates != nil {
+		c += p.UpdateCost(updateRates)
+	}
+	return c
+}
+
+// hybridBenefit evaluates lines 9–17 of Figure 2 for candidate (i, j).
+func hybridBenefit(sys *core.System, p *core.Placement, preds []*lrumodel.Predictor, h [][]float64, visMass []float64, i, j int) float64 {
+	// Line 9: local benefit — the cache was already absorbing h of the
+	// redirected requests.
+	b := (1 - h[i][j]) * sys.Demand[i][j] * p.NearestCost(i, j)
+
+	// Lines 10–13: cost change for the other cached sites. The cache
+	// shrinks by o_j bytes, but site j's traffic also stops traversing
+	// it, boosting everyone else's effective popularity.
+	newCache := p.Free(i) - sys.SiteBytes[j]
+	newMass := visMass[i] - preds[i].SitePopularity(j)
+	for k := 0; k < sys.M(); k++ {
+		if k == j || p.Has(i, k) {
+			continue
+		}
+		hNew := preds[i].SiteHitRatioCond(k, newMass, newCache)
+		if dh := h[i][k] - hNew; dh != 0 {
+			b -= dh * sys.Demand[i][k] * p.NearestCost(i, k)
+		}
+	}
+
+	// Lines 14–17: relative benefit for servers that would redirect to
+	// the new, closer replica.
+	for s := 0; s < sys.N(); s++ {
+		if s == i || p.Has(s, j) {
+			continue
+		}
+		if dc := p.NearestCost(s, j) - sys.CostServer[s][i]; dc > 0 {
+			b += dc * (1 - h[s][j]) * sys.Demand[s][j]
+		}
+	}
+	return b
+}
+
+// None returns the pure-caching configuration: no replicas, all storage
+// free for the cache. Its PredictedCost assumes no caching (callers that
+// want the model-predicted cost use PredictCost).
+func None(sys *core.System) *Result {
+	p := core.NewPlacement(sys)
+	return &Result{Placement: p, PredictedCost: p.Cost(core.ZeroHitRatio)}
+}
+
+// AdHoc reserves cacheFrac of every server's storage for the cache and
+// runs GreedyGlobal on the remainder — the fixed-split strawman of §5.2
+// ("what if we allocate a fixed percentage of the storage space to
+// caching and run the greedy global replication algorithm for the
+// rest?").
+func AdHoc(sys *core.System, cacheFrac float64) (*Result, error) {
+	if cacheFrac < 0 || cacheFrac > 1 {
+		return nil, fmt.Errorf("placement: cacheFrac = %v", cacheFrac)
+	}
+	shrunk := *sys
+	shrunk.Capacity = make([]int64, sys.N())
+	for i, c := range sys.Capacity {
+		shrunk.Capacity[i] = int64(float64(c) * (1 - cacheFrac))
+	}
+	inner := GreedyGlobal(&shrunk)
+
+	// Replay the decisions onto a full-capacity placement so that Free
+	// reports the true cache space (reserved fraction + slack).
+	p := core.NewPlacement(sys)
+	for _, s := range inner.Steps {
+		mustReplicate(p, s.Server, s.Site)
+	}
+	return &Result{
+		Placement:     p,
+		PredictedCost: p.Cost(core.ZeroHitRatio),
+		Steps:         inner.Steps,
+	}, nil
+}
+
+// Random creates replicas at uniformly random feasible (server, site)
+// pairs until none fits; an ablation baseline.
+func Random(sys *core.System, r *xrand.Source) *Result {
+	p := core.NewPlacement(sys)
+	res := &Result{Placement: p}
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, sys.N()*sys.M())
+	for i := 0; i < sys.N(); i++ {
+		for j := 0; j < sys.M(); j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	r.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+	for _, pr := range pairs {
+		if p.CanReplicate(pr.i, pr.j) {
+			mustReplicate(p, pr.i, pr.j)
+			res.Steps = append(res.Steps, Step{Server: pr.i, Site: pr.j})
+		}
+	}
+	res.PredictedCost = p.Cost(core.ZeroHitRatio)
+	return res
+}
+
+// Popularity fills each server with its locally most-requested sites
+// first; an ablation baseline that ignores network position.
+func Popularity(sys *core.System) *Result {
+	p := core.NewPlacement(sys)
+	res := &Result{Placement: p}
+	for i := 0; i < sys.N(); i++ {
+		order := sortSitesByDemand(sys.Demand[i])
+		for _, j := range order {
+			if p.CanReplicate(i, j) {
+				mustReplicate(p, i, j)
+				res.Steps = append(res.Steps, Step{Server: i, Site: j})
+			}
+		}
+	}
+	res.PredictedCost = p.Cost(core.ZeroHitRatio)
+	return res
+}
+
+func sortSitesByDemand(demand []float64) []int {
+	order := make([]int, len(demand))
+	for j := range order {
+		order[j] = j
+	}
+	// Insertion sort by descending demand: M is small (tens).
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0 && demand[order[b]] > demand[order[b-1]]; b-- {
+			order[b], order[b-1] = order[b-1], order[b]
+		}
+	}
+	return order
+}
+
+// PredictCost evaluates the objective D of any placement under the
+// analytical cache model, with each server's free space as its cache.
+// This is the "Predicted" series of Figure 6.
+func PredictCost(p *core.Placement, specs []lrumodel.SiteSpec, avgObjectBytes float64) float64 {
+	sys := p.System()
+	total := 0.0
+	for i := 0; i < sys.N(); i++ {
+		pred := lrumodel.NewPredictor(specs, sys.Demand[i], avgObjectBytes, sys.Capacity[i])
+		visible := make([]bool, sys.M())
+		for j := range visible {
+			visible[j] = !p.Has(i, j)
+		}
+		h := pred.HitRatiosCond(visible, p.Free(i))
+		for j := 0; j < sys.M(); j++ {
+			c := p.NearestCost(i, j)
+			if c == 0 {
+				continue
+			}
+			total += (1 - h[j]) * sys.Demand[i][j] * c
+		}
+	}
+	return total
+}
+
+// mustReplicate applies a decision the algorithm has already validated
+// with CanReplicate; an error here is a bug in the algorithm.
+func mustReplicate(p *core.Placement, i, j int) {
+	if err := p.Replicate(i, j); err != nil {
+		panic(fmt.Sprintf("placement: internal error: %v", err))
+	}
+}

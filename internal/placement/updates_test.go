@@ -1,0 +1,124 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+func TestGreedyGlobalUpdatesNilMatchesReadOnly(t *testing.T) {
+	sys, _ := randomSystem(xrand.New(41), 10, 6, 0.25)
+	a := GreedyGlobal(sys)
+	b := GreedyGlobalUpdates(sys, nil)
+	if a.PredictedCost != b.PredictedCost || a.Placement.Replicas() != b.Placement.Replicas() {
+		t.Fatal("nil update rates changed the read-only result")
+	}
+}
+
+func TestUpdatesShrinkReplicaCount(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(43), 10, 6, 0.25)
+	// Update rates proportional to read volume.
+	mkRates := func(ratio float64) []float64 {
+		rates := make([]float64, sys.M())
+		for i := range sys.Demand {
+			for j, d := range sys.Demand[i] {
+				rates[j] += ratio * d
+			}
+		}
+		return rates
+	}
+	gRead := GreedyGlobal(sys)
+	gHeavy := GreedyGlobalUpdates(sys, mkRates(5))
+	if gHeavy.Placement.Replicas() >= gRead.Placement.Replicas() {
+		t.Fatalf("write-heavy greedy kept %d replicas vs read-only %d",
+			gHeavy.Placement.Replicas(), gRead.Placement.Replicas())
+	}
+
+	hRead, err := Hybrid(sys, HybridConfig{Specs: specs, AvgObjectBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hHeavy, err := Hybrid(sys, HybridConfig{
+		Specs: specs, AvgObjectBytes: 1, UpdateRates: mkRates(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hHeavy.Placement.Replicas() > hRead.Placement.Replicas() {
+		t.Fatalf("write-heavy hybrid grew replicas: %d vs %d",
+			hHeavy.Placement.Replicas(), hRead.Placement.Replicas())
+	}
+}
+
+func TestGreedyUpdatesBenefitAccounting(t *testing.T) {
+	// The steps' PredictedCost must equal the recomputed read+update
+	// objective after replaying the steps.
+	sys, _ := randomSystem(xrand.New(47), 8, 5, 0.3)
+	rates := make([]float64, sys.M())
+	for j := range rates {
+		rates[j] = 0.02 * float64(j+1)
+	}
+	res := GreedyGlobalUpdates(sys, rates)
+	replay := core.NewPlacement(sys)
+	for _, s := range res.Steps {
+		if err := replay.Replicate(s.Server, s.Site); err != nil {
+			t.Fatal(err)
+		}
+		want := replay.Cost(core.ZeroHitRatio) + replay.UpdateCost(rates)
+		if math.Abs(s.PredictedCost-want) > 1e-9 {
+			t.Fatalf("step (%d,%d): cost %v, recomputed %v",
+				s.Server, s.Site, s.PredictedCost, want)
+		}
+	}
+}
+
+func TestHybridRejectsBadUpdateRates(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(53), 5, 4, 0.2)
+	if _, err := Hybrid(sys, HybridConfig{
+		Specs: specs, AvgObjectBytes: 1, UpdateRates: []float64{1},
+	}); err == nil {
+		t.Fatal("wrong-length update rates accepted")
+	}
+}
+
+func TestUpdateCostPanicsOnLengthMismatch(t *testing.T) {
+	sys, _ := randomSystem(xrand.New(59), 4, 3, 0.2)
+	p := core.NewPlacement(sys)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	p.UpdateCost([]float64{1})
+}
+
+func TestUpdateCostZeroWithoutReplicas(t *testing.T) {
+	sys, _ := randomSystem(xrand.New(61), 4, 3, 0.6)
+	p := core.NewPlacement(sys)
+	rates := []float64{1, 1, 1}
+	if got := p.UpdateCost(rates); got != 0 {
+		t.Fatalf("empty placement update cost %v", got)
+	}
+	// Replicate the first site that fits somewhere.
+	placedI, placedJ := -1, -1
+	for i := 0; i < sys.N() && placedI < 0; i++ {
+		for j := 0; j < sys.M(); j++ {
+			if p.CanReplicate(i, j) {
+				if err := p.Replicate(i, j); err != nil {
+					t.Fatal(err)
+				}
+				placedI, placedJ = i, j
+				break
+			}
+		}
+	}
+	if placedI < 0 {
+		t.Fatal("nothing fits anywhere")
+	}
+	want := rates[placedJ] * sys.CostOrigin[placedI][placedJ]
+	if got := p.UpdateCost(rates); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("update cost %v, want %v", got, want)
+	}
+}

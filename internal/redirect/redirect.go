@@ -1,0 +1,317 @@
+// Package redirect implements the CDN's second design axis (§2.2):
+// "where to redirect a client request (i.e., which server)". The main
+// simulator always follows the paper's SN table — the nearest replicator
+// — which is optimal for an uncongested network. This package adds a
+// processing-load model and alternative server-selection policies in the
+// spirit of [9] (response-time-aware server selection) and [24]
+// (load-balancing replica systems):
+//
+//   - Nearest: the paper's SN redirection;
+//   - LoadAware: among candidate replicators within SlackHops of the
+//     nearest, pick the one minimizing network delay plus an M/M/1-style
+//     queueing penalty from its current load;
+//   - Spread: deterministic rotation over the same slack set,
+//     load-oblivious (the DNS round-robin strawman).
+//
+// Load is tracked per server as a lazily-decayed EWMA of served
+// requests, and every serve — local or remote — charges the serving
+// node. The queueing penalty at utilization ρ is ServiceMs/(1−ρ),
+// clamped, so overloaded replica holders become visibly slow.
+package redirect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/xrand"
+)
+
+// Policy selects the serving node among candidates.
+type Policy string
+
+// The implemented redirection policies.
+const (
+	Nearest   Policy = "nearest"
+	LoadAware Policy = "load-aware"
+	Spread    Policy = "spread"
+)
+
+// Config controls a redirection simulation.
+type Config struct {
+	Policy   Policy
+	Requests int
+	Warmup   int
+	// FirstHopMs / PerHopMs mirror sim.Config (§5.1: 20 ms each).
+	FirstHopMs, PerHopMs float64
+	// ServiceMs is the base processing time of a serve at ρ = 0.
+	ServiceMs float64
+	// CapacityFactor scales server capacity relative to a fair share
+	// of the request rate: 1 means the system saturates if any server
+	// handles more than 1/N of all traffic; the paper's homogeneous
+	// servers get the same factor.
+	CapacityFactor float64
+	// Window is the EWMA horizon in requests for load tracking.
+	Window float64
+	// SlackHops bounds how much farther than the nearest candidate a
+	// policy may redirect to shed load.
+	SlackHops float64
+	// UseCache enables first-hop LRU caches (hybrid operation).
+	UseCache bool
+}
+
+// DefaultConfig returns a configuration where hotspots matter: servers
+// have 4x a fair share of capacity and policies may detour up to 3 hops.
+func DefaultConfig() Config {
+	return Config{
+		Policy:         Nearest,
+		Requests:       300000,
+		Warmup:         300000,
+		FirstHopMs:     20,
+		PerHopMs:       20,
+		ServiceMs:      5,
+		CapacityFactor: 4,
+		Window:         5000,
+		SlackHops:      3,
+		UseCache:       true,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Policy != Nearest && c.Policy != LoadAware && c.Policy != Spread:
+		return fmt.Errorf("redirect: unknown policy %q", c.Policy)
+	case c.Requests < 1 || c.Warmup < 0:
+		return fmt.Errorf("redirect: Requests=%d Warmup=%d", c.Requests, c.Warmup)
+	case c.FirstHopMs < 0 || c.PerHopMs < 0 || c.ServiceMs < 0:
+		return fmt.Errorf("redirect: negative delay")
+	case c.CapacityFactor <= 0:
+		return fmt.Errorf("redirect: CapacityFactor = %v", c.CapacityFactor)
+	case c.Window <= 0:
+		return fmt.Errorf("redirect: Window = %v", c.Window)
+	case c.SlackHops < 0:
+		return fmt.Errorf("redirect: SlackHops = %v", c.SlackHops)
+	}
+	return nil
+}
+
+// Metrics aggregates one redirection run.
+type Metrics struct {
+	Requests int
+	MeanRTMs float64
+	// MeanQueueMs is the mean queueing penalty per request.
+	MeanQueueMs float64
+	// MeanHops is the mean redirection distance.
+	MeanHops float64
+	// ServeShare[k] is the fraction of serves handled by server k.
+	ServeShare []float64
+	// MaxShare and ShareCV summarize load imbalance.
+	MaxShare, ShareCV float64
+	// Detours counts redirections that skipped the nearest candidate.
+	Detours int64
+}
+
+// loadTracker is a lazily decayed EWMA of per-server serve counts.
+type loadTracker struct {
+	load   []float64
+	last   []int64
+	window float64
+}
+
+func newLoadTracker(n int, window float64) *loadTracker {
+	return &loadTracker{load: make([]float64, n), last: make([]int64, n), window: window}
+}
+
+// at returns server k's decayed load at tick t.
+func (lt *loadTracker) at(k int, t int64) float64 {
+	if dt := t - lt.last[k]; dt > 0 {
+		lt.load[k] *= math.Exp(-float64(dt) / lt.window)
+		lt.last[k] = t
+	}
+	return lt.load[k]
+}
+
+// add charges one serve to server k at tick t.
+func (lt *loadTracker) add(k int, t int64) {
+	lt.load[k] = lt.at(k, t) + 1
+	lt.last[k] = t
+}
+
+// Run simulates the redirection policy over the scenario and placement.
+func Run(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.System() != sc.Sys {
+		return nil, fmt.Errorf("redirect: placement belongs to a different system")
+	}
+	n := sc.Sys.N()
+
+	// Candidate replicator lists per site.
+	holders := make([][]int, sc.Sys.M())
+	for j := 0; j < sc.Sys.M(); j++ {
+		for k := 0; k < n; k++ {
+			if p.Has(k, j) {
+				holders[j] = append(holders[j], k)
+			}
+		}
+	}
+
+	var caches []cache.Cache
+	if cfg.UseCache {
+		caches = make([]cache.Cache, n)
+		for i := 0; i < n; i++ {
+			caches[i] = cache.New(cache.PolicyLRU, p.Free(i))
+		}
+	}
+
+	lt := newLoadTracker(n, cfg.Window)
+	// fairShare is the expected steady-state EWMA load of a server
+	// handling exactly 1/N of the traffic.
+	fairShare := cfg.Window / float64(n)
+	capacity := fairShare * cfg.CapacityFactor
+	penalty := func(k int, t int64) float64 {
+		rho := lt.at(k, t) / capacity
+		if rho > 0.95 {
+			rho = 0.95
+		}
+		return cfg.ServiceMs / (1 - rho)
+	}
+
+	served := make([]int64, n)
+	var rotate int64
+	m := &Metrics{}
+	stream := sc.Stream(r)
+	var totalRT, totalQueue, totalHops float64
+	total := int64(cfg.Warmup + cfg.Requests)
+	for t := int64(0); t < total; t++ {
+		req := stream.Next()
+		i, j := req.Server, req.Site
+		measured := t >= int64(cfg.Warmup)
+
+		// The first-hop server processes every request.
+		var rt, queue, hops float64
+		serveLocal := func() {
+			lt.add(i, t)
+			served[i]++
+			queue = penalty(i, t)
+			rt = cfg.FirstHopMs + queue
+		}
+		switch {
+		case p.Has(i, j):
+			serveLocal()
+		case caches != nil && req.Cacheable && caches[i].Get(cache.Key{Site: j, Object: req.Object}):
+			serveLocal()
+		default:
+			// Redirect: choose among replica holders and the origin.
+			target, targetHops, detour := choose(cfg, sc, lt, holders[j], i, j, t, &rotate, penalty)
+			hops = targetHops
+			if target >= 0 {
+				lt.add(target, t)
+				served[target]++
+				queue = penalty(target, t)
+			} else {
+				queue = cfg.ServiceMs // uncongested origin
+			}
+			rt = cfg.FirstHopMs + cfg.PerHopMs*hops + queue
+			if detour && measured {
+				m.Detours++
+			}
+			if caches != nil && req.Cacheable {
+				caches[i].Put(cache.Key{Site: j, Object: req.Object}, sc.Work.Size(j, req.Object))
+			}
+		}
+
+		if measured {
+			m.Requests++
+			totalRT += rt
+			totalQueue += queue
+			totalHops += hops
+		}
+	}
+
+	m.MeanRTMs = totalRT / float64(m.Requests)
+	m.MeanQueueMs = totalQueue / float64(m.Requests)
+	m.MeanHops = totalHops / float64(m.Requests)
+	m.ServeShare = make([]float64, n)
+	var totalServed int64
+	for _, s := range served {
+		totalServed += s
+	}
+	var mean, sumSq float64
+	for k, s := range served {
+		m.ServeShare[k] = float64(s) / float64(totalServed)
+		if m.ServeShare[k] > m.MaxShare {
+			m.MaxShare = m.ServeShare[k]
+		}
+		mean += m.ServeShare[k]
+	}
+	mean /= float64(n)
+	for _, s := range m.ServeShare {
+		sumSq += (s - mean) * (s - mean)
+	}
+	if mean > 0 {
+		m.ShareCV = math.Sqrt(sumSq/float64(n)) / mean
+	}
+	return m, nil
+}
+
+// choose picks the serving node for a redirected request. It returns the
+// chosen server (or -1 for the origin), its hop distance, and whether the
+// choice skipped a strictly nearer candidate.
+func choose(cfg Config, sc *scenario.Scenario, lt *loadTracker, holders []int, i, j int, t int64, rotate *int64, penalty func(int, int64) float64) (int, float64, bool) {
+	// Establish the nearest candidate (the paper's SN).
+	bestSrv, bestHops := -1, sc.Sys.CostOrigin[i][j]
+	for _, k := range holders {
+		if c := sc.Sys.CostServer[i][k]; c < bestHops {
+			bestSrv, bestHops = k, c
+		}
+	}
+	if cfg.Policy == Nearest || len(holders) == 0 {
+		return bestSrv, bestHops, false
+	}
+
+	// Slack set: candidates within SlackHops of the nearest.
+	type cand struct {
+		srv  int
+		hops float64
+	}
+	var cands []cand
+	for _, k := range holders {
+		if c := sc.Sys.CostServer[i][k]; c <= bestHops+cfg.SlackHops {
+			cands = append(cands, cand{k, c})
+		}
+	}
+	if c := sc.Sys.CostOrigin[i][j]; c <= bestHops+cfg.SlackHops {
+		cands = append(cands, cand{-1, c})
+	}
+	if len(cands) <= 1 {
+		return bestSrv, bestHops, false
+	}
+
+	switch cfg.Policy {
+	case Spread:
+		*rotate++
+		pick := cands[int(*rotate)%len(cands)]
+		return pick.srv, pick.hops, pick.hops > bestHops
+	default: // LoadAware
+		bestCost := math.Inf(1)
+		pick := cand{bestSrv, bestHops}
+		for _, c := range cands {
+			cost := cfg.PerHopMs * c.hops
+			if c.srv >= 0 {
+				cost += penalty(c.srv, t)
+			} else {
+				cost += cfg.ServiceMs
+			}
+			if cost < bestCost {
+				bestCost = cost
+				pick = c
+			}
+		}
+		return pick.srv, pick.hops, pick.hops > bestHops
+	}
+}

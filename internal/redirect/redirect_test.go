@@ -1,0 +1,201 @@
+package redirect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func smallScenario() *scenario.Scenario {
+	w := workload.DefaultConfig()
+	w.Servers = 8
+	w.LowSites, w.MediumSites, w.HighSites = 4, 8, 4
+	w.ObjectsPerSite = 100
+	return scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   3,
+			StubNodesPerStub:      5,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.10,
+		Seed:         1,
+	})
+}
+
+func hybridPlacement(t *testing.T, sc *scenario.Scenario) *core.Placement {
+	t.Helper()
+	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Placement
+}
+
+func fastConfig(p Policy) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = p
+	cfg.Requests = 60000
+	cfg.Warmup = 40000
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Policy = "bogus" },
+		func(c *Config) { c.Requests = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.ServiceMs = -1 },
+		func(c *Config) { c.CapacityFactor = 0 },
+		func(c *Config) { c.Window = 0 },
+		func(c *Config) { c.SlackHops = -1 },
+	}
+	for i, m := range mutations {
+		c := DefaultConfig()
+		m(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestLoadTracker(t *testing.T) {
+	lt := newLoadTracker(2, 100)
+	lt.add(0, 0)
+	lt.add(0, 0)
+	if got := lt.at(0, 0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("load %v, want 2", got)
+	}
+	// One window later the load has decayed by e^-1.
+	want := 2 * math.Exp(-1)
+	if got := lt.at(0, 100); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("decayed load %v, want %v", got, want)
+	}
+	if got := lt.at(1, 100); got != 0 {
+		t.Fatalf("untouched server has load %v", got)
+	}
+}
+
+func TestNearestMatchesSNDistances(t *testing.T) {
+	sc := smallScenario()
+	p := hybridPlacement(t, sc)
+	m, err := Run(sc, p, fastConfig(Nearest), xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Detours != 0 {
+		t.Fatalf("nearest policy detoured %d times", m.Detours)
+	}
+	if m.MeanRTMs <= 0 || m.MeanHops < 0 {
+		t.Fatal("degenerate metrics")
+	}
+	// Serve shares sum to 1.
+	sum := 0.0
+	for _, s := range m.ServeShare {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("serve shares sum to %v", sum)
+	}
+}
+
+func TestLoadAwareReducesImbalance(t *testing.T) {
+	sc := smallScenario()
+	// A replica-rich deployment (greedy-global fills all storage) gives
+	// the redirection policy real alternatives; tight capacity makes
+	// hotspots expensive, so the load-aware policy has an incentive to
+	// detour.
+	p := placement.GreedyGlobal(sc.Sys).Placement
+	mk := func(pol Policy) *Metrics {
+		cfg := fastConfig(pol)
+		cfg.CapacityFactor = 1.0
+		cfg.ServiceMs = 10
+		cfg.SlackHops = 6
+		cfg.UseCache = false
+		m, err := Run(sc, p, cfg, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	near := mk(Nearest)
+	aware := mk(LoadAware)
+	if aware.Detours == 0 {
+		t.Fatal("load-aware policy never detoured")
+	}
+	if aware.ShareCV >= near.ShareCV {
+		t.Errorf("load-aware CV %.3f not below nearest %.3f", aware.ShareCV, near.ShareCV)
+	}
+	if aware.MeanQueueMs >= near.MeanQueueMs {
+		t.Errorf("load-aware queueing %.2f not below nearest %.2f",
+			aware.MeanQueueMs, near.MeanQueueMs)
+	}
+	// Detours trade hops for queueing: mean hops may rise, total RT
+	// must not be (much) worse.
+	if aware.MeanRTMs > near.MeanRTMs*1.02 {
+		t.Errorf("load-aware RT %.2f worse than nearest %.2f", aware.MeanRTMs, near.MeanRTMs)
+	}
+}
+
+func TestSpreadDetoursBlindly(t *testing.T) {
+	sc := smallScenario()
+	p := hybridPlacement(t, sc)
+	m, err := Run(sc, p, fastConfig(Spread), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Detours == 0 {
+		t.Fatal("spread policy never rotated away from the nearest candidate")
+	}
+	near, err := Run(sc, p, fastConfig(Nearest), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load-oblivious rotation pays more hops than nearest.
+	if m.MeanHops <= near.MeanHops {
+		t.Errorf("spread hops %.3f not above nearest %.3f", m.MeanHops, near.MeanHops)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	sc := smallScenario()
+	p := hybridPlacement(t, sc)
+	a, err := Run(sc, p, fastConfig(LoadAware), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, p, fastConfig(LoadAware), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRTMs != b.MeanRTMs || a.Detours != b.Detours {
+		t.Fatal("identical seeds diverged")
+	}
+}
+
+func TestForeignPlacementRejected(t *testing.T) {
+	a := smallScenario()
+	b := scenario.MustBuild(scenario.Config{
+		Topology:     a.Cfg.Topology,
+		Workload:     a.Cfg.Workload,
+		CapacityFrac: a.Cfg.CapacityFrac,
+		Seed:         42,
+	})
+	if _, err := Run(a, core.NewPlacement(b.Sys), fastConfig(Nearest), xrand.New(1)); err == nil {
+		t.Fatal("foreign placement accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// zeroCapacityScenario: servers with no storage at all — every mechanism
+// degenerates to origin fetches.
+func zeroCapacityScenario() *scenario.Scenario {
+	w := workload.DefaultConfig()
+	w.Servers = 6
+	w.LowSites, w.MediumSites, w.HighSites = 2, 2, 2
+	w.ObjectsPerSite = 50
+	return scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      4,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0,
+		Seed:         1,
+	})
+}
+
+func TestZeroCapacityAllMechanismsEqual(t *testing.T) {
+	sc := zeroCapacityScenario()
+
+	repl := placement.GreedyGlobal(sc.Sys)
+	if repl.Placement.Replicas() != 0 {
+		t.Fatal("replicas created with zero capacity")
+	}
+	hyb, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyb.Placement.Replicas() != 0 {
+		t.Fatal("hybrid created replicas with zero capacity")
+	}
+
+	cfg := DefaultConfig()
+	cfg.Requests = 30000
+	cfg.Warmup = 5000
+	mRepl := MustRun(sc, repl.Placement, noCache(cfg), xrand.New(2))
+	mHyb := MustRun(sc, hyb.Placement, cfg, xrand.New(2))
+	// Zero-byte caches cannot hold anything: identical behaviour.
+	if mRepl.MeanRTMs != mHyb.MeanRTMs {
+		t.Fatalf("zero-capacity mechanisms diverge: %v vs %v", mRepl.MeanRTMs, mHyb.MeanRTMs)
+	}
+	if mHyb.CacheHits != 0 {
+		t.Fatal("cache hits with zero-byte caches")
+	}
+	if mHyb.LocalReplica != 0 {
+		t.Fatal("local replica hits without replicas")
+	}
+}
+
+func noCache(c Config) Config {
+	c.UseCache = false
+	return c
+}
+
+func TestZeroWarmup(t *testing.T) {
+	sc := zeroCapacityScenario()
+	cfg := DefaultConfig()
+	cfg.Requests = 5000
+	cfg.Warmup = 0
+	m := MustRun(sc, core.NewPlacement(sc.Sys), cfg, xrand.New(3))
+	if m.Requests != 5000 {
+		t.Fatalf("measured %d requests", m.Requests)
+	}
+}
+
+func TestPerServerHitRatioBounds(t *testing.T) {
+	w := workload.DefaultConfig()
+	w.Servers = 6
+	w.LowSites, w.MediumSites, w.HighSites = 2, 2, 2
+	w.ObjectsPerSite = 80
+	sc := scenario.MustBuild(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      4,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.2,
+		Seed:         5,
+	})
+	cfg := DefaultConfig()
+	cfg.Requests = 40000
+	cfg.Warmup = 20000
+	m := MustRun(sc, core.NewPlacement(sc.Sys), cfg, xrand.New(6))
+	if len(m.PerServerHitRatio) != sc.Sys.N() {
+		t.Fatalf("%d per-server ratios", len(m.PerServerHitRatio))
+	}
+	for i, h := range m.PerServerHitRatio {
+		if h < 0 || h > 1 {
+			t.Fatalf("server %d hit ratio %v", i, h)
+		}
+	}
+}
+
+func TestAccountingIdentity(t *testing.T) {
+	// Every measured request is exactly one of: local replica, cache
+	// hit, cache miss, or bypass (when caches are on).
+	sc := zeroCapacityScenario()
+	w := workload.DefaultConfig()
+	w.Servers = 6
+	w.LowSites, w.MediumSites, w.HighSites = 2, 2, 2
+	w.ObjectsPerSite = 50
+	w.Lambda = 0.15
+	sc = scenario.MustBuild(scenario.Config{
+		Topology:     sc.Cfg.Topology,
+		Workload:     w,
+		CapacityFrac: 0.25,
+		Seed:         7,
+	})
+	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Requests = 50000
+	cfg.Warmup = 20000
+	m := MustRun(sc, res.Placement, cfg, xrand.New(8))
+	sum := m.LocalReplica + m.CacheHits + m.CacheMisses + m.Bypass
+	if sum != int64(m.Requests) {
+		t.Fatalf("accounting: %d+%d+%d+%d = %d != %d requests",
+			m.LocalReplica, m.CacheHits, m.CacheMisses, m.Bypass, sum, m.Requests)
+	}
+}

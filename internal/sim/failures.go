@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/xrand"
+)
+
+// FailureSet lists crashed components for an availability experiment.
+// The paper motivates replication over caching with availability ("a
+// generic caching scheme offers no guarantees on content availability...
+// less than acceptable for a CDN that wants to provide QoS guarantees",
+// §1); this simulator path quantifies that argument.
+type FailureSet struct {
+	// Servers are failed CDN servers: their replicas and caches are
+	// gone and their client populations are re-dispatched to the
+	// nearest surviving server.
+	Servers []int
+	// Origins are failed primary sites: their content is reachable
+	// only through surviving replicas, or — best effort, possibly
+	// stale — through surviving cached copies.
+	Origins []int
+}
+
+// FailureMetrics aggregates an availability run.
+type FailureMetrics struct {
+	Requests int
+	// Unavailable counts requests that no surviving replica, origin or
+	// cached copy could serve.
+	Unavailable int64
+	// StaleRisk counts requests served from a cache whose origin is
+	// dead: available, but with no way to validate freshness.
+	StaleRisk int64
+	// MeanRTMs is the mean response time over *available* requests.
+	MeanRTMs float64
+	// Rerouted counts requests whose first-hop server was down.
+	Rerouted                             int64
+	LocalReplica, CacheHits, CacheMisses int64
+}
+
+// Unavailability is the fraction of requests that could not be served.
+func (m *FailureMetrics) Unavailability() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.Unavailable) / float64(m.Requests)
+}
+
+// RunWithFailures replays the workload against a placement in which the
+// given components have crashed. Caches are warmed before the failures
+// are injected (cfg.Warmup requests with everything alive), so the run
+// answers: "the system was in steady state, then k components died —
+// what do clients see?"
+func RunWithFailures(sc *scenario.Scenario, p *core.Placement, cfg Config, fail FailureSet, r *xrand.Source) (*FailureMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p.System() != sc.Sys {
+		return nil, fmt.Errorf("sim: placement belongs to a different system")
+	}
+	n, mSites := sc.Sys.N(), sc.Sys.M()
+	downServer := make([]bool, n)
+	for _, s := range fail.Servers {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("sim: failed server %d out of range", s)
+		}
+		downServer[s] = true
+	}
+	alive := 0
+	for i := 0; i < n; i++ {
+		if !downServer[i] {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("sim: all servers failed")
+	}
+	downOrigin := make([]bool, mSites)
+	for _, o := range fail.Origins {
+		if o < 0 || o >= mSites {
+			return nil, fmt.Errorf("sim: failed origin %d out of range", o)
+		}
+		downOrigin[o] = true
+	}
+
+	// handler[i]: the surviving server that takes over server i's
+	// clients (itself when alive), plus the detour cost.
+	handler := make([]int, n)
+	detour := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if !downServer[i] {
+			handler[i] = i
+			continue
+		}
+		best, bestCost := -1, math.Inf(1)
+		for k := 0; k < n; k++ {
+			if !downServer[k] && sc.Sys.CostServer[i][k] < bestCost {
+				best, bestCost = k, sc.Sys.CostServer[i][k]
+			}
+		}
+		handler[i] = best
+		detour[i] = bestCost
+	}
+
+	// nearest[i][j]: cheapest surviving source of site j from server i
+	// (+Inf when none survives).
+	nearest := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		nearest[i] = make([]float64, mSites)
+		for j := 0; j < mSites; j++ {
+			cost := math.Inf(1)
+			if !downOrigin[j] {
+				cost = sc.Sys.CostOrigin[i][j]
+			}
+			for k := 0; k < n; k++ {
+				if !downServer[k] && p.Has(k, j) && sc.Sys.CostServer[i][k] < cost {
+					cost = sc.Sys.CostServer[i][k]
+				}
+			}
+			nearest[i][j] = cost
+		}
+	}
+
+	var caches []cache.Cache
+	if cfg.UseCache {
+		caches = make([]cache.Cache, n)
+		for i := 0; i < n; i++ {
+			caches[i] = cache.New(cfg.Policy, p.Free(i))
+		}
+	}
+
+	m := &FailureMetrics{}
+	stream := sc.Stream(r)
+	var totalRT float64
+	total := cfg.Warmup + cfg.Requests
+	for t := 0; t < total; t++ {
+		req := stream.Next()
+		measured := t >= cfg.Warmup
+		origin, j := req.Server, req.Site
+
+		if !measured {
+			// Warm-up phase: the system is healthy; use the normal
+			// dispatch so caches reach their steady state.
+			if !p.Has(origin, j) && caches != nil && req.Cacheable {
+				key := cache.Key{Site: j, Object: req.Object}
+				if !caches[origin].Get(key) {
+					caches[origin].Put(key, sc.Work.Size(j, req.Object))
+				}
+			}
+			continue
+		}
+
+		i := handler[origin]
+		firstHop := cfg.FirstHopMs + cfg.PerHopMs*detour[origin]
+		m.Requests++
+		if i != origin {
+			m.Rerouted++
+		}
+
+		var rt float64
+		served := true
+		switch {
+		case p.Has(i, j):
+			rt = firstHop
+			m.LocalReplica++
+		case caches != nil && req.Cacheable && caches[i].Get(cache.Key{Site: j, Object: req.Object}):
+			rt = firstHop
+			m.CacheHits++
+			if downOrigin[j] {
+				m.StaleRisk++
+			}
+		case math.IsInf(nearest[i][j], 1):
+			served = false
+			m.Unavailable++
+		default:
+			rt = firstHop + cfg.PerHopMs*nearest[i][j]
+			if caches != nil && req.Cacheable {
+				caches[i].Put(cache.Key{Site: j, Object: req.Object}, sc.Work.Size(j, req.Object))
+				m.CacheMisses++
+			}
+		}
+		if served {
+			totalRT += rt
+		}
+	}
+	if availCount := int64(m.Requests) - m.Unavailable; availCount > 0 {
+		m.MeanRTMs = totalRT / float64(availCount)
+	}
+	return m, nil
+}
+
+// RandomFailures draws k distinct failed origins and s distinct failed
+// servers, deterministically from r.
+func RandomFailures(sc *scenario.Scenario, servers, origins int, r *xrand.Source) FailureSet {
+	var f FailureSet
+	if servers > 0 {
+		perm := r.Perm(sc.Sys.N())
+		f.Servers = append(f.Servers, perm[:servers]...)
+	}
+	if origins > 0 {
+		perm := r.Perm(sc.Sys.M())
+		f.Origins = append(f.Origins, perm[:origins]...)
+	}
+	return f
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/xrand"
+)
+
+func TestNoFailuresMatchesHealthyAccounting(t *testing.T) {
+	sc := smallScenario(31, 0)
+	p := core.NewPlacement(sc.Sys)
+	cfg := fastConfig(true)
+	cfg.KeepResponseTimes = false
+	m, err := RunWithFailures(sc, p, cfg, FailureSet{}, xrand.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Unavailable != 0 || m.Rerouted != 0 || m.StaleRisk != 0 {
+		t.Fatalf("healthy run reported failures: %+v", m)
+	}
+	if m.Requests != cfg.Requests {
+		t.Fatalf("measured %d requests", m.Requests)
+	}
+}
+
+func TestFailedServerReroutes(t *testing.T) {
+	sc := smallScenario(33, 0)
+	p := core.NewPlacement(sc.Sys)
+	cfg := fastConfig(true)
+	m, err := RunWithFailures(sc, p, cfg, FailureSet{Servers: []int{0, 1}}, xrand.New(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rerouted == 0 {
+		t.Fatal("no requests rerouted despite failed first-hop servers")
+	}
+	if m.Unavailable != 0 {
+		t.Fatal("server failures alone should not make content unavailable (origins alive)")
+	}
+}
+
+func TestFailedOriginUnavailabilityOrdering(t *testing.T) {
+	// The paper's availability argument: with dead origins, replication
+	// keeps replicated sites fully available while caching can only
+	// serve what happens to be cached. Unavailability(replication+cache
+	// hybrid) <= Unavailability(pure caching).
+	sc := smallScenario(35, 0)
+	fail := RandomFailures(sc, 0, 3, xrand.New(36))
+
+	hyb, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := placement.None(sc.Sys)
+
+	cfg := fastConfig(true)
+	mHyb, err := RunWithFailures(sc, hyb.Placement, cfg, fail, xrand.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPure, err := RunWithFailures(sc, pure.Placement, cfg, fail, xrand.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPure.Unavailable == 0 {
+		t.Fatal("pure caching fully available with dead origins (suspicious)")
+	}
+	if mHyb.Unavailability() > mPure.Unavailability() {
+		t.Errorf("hybrid unavailability %.4f worse than caching %.4f",
+			mHyb.Unavailability(), mPure.Unavailability())
+	}
+	// Cached copies of dead-origin sites are served at stale risk.
+	if mPure.StaleRisk == 0 {
+		t.Error("caching never served dead-origin content from cache")
+	}
+}
+
+func TestAllServersFailedRejected(t *testing.T) {
+	sc := smallScenario(39, 0)
+	p := core.NewPlacement(sc.Sys)
+	all := make([]int, sc.Sys.N())
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := RunWithFailures(sc, p, fastConfig(true), FailureSet{Servers: all}, xrand.New(40)); err == nil {
+		t.Fatal("total outage accepted")
+	}
+}
+
+func TestFailureSetValidation(t *testing.T) {
+	sc := smallScenario(41, 0)
+	p := core.NewPlacement(sc.Sys)
+	if _, err := RunWithFailures(sc, p, fastConfig(true), FailureSet{Servers: []int{-1}}, xrand.New(1)); err == nil {
+		t.Fatal("negative server index accepted")
+	}
+	if _, err := RunWithFailures(sc, p, fastConfig(true), FailureSet{Origins: []int{999}}, xrand.New(1)); err == nil {
+		t.Fatal("out-of-range origin accepted")
+	}
+}
+
+func TestRandomFailuresDistinct(t *testing.T) {
+	sc := smallScenario(43, 0)
+	f := RandomFailures(sc, 3, 4, xrand.New(44))
+	if len(f.Servers) != 3 || len(f.Origins) != 4 {
+		t.Fatalf("drew %d servers, %d origins", len(f.Servers), len(f.Origins))
+	}
+	seen := map[int]bool{}
+	for _, s := range f.Servers {
+		if seen[s] {
+			t.Fatal("duplicate failed server")
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,296 @@
+// Package sim is the trace-driven CDN simulator of §5.
+//
+// Each synthetic request arrives at its first-hop server (the client's
+// DNS-nearest CDN server). If the requested site is replicated there, or
+// the object is in the server's cache, the request is satisfied locally
+// at the first-hop latency. Otherwise the server redirects to the nearest
+// replicator SN (possibly the origin), paying the configured per-hop
+// delay for the shortest path — 20 ms/hop in the paper — on top of the
+// first-hop delay. Uncacheable or stale requests (the λ fraction, §3.3 /
+// the strong-consistency experiment of §5.2) always travel to SN and
+// bypass the cache.
+//
+// The simulator measures, after a cache warm-up period, the response-time
+// distribution (Figures 3–5) and the mean redirection cost per request in
+// hops (Figure 6).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// Requests is the number of measured requests (after warm-up).
+	Requests int
+	// Warmup is the number of unmeasured requests used to bring the
+	// caches to steady state ("we allowed an appropriate warm-up
+	// period ... in order for the caches to reach their steady-state",
+	// §5.2).
+	Warmup int
+	// UseCache enables the per-server caches over the free storage.
+	// The pure-replication mechanism of §5.2 runs with this off.
+	UseCache bool
+	// Policy selects the replacement policy (LRU in the paper).
+	Policy cache.Policy
+	// FirstHopMs is the client-to-first-hop-server latency; the
+	// paper's CDFs show locally satisfied requests at 20 ms.
+	FirstHopMs float64
+	// PerHopMs is the propagation+queueing+processing delay per core
+	// hop (20 ms in §5.1).
+	PerHopMs float64
+	// KeepResponseTimes retains every measured response time for CDF
+	// construction; disable for pure-throughput benchmarks.
+	KeepResponseTimes bool
+	// UnitOf, when non-nil, maps a request (site, 1-based object rank)
+	// to the placement column that owns it — the per-cluster
+	// replication extension, where the placement's "sites" are
+	// popularity clusters rather than whole web sites. The placement
+	// must then belong to the derived cluster system. Nil means
+	// columns are sites (the paper's granularity).
+	UnitOf func(site, object int) int
+}
+
+// DefaultConfig returns the paper's latency parameters with a
+// 500k-request measurement after a 1M-request warm-up (large caches —
+// 20% capacity is ~8000 object slots per server — need tens of thousands
+// of per-server requests to reach LRU steady state).
+func DefaultConfig() Config {
+	return Config{
+		Requests:          500000,
+		Warmup:            1000000,
+		UseCache:          true,
+		Policy:            cache.PolicyLRU,
+		FirstHopMs:        20,
+		PerHopMs:          20,
+		KeepResponseTimes: true,
+	}
+}
+
+// Validate reports a configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Requests < 1:
+		return fmt.Errorf("sim: Requests = %d", c.Requests)
+	case c.Warmup < 0:
+		return fmt.Errorf("sim: Warmup = %d", c.Warmup)
+	case c.FirstHopMs < 0 || c.PerHopMs < 0:
+		return fmt.Errorf("sim: negative delay")
+	}
+	return nil
+}
+
+// Metrics aggregates one run's measured phase.
+type Metrics struct {
+	Requests int
+	// ResponseTimesMs holds every measured response time when
+	// Config.KeepResponseTimes is set.
+	ResponseTimesMs []float64
+	// MeanRTMs is the mean response time in milliseconds.
+	MeanRTMs float64
+	// MeanHops is the mean redirection cost per request in hops,
+	// the paper's Figure 6 metric (0 for locally served requests;
+	// the first hop to the CDN server is not counted, matching the
+	// objective D).
+	MeanHops float64
+	// LocalReplica counts requests served by a local site replica.
+	LocalReplica int64
+	// CacheHits / CacheMisses count cacheable requests for
+	// non-replicated sites.
+	CacheHits, CacheMisses int64
+	// Bypass counts uncacheable/stale requests that had to travel.
+	Bypass int64
+	// RemoteServer / OriginFetch split the redirected requests by
+	// destination type.
+	RemoteServer, OriginFetch int64
+	// PerServerHitRatio is each server's cache hit ratio over its
+	// cacheable, non-replicated traffic (NaN-free: 0 when unused).
+	PerServerHitRatio []float64
+}
+
+// LocalFraction is the share of measured requests satisfied at the
+// first-hop server.
+func (m *Metrics) LocalFraction() float64 {
+	if m.Requests == 0 {
+		return 0
+	}
+	return float64(m.LocalReplica+m.CacheHits) / float64(m.Requests)
+}
+
+// HitRatio is the aggregate cache hit ratio over cacheable requests for
+// non-replicated sites.
+func (m *Metrics) HitRatio() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// CDF builds the response-time CDF (requires KeepResponseTimes).
+func (m *Metrics) CDF() stats.CDF { return stats.NewCDF(m.ResponseTimesMs) }
+
+// Summary summarizes the response times.
+func (m *Metrics) Summary() stats.Summary { return stats.Summarize(m.ResponseTimesMs) }
+
+// Source yields the request sequence a simulation consumes. The
+// workload's IRM stream is the usual source; a recorded trace
+// (trace.Reader) is the other. ok = false means the source is exhausted.
+type Source interface {
+	Next() (req workload.Request, ok bool)
+}
+
+// streamSource adapts the endless synthetic stream to Source.
+type streamSource struct{ s *workload.Stream }
+
+func (ss streamSource) Next() (workload.Request, bool) { return ss.s.Next(), true }
+
+// Run simulates cfg.Warmup+cfg.Requests requests drawn from the
+// scenario's workload against placement p, and returns the measured-phase
+// metrics. r drives request sampling only, so runs with equal seeds are
+// identical for every placement being compared — the paper's mechanisms
+// all see the same trace.
+func Run(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
+	return RunSource(sc, p, cfg, streamSource{sc.Stream(r)})
+}
+
+// RunSource is Run driven by an explicit request source (e.g. a recorded
+// trace). It fails if the source is exhausted before warm-up plus
+// measurement completes.
+func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.UnitOf == nil {
+		if p.System() != sc.Sys {
+			return nil, fmt.Errorf("sim: placement belongs to a different system")
+		}
+	} else if p.System().N() != sc.Sys.N() {
+		return nil, fmt.Errorf("sim: cluster placement has %d servers, scenario %d",
+			p.System().N(), sc.Sys.N())
+	}
+	n := sc.Sys.N()
+
+	var caches []cache.Cache
+	if cfg.UseCache {
+		caches = make([]cache.Cache, n)
+		for i := 0; i < n; i++ {
+			caches[i] = cache.New(cfg.Policy, p.Free(i))
+		}
+	}
+
+	m := &Metrics{PerServerHitRatio: make([]float64, n)}
+	if cfg.KeepResponseTimes {
+		m.ResponseTimesMs = make([]float64, 0, cfg.Requests)
+	}
+	perSrvHits := make([]int64, n)
+	perSrvLookups := make([]int64, n)
+
+	var totalRT, totalHops float64
+	total := cfg.Warmup + cfg.Requests
+	for t := 0; t < total; t++ {
+		req, ok := src.Next()
+		if !ok {
+			return nil, fmt.Errorf("sim: request source exhausted after %d of %d requests", t, total)
+		}
+		i, j := req.Server, req.Site
+		// col is the placement column owning this request: the site
+		// itself, or its popularity cluster under UnitOf.
+		col := j
+		if cfg.UnitOf != nil {
+			col = cfg.UnitOf(j, req.Object)
+		}
+		measured := t >= cfg.Warmup
+
+		var hops float64
+		switch {
+		case p.Has(i, col):
+			// Served by the local replica. Replicas are always
+			// consistent (§5.2), so even stale/uncacheable
+			// requests stay local.
+			hops = 0
+			if measured {
+				m.LocalReplica++
+			}
+		case caches != nil && !req.Cacheable:
+			// λ fraction: travels to SN, bypasses the cache.
+			hops = p.NearestCost(i, col)
+			if measured {
+				m.Bypass++
+				m.countRemote(p, i, col)
+			}
+		case caches != nil:
+			key := cache.Key{Site: j, Object: req.Object}
+			if caches[i].Get(key) {
+				hops = 0
+				if measured {
+					m.CacheHits++
+					perSrvHits[i]++
+					perSrvLookups[i]++
+				}
+			} else {
+				hops = p.NearestCost(i, col)
+				caches[i].Put(key, sc.Work.Size(j, req.Object))
+				if measured {
+					m.CacheMisses++
+					perSrvLookups[i]++
+					m.countRemote(p, i, col)
+				}
+			}
+		default:
+			// Pure replication: no cache, straight to SN.
+			hops = p.NearestCost(i, col)
+			if measured {
+				if !req.Cacheable {
+					m.Bypass++
+				}
+				m.countRemote(p, i, col)
+			}
+		}
+
+		if measured {
+			rt := cfg.FirstHopMs + cfg.PerHopMs*hops
+			totalRT += rt
+			totalHops += hops
+			m.Requests++
+			if cfg.KeepResponseTimes {
+				m.ResponseTimesMs = append(m.ResponseTimesMs, rt)
+			}
+		}
+	}
+
+	if m.Requests > 0 {
+		m.MeanRTMs = totalRT / float64(m.Requests)
+		m.MeanHops = totalHops / float64(m.Requests)
+	}
+	for i := 0; i < n; i++ {
+		if perSrvLookups[i] > 0 {
+			m.PerServerHitRatio[i] = float64(perSrvHits[i]) / float64(perSrvLookups[i])
+		}
+	}
+	return m, nil
+}
+
+func (m *Metrics) countRemote(p *core.Placement, i, j int) {
+	if srv, _ := p.Nearest(i, j); srv == core.Origin {
+		m.OriginFetch++
+	} else {
+		m.RemoteServer++
+	}
+}
+
+// MustRun is Run for known-good configurations.
+func MustRun(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) *Metrics {
+	m, err := Run(sc, p, cfg, r)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

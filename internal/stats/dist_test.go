@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestZipfPMFSumsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		L     int
+		theta float64
+	}{{1, 1}, {10, 0}, {100, 0.7}, {1000, 1.0}, {5000, 1.2}} {
+		z := NewZipf(tc.L, tc.theta)
+		sum := 0.0
+		for k := 1; k <= tc.L; k++ {
+			sum += z.PMF(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("L=%d theta=%v: PMF sums to %v", tc.L, tc.theta, sum)
+		}
+	}
+}
+
+func TestZipfPMFMonotone(t *testing.T) {
+	z := NewZipf(500, 0.9)
+	for k := 2; k <= 500; k++ {
+		if z.PMF(k) > z.PMF(k-1) {
+			t.Fatalf("PMF increased at rank %d", k)
+		}
+	}
+}
+
+func TestZipfCDFProperties(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	if z.CDF(0) != 0 {
+		t.Error("CDF(0) != 0")
+	}
+	if z.CDF(100) != 1 {
+		t.Error("CDF(L) != 1")
+	}
+	if z.CDF(200) != 1 {
+		t.Error("CDF(>L) != 1")
+	}
+	for k := 1; k <= 100; k++ {
+		if z.CDF(k) < z.CDF(k-1) {
+			t.Fatalf("CDF decreased at %d", k)
+		}
+		want := z.CDF(k-1) + z.PMF(k)
+		if math.Abs(z.CDF(k)-want) > 1e-9 {
+			t.Fatalf("CDF(%d)=%v inconsistent with PMF (want %v)", k, z.CDF(k), want)
+		}
+	}
+}
+
+func TestZipfThetaZeroIsUniform(t *testing.T) {
+	z := NewZipf(50, 0)
+	for k := 1; k <= 50; k++ {
+		if math.Abs(z.PMF(k)-0.02) > 1e-12 {
+			t.Fatalf("theta=0 PMF(%d)=%v, want 0.02", k, z.PMF(k))
+		}
+	}
+}
+
+func TestZipfSampleMatchesPMF(t *testing.T) {
+	z := NewZipf(20, 1.0)
+	r := xrand.New(42)
+	const n = 200000
+	counts := make([]int, 21)
+	for i := 0; i < n; i++ {
+		k := z.Sample(r)
+		if k < 1 || k > 20 {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k := 1; k <= 20; k++ {
+		got := float64(counts[k]) / n
+		want := z.PMF(k)
+		// 5-sigma binomial tolerance.
+		tol := 5 * math.Sqrt(want*(1-want)/n)
+		if math.Abs(got-want) > tol {
+			t.Errorf("rank %d: empirical %v vs pmf %v (tol %v)", k, got, want, tol)
+		}
+	}
+}
+
+func TestZipfTopMass(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	if got := z.TopMass(100); got != 1 {
+		t.Errorf("TopMass(L) = %v, want 1", got)
+	}
+	if z.TopMass(10) <= z.TopMass(5) {
+		t.Error("TopMass not increasing")
+	}
+	// For theta=1, the top 10% of ranks should hold well over 10% of mass.
+	if z.TopMass(10) < 0.4 {
+		t.Errorf("TopMass(10) = %v, suspiciously small for theta=1", z.TopMass(10))
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	tn := TruncNormal{Mean: 0.02, Sigma: 0.005}
+	r := xrand.New(7)
+	for i := 0; i < 50000; i++ {
+		v := tn.Sample(r)
+		if v < 0.02-3*0.005-1e-12 || v > 0.02+3*0.005+1e-12 {
+			t.Fatalf("sample %v outside mu±3sigma", v)
+		}
+	}
+}
+
+func TestTruncNormalMean(t *testing.T) {
+	tn := TruncNormal{Mean: 1.0, Sigma: 0.25}
+	r := xrand.New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += tn.Sample(r)
+	}
+	if mean := sum / n; math.Abs(mean-1.0) > 0.01 {
+		t.Fatalf("truncated normal mean %v, want ~1.0", mean)
+	}
+}
+
+func TestTruncNormalZeroSigma(t *testing.T) {
+	tn := TruncNormal{Mean: 5, Sigma: 0}
+	if v := tn.Sample(xrand.New(1)); v != 5 {
+		t.Fatalf("zero-sigma sample %v, want 5", v)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	l := Lognormal{Mu: 9.357, Sigma: 1.318} // SURGE body parameters
+	r := xrand.New(21)
+	sum := 0.0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += l.Sample(r)
+	}
+	got := sum / n
+	want := l.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("lognormal empirical mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	p := BoundedPareto{K: 133000, H: 1e8, Alpha: 1.1}
+	r := xrand.New(33)
+	for i := 0; i < 100000; i++ {
+		v := p.Sample(r)
+		if v < p.K || v > p.H {
+			t.Fatalf("bounded Pareto sample %v outside [%v,%v]", v, p.K, p.H)
+		}
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	p := BoundedPareto{K: 1000, H: 1e6, Alpha: 1.5}
+	r := xrand.New(35)
+	sum := 0.0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += p.Sample(r)
+	}
+	got := sum / n
+	want := p.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("bounded Pareto empirical mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	// The tail should produce values far above the median — that is its
+	// entire role in SURGE size modelling.
+	p := BoundedPareto{K: 133000, H: 1e9, Alpha: 1.1}
+	r := xrand.New(37)
+	over := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if p.Sample(r) > 10*p.K {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Fatal("no samples beyond 10x the scale: tail too light")
+	}
+	if over > n/2 {
+		t.Fatalf("%d/%d samples beyond 10x the scale: tail too heavy", over, n)
+	}
+}
+
+func TestZipfRangeNormalized(t *testing.T) {
+	z := NewZipfRange(101, 50, 1.0)
+	sum := 0.0
+	for k := 1; k <= 50; k++ {
+		sum += z.PMF(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("range PMF sums to %v", sum)
+	}
+	if z.Start != 101 || z.L != 50 {
+		t.Fatalf("range fields %d/%d", z.Start, z.L)
+	}
+}
+
+func TestZipfRangeMatchesConditional(t *testing.T) {
+	// The band distribution must equal the full distribution
+	// conditioned on the band: PMF_range(k) = PMF(start+k-1)/bandMass.
+	full := NewZipf(200, 1.1)
+	band := NewZipfRange(51, 50, 1.1)
+	bandMass := full.CDF(100) - full.CDF(50)
+	for k := 1; k <= 50; k++ {
+		want := full.PMF(50+k) / bandMass
+		if got := band.PMF(k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("band PMF(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestZipfRangeTailFlatterThanHead(t *testing.T) {
+	head := NewZipfRange(1, 100, 1.0)
+	tail := NewZipfRange(901, 100, 1.0)
+	// Within the tail band, popularity is nearly uniform: the ratio of
+	// first to last PMF is far smaller than in the head band.
+	headRatio := head.PMF(1) / head.PMF(100)
+	tailRatio := tail.PMF(1) / tail.PMF(100)
+	if tailRatio >= headRatio/10 {
+		t.Fatalf("tail band ratio %v not much flatter than head %v", tailRatio, headRatio)
+	}
+}
+
+func TestZipfRangeSampling(t *testing.T) {
+	z := NewZipfRange(11, 20, 1.0)
+	r := xrand.New(3)
+	for i := 0; i < 10000; i++ {
+		k := z.Sample(r)
+		if k < 1 || k > 20 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}
+
+func TestZipfRangePanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewZipfRange(0, 10, 1) },
+		func() { NewZipfRange(1, 0, 1) },
+		func() { NewZipfRange(1, 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfSampleInRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		z := NewZipf(1+r.Intn(300), float64(r.Intn(20))/10)
+		for i := 0; i < 100; i++ {
+			k := z.Sample(r)
+			if k < 1 || k > z.L {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	s.Std = math.Sqrt(variance)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Quantile(sorted, 0.50)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function over a sample,
+// evaluated on a fixed grid of points. It is the representation the
+// paper's Figures 3-5 plot: fraction of requests satisfied within a delay.
+type CDF struct {
+	Points []CDFPoint
+}
+
+// CDFPoint is one (x, F(x)) pair of an empirical CDF.
+type CDFPoint struct {
+	X    float64 // value (e.g. response time in ms)
+	Frac float64 // fraction of samples <= X
+}
+
+// NewCDF builds an empirical CDF of xs evaluated at each distinct sample
+// value. The input is not modified.
+func NewCDF(xs []float64) CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var c CDF
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		c.Points = append(c.Points, CDFPoint{X: sorted[i], Frac: float64(j) / n})
+		i = j
+	}
+	return c
+}
+
+// At returns F(x): the fraction of samples <= x.
+func (c CDF) At(x float64) float64 {
+	// Binary search for the last point with X <= x.
+	lo, hi := 0, len(c.Points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Points[mid].X <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return c.Points[lo-1].Frac
+}
+
+// Grid resamples the CDF onto evenly spaced x values from 0 to max,
+// inclusive, producing steps+1 points. This is how the experiment harness
+// prints comparable curves for the three content-delivery mechanisms.
+func (c CDF) Grid(max float64, steps int) []CDFPoint {
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([]CDFPoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		x := max * float64(i) / float64(steps)
+		out = append(out, CDFPoint{X: x, Frac: c.At(x)})
+	}
+	return out
+}
+
+// String renders the CDF points as "x:frac" pairs, mainly for debugging.
+func (c CDF) String() string {
+	var b strings.Builder
+	for i, p := range c.Points {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.0f:%.3f", p.X, p.Frac)
+	}
+	return b.String()
+}
+
+// Histogram counts samples into fixed-width bins; used by the CLI tools to
+// sketch distributions without plotting.
+type Histogram struct {
+	Lo, Width float64
+	Counts    []int
+	Total     int
+}
+
+// NewHistogram builds a histogram with nbins bins of the given width
+// starting at lo. Samples below lo clamp to the first bin; samples at or
+// beyond the last edge clamp to the last bin.
+func NewHistogram(lo, width float64, nbins int) *Histogram {
+	if nbins < 1 {
+		panic("stats: NewHistogram with nbins < 1")
+	}
+	if width <= 0 {
+		panic("stats: NewHistogram with non-positive width")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int, nbins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / h.Width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// Frac returns the fraction of samples in bin i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Mean of a sample; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("std %v, want sqrt(2)", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("median %v, want 3", s.P50)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Fatal("quantile endpoints wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Fatalf("median of 4 points = %v, want 25 (interpolated)", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty sample should be NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		xs := append([]float64(nil), raw...)
+		sort.Float64s(xs)
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{20, 20, 40, 60, 60, 60, 100, 120, 140, 200})
+	if got := c.At(19); got != 0 {
+		t.Errorf("At(19) = %v, want 0", got)
+	}
+	if got := c.At(20); got != 0.2 {
+		t.Errorf("At(20) = %v, want 0.2", got)
+	}
+	if got := c.At(60); got != 0.6 {
+		t.Errorf("At(60) = %v, want 0.6", got)
+	}
+	if got := c.At(1e9); got != 1 {
+		t.Errorf("At(inf) = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	c := NewCDF([]float64{5, 3, 8, 8, 1, 9, 2, 2, 7})
+	prev := 0.0
+	for _, p := range c.Points {
+		if p.Frac < prev {
+			t.Fatalf("CDF decreases at %v", p.X)
+		}
+		prev = p.Frac
+	}
+	if prev != 1 {
+		t.Fatalf("CDF tops out at %v, want 1", prev)
+	}
+}
+
+func TestCDFGrid(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30})
+	g := c.Grid(30, 3)
+	if len(g) != 4 {
+		t.Fatalf("grid has %d points, want 4", len(g))
+	}
+	wantX := []float64{0, 10, 20, 30}
+	wantF := []float64{0, 1.0 / 3, 2.0 / 3, 1}
+	for i := range g {
+		if g[i].X != wantX[i] || math.Abs(g[i].Frac-wantF[i]) > 1e-12 {
+			t.Errorf("grid[%d] = %+v, want {%v %v}", i, g[i], wantX[i], wantF[i])
+		}
+	}
+}
+
+func TestCDFGridPreservesMonotonicityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Abs(v))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		g := c.Grid(1000, 20)
+		for i := 1; i < len(g); i++ {
+			if g[i].Frac < g[i-1].Frac {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-5, 0, 9.99, 10, 25, 49, 50, 1000} {
+		h.Add(x)
+	}
+	if h.Total != 8 {
+		t.Fatalf("total %d, want 8", h.Total)
+	}
+	if h.Counts[0] != 3 { // -5 (clamped), 0, 9.99
+		t.Errorf("bin 0 count %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 49 is bin 4; 50 and 1000 clamp to bin 4
+		t.Errorf("bin 4 count %d, want 3", h.Counts[4])
+	}
+	if got := h.Frac(0); got != 3.0/8 {
+		t.Errorf("Frac(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Fatalf("Mean = %v, want 4", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}

@@ -1,0 +1,10 @@
+package trace
+
+import (
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func coreNewPlacement(sc *scenario.Scenario) *core.Placement {
+	return core.NewPlacement(sc.Sys)
+}

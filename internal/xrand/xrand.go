@@ -1,0 +1,140 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for the simulator.
+//
+// Every stochastic component of the reproduction (topology generation,
+// workload synthesis, request sampling) draws from an *xrand.Source seeded
+// from a single experiment seed. Sub-streams are derived with Split, which
+// mixes a label into the parent seed, so that adding a new consumer of
+// randomness does not perturb the streams of existing consumers — a
+// property plain sequential rand.Rand sharing does not have.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood 2014): tiny state, full
+// 64-bit period per stream, and statistically strong enough for simulation
+// workloads. Only the standard library is used.
+package xrand
+
+import "math"
+
+// Source is a deterministic PRNG stream. The zero value is a valid stream
+// seeded with 0; prefer New or Split for labelled streams.
+type Source struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// splitmix64 advances the state and returns the next 64-bit output.
+func (s *Source) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix hashes a label into a seed. It is used by Split and is exported so
+// that callers can derive stable seeds for externally-owned generators.
+func Mix(seed uint64, label string) uint64 {
+	// FNV-1a over the label, folded into the seed through SplitMix64's
+	// finalizer so that nearby seeds with nearby labels still diverge.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	z := seed ^ h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent labelled sub-stream. Two Splits of the same
+// parent with different labels produce uncorrelated streams; the parent is
+// not advanced.
+func (s *Source) Split(label string) *Source {
+	return &Source{state: Mix(s.state, label)}
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 { return s.next() }
+
+// Int63 returns a non-negative int64.
+func (s *Source) Int63() int64 { return int64(s.next() >> 1) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		v := s.next()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	// 1-Float64 avoids log(0).
+	return -math.Log(1 - s.Float64())
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

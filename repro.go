@@ -1,0 +1,401 @@
+// Package repro is a Go reproduction of "Increasing the Performance of
+// CDNs Using Replication and Caching: A Hybrid Approach" (Bakiras &
+// Loukopoulos, IPDPS/IPPS 2005).
+//
+// The package is a thin facade over the implementation:
+//
+//   - internal/lrumodel — the analytical LRU hit-ratio model (§3.2)
+//   - internal/placement — greedy-global, hybrid (Figure 2) and ad-hoc
+//     replica placement algorithms (§4)
+//   - internal/scenario — transit–stub topology + SURGE workload assembly
+//     (§5.1)
+//   - internal/sim — the trace-driven CDN simulator (§5)
+//   - internal/experiments — the Figure 3–6 and §5.2 summary runners
+//
+// Quick start:
+//
+//	sc := repro.MustBuildScenario(repro.DefaultScenario())
+//	pl, _ := repro.HybridPlacement(sc)
+//	m := repro.MustSimulate(sc, pl, repro.DefaultSim(), 1)
+//	fmt.Println(m.MeanRTMs)
+//
+// or regenerate a whole figure:
+//
+//	panels, _ := repro.Figure3(repro.DefaultOptions())
+//	fmt.Println(repro.FormatPanel(panels[0]))
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/experiments"
+	"repro/internal/lrumodel"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Re-exported configuration and result types. See the internal packages
+// for full documentation of each.
+type (
+	// ScenarioConfig sizes a full experiment instance (§5.1).
+	ScenarioConfig = scenario.Config
+	// Scenario is a built instance: topology, workload, cost model.
+	Scenario = scenario.Scenario
+	// SimConfig controls the trace-driven simulator (§5).
+	SimConfig = sim.Config
+	// Metrics is one simulation run's measured results.
+	Metrics = sim.Metrics
+	// Placement is the replication state X plus SN tables (§3.1).
+	Placement = core.Placement
+	// PlacementResult couples a placement with its predicted cost.
+	PlacementResult = placement.Result
+	// Options scales the figure runners.
+	Options = experiments.Options
+	// Panel is one sub-figure of Figures 3–5.
+	Panel = experiments.Panel
+	// Fig6Row is one predicted-vs-actual pair of Figure 6.
+	Fig6Row = experiments.Fig6Row
+	// GainRow is one line of the §5.2 headline summary.
+	GainRow = experiments.GainRow
+	// Mechanism names a content-delivery configuration.
+	Mechanism = experiments.Mechanism
+)
+
+// The compared mechanisms.
+const (
+	MechReplication = experiments.MechReplication
+	MechCaching     = experiments.MechCaching
+	MechHybrid      = experiments.MechHybrid
+)
+
+// DefaultScenario returns the paper's §5.1 setup (50 servers, 20 sites,
+// ~560-node transit–stub topology, 5% capacity).
+func DefaultScenario() ScenarioConfig { return scenario.Default() }
+
+// DefaultSim returns the paper's latency parameters (20 ms first hop,
+// 20 ms/hop) with a 500k-request measured phase.
+func DefaultSim() SimConfig { return sim.DefaultConfig() }
+
+// DefaultOptions returns paper-scale figure-runner options.
+func DefaultOptions() Options { return experiments.DefaultOptions() }
+
+// QuickOptions returns reduced-scale options for smoke runs.
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+// Rand is the deterministic random source used throughout the library.
+type Rand = xrand.Source
+
+// NewRand returns a deterministic random source (for request streams and
+// samplers).
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// BuildScenario deterministically assembles an experiment instance.
+func BuildScenario(cfg ScenarioConfig) (*Scenario, error) { return scenario.Build(cfg) }
+
+// MustBuildScenario is BuildScenario for known-good configurations.
+func MustBuildScenario(cfg ScenarioConfig) *Scenario { return scenario.MustBuild(cfg) }
+
+// HybridPlacement runs the paper's Figure 2 algorithm on the scenario.
+func HybridPlacement(sc *Scenario) (*PlacementResult, error) {
+	return placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+}
+
+// PlacementStep records one replica-creation decision of an algorithm.
+type PlacementStep = placement.Step
+
+// HybridPlacementWithObserver is HybridPlacement with a callback invoked
+// after every replica creation — the iteration-by-iteration view of the
+// Figure 2 loop.
+func HybridPlacementWithObserver(sc *Scenario, obs func(PlacementStep)) (*PlacementResult, error) {
+	return placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+		Observer:       obs,
+	})
+}
+
+// ReplicationPlacement runs the greedy-global baseline (no caching).
+func ReplicationPlacement(sc *Scenario) *PlacementResult {
+	return placement.GreedyGlobal(sc.Sys)
+}
+
+// CachingPlacement returns the pure-caching configuration (no replicas).
+func CachingPlacement(sc *Scenario) *PlacementResult {
+	return placement.None(sc.Sys)
+}
+
+// AdHocPlacement reserves cacheFrac of storage for caching and fills the
+// rest with greedy-global replicas (§5.2's fixed-split strawman).
+func AdHocPlacement(sc *Scenario, cacheFrac float64) (*PlacementResult, error) {
+	return placement.AdHoc(sc.Sys, cacheFrac)
+}
+
+// Simulate runs the trace-driven simulator; seed fixes the request trace
+// so different placements can be compared on identical traffic.
+func Simulate(sc *Scenario, p *Placement, cfg SimConfig, seed uint64) (*Metrics, error) {
+	return sim.Run(sc, p, cfg, xrand.New(seed))
+}
+
+// MustSimulate is Simulate for known-good configurations.
+func MustSimulate(sc *Scenario, p *Placement, cfg SimConfig, seed uint64) *Metrics {
+	return sim.MustRun(sc, p, cfg, xrand.New(seed))
+}
+
+// Figure3 regenerates the λ=0 mechanism-comparison CDFs (5% and 10%
+// capacity panels).
+func Figure3(opts Options) ([]Panel, error) { return experiments.Figure3(opts) }
+
+// Figure4 regenerates the λ=0.1 (strong-consistency) comparison.
+func Figure4(opts Options) ([]Panel, error) { return experiments.Figure4(opts) }
+
+// Figure5 regenerates the hybrid vs ad-hoc fixed-split comparison.
+func Figure5(opts Options) ([]Panel, error) { return experiments.Figure5(opts) }
+
+// Figure6 regenerates the model-accuracy rows (predicted vs actual cost
+// per request).
+func Figure6(opts Options) ([]Fig6Row, error) { return experiments.Figure6(opts) }
+
+// Summary computes the §5.2 headline latency gains.
+func Summary(opts Options) ([]GainRow, error) { return experiments.Summary(opts) }
+
+// Trace recording and replay: a recorded request trace replays through
+// the simulator bit-identically (internal/trace).
+type (
+	TraceHeader = trace.Header
+	TraceWriter = trace.Writer
+	TraceReader = trace.Reader
+	// Request is one synthetic HTTP request of the workload.
+	Request = workload.Request
+)
+
+// NewTraceWriter starts writing a binary request trace.
+func NewTraceWriter(w io.Writer, h TraceHeader) (*TraceWriter, error) {
+	return trace.NewWriter(w, h)
+}
+
+// NewTraceReader opens a binary request trace.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// SimulateTrace replays a recorded trace through the simulator.
+func SimulateTrace(sc *Scenario, p *Placement, cfg SimConfig, tr *TraceReader) (*Metrics, error) {
+	return sim.RunSource(sc, p, cfg, tr)
+}
+
+// The analytical LRU model (§3.2), usable stand-alone: SiteSpec describes
+// a site's object statistics and LRUPredictor predicts per-site hit
+// ratios at one server for any cache size.
+type (
+	SiteSpec     = lrumodel.SiteSpec
+	LRUPredictor = lrumodel.Predictor
+)
+
+// NewLRUPredictor builds the §3.2 model for one server: weights[j] is the
+// server's request rate for site j, avgObjectBytes is ō, and
+// maxCacheBytes bounds the cache sizes that will be queried.
+func NewLRUPredictor(specs []SiteSpec, weights []float64, avgObjectBytes float64, maxCacheBytes int64) *LRUPredictor {
+	return lrumodel.NewPredictor(specs, weights, avgObjectBytes, maxCacheBytes)
+}
+
+// Ablation rows (beyond the paper; see DESIGN.md §5).
+type (
+	PolicyRow    = experiments.PolicyRow
+	ThetaRow     = experiments.ThetaRow
+	PlacementRow = experiments.PlacementRow
+	ClusterRow   = experiments.ClusterRow
+	// ConsistencyRow and AvailabilityRow ground the paper's §3.3 λ
+	// abstraction and §1 availability argument respectively.
+	ConsistencyRow  = experiments.ConsistencyRow
+	AvailabilityRow = experiments.AvailabilityRow
+)
+
+// ConsistencyComparison runs real cache-consistency mechanisms (strong
+// invalidation, TTLs) under the hybrid placement and reports the
+// effective λ each induces.
+func ConsistencyComparison(opts Options) ([]ConsistencyRow, error) {
+	return experiments.ConsistencyComparison(opts)
+}
+
+// AvailabilityComparison crashes origins (and optionally servers) after
+// cache warm-up and measures how much traffic each mechanism still
+// serves.
+func AvailabilityComparison(opts Options, originFailures []int, failedServers int) ([]AvailabilityRow, error) {
+	return experiments.AvailabilityComparison(opts, originFailures, failedServers)
+}
+
+// FormatConsistencyRows and FormatAvailabilityRows render the grounding
+// experiments.
+func FormatConsistencyRows(rows []ConsistencyRow) string {
+	return experiments.FormatConsistencyRows(rows)
+}
+
+// FormatAvailabilityRows renders the availability comparison.
+func FormatAvailabilityRows(rows []AvailabilityRow) string {
+	return experiments.FormatAvailabilityRows(rows)
+}
+
+// Drift experiment types (§2.1 grounded: static placements vs drifting
+// popularity).
+type (
+	DriftRow      = experiments.DriftRow
+	DriftConfig   = dynamic.Config
+	DriftStrategy = dynamic.Strategy
+)
+
+// DefaultDriftConfig returns the default drifting-workload setup.
+func DefaultDriftConfig() DriftConfig { return dynamic.DefaultConfig() }
+
+// DriftComparison runs all replica-management strategies over an
+// identical drifting workload and reports latency and transfer volume.
+func DriftComparison(opts Options, cfg DriftConfig) ([]DriftRow, error) {
+	return experiments.DriftComparison(opts, cfg)
+}
+
+// FormatDriftRows renders the drift comparison.
+func FormatDriftRows(rows []DriftRow, cfg DriftConfig) string {
+	return experiments.FormatDriftRows(rows, cfg)
+}
+
+// Redirection-policy and k-median quality experiment rows (§2.2's other
+// design axes, grounded).
+type (
+	RedirectRow = experiments.RedirectRow
+	KMedianRow  = experiments.KMedianRow
+)
+
+// RedirectionComparison compares nearest / load-aware / blind-rotation
+// server selection under constrained server capacity.
+func RedirectionComparison(opts Options) ([]RedirectRow, error) {
+	return experiments.RedirectionComparison(opts)
+}
+
+// KMedianQuality measures greedy and swap placement heuristics against
+// the exact per-site k-median optimum.
+func KMedianQuality(opts Options, ks []int) ([]KMedianRow, error) {
+	return experiments.KMedianQuality(opts, ks)
+}
+
+// FormatRedirectRows and FormatKMedianRows render those experiments.
+func FormatRedirectRows(rows []RedirectRow) string { return experiments.FormatRedirectRows(rows) }
+func FormatKMedianRows(rows []KMedianRow) string   { return experiments.FormatKMedianRows(rows) }
+
+// Model-science experiment rows: the Eq.(1)/(2)-vs-Che ablation and the
+// IRM-assumption stress test.
+type (
+	ModelCompareRow = experiments.ModelCompareRow
+	RobustnessRow   = experiments.RobustnessRow
+)
+
+// ModelComparison sweeps cache sizes and compares the paper's model and
+// Che's approximation against a simulated LRU.
+func ModelComparison(opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
+	return experiments.ModelComparison(opts, slotFracs)
+}
+
+// ModelRobustness measures prediction error as the workload gains
+// temporal locality the IRM-based model does not know about.
+func ModelRobustness(opts Options, probs []float64) ([]RobustnessRow, error) {
+	return experiments.ModelRobustness(opts, probs)
+}
+
+// FormatModelCompareRows and FormatRobustnessRows render those sweeps.
+func FormatModelCompareRows(rows []ModelCompareRow) string {
+	return experiments.FormatModelCompareRows(rows)
+}
+
+// FormatRobustnessRows renders the IRM stress test.
+func FormatRobustnessRows(rows []RobustnessRow) string {
+	return experiments.FormatRobustnessRows(rows)
+}
+
+// UpdateRow is one write-intensity level of the read+update sweep.
+type UpdateRow = experiments.UpdateRow
+
+// UpdateSweep extends the placement objective with update-propagation
+// costs ([19, 28]) and sweeps the write intensity.
+func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
+	return experiments.UpdateSweep(opts, ratios)
+}
+
+// FormatUpdateRows renders the read+update sweep.
+func FormatUpdateRows(rows []UpdateRow) string { return experiments.FormatUpdateRows(rows) }
+
+// HeterogeneityRow is one capacity-spread level of the robustness sweep.
+type HeterogeneityRow = experiments.HeterogeneityRow
+
+// HeterogeneityComparison relaxes the homogeneous-capacity assumption
+// and re-runs the mechanism comparison.
+func HeterogeneityComparison(opts Options, spreads []float64) ([]HeterogeneityRow, error) {
+	return experiments.HeterogeneityComparison(opts, spreads)
+}
+
+// FormatHeterogeneityRows renders the heterogeneity sweep.
+func FormatHeterogeneityRows(rows []HeterogeneityRow) string {
+	return experiments.FormatHeterogeneityRows(rows)
+}
+
+// GainStats aggregates the headline gains over several scenario seeds.
+type GainStats = experiments.GainStats
+
+// SummaryOverSeeds repeats the §5.2 summary over multiple scenario seeds
+// and reports mean ± std of the gains.
+func SummaryOverSeeds(opts Options, seeds []uint64) ([]GainStats, error) {
+	return experiments.SummaryOverSeeds(opts, seeds)
+}
+
+// FormatGainStats renders the multi-seed summary.
+func FormatGainStats(rows []GainStats) string { return experiments.FormatGainStats(rows) }
+
+// ClusterComparison settles the paper's §5.3 future-work claim by
+// comparing per-site replication, per-cluster replication ([6]-style
+// popularity bands), pure caching, and the hybrid algorithm at both
+// granularities on one trace.
+func ClusterComparison(opts Options, clustersPerSite int) ([]ClusterRow, error) {
+	return experiments.ClusterComparison(opts, clustersPerSite)
+}
+
+// FormatClusterRows renders the per-cluster comparison.
+func FormatClusterRows(rows []ClusterRow, clustersPerSite int) string {
+	return experiments.FormatClusterRows(rows, clustersPerSite)
+}
+
+// CachePolicyAblation compares LRU against FIFO, LFU and delayed-LRU
+// under the hybrid placement on identical traces.
+func CachePolicyAblation(opts Options) ([]PolicyRow, error) {
+	return experiments.CachePolicyAblation(opts)
+}
+
+// ThetaSweep quantifies the §5.2 remark that ad-hoc splits are sensitive
+// to the Zipf parameter while the hybrid adapts.
+func ThetaSweep(opts Options, thetas []float64) ([]ThetaRow, error) {
+	return experiments.ThetaSweep(opts, thetas)
+}
+
+// PlacementAblation compares placement heuristics with caching enabled
+// everywhere.
+func PlacementAblation(opts Options) ([]PlacementRow, error) {
+	return experiments.PlacementAblation(opts)
+}
+
+// FormatPanel, FormatFig6, FormatSummary and the ablation formatters
+// render results as the text tables the paper's figures correspond to.
+func FormatPanel(p Panel) string { return experiments.FormatPanel(p) }
+
+// FormatPanelPlot renders a panel's CDF curves as an ASCII chart — the
+// terminal rendition of the paper's Figures 3–5.
+func FormatPanelPlot(p Panel) string           { return experiments.FormatPanelPlot(p) }
+func FormatFig6(rows []Fig6Row) string         { return experiments.FormatFig6(rows) }
+func FormatSummary(rows []GainRow) string      { return experiments.FormatSummary(rows) }
+func FormatPolicyRows(rows []PolicyRow) string { return experiments.FormatPolicyRows(rows) }
+func FormatThetaRows(rows []ThetaRow) string   { return experiments.FormatThetaRows(rows) }
+func FormatPlacementRows(rows []PlacementRow) string {
+	return experiments.FormatPlacementRows(rows)
+}

@@ -1,0 +1,72 @@
+package repro
+
+import "testing"
+
+// TestFacadeEndToEnd drives the public API the way the README's
+// quick-start does, at reduced scale.
+func TestFacadeEndToEnd(t *testing.T) {
+	opts := QuickOptions()
+	cfg := opts.Base
+	sc, err := BuildScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hyb, err := HybridPlacement(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := ReplicationPlacement(sc)
+	pure := CachingPlacement(sc)
+	adhoc, err := AdHocPlacement(sc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simCfg := DefaultSim()
+	simCfg.Requests = 50000
+	simCfg.Warmup = 25000
+
+	mHyb := MustSimulate(sc, hyb.Placement, simCfg, 7)
+	simCfg.UseCache = false
+	mRepl := MustSimulate(sc, repl.Placement, simCfg, 7)
+	simCfg.UseCache = true
+	mPure := MustSimulate(sc, pure.Placement, simCfg, 7)
+	mAdhoc := MustSimulate(sc, adhoc.Placement, simCfg, 7)
+
+	if mHyb.MeanRTMs >= mRepl.MeanRTMs || mHyb.MeanRTMs >= mPure.MeanRTMs {
+		t.Errorf("hybrid %.2f ms vs replication %.2f / caching %.2f: headline violated",
+			mHyb.MeanRTMs, mRepl.MeanRTMs, mPure.MeanRTMs)
+	}
+	if mAdhoc.Requests != simCfg.Requests {
+		t.Errorf("adhoc measured %d requests", mAdhoc.Requests)
+	}
+}
+
+func TestFacadeFigureRunners(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 30000
+	opts.Sim.Warmup = 15000
+	if _, err := Figure5(opts); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d fig6 rows", len(rows))
+	}
+	if out := FormatFig6(rows); out == "" {
+		t.Fatal("empty fig6 output")
+	}
+}
+
+func TestDefaultsAreValid(t *testing.T) {
+	if err := DefaultScenario().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultSim().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
