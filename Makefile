@@ -1,0 +1,36 @@
+# Build, test and hygiene targets. `make check` is the pre-commit gate
+# referenced from README.md: vet + formatting + race tests over the
+# instrumented packages.
+
+GO ?= go
+
+.PHONY: all build test check race bench fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check runs the hygiene gate: go vet, gofmt -l (fails on any unformatted
+# file) and the race detector over the observability-instrumented
+# packages.
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/httpcdn/... ./internal/sim/...
+
+# bench runs the observability-overhead benchmarks (<100ns/op budget).
+bench:
+	$(GO) test -bench=. -run=NONE ./internal/obs/ ./internal/cache/

@@ -2,22 +2,30 @@
 // one origin server per hosted site, one edge server per CDN node, the
 // hybrid algorithm deciding each edge's replica/cache split, and a
 // client load generator drawing from the SURGE-like workload. It prints
-// where each request was served from and the measured latencies.
+// a per-source latency summary of where requests were served from.
+//
+// With -metrics the full observability surface is served while the
+// load runs: /metrics (Prometheus text format, per-edge hit/miss/
+// eviction counters and per-source latency histograms), /debug/vars
+// (expvar-style JSON) and /debug/pprof/ (runtime profiles).
 //
 // Usage:
 //
-//	cdnd                      # default: 6 edges, 8 sites, 2000 requests
+//	cdnd                              # default: 6 edges, 8 sites, 2000 requests
 //	cdnd -requests 5000 -hopdelay 2ms -capacity 0.15
+//	cdnd -metrics 127.0.0.1:0 -linger 30s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"sort"
 	"time"
 
 	"repro/internal/httpcdn"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/scenario"
 	"repro/internal/topology"
@@ -27,20 +35,22 @@ import (
 
 func main() {
 	var (
-		requests = flag.Int("requests", 2000, "client requests to issue")
-		seed     = flag.Uint64("seed", 1, "scenario seed")
-		hopDelay = flag.Duration("hopdelay", time.Millisecond, "artificial delay per topology hop")
-		capacity = flag.Float64("capacity", 0.15, "per-edge storage as a fraction of total content bytes")
-		edges    = flag.Int("edges", 6, "number of CDN edge servers")
+		requests    = flag.Int("requests", 2000, "client requests to issue")
+		seed        = flag.Uint64("seed", 1, "scenario seed")
+		hopDelay    = flag.Duration("hopdelay", time.Millisecond, "artificial delay per topology hop")
+		capacity    = flag.Float64("capacity", 0.15, "per-edge storage as a fraction of total content bytes")
+		edges       = flag.Int("edges", 6, "number of CDN edge servers")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
+		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics)")
 	)
 	flag.Parse()
-	if err := run(*requests, *seed, *hopDelay, *capacity, *edges); err != nil {
+	if err := run(*requests, *seed, *hopDelay, *capacity, *edges, *metricsAddr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "cdnd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, edges int) error {
+func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, edges int, metricsAddr string, linger time.Duration) error {
 	w := workload.DefaultConfig()
 	w.Servers = edges
 	w.LowSites, w.MediumSites, w.HighSites = 2, 4, 2
@@ -69,6 +79,17 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 		return err
 	}
 
+	reg := obs.NewRegistry()
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("observability at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, reg.DebugMux()) }()
+	}
+
 	fmt.Printf("starting %d origin + %d edge HTTP servers on loopback\n",
 		sc.Sys.M(), sc.Sys.N())
 	fmt.Printf("hybrid placement: %d replicas, predicted cost %.3f hops/request\n\n",
@@ -76,6 +97,7 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 
 	hcfg := httpcdn.DefaultConfig()
 	hcfg.PerHopDelay = hopDelay
+	hcfg.Metrics = reg
 	cl, err := httpcdn.Start(sc, res.Placement, hcfg)
 	if err != nil {
 		return err
@@ -93,38 +115,65 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 			i, cl.EdgeURL(i), sites, res.Placement.Free(i)>>20)
 	}
 
+	// Client-side per-source latency histograms: the same buckets the
+	// edges record server-side, measured from the client's clock.
+	latency := make(map[string]*obs.Histogram, len(obs.Sources))
+	for _, src := range obs.Sources {
+		latency[src] = reg.Histogram("cdnd_client_latency_ms",
+			"Client-observed request latency by serving source, milliseconds.",
+			obs.Labels{"source": src}, obs.DefaultLatencyBuckets())
+	}
+	failed := reg.Counter("cdnd_client_errors_total", "Client requests that failed.", nil)
+
 	fmt.Printf("\nissuing %d client requests...\n", requests)
 	stream := sc.Stream(xrand.New(seed + 1000))
-	sources := map[string]int{}
-	var latencies []float64
 	start := time.Now()
 	for k := 0; k < requests; k++ {
 		req := stream.Next()
 		fr, err := cl.Fetch(req.Server, req.Site, req.Object)
 		if err != nil {
-			return fmt.Errorf("request %d: %w", k, err)
+			if failed.Value() < 5 {
+				fmt.Fprintf(os.Stderr, "cdnd: request %d failed: %v\n", k, err)
+			}
+			failed.Inc()
+			continue
 		}
-		sources[fr.Source]++
-		latencies = append(latencies, float64(fr.Latency.Microseconds())/1000)
+		latency[fr.Source].Observe(float64(fr.Latency) / float64(time.Millisecond))
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\n%d requests in %v (%.0f req/s)\n",
-		requests, elapsed.Round(time.Millisecond), float64(requests)/elapsed.Seconds())
-	fmt.Println("served from:")
-	for _, src := range []string{httpcdn.SourceReplica, httpcdn.SourceCache, httpcdn.SourcePeer, httpcdn.SourceOrigin} {
-		fmt.Printf("  %-8s %6d (%.1f%%)\n", src, sources[src],
-			100*float64(sources[src])/float64(requests))
+	fmt.Printf("\n%d requests in %v (%.0f req/s), %d failed\n",
+		requests, elapsed.Round(time.Millisecond),
+		float64(requests)/elapsed.Seconds(), failed.Value())
+	fmt.Println("source      count  share     p50ms    p95ms    p99ms")
+	var total int64
+	for _, src := range obs.Sources {
+		total += latency[src].Count()
 	}
-	sort.Float64s(latencies)
-	fmt.Printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f\n",
-		latencies[len(latencies)/2],
-		latencies[len(latencies)*9/10],
-		latencies[len(latencies)*99/100])
+	for _, src := range obs.Sources {
+		h := latency[src]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(h.Count()) / float64(total)
+		}
+		fmt.Printf("%-8s %8d %5.1f%%  %8.2f %8.2f %8.2f\n",
+			src, h.Count(), share,
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
 
-	local := sources[httpcdn.SourceReplica] + sources[httpcdn.SourceCache]
-	fmt.Printf("\nfirst-hop locality: %.1f%% of requests never left their edge —\n",
-		100*float64(local)/float64(requests))
-	fmt.Println("the hybrid split at work over real HTTP.")
+	local := latency[httpcdn.SourceReplica].Count() + latency[httpcdn.SourceCache].Count()
+	if total > 0 {
+		fmt.Printf("\nfirst-hop locality: %.1f%% of requests never left their edge —\n",
+			100*float64(local)/float64(total))
+		fmt.Println("the hybrid split at work over real HTTP.")
+	}
+
+	if linger > 0 && metricsAddr != "" {
+		fmt.Printf("\nlingering %v for metrics scrapes...\n", linger)
+		time.Sleep(linger)
+	}
+	if n := failed.Value(); n > 0 {
+		return fmt.Errorf("%d of %d requests failed", n, requests)
+	}
 	return nil
 }

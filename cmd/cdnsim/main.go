@@ -6,7 +6,14 @@
 //
 //	cdnsim -figure 3            # Figure 3 at paper scale
 //	cdnsim -figure all -quick   # everything at reduced scale
-//	cdnsim -figure 6 -requests 200000 -seed 7
+//	cdnsim -figure 6 -requests 200000 -seed 7 -traceseed 3
+//
+// With -trace it instead runs one hybrid-placement simulation that
+// writes a JSONL event per measured request (the obs.Event schema) and
+// prints an end-of-run metrics snapshot reconciling measured per-edge
+// hit ratios against the LRU model's predictions:
+//
+//	cdnsim -trace out.jsonl -quick
 package main
 
 import (
@@ -22,12 +29,13 @@ func main() {
 		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all")
 		quick    = flag.Bool("quick", false, "use the reduced-scale configuration (fast smoke run)")
 		seed     = flag.Uint64("seed", 1, "scenario seed (topology, workload, placement)")
-		trace    = flag.Uint64("trace", 99, "request-trace seed")
+		trace    = flag.Uint64("traceseed", 99, "request-trace seed")
 		requests = flag.Int("requests", 0, "override the measured request count")
 		warmup   = flag.Int("warmup", 0, "override the cache warm-up request count")
 		objects  = flag.Int("objects", 0, "override L, the objects per site")
 		theta    = flag.Float64("theta", 0, "override the Zipf parameter θ")
 		plot     = flag.Bool("plot", false, "render CDF panels as ASCII charts instead of tables")
+		tracePth = flag.String("trace", "", "write a per-request JSONL trace of one hybrid run to this file and print a metrics snapshot (skips -figure)")
 	)
 	flag.Parse()
 	renderPlots = *plot
@@ -51,7 +59,13 @@ func main() {
 		opts.Base.Workload.Theta = *theta
 	}
 
-	if err := run(*figure, opts); err != nil {
+	var err error
+	if *tracePth != "" {
+		err = runTraced(opts, *tracePth)
+	} else {
+		err = run(*figure, opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdnsim:", err)
 		os.Exit(1)
 	}

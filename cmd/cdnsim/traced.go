@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/lrumodel"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// runTraced is the `-trace out.jsonl` mode: one hybrid-placement
+// simulation with the per-request JSONL tracer attached, followed by an
+// end-of-run snapshot that reconciles each server's *measured* cache
+// hit ratio against the LRU model's (Eqs. (1)–(2)) prediction — the
+// §5/Figure 6 model-vs-system comparison at per-edge granularity.
+func runTraced(opts repro.Options, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tracer := obs.NewTracer(f)
+
+	sc, err := repro.BuildScenario(opts.Base)
+	if err != nil {
+		return err
+	}
+	res, err := repro.HybridPlacement(sc)
+	if err != nil {
+		return err
+	}
+
+	cfg := opts.Sim
+	cfg.Tracer = tracer
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	m, err := sim.Run(sc, res.Placement, cfg, xrand.New(opts.TraceSeed))
+	if err != nil {
+		return err
+	}
+	if err := tracer.Flush(); err != nil {
+		return fmt.Errorf("trace %s: %w", path, err)
+	}
+
+	fmt.Printf("wrote %d trace events to %s\n\n", m.Requests, path)
+	fmt.Printf("hybrid placement: %d replicas, predicted cost %.3f hops/request\n",
+		res.Placement.Replicas(), res.PredictedCost)
+	fmt.Printf("measured: mean %.1f ms, %.3f hops/request, local %.1f%%, aggregate hit ratio %.3f\n\n",
+		m.MeanRTMs, m.MeanHops, 100*m.LocalFraction(), m.HitRatio())
+
+	fmt.Println("per-edge cache hit ratio, measured vs LRU-model prediction:")
+	fmt.Println("edge   lookups   measured  predicted       err")
+	predicted := predictedHitRatios(sc, res.Placement)
+	for i := 0; i < sc.Sys.N(); i++ {
+		fmt.Printf("%4d  %8d     %6.3f     %6.3f   %+7.3f\n",
+			i, m.PerServerLookups[i], m.PerServerHitRatio[i], predicted[i],
+			m.PerServerHitRatio[i]-predicted[i])
+	}
+	fmt.Println("\nend-of-run metrics snapshot (/metrics format):")
+	return reg.WritePrometheus(os.Stdout)
+}
+
+// predictedHitRatios evaluates the paper's LRU model per server: each
+// server's expected hit ratio over its cacheable, non-replicated
+// traffic given its placement's free cache bytes — directly comparable
+// to sim.Metrics.PerServerHitRatio.
+func predictedHitRatios(sc *repro.Scenario, p *repro.Placement) []float64 {
+	specs := sc.Work.Specs()
+	n := sc.Sys.N()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pred := lrumodel.NewPredictor(specs, sc.Sys.Demand[i], sc.Work.AvgObjectBytes, sc.Sys.Capacity[i])
+		visible := make([]bool, sc.Sys.M())
+		for j := range visible {
+			visible[j] = !p.Has(i, j)
+		}
+		h := pred.HitRatiosCond(visible, p.Free(i))
+		// h[j] is λ-adjusted (hits over *all* of site j's requests);
+		// the measured ratio is over cacheable lookups only, so weigh
+		// the denominator by each visible site's cacheable share.
+		var num, den float64
+		for j := range visible {
+			if !visible[j] {
+				continue
+			}
+			pop := pred.SitePopularity(j)
+			num += pop * h[j]
+			den += pop * (1 - specs[j].Lambda)
+		}
+		if den > 0 {
+			out[i] = num / den
+		}
+	}
+	return out
+}

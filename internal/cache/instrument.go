@@ -1,0 +1,67 @@
+package cache
+
+// Hooks observes cache events for instrumentation. Nil fields are
+// skipped, so an all-nil Hooks is free. The hooks fire synchronously
+// from the mutating goroutine; like the caches themselves they are not
+// synchronized.
+type Hooks struct {
+	// Evicted fires after any operation that evicted entries, with the
+	// number evicted by that operation.
+	Evicted func(n int64)
+	// Resident fires after any mutating operation with the cache's
+	// current resident bytes.
+	Resident func(bytes int64)
+}
+
+// instrumented decorates a Cache with Hooks by diffing the wrapped
+// cache's Stats around each mutating call, so it works for every
+// policy without touching their eviction paths.
+type instrumented struct {
+	Cache
+	hooks Hooks
+}
+
+// Instrument wraps c so that h observes its evictions and resident
+// bytes. Returns c unchanged when both hooks are nil.
+func Instrument(c Cache, h Hooks) Cache {
+	if h.Evicted == nil && h.Resident == nil {
+		return c
+	}
+	return &instrumented{Cache: c, hooks: h}
+}
+
+func (c *instrumented) afterMutation(evictionsBefore int64) {
+	if c.hooks.Evicted != nil {
+		if n := c.Cache.Stats().Evictions - evictionsBefore; n > 0 {
+			c.hooks.Evicted(n)
+		}
+	}
+	if c.hooks.Resident != nil {
+		c.hooks.Resident(c.Cache.Used())
+	}
+}
+
+func (c *instrumented) Put(k Key, size int64) {
+	before := c.Cache.Stats().Evictions
+	c.Cache.Put(k, size)
+	c.afterMutation(before)
+}
+
+func (c *instrumented) Remove(k Key) {
+	before := c.Cache.Stats().Evictions
+	c.Cache.Remove(k)
+	c.afterMutation(before)
+}
+
+func (c *instrumented) Resize(capacity int64) {
+	before := c.Cache.Stats().Evictions
+	c.Cache.Resize(capacity)
+	c.afterMutation(before)
+}
+
+func (c *instrumented) Clear() {
+	c.Cache.Clear()
+	if c.hooks.Resident != nil {
+		c.hooks.Resident(c.Cache.Used())
+	}
+}

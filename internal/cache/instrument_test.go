@@ -1,0 +1,109 @@
+package cache
+
+import "testing"
+
+func TestInstrumentNoHooksReturnsOriginal(t *testing.T) {
+	lru := NewLRU(100)
+	if c := Instrument(lru, Hooks{}); c != Cache(lru) {
+		t.Fatal("all-nil hooks should return the wrapped cache unchanged")
+	}
+}
+
+func TestInstrumentHooks(t *testing.T) {
+	var evicted, residentCalls int64
+	var resident int64
+	c := Instrument(NewLRU(100), Hooks{
+		Evicted:  func(n int64) { evicted += n },
+		Resident: func(b int64) { resident = b; residentCalls++ },
+	})
+
+	c.Put(Key{Site: 0, Object: 1}, 60)
+	if resident != 60 {
+		t.Fatalf("resident = %d after first Put, want 60", resident)
+	}
+	c.Put(Key{Site: 0, Object: 2}, 60) // evicts object 1
+	if evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted)
+	}
+	if resident != 60 {
+		t.Fatalf("resident = %d after eviction, want 60", resident)
+	}
+
+	c.Resize(30) // evicts object 2
+	if evicted != 2 {
+		t.Fatalf("evicted = %d after Resize, want 2", evicted)
+	}
+	if resident != 0 {
+		t.Fatalf("resident = %d after Resize, want 0", resident)
+	}
+
+	c.Put(Key{Site: 0, Object: 3}, 20)
+	c.Remove(Key{Site: 0, Object: 3})
+	if resident != 0 {
+		t.Fatalf("resident = %d after Remove, want 0", resident)
+	}
+
+	c.Put(Key{Site: 0, Object: 4}, 20)
+	c.Clear()
+	if resident != 0 {
+		t.Fatalf("resident = %d after Clear, want 0", resident)
+	}
+	if residentCalls == 0 {
+		t.Fatal("Resident hook never fired")
+	}
+
+	// Reads must not fire mutation hooks.
+	before := residentCalls
+	c.Get(Key{Site: 0, Object: 4})
+	c.Contains(Key{Site: 0, Object: 4})
+	if residentCalls != before {
+		t.Fatal("read path fired the Resident hook")
+	}
+}
+
+// TestInstrumentAcrossPolicies checks the Stats-diff approach works for
+// every replacement policy, not just LRU.
+func TestInstrumentAcrossPolicies(t *testing.T) {
+	for _, policy := range []Policy{PolicyLRU, PolicyFIFO, PolicyLFU} {
+		var evicted int64
+		c := Instrument(New(policy, 100), Hooks{Evicted: func(n int64) { evicted += n }})
+		c.Put(Key{Site: 0, Object: 1}, 80)
+		c.Get(Key{Site: 0, Object: 1})
+		c.Put(Key{Site: 0, Object: 2}, 80) // must evict object 1
+		if evicted == 0 {
+			t.Errorf("%v: eviction hook never fired", policy)
+		}
+	}
+}
+
+// The instrumented wrapper must not make the simulator hot path
+// measurably slower; compare these two with
+// `go test -bench=Instrument ./internal/cache`.
+func benchCache(b *testing.B, c Cache) {
+	b.Helper()
+	keys := make([]Key, 256)
+	for i := range keys {
+		keys[i] = Key{Site: i % 8, Object: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if !c.Get(k) {
+			c.Put(k, 64)
+		}
+	}
+}
+
+func BenchmarkLRUUninstrumented(b *testing.B) {
+	benchCache(b, NewLRU(8192))
+}
+
+func BenchmarkLRUInstrumented(b *testing.B) {
+	var evicted, resident int64
+	benchCache(b, Instrument(NewLRU(8192), Hooks{
+		Evicted:  func(n int64) { evicted += n },
+		Resident: func(bytes int64) { resident = bytes },
+	}))
+	_ = evicted
+	_ = resident
+}

@@ -32,15 +32,17 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
-// Source values reported in the X-Cdn-Source response header.
+// Source values reported in the X-Cdn-Source response header (the
+// canonical obs schema values).
 const (
-	SourceReplica = "replica"
-	SourceCache   = "cache"
-	SourcePeer    = "peer"
-	SourceOrigin  = "origin"
+	SourceReplica = obs.SourceReplica
+	SourceCache   = obs.SourceCache
+	SourcePeer    = obs.SourcePeer
+	SourceOrigin  = obs.SourceOrigin
 )
 
 // internalHeader marks edge-to-edge fetches to prevent recursion.
@@ -62,6 +64,13 @@ type Config struct {
 	// on 304 Not Modified. Off = weak consistency (serve cached
 	// bodies unconditionally, possibly stale).
 	RevalidateOnHit bool
+	// Metrics, when non-nil, receives per-edge serve/hit/miss/eviction
+	// counters, resident-byte gauges and per-source latency histograms
+	// (see DESIGN.md "Observability" for the metric names).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one JSONL event per edge-served
+	// request in the shared obs.Event schema.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns a zero-delay, 64 KiB-capped configuration.
@@ -78,6 +87,10 @@ type Cluster struct {
 	origins []*httptest.Server // one per site
 	edges   []*edge            // one per CDN server
 	client  *http.Client
+
+	// sourceLatency holds the per-source serve-latency histograms when
+	// cfg.Metrics is set.
+	sourceLatency map[string]*obs.Histogram
 
 	// versions tracks origin-side object versions for the consistency
 	// machinery; bumped by ModifyObject.
@@ -112,11 +125,16 @@ type edge struct {
 	srv     *httptest.Server
 
 	mu    sync.Mutex
-	cache *cache.LRU
+	cache cache.Cache
 	// cachedVer remembers the version of each cached body for the
 	// consistency machinery.
 	cachedVer map[cache.Key]int
 	stats     EdgeStats
+
+	// Registry handles, nil when cfg.Metrics is unset. All are atomic:
+	// recording never takes e.mu.
+	served              map[string]*obs.Counter // per source
+	hits, misses, fails *obs.Counter
 }
 
 // EdgeStats counts one edge's serves by source.
@@ -125,6 +143,30 @@ type EdgeStats struct {
 	// Revalidations counts conditional GETs sent on cache hits
 	// (RevalidateOnHit); NotModified counts the 304 replies among them.
 	Revalidations, NotModified int64
+}
+
+// CacheLookups returns the edge's cache lookups: hits plus the fetches
+// that followed misses (replica serves never consult the cache).
+func (s EdgeStats) CacheLookups() int64 { return s.CacheHit + s.PeerFetch + s.OriginFetch }
+
+// HitRatio returns the edge's cache hit ratio over its cache lookups;
+// an edge that saw no lookups reports 0, not NaN.
+func (s EdgeStats) HitRatio() float64 {
+	total := s.CacheLookups()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHit) / float64(total)
+}
+
+// LocalFraction returns the share of serves satisfied without leaving
+// the edge (replica + cache hits); an idle edge reports 0, not NaN.
+func (s EdgeStats) LocalFraction() float64 {
+	total := s.Replica + s.CacheLookups()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Replica+s.CacheHit) / float64(total)
 }
 
 // Start launches the cluster: origins first, then edges. Always Close a
@@ -150,12 +192,56 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 				c.serveOrigin(site, w, r)
 			})))
 	}
+	if reg := cfg.Metrics; reg != nil {
+		c.sourceLatency = make(map[string]*obs.Histogram, len(obs.Sources))
+		for _, src := range obs.Sources {
+			c.sourceLatency[src] = reg.Histogram("cdn_request_latency_ms",
+				"Edge serve latency by source, milliseconds.",
+				obs.Labels{"source": src}, obs.DefaultLatencyBuckets())
+		}
+	}
 	for i := 0; i < sc.Sys.N(); i++ {
-		e := &edge{id: i, cluster: c, cache: cache.NewLRU(p.Free(i)), cachedVer: make(map[cache.Key]int)}
+		e := &edge{id: i, cluster: c, cachedVer: make(map[cache.Key]int)}
+		e.cache = c.newEdgeCache(i, p.Free(i))
+		if reg := cfg.Metrics; reg != nil {
+			edgeLabel := obs.Labels{"edge": strconv.Itoa(i)}
+			e.served = make(map[string]*obs.Counter, len(obs.Sources))
+			for _, src := range obs.Sources {
+				e.served[src] = reg.Counter("cdn_edge_requests_total",
+					"Requests served by an edge, by source.",
+					obs.Labels{"edge": strconv.Itoa(i), "source": src})
+			}
+			e.hits = reg.Counter("cdn_edge_cache_hits_total",
+				"Cache hits at an edge.", edgeLabel)
+			e.misses = reg.Counter("cdn_edge_cache_misses_total",
+				"Cache misses at an edge.", edgeLabel)
+			e.fails = reg.Counter("cdn_edge_errors_total",
+				"Requests an edge failed to serve.", edgeLabel)
+		}
 		e.srv = httptest.NewServer(http.HandlerFunc(e.serve))
 		c.edges = append(c.edges, e)
 	}
 	return c, nil
+}
+
+// newEdgeCache builds edge i's LRU, instrumented with eviction and
+// resident-byte hooks when metrics are enabled. The hooks fire under
+// the edge mutex (every cache mutation does) and only touch atomics.
+func (c *Cluster) newEdgeCache(i int, capacity int64) cache.Cache {
+	lru := cache.NewLRU(capacity)
+	reg := c.cfg.Metrics
+	if reg == nil {
+		return lru
+	}
+	edgeLabel := obs.Labels{"edge": strconv.Itoa(i)}
+	evictions := reg.Counter("cdn_edge_cache_evictions_total",
+		"Objects evicted from an edge cache.", edgeLabel)
+	resident := reg.Gauge("cdn_edge_cache_resident_bytes",
+		"Bytes currently resident in an edge cache.", edgeLabel)
+	return cache.Instrument(lru, cache.Hooks{
+		Evicted:  evictions.Add,
+		Resident: resident.Set,
+	})
 }
 
 // Close shuts down every server.
@@ -290,15 +376,50 @@ func (c *Cluster) serveOrigin(site int, w http.ResponseWriter, r *http.Request) 
 	c.writeBody(w, site, object, version, SourceOrigin)
 }
 
-// serve handles a request at an edge: replica, then cache, then fetch.
+// serve handles a request at an edge and records its outcome: source
+// counters, per-source latency histogram and one trace event per
+// successfully served request.
 func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	c := e.cluster
 	site, object, err := c.parsePath(r.URL.Path)
 	if err != nil {
 		http.NotFound(w, r)
+		if e.fails != nil {
+			e.fails.Inc()
+		}
 		return
 	}
+	source, hops, ok := e.handle(w, r, site, object)
+	if !ok {
+		if e.fails != nil {
+			e.fails.Inc()
+		}
+		return
+	}
+	latencyMs := float64(time.Since(start)) / float64(time.Millisecond)
+	if e.served != nil {
+		e.served[source].Inc()
+		c.sourceLatency[source].Observe(latencyMs)
+	}
+	if t := c.cfg.Tracer; t != nil {
+		t.Emit(obs.Event{
+			Req:       t.NextID(),
+			Edge:      e.id,
+			Site:      site,
+			Object:    object,
+			Source:    source,
+			Hops:      hops,
+			LatencyMs: latencyMs,
+		})
+	}
+}
 
+// handle serves one parsed request: replica, then cache, then fetch.
+// It reports where the response came from and the redirection hops
+// paid; ok = false means an error response was written instead.
+func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) (source string, hops float64, ok bool) {
+	c := e.cluster
 	if c.p.Has(e.id, site) {
 		e.mu.Lock()
 		e.stats.Replica++
@@ -306,7 +427,7 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 		// Replicas are kept consistent by the CDN (§5.2: "site
 		// replicas are always consistent"): serve the live version.
 		c.writeBody(w, site, object, c.version(site, object), SourceReplica)
-		return
+		return SourceReplica, 0, true
 	}
 
 	key := cache.Key{Site: site, Object: object}
@@ -318,12 +439,15 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	}
 	e.mu.Unlock()
 	if hit {
+		if e.hits != nil {
+			e.hits.Inc()
+		}
 		if c.cfg.RevalidateOnHit {
 			fresh, newVer, ok := e.revalidate(r, site, object, ver)
 			if ok {
 				if fresh {
 					c.writeBody(w, site, object, ver, SourceCache)
-					return
+					return SourceCache, 0, true
 				}
 				// The origin shipped a newer version; replace the
 				// cached copy and serve it.
@@ -331,15 +455,17 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 				e.cachedVer[key] = newVer
 				e.mu.Unlock()
 				c.writeBody(w, site, object, newVer, SourceCache)
-				return
+				return SourceCache, 0, true
 			}
 			// Revalidation failed; fall through to a full fetch.
 		} else {
 			// Weak consistency: serve the cached version as-is,
 			// stale or not.
 			c.writeBody(w, site, object, ver, SourceCache)
-			return
+			return SourceCache, 0, true
 		}
+	} else if e.misses != nil {
+		e.misses.Inc()
 	}
 
 	// Internal peer fetches that miss fall through to the origin; a
@@ -347,7 +473,7 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	internal := r.Header.Get(internalHeader) != ""
 	srv, hops := c.p.Nearest(e.id, site)
 	url := c.origins[site].URL
-	source := SourceOrigin
+	source = SourceOrigin
 	if !internal && srv != core.Origin {
 		url = c.edges[srv].srv.URL
 		source = SourcePeer
@@ -362,19 +488,19 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+objectPath(site, object), nil)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return source, hops, false
 	}
 	req.Header.Set(internalHeader, "1")
 	resp, err := c.client.Do(req)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
+		return source, hops, false
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil || resp.StatusCode != http.StatusOK {
 		http.Error(w, "upstream failure", http.StatusBadGateway)
-		return
+		return source, hops, false
 	}
 
 	e.mu.Lock()
@@ -401,8 +527,9 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(body); err != nil {
-		return
+		return source, hops, true
 	}
+	return source, hops, true
 }
 
 // revalidate sends a conditional GET to the origin for a cached object.

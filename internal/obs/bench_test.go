@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The instrumentation contract is that counters and histograms are
+// cheap enough (<100 ns/op) to stay always-on in the serving and
+// simulation hot paths. `go test -bench=. ./internal/obs` verifies it;
+// BenchmarkUninstrumentedBaseline is the raw-atomic floor to compare
+// against.
+
+func BenchmarkUninstrumentedBaseline(b *testing.B) {
+	var v atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.Add(1)
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	var g Gauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Set(42)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i % 1000))
+			i++
+		}
+	})
+}
+
+// BenchmarkHistogramObserveSerial is the single-goroutine cost — the
+// number the <100ns/op instrumentation budget is stated against.
+func BenchmarkHistogramObserveSerial(b *testing.B) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkCounterIncSerial(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

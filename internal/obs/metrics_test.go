@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value() = %d, want 7", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) bucket
+// convention: a value exactly on a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 6} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1} // le=1: {0.5, 1}; le=2: {1.5, 2}; le=5: {5}; +Inf: {6}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BucketCounts() = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count() = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-16) > 1e-9 {
+		t.Fatalf("Sum() = %v, want 16", h.Sum())
+	}
+}
+
+// TestHistogramQuantileUniform checks the interpolation against a known
+// uniform distribution: values 1..1000 into 10-wide buckets must give
+// quantiles exact to within one bucket width.
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 100))
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.90, 900}, {0.95, 950}, {0.99, 990}, {1.0, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 10 {
+			t.Errorf("Quantile(%v) = %v, want %v ± 10", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Errorf("Mean() = %v, want 500.5", got)
+	}
+}
+
+// TestHistogramQuantileZipf checks a skewed distribution: most mass in
+// the lowest bucket must pull p50 down while p99 stays in the tail.
+func TestHistogramQuantileZipf(t *testing.T) {
+	h := NewHistogram(ExponentialBuckets(1, 2, 12)) // 1, 2, 4, ..., 2048
+	// 900 observations at 0.5, 90 at 100, 10 at 1500.
+	for i := 0; i < 900; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500)
+	}
+	if p50 := h.Quantile(0.50); p50 > 1 {
+		t.Errorf("p50 = %v, want <= 1 (lowest bucket)", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 64 || p95 > 128 {
+		t.Errorf("p95 = %v, want within (64, 128] bucket", p95)
+	}
+	if p999 := h.Quantile(0.999); p999 < 1024 || p999 > 2048 {
+		t.Errorf("p99.9 = %v, want within (1024, 2048] bucket", p999)
+	}
+}
+
+func TestHistogramQuantileEmptyAndOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	h.Observe(100) // lands in +Inf: quantile clamps to highest bound
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow Quantile = %v, want 2 (highest finite bound)", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty bounds":      func() { NewHistogram(nil) },
+		"non-increasing":    func() { NewHistogram([]float64{1, 1}) },
+		"exp bad factor":    func() { ExponentialBuckets(1, 1, 3) },
+		"linear bad width":  func() { LinearBuckets(0, 0, 3) },
+		"linear zero count": func() { LinearBuckets(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if exp[i] != want {
+			t.Fatalf("ExponentialBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	for i, want := range []float64{10, 15, 20} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates a registry with one of each metric kind.
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Total requests.", Labels{"edge": "0", "source": "cache"}).Add(3)
+	reg.Counter("test_requests_total", "ignored on re-registration", Labels{"edge": "1", "source": "origin"}).Inc()
+	reg.Gauge("test_resident_bytes", "Resident bytes.", nil).Set(42)
+	h := reg.Histogram("test_latency_ms", "Latency.", nil, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	return reg
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output:
+// families sorted by name, series sorted by label set, cumulative
+// histogram buckets with le labels.
+func TestWritePrometheusGolden(t *testing.T) {
+	const want = `# HELP test_latency_ms Latency.
+# TYPE test_latency_ms histogram
+test_latency_ms_bucket{le="1"} 1
+test_latency_ms_bucket{le="2"} 2
+test_latency_ms_bucket{le="+Inf"} 3
+test_latency_ms_sum 5
+test_latency_ms_count 3
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{edge="0",source="cache"} 3
+test_requests_total{edge="1",source="origin"} 1
+# HELP test_resident_bytes Resident bytes.
+# TYPE test_resident_bytes gauge
+test_resident_bytes 42
+`
+	var b strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("WritePrometheus mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if got := out[`test_requests_total{edge="0",source="cache"}`]; got != float64(3) {
+		t.Errorf("counter = %v, want 3", got)
+	}
+	hist, ok := out["test_latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("histogram entry missing: %v", out)
+	}
+	if hist["count"] != float64(3) {
+		t.Errorf("histogram count = %v, want 3", hist["count"])
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 1.5
+	reg.GaugeFunc("test_fn", "Computed.", nil, func() float64 { return v })
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "test_fn 1.5\n") {
+		t.Errorf("GaugeFunc output missing:\n%s", b.String())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c", "", Labels{"x": "1"})
+	b := reg.Counter("c", "", Labels{"x": "1"})
+	if a != b {
+		t.Fatal("same (name, labels) returned different counters")
+	}
+	if c := reg.Counter("c", "", Labels{"x": "2"}); c == a {
+		t.Fatal("different labels returned the same counter")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	reg.Gauge("m", "", nil)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "", Labels{"path": `a"b\c` + "\n"}).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := buildTestRegistry()
+	srv := httptest.NewServer(reg.DebugMux())
+	defer srv.Close()
+	for path, contains := range map[string]string{
+		"/metrics":      "test_requests_total",
+		"/debug/vars":   "test_latency_ms",
+		"/debug/pprof/": "profiles",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body[:n]), contains) {
+			t.Errorf("%s: body does not contain %q", path, contains)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one per-request trace record, the schema shared by the HTTP
+// CDN and the trace-driven simulator so measured behaviour can be
+// diffed directly against the model's predictions. Serialized as one
+// JSON object per line (JSONL).
+type Event struct {
+	// Req is the request id: the measured-phase sequence number in the
+	// simulator, the client request number in the HTTP cluster.
+	Req int64 `json:"req"`
+	// Edge is the first-hop CDN server that handled the request.
+	Edge int `json:"edge"`
+	// Site and Object identify the requested web object.
+	Site   int `json:"site"`
+	Object int `json:"object"`
+	// Source is where the request was served from: one of
+	// SourceReplica, SourceCache, SourcePeer, SourceOrigin.
+	Source string `json:"source"`
+	// Hops is the redirection cost in topology hops (0 when served at
+	// the first-hop server) — the paper's objective D unit.
+	Hops float64 `json:"hops"`
+	// LatencyMs is the measured (HTTP) or modelled (simulator)
+	// response time in milliseconds.
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// Tracer writes Events as JSONL. Safe for concurrent use; the first
+// write error is sticky and subsequent Emits are dropped (Err reports
+// it). Always Flush (or Close) a tracer before reading its output.
+type Tracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+	seq atomic.Int64
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// NextID returns a fresh request id (1, 2, 3, ...).
+func (t *Tracer) NextID() int64 { return t.seq.Add(1) }
+
+// Emit appends one event.
+func (t *Tracer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// Flush pushes buffered events to the underlying writer and returns
+// the sticky error, if any.
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the sticky write error, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ReadEvents parses a JSONL trace back into events — the inverse of
+// Emit, for tests and offline analysis.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

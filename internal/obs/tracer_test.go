@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	events := []Event{
+		{Req: tr.NextID(), Edge: 0, Site: 3, Object: 7, Source: SourceReplica, Hops: 0, LatencyMs: 20},
+		{Req: tr.NextID(), Edge: 2, Site: 1, Object: 1, Source: SourceOrigin, Hops: 4.5, LatencyMs: 110},
+	}
+	for _, e := range events {
+		tr.Emit(e)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each line must be one standalone JSON object (valid JSONL).
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("%d lines, want %d", len(lines), len(events))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		for _, field := range []string{"req", "edge", "site", "object", "source", "hops", "latency_ms"} {
+			if _, ok := m[field]; !ok {
+				t.Errorf("line %q missing field %q", line, field)
+			}
+		}
+	}
+
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("ReadEvents returned %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestTracerNextIDSequence(t *testing.T) {
+	tr := NewTracer(&bytes.Buffer{})
+	for want := int64(1); want <= 3; want++ {
+		if got := tr.NextID(); got != want {
+			t.Fatalf("NextID() = %d, want %d", got, want)
+		}
+	}
+}
+
+// failingWriter errors after the buffered writer flushes.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTracerStickyError(t *testing.T) {
+	tr := NewTracer(failingWriter{})
+	tr.Emit(Event{Req: 1})
+	if err := tr.Flush(); err == nil {
+		t.Fatal("Flush() = nil, want error")
+	}
+	tr.Emit(Event{Req: 2}) // must not panic; dropped
+	if tr.Err() == nil {
+		t.Fatal("Err() = nil after failed flush")
+	}
+}

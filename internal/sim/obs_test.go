@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/xrand"
+)
+
+// TestPerServerHitRatioZeroLookupsIsZero is the NaN-guard regression
+// test: servers whose caches never see a lookup (here: every server,
+// because everything is replicated) must report hit ratio 0, not NaN.
+func TestPerServerHitRatioZeroLookupsIsZero(t *testing.T) {
+	sc := smallScenario(11, 0)
+	for i := range sc.Sys.Capacity {
+		sc.Sys.Capacity[i] = sc.Work.TotalBytes * 2
+	}
+	p := core.NewPlacement(sc.Sys)
+	for i := 0; i < sc.Sys.N(); i++ {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if err := p.Replicate(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m := MustRun(sc, p, fastConfig(true), xrand.New(12))
+	for i, r := range m.PerServerHitRatio {
+		if math.IsNaN(r) || r != 0 {
+			t.Errorf("server %d: hit ratio %v with %d lookups, want 0",
+				i, r, m.PerServerLookups[i])
+		}
+		if m.PerServerLookups[i] != 0 || m.PerServerHits[i] != 0 {
+			t.Errorf("server %d: lookups=%d hits=%d under full replication",
+				i, m.PerServerLookups[i], m.PerServerHits[i])
+		}
+	}
+	if math.IsNaN(m.HitRatio()) {
+		t.Error("aggregate HitRatio is NaN with zero lookups")
+	}
+}
+
+// TestTracerEmitsSchemaAndReconciles drives a hybrid run with the
+// JSONL tracer attached and checks that (a) exactly one event per
+// measured request is written, (b) every event carries a canonical
+// source, and (c) the per-edge hit counts recovered from the trace
+// equal the run's counters — the model-vs-measured diffing contract.
+func TestTracerEmitsSchemaAndReconciles(t *testing.T) {
+	sc := smallScenario(13, 0.1)
+	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := fastConfig(true)
+	cfg.Requests = 20000
+	cfg.Warmup = 10000
+	cfg.Tracer = obs.NewTracer(&buf)
+	m := MustRun(sc, res.Placement, cfg, xrand.New(14))
+	if err := cfg.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != m.Requests {
+		t.Fatalf("%d events for %d measured requests", len(events), m.Requests)
+	}
+
+	valid := map[string]bool{
+		obs.SourceReplica: true, obs.SourceCache: true,
+		obs.SourcePeer: true, obs.SourceOrigin: true,
+	}
+	perEdgeHits := make([]int64, sc.Sys.N())
+	bySource := map[string]int64{}
+	for _, e := range events {
+		if !valid[e.Source] {
+			t.Fatalf("event %d: invalid source %q", e.Req, e.Source)
+		}
+		bySource[e.Source]++
+		if e.Source == obs.SourceCache {
+			perEdgeHits[e.Edge]++
+			if e.Hops != 0 {
+				t.Fatalf("cache hit with %v hops", e.Hops)
+			}
+		}
+		if e.LatencyMs != cfg.FirstHopMs+cfg.PerHopMs*e.Hops {
+			t.Fatalf("event %d: latency %v != %v + %v*%v",
+				e.Req, e.LatencyMs, cfg.FirstHopMs, cfg.PerHopMs, e.Hops)
+		}
+	}
+	if bySource[obs.SourceReplica] != m.LocalReplica ||
+		bySource[obs.SourceCache] != m.CacheHits ||
+		bySource[obs.SourcePeer] != m.RemoteServer ||
+		bySource[obs.SourceOrigin] != m.OriginFetch {
+		t.Fatalf("trace source counts %v disagree with metrics %+v", bySource, m)
+	}
+	for i := range perEdgeHits {
+		if perEdgeHits[i] != m.PerServerHits[i] {
+			t.Errorf("edge %d: %d traced hits, counters say %d",
+				i, perEdgeHits[i], m.PerServerHits[i])
+		}
+	}
+}
+
+// TestMetricsPublished checks the end-of-run registry snapshot.
+func TestMetricsPublished(t *testing.T) {
+	sc := smallScenario(15, 0)
+	p := core.NewPlacement(sc.Sys) // pure caching: hits and misses happen
+	cfg := fastConfig(true)
+	cfg.Metrics = obs.NewRegistry()
+	m := MustRun(sc, p, cfg, xrand.New(16))
+
+	var total int64
+	for _, src := range obs.Sources {
+		total += cfg.Metrics.Counter("sim_requests_total", "", obs.Labels{"source": src}).Value()
+	}
+	if total != int64(m.Requests) {
+		t.Errorf("sim_requests_total sums to %d, want %d", total, m.Requests)
+	}
+	hist := cfg.Metrics.Histogram("sim_response_time_ms", "", nil, obs.DefaultLatencyBuckets())
+	if hist.Count() != int64(m.Requests) {
+		t.Errorf("histogram count %d, want %d", hist.Count(), m.Requests)
+	}
+	if math.Abs(hist.Mean()-m.MeanRTMs) > 1e-6 {
+		t.Errorf("histogram mean %v, metrics mean %v", hist.Mean(), m.MeanRTMs)
+	}
+
+	var b strings.Builder
+	if err := cfg.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sim_requests_total{source=\"cache\"}",
+		"sim_edge_cache_hits_total{edge=\"0\"}",
+		"sim_edge_cache_misses_total{edge=\"0\"}",
+		"sim_response_time_ms_bucket",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("/metrics output missing %s", want)
+		}
+	}
+}

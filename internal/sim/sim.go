@@ -17,9 +17,11 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -56,6 +58,16 @@ type Config struct {
 	// must then belong to the derived cluster system. Nil means
 	// columns are sites (the paper's granularity).
 	UnitOf func(site, object int) int
+	// Tracer, when non-nil, receives one obs.Event per *measured*
+	// request — the same JSONL schema the HTTP cluster emits, so
+	// simulated and real traffic diff directly. Warm-up requests are
+	// not traced.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives an end-of-run snapshot of the
+	// per-server hit/miss counters and the modelled response-time
+	// histogram (publishing after the run keeps the hot loop free of
+	// registry lookups).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's latency parameters with a
@@ -113,6 +125,11 @@ type Metrics struct {
 	// PerServerHitRatio is each server's cache hit ratio over its
 	// cacheable, non-replicated traffic (NaN-free: 0 when unused).
 	PerServerHitRatio []float64
+	// PerServerHits / PerServerLookups are the raw counters behind
+	// PerServerHitRatio, exported so measured per-edge curves can be
+	// reconciled against the LRU model's predictions (and published to
+	// an obs.Registry).
+	PerServerHits, PerServerLookups []int64
 }
 
 // LocalFraction is the share of measured requests satisfied at the
@@ -186,12 +203,22 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 		}
 	}
 
-	m := &Metrics{PerServerHitRatio: make([]float64, n)}
+	m := &Metrics{
+		PerServerHitRatio: make([]float64, n),
+		PerServerHits:     make([]int64, n),
+		PerServerLookups:  make([]int64, n),
+	}
 	if cfg.KeepResponseTimes {
 		m.ResponseTimesMs = make([]float64, 0, cfg.Requests)
 	}
-	perSrvHits := make([]int64, n)
-	perSrvLookups := make([]int64, n)
+	perSrvHits := m.PerServerHits
+	perSrvLookups := m.PerServerLookups
+	var rtHist *obs.Histogram
+	if cfg.Metrics != nil {
+		rtHist = cfg.Metrics.Histogram("sim_response_time_ms",
+			"Modelled response time of measured requests, milliseconds.",
+			nil, obs.DefaultLatencyBuckets())
+	}
 
 	var totalRT, totalHops float64
 	total := cfg.Warmup + cfg.Requests
@@ -210,6 +237,7 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 		measured := t >= cfg.Warmup
 
 		var hops float64
+		var source string
 		switch {
 		case p.Has(i, col):
 			// Served by the local replica. Replicas are always
@@ -218,13 +246,14 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 			hops = 0
 			if measured {
 				m.LocalReplica++
+				source = obs.SourceReplica
 			}
 		case caches != nil && !req.Cacheable:
 			// λ fraction: travels to SN, bypasses the cache.
 			hops = p.NearestCost(i, col)
 			if measured {
 				m.Bypass++
-				m.countRemote(p, i, col)
+				source = m.countRemote(p, i, col)
 			}
 		case caches != nil:
 			key := cache.Key{Site: j, Object: req.Object}
@@ -234,6 +263,7 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 					m.CacheHits++
 					perSrvHits[i]++
 					perSrvLookups[i]++
+					source = obs.SourceCache
 				}
 			} else {
 				hops = p.NearestCost(i, col)
@@ -241,7 +271,7 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 				if measured {
 					m.CacheMisses++
 					perSrvLookups[i]++
-					m.countRemote(p, i, col)
+					source = m.countRemote(p, i, col)
 				}
 			}
 		default:
@@ -251,7 +281,7 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 				if !req.Cacheable {
 					m.Bypass++
 				}
-				m.countRemote(p, i, col)
+				source = m.countRemote(p, i, col)
 			}
 		}
 
@@ -262,6 +292,20 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 			m.Requests++
 			if cfg.KeepResponseTimes {
 				m.ResponseTimesMs = append(m.ResponseTimesMs, rt)
+			}
+			if rtHist != nil {
+				rtHist.Observe(rt)
+			}
+			if cfg.Tracer != nil {
+				cfg.Tracer.Emit(obs.Event{
+					Req:       cfg.Tracer.NextID(),
+					Edge:      i,
+					Site:      j,
+					Object:    req.Object,
+					Source:    source,
+					Hops:      hops,
+					LatencyMs: rt,
+				})
 			}
 		}
 	}
@@ -275,15 +319,46 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 			m.PerServerHitRatio[i] = float64(perSrvHits[i]) / float64(perSrvLookups[i])
 		}
 	}
+	if cfg.Metrics != nil {
+		m.publish(cfg.Metrics)
+	}
 	return m, nil
 }
 
-func (m *Metrics) countRemote(p *core.Placement, i, j int) {
+// publish snapshots the run's counters into reg under the sim_*
+// namespace — the same shape the HTTP cluster maintains live, done
+// once after the run so the simulation loop stays registry-free.
+func (m *Metrics) publish(reg *obs.Registry) {
+	bySource := map[string]int64{
+		obs.SourceReplica: m.LocalReplica,
+		obs.SourceCache:   m.CacheHits,
+		obs.SourcePeer:    m.RemoteServer,
+		obs.SourceOrigin:  m.OriginFetch,
+	}
+	for _, src := range obs.Sources {
+		reg.Counter("sim_requests_total",
+			"Measured simulated requests by serving source.",
+			obs.Labels{"source": src}).Add(bySource[src])
+	}
+	for i := range m.PerServerLookups {
+		edge := obs.Labels{"edge": strconv.Itoa(i)}
+		reg.Counter("sim_edge_cache_hits_total",
+			"Cache hits at a simulated server.", edge).Add(m.PerServerHits[i])
+		reg.Counter("sim_edge_cache_misses_total",
+			"Cache misses at a simulated server.", edge).
+			Add(m.PerServerLookups[i] - m.PerServerHits[i])
+	}
+}
+
+// countRemote attributes one redirected request to its destination and
+// returns the canonical source value.
+func (m *Metrics) countRemote(p *core.Placement, i, j int) string {
 	if srv, _ := p.Nearest(i, j); srv == core.Origin {
 		m.OriginFetch++
-	} else {
-		m.RemoteServer++
+		return obs.SourceOrigin
 	}
+	m.RemoteServer++
+	return obs.SourcePeer
 }
 
 // MustRun is Run for known-good configurations.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/lrumodel"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -184,6 +185,27 @@ func NewTraceWriter(w io.Writer, h TraceHeader) (*TraceWriter, error) {
 
 // NewTraceReader opens a binary request trace.
 func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// Observability layer (internal/obs): atomic counters, gauges and
+// latency histograms in a Registry rendering Prometheus text format and
+// expvar-style JSON, plus the per-request JSONL event tracer shared by
+// the simulator (SimConfig.Tracer/Metrics) and the HTTP cluster.
+type (
+	Registry = obs.Registry
+	Tracer   = obs.Tracer
+	// TraceEvent is one JSONL record of the shared request schema.
+	TraceEvent = obs.Event
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer starts a JSONL event tracer writing to w; Flush it before
+// reading the output.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// ReadTraceEvents parses a JSONL trace back into events.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
 
 // SimulateTrace replays a recorded trace through the simulator.
 func SimulateTrace(sc *Scenario, p *Placement, cfg SimConfig, tr *TraceReader) (*Metrics, error) {
