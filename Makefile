@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench fmt vet
+.PHONY: all build test check race bench bench-json fmt vet
 
 all: build test
 
@@ -29,8 +29,13 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/httpcdn/... ./internal/sim/...
+	$(GO) test -race ./internal/obs/... ./internal/httpcdn/... ./internal/sim/... ./internal/placement/...
 
 # bench runs the observability-overhead benchmarks (<100ns/op budget).
 bench:
 	$(GO) test -bench=. -run=NONE ./internal/obs/ ./internal/cache/
+
+# bench-json regenerates BENCH_sim.json: sequential vs parallel
+# simulator and placement timings with the hardware context recorded.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_sim.json

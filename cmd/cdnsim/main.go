@@ -20,11 +20,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so the profile-writing
+// defers run before os.Exit.
+func realMain() int {
 	var (
 		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all")
 		quick    = flag.Bool("quick", false, "use the reduced-scale configuration (fast smoke run)")
@@ -36,9 +44,40 @@ func main() {
 		theta    = flag.Float64("theta", 0, "override the Zipf parameter θ")
 		plot     = flag.Bool("plot", false, "render CDF panels as ASCII charts instead of tables")
 		tracePth = flag.String("trace", "", "write a per-request JSONL trace of one hybrid run to this file and print a metrics snapshot (skips -figure)")
+		par      = flag.Int("parallelism", 0, "simulator worker count (0 = all cores, 1 = sequential); results are identical at any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	renderPlots = *plot
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cdnsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cdnsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cdnsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cdnsim:", err)
+			}
+		}()
+	}
 
 	opts := repro.DefaultOptions()
 	if *quick {
@@ -46,6 +85,7 @@ func main() {
 	}
 	opts.Base.Seed = *seed
 	opts.TraceSeed = *trace
+	opts.Sim.Parallelism = *par
 	if *requests > 0 {
 		opts.Sim.Requests = *requests
 	}
@@ -67,8 +107,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdnsim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // renderPlots switches the CDF panels from tables to ASCII charts.

@@ -37,7 +37,7 @@ func runTraced(opts repro.Options, path string) error {
 	cfg.Tracer = tracer
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
-	m, err := sim.Run(sc, res.Placement, cfg, xrand.New(opts.TraceSeed))
+	m, err := sim.RunParallel(sc, res.Placement, cfg, xrand.New(opts.TraceSeed))
 	if err != nil {
 		return err
 	}

@@ -117,6 +117,29 @@ func (l *list) front() *entry {
 	return l.root.next
 }
 
+// freelist recycles evicted entry nodes. Caches are single-goroutine by
+// contract (see Cache), so a plain intrusive stack chained through next
+// suffices; it removes the steady-state allocation per cache miss once
+// the cache has cycled through its capacity.
+type freelist struct {
+	head *entry
+}
+
+func (f *freelist) get(k Key, size int64) *entry {
+	e := f.head
+	if e == nil {
+		return &entry{key: k, size: size}
+	}
+	f.head = e.next
+	*e = entry{key: k, size: size}
+	return e
+}
+
+func (f *freelist) put(e *entry) {
+	*e = entry{next: f.head}
+	f.head = e
+}
+
 func validateSize(size int64) {
 	if size <= 0 {
 		panic(fmt.Sprintf("cache: Put with non-positive size %d", size))

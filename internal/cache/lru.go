@@ -9,6 +9,7 @@ type LRU struct {
 	used     int64
 	items    map[Key]*entry
 	order    list
+	free     freelist
 	stats    Stats
 }
 
@@ -48,7 +49,7 @@ func (c *LRU) Put(k Key, size int64) {
 		c.stats.Rejections++
 		return
 	}
-	e := &entry{key: k, size: size}
+	e := c.free.get(k, size)
 	c.items[k] = e
 	c.order.pushBack(e)
 	c.used += size
@@ -66,6 +67,7 @@ func (c *LRU) evictUntilFits() {
 		delete(c.items, victim.key)
 		c.used -= victim.size
 		c.stats.Evictions++
+		c.free.put(victim)
 	}
 }
 
@@ -81,6 +83,7 @@ func (c *LRU) Remove(k Key) {
 		c.order.remove(e)
 		delete(c.items, k)
 		c.used -= e.size
+		c.free.put(e)
 	}
 }
 
@@ -103,6 +106,7 @@ func (c *LRU) Resize(capacity int64) {
 func (c *LRU) Clear() {
 	c.items = make(map[Key]*entry)
 	c.order.init()
+	c.free = freelist{}
 	c.used = 0
 	c.stats = Stats{}
 }

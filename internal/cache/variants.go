@@ -10,6 +10,7 @@ type FIFO struct {
 	used     int64
 	items    map[Key]*entry
 	order    list
+	free     freelist
 	stats    Stats
 }
 
@@ -45,7 +46,7 @@ func (c *FIFO) Put(k Key, size int64) {
 		c.stats.Rejections++
 		return
 	}
-	e := &entry{key: k, size: size}
+	e := c.free.get(k, size)
 	c.items[k] = e
 	c.order.pushBack(e)
 	c.used += size
@@ -63,6 +64,7 @@ func (c *FIFO) evictUntilFits() {
 		delete(c.items, victim.key)
 		c.used -= victim.size
 		c.stats.Evictions++
+		c.free.put(victim)
 	}
 }
 
@@ -75,6 +77,7 @@ func (c *FIFO) Remove(k Key) {
 		c.order.remove(e)
 		delete(c.items, k)
 		c.used -= e.size
+		c.free.put(e)
 	}
 }
 
@@ -97,6 +100,7 @@ func (c *FIFO) Resize(capacity int64) {
 func (c *FIFO) Clear() {
 	c.items = make(map[Key]*entry)
 	c.order.init()
+	c.free = freelist{}
 	c.used = 0
 	c.stats = Stats{}
 }
@@ -113,6 +117,7 @@ type LFU struct {
 	used     int64
 	items    map[Key]*lfuEntry
 	pq       lfuHeap
+	free     []*lfuEntry // recycled nodes, same rationale as freelist
 	tick     int64
 	stats    Stats
 }
@@ -160,7 +165,14 @@ func (c *LFU) Put(k Key, size int64) {
 		return
 	}
 	c.tick++
-	e := &lfuEntry{key: k, size: size, freq: 1, tick: c.tick}
+	var e *lfuEntry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+		*e = lfuEntry{key: k, size: size, freq: 1, tick: c.tick}
+	} else {
+		e = &lfuEntry{key: k, size: size, freq: 1, tick: c.tick}
+	}
 	c.items[k] = e
 	heap.Push(&c.pq, e)
 	c.used += size
@@ -174,6 +186,7 @@ func (c *LFU) evictUntilFits() {
 		delete(c.items, victim.key)
 		c.used -= victim.size
 		c.stats.Evictions++
+		c.free = append(c.free, victim)
 	}
 }
 
@@ -186,6 +199,7 @@ func (c *LFU) Remove(k Key) {
 		heap.Remove(&c.pq, e.index)
 		delete(c.items, k)
 		c.used -= e.size
+		c.free = append(c.free, e)
 	}
 }
 
@@ -208,6 +222,7 @@ func (c *LFU) Resize(capacity int64) {
 func (c *LFU) Clear() {
 	c.items = make(map[Key]*lfuEntry)
 	c.pq = nil
+	c.free = nil
 	c.used = 0
 	c.tick = 0
 	c.stats = Stats{}

@@ -66,6 +66,13 @@ type Config struct {
 	Requests, Warmup int
 	// FirstHopMs / PerHopMs mirror sim.Config (20 ms each in §5.1).
 	FirstHopMs, PerHopMs float64
+	// Parallelism mirrors sim.Config for configuration plumbing, but
+	// only the sequential values (0 = auto, 1) are accepted: the run
+	// advances one global virtual clock whose per-request Poisson
+	// increments order every freshness decision, so server shards
+	// cannot be interleaved without changing results. Values above 1
+	// are rejected by Validate rather than silently ignored.
+	Parallelism int
 }
 
 // DefaultConfig returns an hour-scale TTL under the paper's latency
@@ -101,6 +108,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("consistency: Requests=%d Warmup=%d", c.Requests, c.Warmup)
 	case c.FirstHopMs < 0 || c.PerHopMs < 0:
 		return fmt.Errorf("consistency: negative delay")
+	case c.Parallelism > 1:
+		return fmt.Errorf("consistency: Run is inherently sequential (global virtual clock), Parallelism = %d", c.Parallelism)
+	case c.Parallelism < 0:
+		return fmt.Errorf("consistency: Parallelism = %d", c.Parallelism)
 	}
 	return nil
 }

@@ -51,6 +51,12 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.Requests = 0 },
 		func(c *Config) { c.Warmup = -1 },
 		func(c *Config) { c.FirstHopMs = -1 },
+		// The global virtual clock makes the run inherently
+		// sequential: sharded execution would reorder the Poisson
+		// clock increments, so Parallelism > 1 must be rejected
+		// rather than silently producing a different interleaving.
+		func(c *Config) { c.Parallelism = 2 },
+		func(c *Config) { c.Parallelism = -1 },
 	}
 	for i, mu := range mutations {
 		c := DefaultConfig()
@@ -58,6 +64,12 @@ func TestValidate(t *testing.T) {
 		if c.Validate() == nil {
 			t.Errorf("mutation %d accepted", i)
 		}
+	}
+	// Parallelism 0 (auto) stays valid: Run simply remains sequential.
+	c := DefaultConfig()
+	c.Parallelism = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("Parallelism=0 rejected: %v", err)
 	}
 }
 

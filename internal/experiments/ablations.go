@@ -48,7 +48,7 @@ func CachePolicyAblation(opts Options) ([]PolicyRow, error) {
 		simCfg.UseCache = true
 		simCfg.Policy = pol
 		simCfg.KeepResponseTimes = false
-		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +96,7 @@ func ThetaSweep(opts Options, thetas []float64) ([]ThetaRow, error) {
 			simCfg := opts.Sim
 			simCfg.UseCache = useCache
 			simCfg.KeepResponseTimes = false
-			m, err := sim.Run(sc, p, simCfg, xrand.New(opts.TraceSeed))
+			m, err := sim.RunParallel(sc, p, simCfg, xrand.New(opts.TraceSeed))
 			if err != nil {
 				return err
 			}
@@ -164,7 +164,7 @@ func PlacementAblation(opts Options) ([]PlacementRow, error) {
 		simCfg := opts.Sim
 		simCfg.UseCache = true
 		simCfg.KeepResponseTimes = false
-		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return nil, err
 		}

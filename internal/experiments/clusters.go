@@ -88,7 +88,7 @@ func ClusterComparison(opts Options, clustersPerSite int) ([]ClusterRow, error) 
 		if j.units {
 			simCfg.UnitOf = cl.UnitOf
 		}
-		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

@@ -181,7 +181,7 @@ func runPanel(opts Options, id, title string, capacityFrac, lambda float64, mech
 		}
 		simCfg := opts.Sim
 		simCfg.UseCache = useCache
-		m, err := sim.Run(sc, p, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(sc, p, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}
@@ -294,7 +294,7 @@ func Figure6(opts Options) ([]Fig6Row, error) {
 		simCfg := opts.Sim
 		simCfg.UseCache = true
 		simCfg.KeepResponseTimes = false
-		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

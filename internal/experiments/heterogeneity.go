@@ -61,7 +61,7 @@ func HeterogeneityComparison(opts Options, spreads []float64) ([]HeterogeneityRo
 			simCfg := opts.Sim
 			simCfg.UseCache = useCache
 			simCfg.KeepResponseTimes = false
-			m, err := sim.Run(sc, p, simCfg, xrand.New(opts.TraceSeed))
+			m, err := sim.RunParallel(sc, p, simCfg, xrand.New(opts.TraceSeed))
 			if err != nil {
 				return err
 			}

@@ -154,7 +154,7 @@ func ModelRobustness(opts Options, probs []float64) ([]RobustnessRow, error) {
 		simCfg := opts.Sim
 		simCfg.UseCache = true
 		simCfg.KeepResponseTimes = false
-		m, err := sim.Run(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
 	simCfg := opts.Sim
 	simCfg.UseCache = true
 	simCfg.KeepResponseTimes = false
-	mPure, err := sim.Run(sc, pure.Placement, simCfg, xrand.New(opts.TraceSeed))
+	mPure, err := sim.RunParallel(sc, pure.Placement, simCfg, xrand.New(opts.TraceSeed))
 	if err != nil {
 		return nil, err
 	}
@@ -79,13 +79,13 @@ func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
 		cfgCache := opts.Sim
 		cfgCache.UseCache = true
 		cfgCache.KeepResponseTimes = false
-		mHyb, err := sim.Run(sc, hyb.Placement, cfgCache, xrand.New(opts.TraceSeed))
+		mHyb, err := sim.RunParallel(sc, hyb.Placement, cfgCache, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}
 		cfgNoCache := cfgCache
 		cfgNoCache.UseCache = false
-		mGreedy, err := sim.Run(sc, greedy.Placement, cfgNoCache, xrand.New(opts.TraceSeed))
+		mGreedy, err := sim.RunParallel(sc, greedy.Placement, cfgNoCache, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

@@ -8,11 +8,58 @@ package placement
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/lrumodel"
 	"repro/internal/xrand"
 )
+
+// normWorkers resolves a Parallelism knob: 0 means GOMAXPROCS, anything
+// below 1 is clamped to serial, and more workers than rows is pointless.
+func normWorkers(parallelism, rows int) int {
+	w := parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > rows {
+		w = rows
+	}
+	return w
+}
+
+// fanOutRows evaluates f(i) for every i in [0, n), striding rows across
+// at most workers goroutines. Each row is evaluated by exactly one
+// goroutine — the granularity that keeps per-server state (the lrumodel
+// predictors' memo tables) unshared — and every cell is a pure function
+// of the placement, so parallel evaluation is bit-identical to serial.
+// workers <= 1 evaluates inline.
+func fanOutRows(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
 
 // Step records one replica creation decision.
 type Step struct {
@@ -40,7 +87,7 @@ type Result struct {
 // the best remaining benefit is non-positive. No caching is assumed
 // (h = 0 everywhere).
 func GreedyGlobal(sys *core.System) *Result {
-	return GreedyGlobalUpdates(sys, nil)
+	return GreedyGlobalOpts(sys, GreedyConfig{})
 }
 
 // GreedyGlobalUpdates is GreedyGlobal under the read-plus-update FAP
@@ -48,9 +95,29 @@ func GreedyGlobal(sys *core.System) *Result {
 // reduced by the update-propagation cost u_j·C(i, SP_j) it would incur.
 // nil updateRates means read-only (= GreedyGlobal).
 func GreedyGlobalUpdates(sys *core.System, updateRates []float64) *Result {
+	return GreedyGlobalOpts(sys, GreedyConfig{UpdateRates: updateRates})
+}
+
+// GreedyConfig parameterizes GreedyGlobalOpts.
+type GreedyConfig struct {
+	// UpdateRates, if non-nil, adds the read-plus-update FAP objective
+	// (see GreedyGlobalUpdates).
+	UpdateRates []float64
+	// Parallelism is the worker count the benefit-matrix evaluation
+	// fans out across (0 = GOMAXPROCS, 1 = serial). Every matrix cell
+	// is a pure function of the current placement and the argmax scan
+	// stays sequential, so parallel and serial runs produce identical
+	// step sequences.
+	Parallelism int
+}
+
+// GreedyGlobalOpts is the greedy-global algorithm with explicit options.
+func GreedyGlobalOpts(sys *core.System, cfg GreedyConfig) *Result {
+	updateRates := cfg.UpdateRates
 	p := core.NewPlacement(sys)
 	res := &Result{Placement: p}
 	n, m := sys.N(), sys.M()
+	workers := normWorkers(cfg.Parallelism, n)
 	objective := func() float64 {
 		c := p.Cost(core.ZeroHitRatio)
 		if updateRates != nil {
@@ -61,14 +128,15 @@ func GreedyGlobalUpdates(sys *core.System, updateRates []float64) *Result {
 	// Cached benefit matrix with exact invalidation: placing (i*, j*)
 	// only changes SN entries of site j*, so only column j* needs
 	// recomputation (greedyBenefit depends on the placement solely
-	// through NearestCost(·, j) and Has(·, j)).
+	// through NearestCost(·, j) and Has(·, j)). Rows are independent
+	// given the read-only placement, so the initial fill fans out.
 	ben := make([][]float64, n)
-	for i := 0; i < n; i++ {
+	fanOutRows(n, workers, func(i int) {
 		ben[i] = make([]float64, m)
 		for j := 0; j < m; j++ {
 			ben[i][j] = greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j)
 		}
-	}
+	})
 	for {
 		bestB := 0.0
 		bestI, bestJ := -1, -1
@@ -83,9 +151,9 @@ func GreedyGlobalUpdates(sys *core.System, updateRates []float64) *Result {
 			break
 		}
 		mustReplicate(p, bestI, bestJ)
-		for i := 0; i < n; i++ {
+		fanOutRows(n, workers, func(i int) {
 			ben[i][bestJ] = greedyBenefit(sys, p, i, bestJ) - updatePenalty(sys, updateRates, i, bestJ)
-		}
+		})
 		res.Steps = append(res.Steps, Step{
 			Server:        bestI,
 			Site:          bestJ,
@@ -138,6 +206,14 @@ type HybridConfig struct {
 	// invalidation-maintained and pay nothing here (their freshness
 	// cost is the λ term of §3.3).
 	UpdateRates []float64
+	// Parallelism is the worker count the benefit-matrix evaluation
+	// fans out across (0 = GOMAXPROCS, 1 = serial). Work is distributed
+	// at row (server) granularity, so each server's lrumodel predictor
+	// — which memoizes internally and is not safe for concurrent use —
+	// is only ever touched by one goroutine, and every evaluated cell
+	// is a pure function of the placement: parallel and serial runs
+	// produce identical step sequences.
+	Parallelism int
 }
 
 // Hybrid is the paper's Figure 2 algorithm. It starts from a network
@@ -195,6 +271,11 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 	// shifts by the known Δh of (a) — a pure arithmetic adjustment.
 	// Together these reproduce the paper's full per-iteration
 	// re-evaluation exactly, at a fraction of the model lookups.
+	//
+	// Matrix evaluation fans out at row granularity (see
+	// HybridConfig.Parallelism): row i only reads preds[i], h, visMass
+	// and the read-only placement, so rows never contend.
+	workers := normWorkers(cfg.Parallelism, n)
 	ben := make([][]float64, n)
 	evalBen := func(i, j int) float64 {
 		if !p.CanReplicate(i, j) {
@@ -202,12 +283,19 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 		}
 		return hybridBenefit(sys, p, preds, h, visMass, i, j) - updatePenalty(sys, cfg.UpdateRates, i, j)
 	}
-	for i := 0; i < n; i++ {
+	fanOutRows(n, workers, func(i int) {
 		ben[i] = make([]float64, m)
 		for j := 0; j < m; j++ {
 			ben[i][j] = evalBen(i, j)
 		}
-	}
+	})
+
+	// Per-iteration scratch, hoisted out of the loop: the paper-scale
+	// run takes hundreds of iterations and these were the loop's only
+	// allocations.
+	hOld := make([]float64, m)
+	visible := make([]bool, m)
+	staleRow := make([]bool, n)
 
 	// Lines 6–25: main loop.
 	for {
@@ -224,13 +312,12 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 			break
 		}
 		// Lines 18–25: create the replica and update bookkeeping.
-		hOld := append([]float64(nil), h[bestI]...)
+		copy(hOld, h[bestI])
 		improved, err := p.ReplicateTracked(bestI, bestJ)
 		if err != nil {
 			panic(fmt.Sprintf("placement: internal error: %v", err))
 		}
 		visMass[bestI] -= preds[bestI].SitePopularity(bestJ)
-		visible := make([]bool, m)
 		for k := 0; k < m; k++ {
 			visible[k] = !p.Has(bestI, k)
 		}
@@ -246,7 +333,9 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 		//     bestI to every other candidate, which shifted by the
 		//     known Δh — pure arithmetic, applied to rows not already
 		//     re-evaluated.
-		staleRow := make([]bool, n)
+		for i := range staleRow {
+			staleRow[i] = false
+		}
 		for _, k := range improved {
 			staleRow[k] = true
 		}
@@ -269,7 +358,10 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 				}
 			}
 		}
-		for i := 0; i < n; i++ {
+		// Model re-evaluations — the expensive part of an iteration —
+		// fan out across rows: stale rows in full, everyone else only
+		// the bestJ column cell.
+		fanOutRows(n, workers, func(i int) {
 			if staleRow[i] {
 				for j := 0; j < m; j++ {
 					ben[i][j] = evalBen(i, j)
@@ -277,7 +369,7 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 			} else {
 				ben[i][bestJ] = evalBen(i, bestJ)
 			}
-		}
+		})
 		step := Step{
 			Server:        bestI,
 			Site:          bestJ,

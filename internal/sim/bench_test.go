@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// benchSetup builds one scenario + hybrid placement pair shared by the
+// simulator benchmarks, with a request volume large enough that the
+// per-request hot loop dominates setup. KeepResponseTimes is off so the
+// allocation numbers reflect the loop itself, not the result slice.
+func benchSetup(b *testing.B) (run func(parallelism int)) {
+	b.Helper()
+	sc := smallScenario(1, 0)
+	p := hybridPlacementFor(sc)
+	cfg := fastConfig(true)
+	cfg.Requests = 200000
+	cfg.Warmup = 50000
+	cfg.KeepResponseTimes = false
+	return func(parallelism int) {
+		cfg.Parallelism = parallelism
+		var err error
+		if parallelism == 0 {
+			_, err = Run(sc, p, cfg, xrand.New(9))
+		} else {
+			_, err = RunParallel(sc, p, cfg, xrand.New(9))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunSequential is the baseline the parallel variants are
+// judged against (run with -benchmem to see the allocation diet).
+func BenchmarkRunSequential(b *testing.B) {
+	run := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(0)
+	}
+}
+
+// BenchmarkRunParallel measures the sharded runner at several worker
+// counts; results are bit-identical to the sequential baseline.
+func BenchmarkRunParallel(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			run := benchSetup(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(par)
+			}
+		})
+	}
+}

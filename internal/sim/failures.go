@@ -59,6 +59,13 @@ func RunWithFailures(sc *scenario.Scenario, p *core.Placement, cfg Config, fail 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Parallelism > 1 {
+		// Unlike Run, this path is not shardable by server: the
+		// warm-then-fail schedule and the client re-dispatch to
+		// surviving servers make it a time-ordered global event
+		// stream. Reject rather than silently interleave wrongly.
+		return nil, fmt.Errorf("sim: RunWithFailures is inherently sequential (Parallelism = %d)", cfg.Parallelism)
+	}
 	if p.System() != sc.Sys {
 		return nil, fmt.Errorf("sim: placement belongs to a different system")
 	}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// The parallel runner exploits the structural independence of the §5
+// simulation: per-server LRU caches and per-server counters depend only
+// on the subsequence of requests destined to that server, so the request
+// stream can be partitioned by destination server and simulated on a
+// worker pool with no synchronization on the hot path. Request sampling
+// itself consumes a single sequential RNG stream and therefore stays on
+// one goroutine (the producer), pipelined against the workers; metrics
+// are reassembled by global request index afterwards, which makes
+// RunParallel bit-identical to Run — including the order of
+// ResponseTimesMs, the float summation order behind MeanRTMs/MeanHops,
+// and the JSONL trace — for equal seeds.
+
+// parallelBatch is the producer→worker handoff granularity: large enough
+// to amortize channel operations over thousands of requests, small
+// enough to keep the pipeline full at quick-run scales.
+const parallelBatch = 4096
+
+// shardItem carries one sampled request plus its global index t, from
+// which workers derive the measured flag and the merge position.
+type shardItem struct {
+	t   int
+	req workload.Request
+}
+
+// reqRecord is one measured request's contribution, written by exactly
+// one worker at its global measured index and folded in order during the
+// merge phase.
+type reqRecord struct {
+	rt, hops float64
+}
+
+// RunParallel is Run executed on cfg.Parallelism workers (0 =
+// runtime.GOMAXPROCS). The result is bit-identical to Run with the same
+// seed; see the package comment above for why sharding is exact.
+func RunParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
+	return RunSourceParallel(sc, p, cfg, streamSource{sc.Stream(r)})
+}
+
+// MustRunParallel is RunParallel for known-good configurations.
+func MustRunParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) *Metrics {
+	m, err := RunParallel(sc, p, cfg, r)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RunSourceParallel is RunSource executed on cfg.Parallelism workers.
+// The source is drained sequentially by a producer goroutine (request
+// sampling owns a single RNG stream), so any Source works unchanged.
+func RunSourceParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
+	if err := validateRun(sc, p, cfg); err != nil {
+		return nil, err
+	}
+	n := sc.Sys.N()
+	workers := cfg.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return RunSource(sc, p, cfg, src)
+	}
+
+	// Register the response-time histogram before simulating, exactly as
+	// the sequential path does, so the metric family exists even for a
+	// run with zero observations.
+	var rtHist *obs.Histogram
+	if cfg.Metrics != nil {
+		rtHist = cfg.Metrics.Histogram("sim_response_time_ms",
+			"Modelled response time of measured requests, milliseconds.",
+			nil, obs.DefaultLatencyBuckets())
+	}
+
+	// records[k] is measured request k's (rt, hops); each index is
+	// written by exactly one worker (server ownership is a partition),
+	// so the slices are shared without locks.
+	records := make([]reqRecord, cfg.Requests)
+	var events []obs.Event
+	if cfg.Tracer != nil {
+		events = make([]obs.Event, cfg.Requests)
+	}
+
+	shards := make([]*shard, workers)
+	queues := make([]chan []shardItem, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		shards[w] = newShard(sc, p, &cfg, func(i int) bool { return i%workers == w })
+		queues[w] = make(chan []shardItem, 4)
+	}
+	// Recycle drained batches back to the producer instead of
+	// allocating ~(total/parallelBatch) slices per run.
+	pool := sync.Pool{New: func() any {
+		s := make([]shardItem, 0, parallelBatch)
+		return &s
+	}}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sh := shards[w]
+			for batch := range queues[w] {
+				for _, it := range batch {
+					measured := it.t >= cfg.Warmup
+					hops, source := sh.step(it.req, measured)
+					if measured {
+						k := it.t - cfg.Warmup
+						rt := cfg.FirstHopMs + cfg.PerHopMs*hops
+						records[k] = reqRecord{rt: rt, hops: hops}
+						if events != nil {
+							events[k] = obs.Event{
+								Edge:      it.req.Server,
+								Site:      it.req.Site,
+								Object:    it.req.Object,
+								Source:    source,
+								Hops:      hops,
+								LatencyMs: rt,
+							}
+						}
+					}
+				}
+				batch = batch[:0]
+				pool.Put(&batch)
+			}
+		}(w)
+	}
+
+	// Producer: drain the source in order, routing each request to the
+	// worker owning its destination server. Sampling overlaps with
+	// simulation, so the sequential fraction is the sampling cost alone.
+	var srcErr error
+	buf := make([][]shardItem, workers)
+	for w := range buf {
+		buf[w] = *(pool.Get().(*[]shardItem))
+	}
+	total := cfg.Warmup + cfg.Requests
+	for t := 0; t < total; t++ {
+		req, ok := src.Next()
+		if !ok {
+			srcErr = fmt.Errorf("sim: request source exhausted after %d of %d requests", t, total)
+			break
+		}
+		w := req.Server % workers
+		buf[w] = append(buf[w], shardItem{t: t, req: req})
+		if len(buf[w]) == parallelBatch {
+			queues[w] <- buf[w]
+			buf[w] = *(pool.Get().(*[]shardItem))
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if len(buf[w]) > 0 {
+			queues[w] <- buf[w]
+		}
+		close(queues[w])
+	}
+	wg.Wait()
+	if srcErr != nil {
+		return nil, srcErr
+	}
+
+	// Merge. Integer counters are order-independent sums over the
+	// disjoint shards; the float accumulators and the trace are replayed
+	// in global request order so they match the sequential run exactly.
+	m := &Metrics{
+		Requests:          cfg.Requests,
+		PerServerHitRatio: make([]float64, n),
+		PerServerHits:     make([]int64, n),
+		PerServerLookups:  make([]int64, n),
+	}
+	for _, sh := range shards {
+		m.LocalReplica += sh.m.LocalReplica
+		m.CacheHits += sh.m.CacheHits
+		m.CacheMisses += sh.m.CacheMisses
+		m.Bypass += sh.m.Bypass
+		m.RemoteServer += sh.m.RemoteServer
+		m.OriginFetch += sh.m.OriginFetch
+		for i := 0; i < n; i++ {
+			m.PerServerHits[i] += sh.m.PerServerHits[i]
+			m.PerServerLookups[i] += sh.m.PerServerLookups[i]
+		}
+	}
+	var totalRT, totalHops float64
+	for k := range records {
+		totalRT += records[k].rt
+		totalHops += records[k].hops
+		if rtHist != nil {
+			rtHist.Observe(records[k].rt)
+		}
+		if cfg.Tracer != nil {
+			ev := events[k]
+			ev.Req = cfg.Tracer.NextID()
+			cfg.Tracer.Emit(ev)
+		}
+	}
+	if cfg.KeepResponseTimes {
+		m.ResponseTimesMs = make([]float64, cfg.Requests)
+		for k := range records {
+			m.ResponseTimesMs[k] = records[k].rt
+		}
+	}
+	m.finalize(&cfg, totalRT, totalHops)
+	return m, nil
+}

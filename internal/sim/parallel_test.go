@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// gridConfig is a trimmed run for the determinism grids: large enough to
+// exercise evictions and every dispatch arm, small enough to run the
+// full grid in well under a second.
+func gridConfig(useCache bool) Config {
+	cfg := fastConfig(useCache)
+	cfg.Requests = 20000
+	cfg.Warmup = 8000
+	return cfg
+}
+
+// hybridPlacementFor builds the Figure 2 placement the parallel tests
+// simulate against (it leaves both replicas and cache space in play).
+func hybridPlacementFor(sc *scenario.Scenario) *core.Placement {
+	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res.Placement
+}
+
+func requireIdentical(t *testing.T, label string, seq, par *Metrics) {
+	t.Helper()
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("%s: parallel metrics differ from sequential\nseq: %+v\npar: %+v", label, seq, par)
+	}
+}
+
+// TestRunParallelMatchesRun is the tentpole determinism guarantee:
+// RunParallel produces bit-identical Metrics — counters, per-server
+// arrays, means (float summation order) and ResponseTimesMs order — for
+// every seed and worker count.
+func TestRunParallelMatchesRun(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 7} {
+		sc := smallScenario(seed, 0)
+		p := hybridPlacementFor(sc)
+		cfg := gridConfig(true)
+		seq, err := Run(sc, p, cfg, xrand.New(seed*100+9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 2, 3, 8} {
+			cfgP := cfg
+			cfgP.Parallelism = par
+			got, err := RunParallel(sc, p, cfgP, xrand.New(seed*100+9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fmt.Sprintf("seed=%d parallelism=%d", seed, par), seq, got)
+		}
+	}
+}
+
+// TestRunParallelMatchesRunAllPolicies repeats the check across every
+// cache replacement policy and the no-cache (pure replication) path.
+func TestRunParallelMatchesRunAllPolicies(t *testing.T) {
+	sc := smallScenario(4, 0)
+	p := hybridPlacementFor(sc)
+	for _, pol := range []cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyLFU, cache.PolicyDelayedLRU} {
+		cfg := gridConfig(true)
+		cfg.Policy = pol
+		seq, err := Run(sc, p, cfg, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Parallelism = 4
+		got, err := RunParallel(sc, p, cfg, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, string(pol), seq, got)
+	}
+
+	cfg := gridConfig(false) // pure replication: no caches at all
+	seq, err := Run(sc, p, cfg, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	got, err := RunParallel(sc, p, cfg, xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "no-cache", seq, got)
+}
+
+// TestRunParallelMatchesRunLambda covers the λ (uncacheable/stale)
+// bypass arm under strong consistency.
+func TestRunParallelMatchesRunLambda(t *testing.T) {
+	sc := smallScenario(5, 0.1)
+	p := hybridPlacementFor(sc)
+	cfg := gridConfig(true)
+	seq, err := Run(sc, p, cfg, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	got, err := RunParallel(sc, p, cfg, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "lambda=0.1", seq, got)
+}
+
+// TestRunParallelTraceAndRegistry asserts the observability outputs are
+// byte-identical too: the JSONL trace (event order and request ids) and
+// the metrics registry snapshot.
+func TestRunParallelTraceAndRegistry(t *testing.T) {
+	sc := smallScenario(6, 0)
+	p := hybridPlacementFor(sc)
+
+	run := func(parallelism int) (string, string) {
+		var traceBuf bytes.Buffer
+		reg := obs.NewRegistry()
+		cfg := gridConfig(true)
+		cfg.Requests = 5000
+		cfg.Warmup = 2000
+		cfg.Tracer = obs.NewTracer(&traceBuf)
+		cfg.Metrics = reg
+		cfg.Parallelism = parallelism
+		var err error
+		if parallelism == 0 {
+			_, err = Run(sc, p, cfg, xrand.New(33))
+		} else {
+			_, err = RunParallel(sc, p, cfg, xrand.New(33))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Tracer.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var promBuf bytes.Buffer
+		if err := reg.WritePrometheus(&promBuf); err != nil {
+			t.Fatal(err)
+		}
+		return traceBuf.String(), promBuf.String()
+	}
+
+	seqTrace, seqProm := run(0)
+	parTrace, parProm := run(4)
+	if seqTrace != parTrace {
+		t.Errorf("JSONL traces differ (%d vs %d bytes)", len(seqTrace), len(parTrace))
+	}
+	if seqProm != parProm {
+		t.Errorf("registry snapshots differ:\nseq:\n%s\npar:\n%s", seqProm, parProm)
+	}
+}
+
+// sliceSource replays a fixed request slice; used to hit the
+// exhausted-source error path.
+type sliceSource struct {
+	reqs []workload.Request
+	i    int
+}
+
+func (s *sliceSource) Next() (workload.Request, bool) {
+	if s.i >= len(s.reqs) {
+		return workload.Request{}, false
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true
+}
+
+// TestRunSourceParallelExhausted asserts the parallel runner reports the
+// same exhaustion error as the sequential one.
+func TestRunSourceParallelExhausted(t *testing.T) {
+	sc := smallScenario(8, 0)
+	p := hybridPlacementFor(sc)
+	cfg := gridConfig(true)
+	cfg.Requests = 1000
+	cfg.Warmup = 0
+
+	mk := func() Source {
+		reqs := make([]workload.Request, 100)
+		stream := sc.Stream(xrand.New(3))
+		for i := range reqs {
+			reqs[i] = stream.Next()
+		}
+		return &sliceSource{reqs: reqs}
+	}
+	_, seqErr := RunSource(sc, p, cfg, mk())
+	cfg.Parallelism = 4
+	_, parErr := RunSourceParallel(sc, p, cfg, mk())
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected exhaustion errors, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error texts differ:\nseq: %v\npar: %v", seqErr, parErr)
+	}
+}
+
+// TestParallelismValidation covers the config surface: negative values
+// are rejected, and the failure-injection path refuses explicit
+// parallelism (its event stream is time-ordered).
+func TestParallelismValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = -1
+	if cfg.Validate() == nil {
+		t.Error("negative Parallelism accepted")
+	}
+
+	sc := smallScenario(9, 0)
+	p := hybridPlacementFor(sc)
+	fcfg := gridConfig(true)
+	fcfg.Parallelism = 4
+	_, err := RunWithFailures(sc, p, fcfg, FailureSet{}, xrand.New(1))
+	if err == nil || !strings.Contains(err.Error(), "sequential") {
+		t.Errorf("RunWithFailures with Parallelism=4: got %v, want explicit sequential-only error", err)
+	}
+	// Parallelism 0 (auto) must keep working: the failure path simply
+	// stays sequential.
+	fcfg.Parallelism = 0
+	if _, err := RunWithFailures(sc, p, fcfg, FailureSet{}, xrand.New(1)); err != nil {
+		t.Errorf("RunWithFailures with Parallelism=0: %v", err)
+	}
+}

@@ -51,6 +51,15 @@ type Config struct {
 	// KeepResponseTimes retains every measured response time for CDF
 	// construction; disable for pure-throughput benchmarks.
 	KeepResponseTimes bool
+	// Parallelism is the worker count RunParallel shards the request
+	// stream across: 0 means runtime.GOMAXPROCS(0), 1 forces the
+	// sequential path. Sharding is by destination server — caches and
+	// per-server counters are independent across servers — so parallel
+	// runs are bit-identical to sequential ones, not approximations.
+	// Run and RunSource ignore this field; RunWithFailures rejects
+	// values above 1 (its warm-then-fail schedule is a time-ordered
+	// global event stream).
+	Parallelism int
 	// UnitOf, when non-nil, maps a request (site, 1-based object rank)
 	// to the placement column that owns it — the per-cluster
 	// replication extension, where the placement's "sites" are
@@ -95,6 +104,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Warmup = %d", c.Warmup)
 	case c.FirstHopMs < 0 || c.PerHopMs < 0:
 		return fmt.Errorf("sim: negative delay")
+	case c.Parallelism < 0:
+		return fmt.Errorf("sim: Parallelism = %d", c.Parallelism)
 	}
 	return nil
 }
@@ -178,41 +189,154 @@ func Run(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) 
 	return RunSource(sc, p, cfg, streamSource{sc.Stream(r)})
 }
 
+// validateRun checks the configuration and the placement/scenario pairing
+// shared by the sequential and parallel runners.
+func validateRun(sc *scenario.Scenario, p *core.Placement, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.UnitOf == nil {
+		if p.System() != sc.Sys {
+			return fmt.Errorf("sim: placement belongs to a different system")
+		}
+	} else if p.System().N() != sc.Sys.N() {
+		return fmt.Errorf("sim: cluster placement has %d servers, scenario %d",
+			p.System().N(), sc.Sys.N())
+	}
+	return nil
+}
+
+// shard owns the simulation state of a subset of servers: their caches
+// and a private Metrics accumulating their counters. Shards over
+// disjoint server sets share no mutable state — the property that makes
+// the parallel runner exact rather than approximate.
+type shard struct {
+	sc  *scenario.Scenario
+	p   *core.Placement
+	cfg *Config
+	// caches is indexed by server; entries are nil for servers the
+	// shard does not own or when caching is off.
+	caches []cache.Cache
+	m      *Metrics
+}
+
+// newShard builds the state for the servers selected by owns (nil =
+// all). The Metrics always carries full-length per-server arrays; only
+// owned indices are ever touched.
+func newShard(sc *scenario.Scenario, p *core.Placement, cfg *Config, owns func(i int) bool) *shard {
+	n := sc.Sys.N()
+	s := &shard{
+		sc:  sc,
+		p:   p,
+		cfg: cfg,
+		m: &Metrics{
+			PerServerHitRatio: make([]float64, n),
+			PerServerHits:     make([]int64, n),
+			PerServerLookups:  make([]int64, n),
+		},
+	}
+	if cfg.UseCache {
+		s.caches = make([]cache.Cache, n)
+		for i := 0; i < n; i++ {
+			if owns == nil || owns(i) {
+				s.caches[i] = cache.New(cfg.Policy, p.Free(i))
+			}
+		}
+	}
+	return s
+}
+
+// step dispatches one request exactly as §5 describes, accumulating the
+// shard's counters when measured, and returns the redirection cost in
+// hops plus the canonical serving-source label.
+func (s *shard) step(req workload.Request, measured bool) (hops float64, source string) {
+	i, j := req.Server, req.Site
+	p, m := s.p, s.m
+	// col is the placement column owning this request: the site
+	// itself, or its popularity cluster under UnitOf.
+	col := j
+	if s.cfg.UnitOf != nil {
+		col = s.cfg.UnitOf(j, req.Object)
+	}
+	switch {
+	case p.Has(i, col):
+		// Served by the local replica. Replicas are always
+		// consistent (§5.2), so even stale/uncacheable
+		// requests stay local.
+		hops = 0
+		if measured {
+			m.LocalReplica++
+			source = obs.SourceReplica
+		}
+	case s.caches != nil && !req.Cacheable:
+		// λ fraction: travels to SN, bypasses the cache.
+		hops = p.NearestCost(i, col)
+		if measured {
+			m.Bypass++
+			source = m.countRemote(p, i, col)
+		}
+	case s.caches != nil:
+		key := cache.Key{Site: j, Object: req.Object}
+		if s.caches[i].Get(key) {
+			hops = 0
+			if measured {
+				m.CacheHits++
+				m.PerServerHits[i]++
+				m.PerServerLookups[i]++
+				source = obs.SourceCache
+			}
+		} else {
+			hops = p.NearestCost(i, col)
+			s.caches[i].Put(key, s.sc.Work.Size(j, req.Object))
+			if measured {
+				m.CacheMisses++
+				m.PerServerLookups[i]++
+				source = m.countRemote(p, i, col)
+			}
+		}
+	default:
+		// Pure replication: no cache, straight to SN.
+		hops = p.NearestCost(i, col)
+		if measured {
+			if !req.Cacheable {
+				m.Bypass++
+			}
+			source = m.countRemote(p, i, col)
+		}
+	}
+	return hops, source
+}
+
+// finalize computes the derived metrics and publishes the snapshot; the
+// running sums must have been accumulated in global request order so
+// that sequential and parallel runs agree bit-for-bit.
+func (m *Metrics) finalize(cfg *Config, totalRT, totalHops float64) {
+	if m.Requests > 0 {
+		m.MeanRTMs = totalRT / float64(m.Requests)
+		m.MeanHops = totalHops / float64(m.Requests)
+	}
+	for i := range m.PerServerHitRatio {
+		if m.PerServerLookups[i] > 0 {
+			m.PerServerHitRatio[i] = float64(m.PerServerHits[i]) / float64(m.PerServerLookups[i])
+		}
+	}
+	if cfg.Metrics != nil {
+		m.publish(cfg.Metrics)
+	}
+}
+
 // RunSource is Run driven by an explicit request source (e.g. a recorded
 // trace). It fails if the source is exhausted before warm-up plus
 // measurement completes.
 func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateRun(sc, p, cfg); err != nil {
 		return nil, err
 	}
-	if cfg.UnitOf == nil {
-		if p.System() != sc.Sys {
-			return nil, fmt.Errorf("sim: placement belongs to a different system")
-		}
-	} else if p.System().N() != sc.Sys.N() {
-		return nil, fmt.Errorf("sim: cluster placement has %d servers, scenario %d",
-			p.System().N(), sc.Sys.N())
-	}
-	n := sc.Sys.N()
-
-	var caches []cache.Cache
-	if cfg.UseCache {
-		caches = make([]cache.Cache, n)
-		for i := 0; i < n; i++ {
-			caches[i] = cache.New(cfg.Policy, p.Free(i))
-		}
-	}
-
-	m := &Metrics{
-		PerServerHitRatio: make([]float64, n),
-		PerServerHits:     make([]int64, n),
-		PerServerLookups:  make([]int64, n),
-	}
+	sh := newShard(sc, p, &cfg, nil)
+	m := sh.m
 	if cfg.KeepResponseTimes {
 		m.ResponseTimesMs = make([]float64, 0, cfg.Requests)
 	}
-	perSrvHits := m.PerServerHits
-	perSrvLookups := m.PerServerLookups
 	var rtHist *obs.Histogram
 	if cfg.Metrics != nil {
 		rtHist = cfg.Metrics.Histogram("sim_response_time_ms",
@@ -227,63 +351,8 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 		if !ok {
 			return nil, fmt.Errorf("sim: request source exhausted after %d of %d requests", t, total)
 		}
-		i, j := req.Server, req.Site
-		// col is the placement column owning this request: the site
-		// itself, or its popularity cluster under UnitOf.
-		col := j
-		if cfg.UnitOf != nil {
-			col = cfg.UnitOf(j, req.Object)
-		}
 		measured := t >= cfg.Warmup
-
-		var hops float64
-		var source string
-		switch {
-		case p.Has(i, col):
-			// Served by the local replica. Replicas are always
-			// consistent (§5.2), so even stale/uncacheable
-			// requests stay local.
-			hops = 0
-			if measured {
-				m.LocalReplica++
-				source = obs.SourceReplica
-			}
-		case caches != nil && !req.Cacheable:
-			// λ fraction: travels to SN, bypasses the cache.
-			hops = p.NearestCost(i, col)
-			if measured {
-				m.Bypass++
-				source = m.countRemote(p, i, col)
-			}
-		case caches != nil:
-			key := cache.Key{Site: j, Object: req.Object}
-			if caches[i].Get(key) {
-				hops = 0
-				if measured {
-					m.CacheHits++
-					perSrvHits[i]++
-					perSrvLookups[i]++
-					source = obs.SourceCache
-				}
-			} else {
-				hops = p.NearestCost(i, col)
-				caches[i].Put(key, sc.Work.Size(j, req.Object))
-				if measured {
-					m.CacheMisses++
-					perSrvLookups[i]++
-					source = m.countRemote(p, i, col)
-				}
-			}
-		default:
-			// Pure replication: no cache, straight to SN.
-			hops = p.NearestCost(i, col)
-			if measured {
-				if !req.Cacheable {
-					m.Bypass++
-				}
-				source = m.countRemote(p, i, col)
-			}
-		}
+		hops, source := sh.step(req, measured)
 
 		if measured {
 			rt := cfg.FirstHopMs + cfg.PerHopMs*hops
@@ -299,8 +368,8 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 			if cfg.Tracer != nil {
 				cfg.Tracer.Emit(obs.Event{
 					Req:       cfg.Tracer.NextID(),
-					Edge:      i,
-					Site:      j,
+					Edge:      req.Server,
+					Site:      req.Site,
 					Object:    req.Object,
 					Source:    source,
 					Hops:      hops,
@@ -310,18 +379,7 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 		}
 	}
 
-	if m.Requests > 0 {
-		m.MeanRTMs = totalRT / float64(m.Requests)
-		m.MeanHops = totalHops / float64(m.Requests)
-	}
-	for i := 0; i < n; i++ {
-		if perSrvLookups[i] > 0 {
-			m.PerServerHitRatio[i] = float64(perSrvHits[i]) / float64(perSrvLookups[i])
-		}
-	}
-	if cfg.Metrics != nil {
-		m.publish(cfg.Metrics)
-	}
+	m.finalize(&cfg, totalRT, totalHops)
 	return m, nil
 }
 

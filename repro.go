@@ -141,14 +141,16 @@ func AdHocPlacement(sc *Scenario, cacheFrac float64) (*PlacementResult, error) {
 }
 
 // Simulate runs the trace-driven simulator; seed fixes the request trace
-// so different placements can be compared on identical traffic.
+// so different placements can be compared on identical traffic. The run
+// shards across cfg.Parallelism workers (0 = all cores) and is
+// bit-identical to a sequential run of the same seed.
 func Simulate(sc *Scenario, p *Placement, cfg SimConfig, seed uint64) (*Metrics, error) {
-	return sim.Run(sc, p, cfg, xrand.New(seed))
+	return sim.RunParallel(sc, p, cfg, xrand.New(seed))
 }
 
 // MustSimulate is Simulate for known-good configurations.
 func MustSimulate(sc *Scenario, p *Placement, cfg SimConfig, seed uint64) *Metrics {
-	return sim.MustRun(sc, p, cfg, xrand.New(seed))
+	return sim.MustRunParallel(sc, p, cfg, xrand.New(seed))
 }
 
 // Figure3 regenerates the λ=0 mechanism-comparison CDFs (5% and 10%
