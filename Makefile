@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-json fmt vet
+.PHONY: all build test check race bench bench-json fmt vet lint
 
 all: build test
 
@@ -29,7 +29,22 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/httpcdn/... ./internal/sim/... ./internal/placement/...
+	$(GO) test -race ./internal/obs/... ./internal/httpcdn/... ./internal/sim/... ./internal/placement/... ./internal/control/...
+
+# lint runs staticcheck and govulncheck when they are installed and
+# skips them otherwise (CI installs both; offline dev machines may not
+# have them, and this repo adds no module dependencies).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # bench runs the observability-overhead benchmarks (<100ns/op budget).
 bench:

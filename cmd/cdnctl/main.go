@@ -1,0 +1,127 @@
+// Command cdnctl is the control-plane client for a running cdnd: it
+// talks to the /debug/control endpoint that cdnd serves on its -metrics
+// address when -control-interval is set.
+//
+// Usage:
+//
+//	cdnctl -addr 127.0.0.1:8080 status      # controller state snapshot
+//	cdnctl -addr 127.0.0.1:8080 reconcile   # force one reconcile round
+//
+// status prints a human summary (add -json for the raw Status);
+// reconcile prints the round's report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/control"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "cdnd metrics address serving /debug/control")
+		raw     = flag.Bool("json", false, "print the raw JSON response")
+		timeout = flag.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cdnctl [flags] status|reconcile\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		err = status(client, *addr, *raw)
+	case "reconcile":
+		err = reconcile(client, *addr, *raw)
+	default:
+		err = fmt.Errorf("unknown command %q (want status or reconcile)", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdnctl:", err)
+		os.Exit(1)
+	}
+}
+
+// get fetches url and decodes the JSON body into v, keeping the raw
+// bytes for -json passthrough.
+func fetch(client *http.Client, method, url string, v any) ([]byte, error) {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, json.Unmarshal(body, v)
+}
+
+func status(client *http.Client, addr string, raw bool) error {
+	var st control.Status
+	body, err := fetch(client, http.MethodGet, "http://"+addr+"/debug/control", &st)
+	if err != nil {
+		return err
+	}
+	if raw {
+		os.Stdout.Write(body)
+		return nil
+	}
+	fmt.Printf("rounds     %d (applied %d, skipped %d, noop %d, no-signal %d)\n",
+		st.Rounds, st.Applied, st.Skipped, st.Noops, st.NoSignal)
+	fmt.Printf("observed   %d requests\n", st.Observed)
+	fmt.Printf("replicas   %d\n", st.Replicas)
+	for i, sites := range st.Placement {
+		fmt.Printf("  edge %d: %v\n", i, sites)
+	}
+	if st.Last != nil {
+		fmt.Printf("last round %d: %s, +%d/-%d replicas, net benefit %.4f (old %.4f → new %.4f)\n",
+			st.Last.Round, st.Last.Outcome,
+			len(st.Last.Diff.Created), len(st.Last.Diff.Dropped),
+			st.Last.NetBenefit, st.Last.OldCost, st.Last.NewCost)
+	}
+	if st.Pending != nil {
+		fmt.Printf("pending    +%d/-%d replicas withheld by hysteresis (%.3f GB·hops)\n",
+			len(st.Pending.Created), len(st.Pending.Dropped), st.Pending.TransferGBHops)
+	}
+	return nil
+}
+
+func reconcile(client *http.Client, addr string, raw bool) error {
+	var rep control.Report
+	body, err := fetch(client, http.MethodPost, "http://"+addr+"/debug/control/reconcile", &rep)
+	if err != nil {
+		return err
+	}
+	if raw {
+		os.Stdout.Write(body)
+		return nil
+	}
+	fmt.Printf("round %d: %s\n", rep.Round, rep.Outcome)
+	fmt.Printf("  window     %d requests\n", rep.WindowRequests)
+	fmt.Printf("  plan       +%d/-%d replicas, %.3f GB·hops transfer, %d deferred\n",
+		len(rep.Diff.Created), len(rep.Diff.Dropped), rep.Diff.TransferGBHops, rep.CreatesDeferred)
+	fmt.Printf("  objective  %.4f → %.4f hops/request (net benefit %.4f)\n",
+		rep.OldCost, rep.NewCost, rep.NetBenefit)
+	return nil
+}

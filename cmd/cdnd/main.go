@@ -9,21 +9,36 @@
 // eviction counters and per-source latency histograms), /debug/vars
 // (expvar-style JSON) and /debug/pprof/ (runtime profiles).
 //
+// With -control-interval the online control plane runs alongside the
+// load: every edge request feeds the demand estimator, and every
+// interval the controller re-runs the hybrid placement against the
+// estimate and live-swaps the routing tables when the plan clears
+// hysteresis. Its state is served at /debug/control on the -metrics
+// address (cdnctl is the client).
+//
+// SIGINT/SIGTERM stop the load generator, drain the metrics endpoint
+// and shut the cluster down cleanly.
+//
 // Usage:
 //
 //	cdnd                              # default: 6 edges, 8 sites, 2000 requests
 //	cdnd -requests 5000 -hopdelay 2ms -capacity 0.15
 //	cdnd -metrics 127.0.0.1:0 -linger 30s
+//	cdnd -metrics 127.0.0.1:8080 -control-interval 5s -linger 10m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/httpcdn"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -33,26 +48,44 @@ import (
 	"repro/internal/xrand"
 )
 
+type options struct {
+	requests     int
+	seed         uint64
+	hopDelay     time.Duration
+	capacity     float64
+	edges        int
+	metricsAddr  string
+	linger       time.Duration
+	ctrlInterval time.Duration
+	ctrlHyst     float64
+	ctrlCooldown int
+}
+
 func main() {
-	var (
-		requests    = flag.Int("requests", 2000, "client requests to issue")
-		seed        = flag.Uint64("seed", 1, "scenario seed")
-		hopDelay    = flag.Duration("hopdelay", time.Millisecond, "artificial delay per topology hop")
-		capacity    = flag.Float64("capacity", 0.15, "per-edge storage as a fraction of total content bytes")
-		edges       = flag.Int("edges", 6, "number of CDN edge servers")
-		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address (e.g. 127.0.0.1:0)")
-		linger      = flag.Duration("linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics)")
-	)
+	var opt options
+	flag.IntVar(&opt.requests, "requests", 2000, "client requests to issue")
+	flag.Uint64Var(&opt.seed, "seed", 1, "scenario seed")
+	flag.DurationVar(&opt.hopDelay, "hopdelay", time.Millisecond, "artificial delay per topology hop")
+	flag.Float64Var(&opt.capacity, "capacity", 0.15, "per-edge storage as a fraction of total content bytes")
+	flag.IntVar(&opt.edges, "edges", 6, "number of CDN edge servers")
+	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /metrics, /debug/vars, /debug/pprof/ and /debug/control on this address (e.g. 127.0.0.1:0)")
+	flag.DurationVar(&opt.linger, "linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics)")
+	flag.DurationVar(&opt.ctrlInterval, "control-interval", 0, "run the online control loop, reconciling at this interval (0 disables)")
+	flag.Float64Var(&opt.ctrlHyst, "control-hysteresis", 0, "minimum net benefit, as a fraction of current predicted cost, before a plan applies (0 = default, negative = off)")
+	flag.IntVar(&opt.ctrlCooldown, "control-cooldown", 0, "reconcile rounds a just-changed site stays frozen (0 = default, negative = off)")
 	flag.Parse()
-	if err := run(*requests, *seed, *hopDelay, *capacity, *edges, *metricsAddr, *linger); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "cdnd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, edges int, metricsAddr string, linger time.Duration) error {
+func run(ctx context.Context, opt options) error {
 	w := workload.DefaultConfig()
-	w.Servers = edges
+	w.Servers = opt.edges
 	w.LowSites, w.MediumSites, w.HighSites = 2, 4, 2
 	w.ObjectsPerSite = 60
 	cfg := scenario.Config{
@@ -64,8 +97,8 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 			ExtraEdgeProb:         0.3,
 		},
 		Workload:     w,
-		CapacityFrac: capacity,
-		Seed:         seed,
+		CapacityFrac: opt.capacity,
+		Seed:         opt.seed,
 	}
 	sc, err := scenario.Build(cfg)
 	if err != nil {
@@ -80,14 +113,18 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 	}
 
 	reg := obs.NewRegistry()
-	if metricsAddr != "" {
-		ln, err := net.Listen("tcp", metricsAddr)
+
+	// The estimator exists before the cluster so the request tap can feed
+	// it; the controller itself needs the running cluster as its target.
+	var est *control.Estimator
+	if opt.ctrlInterval > 0 {
+		est, err = control.NewEstimator(control.EstimatorConfig{
+			Servers: sc.Sys.N(),
+			Sites:   sc.Sys.M(),
+		})
 		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+			return err
 		}
-		defer ln.Close()
-		fmt.Printf("observability at http://%s/metrics (also /debug/vars, /debug/pprof/)\n", ln.Addr())
-		go func() { _ = http.Serve(ln, reg.DebugMux()) }()
 	}
 
 	fmt.Printf("starting %d origin + %d edge HTTP servers on loopback\n",
@@ -96,13 +133,65 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 		res.Placement.Replicas(), res.PredictedCost)
 
 	hcfg := httpcdn.DefaultConfig()
-	hcfg.PerHopDelay = hopDelay
+	hcfg.PerHopDelay = opt.hopDelay
 	hcfg.Metrics = reg
+	if est != nil {
+		hcfg.RequestTap = est.Observe
+	}
 	cl, err := httpcdn.Start(sc, res.Placement, hcfg)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+
+	var ctrl *control.Controller
+	if opt.ctrlInterval > 0 {
+		ctrl, err = control.New(control.Config{
+			Base:           sc.Sys,
+			Specs:          sc.Work.Specs(),
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			Target:         cl,
+			Estimator:      est,
+			Interval:       opt.ctrlInterval,
+			Hysteresis:     opt.ctrlHyst,
+			CooldownRounds: opt.ctrlCooldown,
+			Metrics:        reg,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		go ctrl.Run(ctx)
+		fmt.Printf("control loop: reconciling every %v\n", opt.ctrlInterval)
+	}
+
+	if opt.metricsAddr != "" {
+		ln, err := net.Listen("tcp", opt.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := reg.DebugMux()
+		if ctrl != nil {
+			h := control.Handler(ctrl)
+			mux.Handle("/debug/control", h)
+			mux.Handle("/debug/control/reconcile", h)
+		}
+		srv := &http.Server{Handler: mux}
+		fmt.Printf("observability at http://%s/metrics (also /debug/vars, /debug/pprof/", ln.Addr())
+		if ctrl != nil {
+			fmt.Print(", /debug/control")
+		}
+		fmt.Println(")")
+		go func() { _ = srv.Serve(ln) }()
+		defer func() {
+			// Drain in-flight scrapes instead of snapping connections.
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+	}
 
 	for i := 0; i < sc.Sys.N(); i++ {
 		var sites []int
@@ -125,12 +214,18 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 	}
 	failed := reg.Counter("cdnd_client_errors_total", "Client requests that failed.", nil)
 
-	fmt.Printf("\nissuing %d client requests...\n", requests)
-	stream := sc.Stream(xrand.New(seed + 1000))
+	fmt.Printf("\nissuing %d client requests...\n", opt.requests)
+	stream := sc.Stream(xrand.New(opt.seed + 1000))
 	start := time.Now()
-	for k := 0; k < requests; k++ {
+	issued := 0
+	for k := 0; k < opt.requests; k++ {
+		if ctx.Err() != nil {
+			fmt.Printf("\ninterrupted after %d requests, shutting down\n", issued)
+			break
+		}
 		req := stream.Next()
 		fr, err := cl.Fetch(req.Server, req.Site, req.Object)
+		issued++
 		if err != nil {
 			if failed.Value() < 5 {
 				fmt.Fprintf(os.Stderr, "cdnd: request %d failed: %v\n", k, err)
@@ -143,8 +238,8 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 	elapsed := time.Since(start)
 
 	fmt.Printf("\n%d requests in %v (%.0f req/s), %d failed\n",
-		requests, elapsed.Round(time.Millisecond),
-		float64(requests)/elapsed.Seconds(), failed.Value())
+		issued, elapsed.Round(time.Millisecond),
+		float64(issued)/elapsed.Seconds(), failed.Value())
 	fmt.Println("source      count  share     p50ms    p95ms    p99ms")
 	var total int64
 	for _, src := range obs.Sources {
@@ -167,13 +262,21 @@ func run(requests int, seed uint64, hopDelay time.Duration, capacity float64, ed
 			100*float64(local)/float64(total))
 		fmt.Println("the hybrid split at work over real HTTP.")
 	}
+	if ctrl != nil {
+		st := ctrl.Status()
+		fmt.Printf("\ncontrol: %d rounds (%d applied, %d skipped, %d noop, %d no-signal), %d replicas live\n",
+			st.Rounds, st.Applied, st.Skipped, st.Noops, st.NoSignal, st.Replicas)
+	}
 
-	if linger > 0 && metricsAddr != "" {
-		fmt.Printf("\nlingering %v for metrics scrapes...\n", linger)
-		time.Sleep(linger)
+	if opt.linger > 0 && opt.metricsAddr != "" && ctx.Err() == nil {
+		fmt.Printf("\nlingering %v for metrics scrapes (ctrl-c to stop)...\n", opt.linger)
+		select {
+		case <-time.After(opt.linger):
+		case <-ctx.Done():
+		}
 	}
 	if n := failed.Value(); n > 0 {
-		return fmt.Errorf("%d of %d requests failed", n, requests)
+		return fmt.Errorf("%d of %d requests failed", n, issued)
 	}
 	return nil
 }

@@ -1,0 +1,439 @@
+package control
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lrumodel"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"sync"
+)
+
+// Target is a running deployment the controller can re-place: the live
+// httpcdn.Cluster in the daemon, a ModelTarget in simulations and tests.
+type Target interface {
+	// Placement returns the placement currently routing requests.
+	Placement() *core.Placement
+	// SwapPlacement atomically replaces it; in-flight requests finish
+	// against the snapshot they loaded.
+	SwapPlacement(*core.Placement) error
+}
+
+// ModelTarget is the trivial in-memory Target used by the simulation
+// harness and tests: a placement behind a mutex, no HTTP involved.
+type ModelTarget struct {
+	mu sync.Mutex
+	p  *core.Placement
+}
+
+// NewModelTarget starts a model target at the given placement.
+func NewModelTarget(p *core.Placement) *ModelTarget { return &ModelTarget{p: p} }
+
+// Placement implements Target.
+func (t *ModelTarget) Placement() *core.Placement {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.p
+}
+
+// SwapPlacement implements Target.
+func (t *ModelTarget) SwapPlacement(p *core.Placement) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p = p
+	return nil
+}
+
+// Controller defaults.
+const (
+	// DefaultHysteresis: a plan must improve the predicted objective by
+	// at least 2% (net of transfer) before it is applied.
+	DefaultHysteresis = 0.02
+	// DefaultCooldownRounds: a site whose replicas just moved is frozen
+	// for this many subsequent reconcile rounds.
+	DefaultCooldownRounds = 2
+	// DefaultTransferWeight prices replica movement into the objective:
+	// hauling 1 GB·hop costs this many predicted hops/request of
+	// sustained benefit before a plan breaks even.
+	DefaultTransferWeight = 0.05
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Base supplies the deployment's costs, capacities and site sizes;
+	// its demand matrix is never read — estimated demand replaces it on
+	// every reconcile (core.System.WithDemand).
+	Base *core.System
+	// Specs and AvgObjectBytes feed placement.Hybrid's analytical LRU
+	// model; both are demand-independent, so they stay valid as the
+	// estimate evolves.
+	Specs          []lrumodel.SiteSpec
+	AvgObjectBytes float64
+	// Target is the deployment to re-place.
+	Target Target
+	// Estimator supplies the demand estimate. Leave nil to have the
+	// controller build one (EstimatorConfig defaults) — reachable via
+	// Estimator() for wiring into a request tap.
+	Estimator *Estimator
+	// Interval is the Run loop's reconcile cadence.
+	Interval time.Duration
+	// Hysteresis is the minimum net benefit — as a fraction of the
+	// current placement's predicted cost — a plan needs before it is
+	// applied. 0 selects DefaultHysteresis; negative disables (every
+	// non-empty plan applies).
+	Hysteresis float64
+	// CooldownRounds freezes a site's replicas for this many reconcile
+	// rounds after a plan changed them, so estimate noise cannot bounce
+	// the same replica in and out. 0 selects DefaultCooldownRounds;
+	// negative disables.
+	CooldownRounds int
+	// TransferWeight converts a plan's transfer volume (GB·hops) into
+	// objective units (predicted hops/request) when computing its net
+	// benefit. 0 selects DefaultTransferWeight; negative disables
+	// transfer pricing.
+	TransferWeight float64
+	// Parallelism is passed through to placement.Hybrid's benefit
+	// matrix fan-out (0 = GOMAXPROCS).
+	Parallelism int
+	// Metrics, when non-nil, receives the control_* series (reconcile
+	// outcomes, replica churn, last benefit/transfer).
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives one line per reconcile round.
+	Logf func(format string, args ...any)
+}
+
+// Outcome classifies a reconcile round.
+type Outcome string
+
+// Reconcile outcomes.
+const (
+	// OutcomeApplied: the plan cleared hysteresis and was swapped in.
+	OutcomeApplied Outcome = "applied"
+	// OutcomeSkipped: a non-empty plan existed but its net benefit was
+	// below the hysteresis threshold; it is kept as the pending plan.
+	OutcomeSkipped Outcome = "skipped"
+	// OutcomeNoop: the proposal matches the live placement.
+	OutcomeNoop Outcome = "noop"
+	// OutcomeNoSignal: no request has ever been observed; nothing to
+	// estimate from.
+	OutcomeNoSignal Outcome = "no-signal"
+)
+
+// Report describes one reconcile round.
+type Report struct {
+	Round          int64                `json:"round"`
+	Outcome        Outcome              `json:"outcome"`
+	WindowRequests int64                `json:"window_requests"`
+	OldCost        float64              `json:"old_cost"`
+	NewCost        float64              `json:"new_cost"`
+	NetBenefit     float64              `json:"net_benefit"`
+	Diff           placement.DiffResult `json:"diff"`
+	// CreatesDeferred counts proposed creations withheld this round by
+	// a site cool-down or by capacity after partial application.
+	CreatesDeferred int `json:"creates_deferred"`
+}
+
+// Status is the controller state snapshot served at /debug/control.
+type Status struct {
+	Rounds   int64 `json:"rounds"`
+	Applied  int64 `json:"applied"`
+	Skipped  int64 `json:"skipped"`
+	Noops    int64 `json:"noops"`
+	NoSignal int64 `json:"no_signal"`
+	Replicas int   `json:"replicas"`
+	Observed int64 `json:"observed_requests"`
+	// Placement lists the sites replicated at each server, the live
+	// routing state.
+	Placement [][]int `json:"placement"`
+	// Last is the most recent reconcile report, nil before the first.
+	Last *Report `json:"last,omitempty"`
+	// Pending is the most recent plan withheld by hysteresis, nil when
+	// the last non-noop round applied.
+	Pending *placement.DiffResult `json:"pending,omitempty"`
+	// EdgeRates and SiteRates are EWMA requests/window.
+	EdgeRates    []float64 `json:"edge_rates"`
+	SiteRates    []float64 `json:"site_rates"`
+	WindowTotals []int64   `json:"window_totals"`
+}
+
+// Controller closes the estimation → placement → swap loop.
+type Controller struct {
+	cfg Config
+	est *Estimator
+
+	mu            sync.Mutex
+	round         int64
+	cooldownUntil []int64 // per site: round until which it is frozen
+	last          *Report
+	pending       *placement.DiffResult
+	counts        map[Outcome]int64
+
+	// metric handles, nil when cfg.Metrics is unset
+	reconciles map[Outcome]*obs.Counter
+	created    *obs.Counter
+	dropped    *obs.Counter
+	transfer   *obs.Counter // milli-GB·hops paid, integer counter
+}
+
+// New validates cfg and builds a controller (not yet running; use Run,
+// or call Reconcile directly from a harness).
+func New(cfg Config) (*Controller, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("control: nil base system")
+	}
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("control: nil target")
+	}
+	if len(cfg.Specs) != cfg.Base.M() {
+		return nil, fmt.Errorf("control: %d specs for %d sites", len(cfg.Specs), cfg.Base.M())
+	}
+	if cfg.AvgObjectBytes <= 0 {
+		return nil, fmt.Errorf("control: AvgObjectBytes = %v", cfg.AvgObjectBytes)
+	}
+	if cfg.Hysteresis == 0 {
+		cfg.Hysteresis = DefaultHysteresis
+	}
+	if cfg.CooldownRounds == 0 {
+		cfg.CooldownRounds = DefaultCooldownRounds
+	}
+	if cfg.TransferWeight == 0 {
+		cfg.TransferWeight = DefaultTransferWeight
+	}
+	est := cfg.Estimator
+	if est == nil {
+		var err error
+		est, err = NewEstimator(EstimatorConfig{Servers: cfg.Base.N(), Sites: cfg.Base.M()})
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Controller{
+		cfg:           cfg,
+		est:           est,
+		cooldownUntil: make([]int64, cfg.Base.M()),
+		counts:        make(map[Outcome]int64),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		c.reconciles = make(map[Outcome]*obs.Counter)
+		for _, o := range []Outcome{OutcomeApplied, OutcomeSkipped, OutcomeNoop, OutcomeNoSignal} {
+			c.reconciles[o] = reg.Counter("control_reconciles_total",
+				"Reconcile rounds by outcome.", obs.Labels{"outcome": string(o)})
+		}
+		c.created = reg.Counter("control_replicas_created_total",
+			"Replicas created by applied plans.", nil)
+		c.dropped = reg.Counter("control_replicas_dropped_total",
+			"Replicas dropped by applied plans.", nil)
+		c.transfer = reg.Counter("control_transfer_milli_gbhops_total",
+			"Transfer volume paid by applied plans, in 1/1000 GB·hops.", nil)
+		reg.GaugeFunc("control_replicas", "Replicas in the live placement.", nil,
+			func() float64 { return float64(cfg.Target.Placement().Replicas()) })
+		reg.GaugeFunc("control_last_net_benefit", "Net benefit of the last evaluated plan.", nil,
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if c.last == nil {
+					return 0
+				}
+				return c.last.NetBenefit
+			})
+	}
+	return c, nil
+}
+
+// Estimator returns the estimator feeding this controller; wire its
+// Observe into the deployment's request tap.
+func (c *Controller) Estimator() *Estimator { return c.est }
+
+// Run reconciles on cfg.Interval until ctx is cancelled. A non-positive
+// interval returns immediately (manual Reconcile only).
+func (c *Controller) Run(ctx context.Context) {
+	if c.cfg.Interval <= 0 {
+		return
+	}
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := c.Reconcile(); err != nil && c.cfg.Logf != nil {
+				c.cfg.Logf("control: reconcile failed: %v", err)
+			}
+		}
+	}
+}
+
+// Reconcile runs one control round: close the estimation window,
+// re-place against the estimate, diff, price, and apply if the plan
+// clears hysteresis. Safe for concurrent use (rounds serialize).
+func (c *Controller) Reconcile() (*Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round++
+	rep := &Report{Round: c.round, WindowRequests: c.est.Roll()}
+
+	demand, ok := c.est.Demand()
+	if !ok {
+		return c.finish(rep, OutcomeNoSignal), nil
+	}
+	sys, err := c.cfg.Base.WithDemand(demand)
+	if err != nil {
+		c.round--
+		return nil, err
+	}
+	prop, err := placement.Hybrid(sys, placement.HybridConfig{
+		Specs:          c.cfg.Specs,
+		AvgObjectBytes: c.cfg.AvgObjectBytes,
+		Parallelism:    c.cfg.Parallelism,
+	})
+	if err != nil {
+		c.round--
+		return nil, err
+	}
+
+	cur := c.cfg.Target.Placement()
+	next, deferred, err := c.plan(sys, cur, prop)
+	if err != nil {
+		c.round--
+		return nil, err
+	}
+	rep.CreatesDeferred = deferred
+	diff := placement.Diff(cur, next)
+	if diff.Empty() {
+		return c.finish(rep, OutcomeNoop), nil
+	}
+	rep.Diff = diff
+
+	curOn, err := cur.RebuildOn(sys)
+	if err != nil {
+		c.round--
+		return nil, err
+	}
+	rep.OldCost = placement.PredictCost(curOn, c.cfg.Specs, c.cfg.AvgObjectBytes)
+	rep.NewCost = placement.PredictCost(next, c.cfg.Specs, c.cfg.AvgObjectBytes)
+	rep.NetBenefit = rep.OldCost - rep.NewCost
+	if c.cfg.TransferWeight > 0 {
+		rep.NetBenefit -= c.cfg.TransferWeight * diff.TransferGBHops
+	}
+	if c.cfg.Hysteresis > 0 && rep.NetBenefit < c.cfg.Hysteresis*rep.OldCost {
+		c.pending = &diff
+		return c.finish(rep, OutcomeSkipped), nil
+	}
+
+	if err := c.cfg.Target.SwapPlacement(next); err != nil {
+		c.round--
+		return nil, err
+	}
+	if c.cfg.CooldownRounds > 0 {
+		until := c.round + int64(c.cfg.CooldownRounds)
+		for _, r := range diff.Created {
+			c.cooldownUntil[r.Site] = until
+		}
+		for _, r := range diff.Dropped {
+			c.cooldownUntil[r.Site] = until
+		}
+	}
+	c.pending = nil
+	if c.created != nil {
+		c.created.Add(int64(len(diff.Created)))
+		c.dropped.Add(int64(len(diff.Dropped)))
+		c.transfer.Add(int64(diff.TransferGBHops * 1000))
+	}
+	return c.finish(rep, OutcomeApplied), nil
+}
+
+// finish records the round's outcome under the held mutex.
+func (c *Controller) finish(rep *Report, o Outcome) *Report {
+	rep.Outcome = o
+	c.last = rep
+	c.counts[o]++
+	if c.reconciles != nil {
+		c.reconciles[o].Inc()
+	}
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("control: round %d %s: +%d/-%d replicas, net benefit %.4f (old %.4f → new %.4f), transfer %.3f GB·hops",
+			rep.Round, o, len(rep.Diff.Created), len(rep.Diff.Dropped),
+			rep.NetBenefit, rep.OldCost, rep.NewCost, rep.Diff.TransferGBHops)
+	}
+	return rep
+}
+
+// plan turns the hybrid proposal into the placement to apply: sites in
+// cool-down keep their current replica column, everything else follows
+// the proposal. Survivors are placed first (always feasible — they are
+// a subset of the current placement), then proposed creations in the
+// algorithm's own benefit order, skipping any that no longer fit the
+// mixed column's capacity; skipped creations are deferred to a later
+// round, never silently forgotten (they reappear in the next proposal).
+func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement.Result) (p *core.Placement, deferred int, err error) {
+	n, m := sys.N(), sys.M()
+	frozen := make([]bool, m)
+	for j := 0; j < m; j++ {
+		frozen[j] = c.cfg.CooldownRounds > 0 && c.round <= c.cooldownUntil[j]
+	}
+	next := core.NewPlacement(sys)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if !cur.Has(i, j) {
+				continue
+			}
+			if frozen[j] || prop.Placement.Has(i, j) {
+				if err := next.Replicate(i, j); err != nil {
+					return nil, 0, fmt.Errorf("control: survivor (%d,%d): %w", i, j, err)
+				}
+			}
+		}
+	}
+	for _, s := range prop.Steps {
+		if frozen[s.Site] {
+			deferred++
+			continue
+		}
+		if next.Has(s.Server, s.Site) {
+			continue // survivor, already placed
+		}
+		if !next.CanReplicate(s.Server, s.Site) {
+			deferred++
+			continue
+		}
+		if err := next.Replicate(s.Server, s.Site); err != nil {
+			return nil, 0, fmt.Errorf("control: create (%d,%d): %w", s.Server, s.Site, err)
+		}
+	}
+	return next, deferred, nil
+}
+
+// Status snapshots the controller for the debug endpoint.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.cfg.Target.Placement()
+	sites := make([][]int, c.cfg.Base.N())
+	for i := range sites {
+		sites[i] = []int{}
+		for j := 0; j < c.cfg.Base.M(); j++ {
+			if p.Has(i, j) {
+				sites[i] = append(sites[i], j)
+			}
+		}
+	}
+	return Status{
+		Rounds:       c.round,
+		Applied:      c.counts[OutcomeApplied],
+		Skipped:      c.counts[OutcomeSkipped],
+		Noops:        c.counts[OutcomeNoop],
+		NoSignal:     c.counts[OutcomeNoSignal],
+		Replicas:     p.Replicas(),
+		Observed:     c.est.Observed(),
+		Placement:    sites,
+		Last:         c.last,
+		Pending:      c.pending,
+		EdgeRates:    c.est.ServerRates(),
+		SiteRates:    c.est.SiteRates(),
+		WindowTotals: c.est.WindowTotals(),
+	}
+}

@@ -1,0 +1,290 @@
+package control
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// testScenario is a small deployment where the hybrid placement clearly
+// beats pure caching, so plans clear hysteresis.
+func testScenario(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	w := workload.DefaultConfig()
+	w.Servers = 6
+	w.LowSites, w.MediumSites, w.HighSites = 2, 4, 2
+	w.ObjectsPerSite = 60
+	sc, err := scenario.Build(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   3,
+			StubNodesPerStub:      4,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.15,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func newTestController(t *testing.T, sc *scenario.Scenario, target Target, mutate func(*Config)) *Controller {
+	t.Helper()
+	cfg := Config{
+		Base:           sc.Sys,
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+		Target:         target,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// feedExact feeds the estimator integer counts proportional to the
+// scenario's true demand matrix — the stationary-demand limit.
+func feedExact(e *Estimator, sys *core.System) {
+	for i := 0; i < sys.N(); i++ {
+		for j := 0; j < sys.M(); j++ {
+			if k := int64(sys.Demand[i][j] * 1e7); k > 0 {
+				e.ObserveN(i, j, k)
+			}
+		}
+	}
+}
+
+// TestStationaryConvergesToOfflineHybrid is the acceptance criterion:
+// under stationary demand the controller's steady-state placement
+// equals the offline placement.Hybrid result for the same scenario, and
+// at most one reconcile round creates replicas.
+func TestStationaryConvergesToOfflineHybrid(t *testing.T) {
+	sc := testScenario(t)
+	offline, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Placement.Replicas() == 0 {
+		t.Fatal("offline hybrid placed nothing; scenario too easy")
+	}
+
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+
+	creatingRounds := 0
+	for round := 0; round < 6; round++ {
+		feedExact(ctrl.Estimator(), sc.Sys)
+		rep, err := ctrl.Reconcile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Diff.Created) > 0 {
+			creatingRounds++
+		}
+	}
+	if d := placement.Diff(offline.Placement, target.Placement()); !d.Empty() {
+		t.Fatalf("steady state differs from offline hybrid: +%d -%d", len(d.Created), len(d.Dropped))
+	}
+	if creatingRounds > 1 {
+		t.Fatalf("%d reconcile rounds created replicas under stationary demand, want <= 1", creatingRounds)
+	}
+	st := ctrl.Status()
+	if st.Applied != 1 || st.Rounds != 6 {
+		t.Fatalf("status: applied %d of %d rounds, want exactly 1 of 6", st.Applied, st.Rounds)
+	}
+}
+
+// TestStationarySampledStreamStabilizes drives the estimator from the
+// actual request stream (sampling noise included): the controller must
+// reach a stable placement whose predicted cost matches the offline
+// hybrid's within a few percent, and stop churning replicas.
+func TestStationarySampledStreamStabilizes(t *testing.T) {
+	sc := testScenario(t)
+	offline, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offlineCost := placement.PredictCost(offline.Placement, sc.Work.Specs(), sc.Work.AvgObjectBytes)
+
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+
+	stream := sc.Stream(xrand.New(42))
+	creatingRounds := 0
+	var lastOutcome Outcome
+	for round := 0; round < 8; round++ {
+		for k := 0; k < 20000; k++ {
+			req := stream.Next()
+			ctrl.Estimator().Observe(req.Server, req.Site)
+		}
+		rep, err := ctrl.Reconcile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Diff.Created) > 0 && rep.Outcome == OutcomeApplied {
+			creatingRounds++
+		}
+		lastOutcome = rep.Outcome
+	}
+	if lastOutcome == OutcomeApplied {
+		t.Fatalf("still applying plans after 8 stationary rounds")
+	}
+	if creatingRounds > 1 {
+		t.Fatalf("%d applied rounds created replicas under stationary sampled demand, want <= 1", creatingRounds)
+	}
+	steady, err := target.Placement().RebuildOn(sc.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyCost := placement.PredictCost(steady, sc.Work.Specs(), sc.Work.AvgObjectBytes)
+	if steadyCost > offlineCost*1.05 {
+		t.Fatalf("steady-state predicted cost %.4f, offline hybrid %.4f", steadyCost, offlineCost)
+	}
+}
+
+// TestNoSignalBeforeTraffic pins the no-signal path.
+func TestNoSignalBeforeTraffic(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+	rep, err := ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeNoSignal {
+		t.Fatalf("outcome %q before any traffic", rep.Outcome)
+	}
+	if target.Placement().Replicas() != 0 {
+		t.Fatal("no-signal round changed the placement")
+	}
+}
+
+// TestHysteresisSkipsMarginalPlans: with a prohibitive threshold every
+// non-empty plan is withheld and surfaces as the pending plan.
+func TestHysteresisSkipsMarginalPlans(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, func(cfg *Config) {
+		cfg.Hysteresis = 10 // require a 1000% improvement: impossible
+	})
+	feedExact(ctrl.Estimator(), sc.Sys)
+	rep, err := ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeSkipped {
+		t.Fatalf("outcome %q under prohibitive hysteresis", rep.Outcome)
+	}
+	if len(rep.Diff.Created) == 0 {
+		t.Fatal("skipped round reports an empty plan")
+	}
+	if target.Placement().Replicas() != 0 {
+		t.Fatal("skipped plan was applied anyway")
+	}
+	st := ctrl.Status()
+	if st.Pending == nil || len(st.Pending.Created) != len(rep.Diff.Created) {
+		t.Fatalf("pending plan not surfaced: %+v", st.Pending)
+	}
+}
+
+// TestCooldownFreezesChangedSites: after an applied plan, a drastic
+// demand flip cannot move the just-changed sites' replicas until the
+// cool-down expires.
+func TestCooldownFreezesChangedSites(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, func(cfg *Config) {
+		cfg.CooldownRounds = 3
+		cfg.Hysteresis = -1 // isolate the cool-down mechanism
+	})
+
+	feedExact(ctrl.Estimator(), sc.Sys)
+	rep1, err := ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Outcome != OutcomeApplied || len(rep1.Diff.Created) == 0 {
+		t.Fatalf("round 1: %q, +%d", rep1.Outcome, len(rep1.Diff.Created))
+	}
+	changed := make(map[int]bool)
+	for _, r := range rep1.Diff.Created {
+		changed[r.Site] = true
+	}
+	before := target.Placement()
+
+	// Flip all demand onto one changed site: the proposal would love to
+	// re-place it everywhere, but the cool-down must hold it still.
+	var hot int
+	for j := range changed {
+		hot = j
+		break
+	}
+	for r := 0; r < 2; r++ {
+		ctrl.Estimator().ObserveN(0, hot, 1e7)
+		rep, err := ctrl.Reconcile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cr := range rep.Diff.Created {
+			if changed[cr.Site] {
+				t.Fatalf("round %d created a replica of cooled-down site %d", r+2, cr.Site)
+			}
+		}
+		for _, dr := range rep.Diff.Dropped {
+			if changed[dr.Site] {
+				t.Fatalf("round %d dropped a replica of cooled-down site %d", r+2, dr.Site)
+			}
+		}
+	}
+	// Frozen sites kept their replica columns exactly.
+	after := target.Placement()
+	for i := 0; i < sc.Sys.N(); i++ {
+		for j := range changed {
+			if before.Has(i, j) != after.Has(i, j) {
+				t.Fatalf("cooled-down site %d moved at server %d", j, i)
+			}
+		}
+	}
+}
+
+// TestControllerMetrics checks the obs wiring end to end.
+func TestControllerMetrics(t *testing.T) {
+	sc := testScenario(t)
+	reg := obs.NewRegistry()
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, func(cfg *Config) {
+		cfg.Metrics = reg
+	})
+	feedExact(ctrl.Estimator(), sc.Sys)
+	if _, err := ctrl.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	applied := reg.Counter("control_reconciles_total", "", obs.Labels{"outcome": "applied"})
+	if applied.Value() != 1 {
+		t.Fatalf("control_reconciles_total{applied} = %d", applied.Value())
+	}
+	created := reg.Counter("control_replicas_created_total", "", nil)
+	if created.Value() == 0 {
+		t.Fatal("no created replicas counted")
+	}
+}

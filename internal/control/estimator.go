@@ -1,0 +1,210 @@
+// Package control is the online control plane of the CDN: it closes the
+// loop between the live request stream and the hybrid placement
+// algorithm. The paper argues (§2.1) that replica placement "should
+// remain fairly static" because migration is expensive while caching
+// adapts for free — which is exactly why a running deployment needs a
+// controller rather than a one-shot offline computation: demand drifts,
+// and somebody has to decide when the drift has grown large enough that
+// paying the transfer cost of a re-placement beats serving the old one.
+//
+// The loop has three parts:
+//
+//   - an Estimator that turns per-request taps (httpcdn's
+//     Config.RequestTap, or any other feed) into a smoothed per-server ×
+//     per-site demand estimate — sliding-window counters folded into an
+//     EWMA at every reconcile round;
+//   - a Controller that periodically re-runs placement.Hybrid against
+//     the estimated demand, diffs the proposal against the live
+//     placement (placement.Diff), prices the replica transfers, and
+//     applies the plan only when its net benefit clears a hysteresis
+//     threshold — with a per-site cool-down so placements never thrash;
+//   - a debug surface: obs metrics and the /debug/control endpoint
+//     (Handler), which cmd/cdnctl queries.
+//
+// Applying a plan is an atomic swap of the routing tables
+// (httpcdn.Cluster.SwapPlacement) while requests are in flight.
+package control
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// EstimatorConfig sizes an Estimator.
+type EstimatorConfig struct {
+	// Servers (N) and Sites (M) fix the demand matrix shape.
+	Servers, Sites int
+	// Alpha is the EWMA weight of the newest window in (0, 1]: after a
+	// roll, rate = Alpha·window + (1−Alpha)·rate. Higher alpha adapts
+	// faster but passes more sampling noise into the placement run.
+	// 0 selects DefaultAlpha.
+	Alpha float64
+	// Windows is the length of the sliding-window ring kept for the
+	// requests-per-window view in Status. 0 selects DefaultWindows.
+	Windows int
+}
+
+// Estimator defaults.
+const (
+	DefaultAlpha   = 0.5
+	DefaultWindows = 8
+)
+
+// Estimator estimates the per-server × per-site request-rate matrix
+// r_j^(i) from a live request stream. Observe is lock-free (one atomic
+// add) and safe to call from every serving goroutine; Roll folds the
+// current window into the EWMA and is called by the controller once per
+// reconcile round.
+type Estimator struct {
+	n, m    int
+	alpha   float64
+	counts  []atomic.Int64 // current window, n*m row-major
+	observe atomic.Int64   // requests ever observed
+
+	mu      sync.Mutex
+	rates   []float64 // EWMA requests/window per cell, n*m
+	window  []int64   // ring of recent window totals
+	rolls   int64     // completed Roll calls
+	rateSum float64   // Σ rates, maintained at roll time
+}
+
+// NewEstimator builds an estimator for an N-server, M-site deployment.
+func NewEstimator(cfg EstimatorConfig) (*Estimator, error) {
+	if cfg.Servers < 1 || cfg.Sites < 1 {
+		return nil, fmt.Errorf("control: estimator for %d servers, %d sites", cfg.Servers, cfg.Sites)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("control: estimator alpha = %v", cfg.Alpha)
+	}
+	if cfg.Windows < 0 {
+		return nil, fmt.Errorf("control: estimator windows = %d", cfg.Windows)
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	windows := cfg.Windows
+	if windows == 0 {
+		windows = DefaultWindows
+	}
+	return &Estimator{
+		n:      cfg.Servers,
+		m:      cfg.Sites,
+		alpha:  alpha,
+		counts: make([]atomic.Int64, cfg.Servers*cfg.Sites),
+		rates:  make([]float64, cfg.Servers*cfg.Sites),
+		window: make([]int64, 0, windows),
+	}, nil
+}
+
+// Observe records one request issued at server for site. Out-of-range
+// indices are dropped (a tap must never crash the serving path).
+func (e *Estimator) Observe(server, site int) { e.ObserveN(server, site, 1) }
+
+// ObserveN records k requests at once (batch feeds, tests).
+func (e *Estimator) ObserveN(server, site int, k int64) {
+	if server < 0 || server >= e.n || site < 0 || site >= e.m || k <= 0 {
+		return
+	}
+	e.counts[server*e.m+site].Add(k)
+	e.observe.Add(k)
+}
+
+// Observed returns the total requests ever observed.
+func (e *Estimator) Observed() int64 { return e.observe.Load() }
+
+// Roll closes the current counting window: every cell's count is folded
+// into its EWMA rate and the window total is pushed onto the sliding
+// ring. The first roll seeds the EWMA with the raw window (no cold-start
+// bias toward zero). It returns the closed window's request total.
+func (e *Estimator) Roll() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	sum := 0.0
+	first := e.rolls == 0
+	for c := range e.counts {
+		v := e.counts[c].Swap(0)
+		total += v
+		if first {
+			e.rates[c] = float64(v)
+		} else {
+			e.rates[c] = e.alpha*float64(v) + (1-e.alpha)*e.rates[c]
+		}
+		sum += e.rates[c]
+	}
+	e.rateSum = sum
+	e.rolls++
+	if cap(e.window) > 0 {
+		if len(e.window) == cap(e.window) {
+			copy(e.window, e.window[1:])
+			e.window = e.window[:len(e.window)-1]
+		}
+		e.window = append(e.window, total)
+	}
+	return total
+}
+
+// Rolls returns the number of completed windows.
+func (e *Estimator) Rolls() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rolls
+}
+
+// Demand returns the EWMA rate matrix normalized to ΣΣ = 1 — the shape
+// core.System.Demand expects. ok is false while no request has ever
+// been folded in (the controller skips reconciling on no signal).
+func (e *Estimator) Demand() (demand [][]float64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rateSum <= 0 {
+		return nil, false
+	}
+	demand = make([][]float64, e.n)
+	for i := 0; i < e.n; i++ {
+		row := make([]float64, e.m)
+		copy(row, e.rates[i*e.m:(i+1)*e.m])
+		for j := range row {
+			row[j] /= e.rateSum
+		}
+		demand[i] = row
+	}
+	return demand, true
+}
+
+// ServerRates returns each server's EWMA requests/window — the per-edge
+// rate view Status exposes.
+func (e *Estimator) ServerRates() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]float64, e.n)
+	for i := 0; i < e.n; i++ {
+		for j := 0; j < e.m; j++ {
+			out[i] += e.rates[i*e.m+j]
+		}
+	}
+	return out
+}
+
+// SiteRates returns each site's EWMA requests/window.
+func (e *Estimator) SiteRates() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]float64, e.m)
+	for i := 0; i < e.n; i++ {
+		for j := 0; j < e.m; j++ {
+			out[j] += e.rates[i*e.m+j]
+		}
+	}
+	return out
+}
+
+// WindowTotals returns the sliding ring of recent per-window request
+// totals, oldest first.
+func (e *Estimator) WindowTotals() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int64(nil), e.window...)
+}

@@ -1,0 +1,136 @@
+package control
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEstimatorDemandNormalized(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Servers: 3, Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Demand(); ok {
+		t.Fatal("demand available before any observation")
+	}
+	e.ObserveN(0, 0, 10)
+	e.ObserveN(1, 1, 30)
+	e.ObserveN(2, 0, 60)
+	if got := e.Roll(); got != 100 {
+		t.Fatalf("window total %d, want 100", got)
+	}
+	d, ok := e.Demand()
+	if !ok {
+		t.Fatal("no demand after roll")
+	}
+	sum := 0.0
+	for i := range d {
+		for j := range d[i] {
+			sum += d[i][j]
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("demand sums to %v", sum)
+	}
+	if math.Abs(d[0][0]-0.1) > 1e-12 || math.Abs(d[1][1]-0.3) > 1e-12 || math.Abs(d[2][0]-0.6) > 1e-12 {
+		t.Fatalf("demand %v", d)
+	}
+}
+
+func TestEstimatorEWMAConverges(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Servers: 1, Sites: 2, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed with a wrong split, then feed the true 3:1 split; the EWMA
+	// must converge geometrically.
+	e.ObserveN(0, 0, 100)
+	e.Roll()
+	for r := 0; r < 20; r++ {
+		e.ObserveN(0, 0, 300)
+		e.ObserveN(0, 1, 100)
+		e.Roll()
+	}
+	d, _ := e.Demand()
+	if math.Abs(d[0][0]-0.75) > 1e-4 || math.Abs(d[0][1]-0.25) > 1e-4 {
+		t.Fatalf("EWMA did not converge: %v", d)
+	}
+}
+
+func TestEstimatorFirstRollSeedsEWMA(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Servers: 1, Sites: 2, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With cold-start bias (rate starting at 0), alpha 0.1 would put
+	// the first window's estimate at a tenth of its true rate; seeding
+	// makes one window enough.
+	e.ObserveN(0, 0, 80)
+	e.ObserveN(0, 1, 20)
+	e.Roll()
+	d, _ := e.Demand()
+	if math.Abs(d[0][0]-0.8) > 1e-12 {
+		t.Fatalf("first-roll demand %v, want [0.8 0.2]", d)
+	}
+}
+
+func TestEstimatorSlidingWindowRing(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Servers: 1, Sites: 1, Windows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 5; r++ {
+		e.ObserveN(0, 0, int64(r))
+		e.Roll()
+	}
+	got := e.WindowTotals()
+	want := []int64{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ring %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ring %v, want %v", got, want)
+		}
+	}
+	if e.Rolls() != 5 {
+		t.Fatalf("rolls %d", e.Rolls())
+	}
+}
+
+func TestEstimatorDropsOutOfRange(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Servers: 2, Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(-1, 0)
+	e.Observe(0, -1)
+	e.Observe(2, 0)
+	e.Observe(0, 2)
+	e.ObserveN(0, 0, -5)
+	if e.Observed() != 0 {
+		t.Fatalf("out-of-range observations counted: %d", e.Observed())
+	}
+}
+
+func TestEstimatorConcurrentObserve(t *testing.T) {
+	e, err := NewEstimator(EstimatorConfig{Servers: 4, Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				e.Observe(g%4, k%4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := e.Roll(); got != 8000 {
+		t.Fatalf("concurrent observes lost: %d of 8000", got)
+	}
+}

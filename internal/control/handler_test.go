@@ -1,0 +1,69 @@
+package control
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/placement"
+)
+
+func TestHandlerStatusAndForceReconcile(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+	srv := httptest.NewServer(Handler(ctrl))
+	defer srv.Close()
+
+	// Status before any traffic.
+	resp, err := http.Get(srv.URL + "/debug/control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Rounds != 0 || st.Replicas != 0 {
+		t.Fatalf("fresh status: %+v", st)
+	}
+
+	// Forced reconcile after traffic applies the first plan.
+	feedExact(ctrl.Estimator(), sc.Sys)
+	resp, err = http.Post(srv.URL+"/debug/control/reconcile", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rep.Outcome != OutcomeApplied || len(rep.Diff.Created) == 0 {
+		t.Fatalf("forced reconcile: %+v", rep)
+	}
+	if target.Placement().Replicas() != len(rep.Diff.Created) {
+		t.Fatal("report does not match the applied placement")
+	}
+
+	// Wrong methods are rejected.
+	resp, err = http.Post(srv.URL+"/debug/control", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /debug/control = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/debug/control/reconcile", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /debug/control/reconcile = %d", resp.StatusCode)
+	}
+}

@@ -94,6 +94,34 @@ func (s *System) Validate() error {
 	return nil
 }
 
+// WithDemand derives a System that shares this one's costs, site sizes
+// and capacities but substitutes the given demand matrix — the entry
+// point for re-running a placement algorithm against freshly estimated
+// demand on an unchanged deployment (the online control loop does this
+// every reconcile round).
+func (s *System) WithDemand(demand [][]float64) (*System, error) {
+	if len(demand) != s.N() {
+		return nil, fmt.Errorf("core: %d demand rows for %d servers", len(demand), s.N())
+	}
+	for i, row := range demand {
+		if len(row) != s.M() {
+			return nil, fmt.Errorf("core: demand row %d has %d cols, want %d", i, len(row), s.M())
+		}
+		for j, r := range row {
+			if r < 0 {
+				return nil, fmt.Errorf("core: negative demand r_%d^(%d)", j, i)
+			}
+		}
+	}
+	return &System{
+		CostServer: s.CostServer,
+		CostOrigin: s.CostOrigin,
+		SiteBytes:  s.SiteBytes,
+		Capacity:   s.Capacity,
+		Demand:     demand,
+	}, nil
+}
+
 // Origin is the sentinel "server index" of a site's primary copy in
 // nearest-replicator tables.
 const Origin = -1
@@ -227,6 +255,28 @@ func (p *Placement) Clone() *Placement {
 		q.nearestCost[i] = append([]float64(nil), p.nearestCost[i]...)
 	}
 	return q
+}
+
+// RebuildOn replays this placement's replica set onto another System of
+// the same shape (typically one derived via WithDemand): the objective
+// of an existing placement can then be evaluated under fresh demand.
+// The copy is independent of the receiver.
+func (p *Placement) RebuildOn(sys *System) (*Placement, error) {
+	if sys.N() != p.sys.N() || sys.M() != p.sys.M() {
+		return nil, fmt.Errorf("core: rebuild onto %dx%d system, placement is %dx%d",
+			sys.N(), sys.M(), p.sys.N(), p.sys.M())
+	}
+	q := NewPlacement(sys)
+	for i := 0; i < p.sys.N(); i++ {
+		for j := 0; j < p.sys.M(); j++ {
+			if p.x[i][j] {
+				if err := q.Replicate(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return q, nil
 }
 
 // HitRatioFunc supplies the expected local-service fraction h_j^(i) for a

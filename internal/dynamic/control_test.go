@@ -1,0 +1,89 @@
+package dynamic
+
+import (
+	"testing"
+)
+
+// msPerGBHop prices replica movement for the total-cost comparisons.
+// At 20 ms per hop and ~1 MB objects, hauling a GB over one hop costs
+// on the order of a thousand object round-trips; 1000 ms/GB·hop keeps
+// the transfer term material without dwarfing the response-time term.
+const msPerGBHop = 1000
+
+// TestControlledBeatsStaticUnderDrift is the acceptance criterion:
+// under the drift workload the controller-managed strategy's total
+// cost — response time plus paid transfer — beats the static
+// replication baseline, even though the controller only ever sees the
+// request stream, never the true demand matrix.
+func TestControlledBeatsStaticUnderDrift(t *testing.T) {
+	sc := smallScenario()
+	cfg := fastConfig()
+	cfg.Epochs = 8
+
+	controlled, err := Run(sc, Controlled, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Run(sc, StaticReplication, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc := controlled.TotalCostMs(msPerGBHop)
+	sc2 := static.TotalCostMs(msPerGBHop)
+	if cc >= sc2 {
+		t.Fatalf("controlled total cost %.0f ms >= static %.0f ms", cc, sc2)
+	}
+	if controlled.Requests != static.Requests {
+		t.Fatalf("request counts differ: %d vs %d", controlled.Requests, static.Requests)
+	}
+}
+
+// TestControlledPaysBoundedTransfer: hysteresis and cool-down must keep
+// the controller from re-placing at every boundary — its paid transfer
+// stays below the clairvoyant adaptive hybrid's, which re-places
+// unconditionally each epoch.
+func TestControlledPaysBoundedTransfer(t *testing.T) {
+	sc := smallScenario()
+	cfg := fastConfig()
+
+	controlled, err := Run(sc, Controlled, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(sc, AdaptiveHybrid, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if controlled.TotalTransferGBHops > adaptive.TotalTransferGBHops {
+		t.Fatalf("controlled hauled %.2f GB·hops, clairvoyant adaptive %.2f",
+			controlled.TotalTransferGBHops, adaptive.TotalTransferGBHops)
+	}
+	// The initial placement is paid for like everyone else's.
+	if len(controlled.Epochs) == 0 || controlled.Epochs[0].TransferGBHops == 0 {
+		t.Fatal("controlled strategy got its initial placement for free")
+	}
+}
+
+// TestControlledStationaryDoesNotChurn: with drift frozen the
+// controller must not keep moving replicas after the initial placement
+// settles.
+func TestControlledStationaryDoesNotChurn(t *testing.T) {
+	sc := smallScenario()
+	cfg := fastConfig()
+	cfg.Drift = 0
+
+	res, err := Run(sc, Controlled, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, e := range res.Epochs[2:] {
+		if e.TransferGBHops > 0 {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d late epochs still paid transfer under frozen demand", moved)
+	}
+}

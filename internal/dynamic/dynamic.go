@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/cache"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/placement"
 	"repro/internal/scenario"
@@ -48,6 +49,13 @@ const (
 	// AdaptiveHybrid re-runs the hybrid algorithm every epoch, paying
 	// transfer costs; caches are resized to the new free space.
 	AdaptiveHybrid Strategy = "adaptive-hybrid"
+	// Controlled runs the online control plane (internal/control) over
+	// the drifting workload: an initial hybrid placement, then a
+	// controller that estimates demand from the observed request stream
+	// (it never sees the true drifted demand matrix) and re-places at
+	// epoch boundaries with hysteresis, cool-down and transfer pricing.
+	// This is the causal counterpart of the clairvoyant AdaptiveHybrid.
+	Controlled Strategy = "controlled-hybrid"
 )
 
 // Config controls a drift simulation.
@@ -64,6 +72,12 @@ type Config struct {
 	Drift float64
 	// FirstHopMs / PerHopMs mirror sim.Config.
 	FirstHopMs, PerHopMs float64
+	// ControlHysteresis, ControlCooldownRounds and ControlTransferWeight
+	// tune the Controlled strategy's controller; zero selects the
+	// control package defaults, negative disables the mechanism.
+	ControlHysteresis     float64
+	ControlCooldownRounds int
+	ControlTransferWeight float64
 }
 
 // DefaultConfig drifts noticeably over 8 epochs.
@@ -114,6 +128,16 @@ type Result struct {
 	MeanRTMs float64
 	// TotalTransferGBHops sums the boundary transfer volumes.
 	TotalTransferGBHops float64
+	// Requests is the total measured request count.
+	Requests int
+}
+
+// TotalCostMs folds response time and replica movement into one number:
+// the summed response time of every measured request plus the transfer
+// volume priced at msPerGBHop. This is the "total cost including paid
+// transfer costs" the strategies compete on.
+func (r *Result) TotalCostMs(msPerGBHop float64) float64 {
+	return r.MeanRTMs*float64(r.Requests) + msPerGBHop*r.TotalTransferGBHops
 }
 
 // Run simulates the strategy over the drifting workload. The demand
@@ -147,9 +171,15 @@ func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Resul
 	res := &Result{Strategy: strat}
 	var p *core.Placement
 	var caches []cache.Cache
-	useCache := strat == Caching || strat == StaticHybrid || strat == AdaptiveHybrid
+	useCache := strat == Caching || strat == StaticHybrid || strat == AdaptiveHybrid || strat == Controlled
 	var totalRT float64
 	var totalReq int
+
+	// The Controlled strategy closes the loop through the online
+	// controller: a model target holds the live placement and the
+	// estimator only ever sees the request stream.
+	var ctrl *control.Controller
+	var target *control.ModelTarget
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		sys := systemWithWeights(sc, spread, weights)
@@ -157,13 +187,43 @@ func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Resul
 
 		// (Re)place replicas according to the strategy.
 		var transfer float64
-		replaceNow := epoch == 0 || strat == AdaptiveReplication || strat == AdaptiveHybrid
+		replaceNow := epoch == 0 || strat == AdaptiveReplication || strat == AdaptiveHybrid || strat == Controlled
 		if replaceNow {
-			newP, err := place(strat, sys, sc, w)
-			if err != nil {
-				return nil, err
+			var newP *core.Placement
+			if strat == Controlled && epoch > 0 {
+				// Epoch boundary: one reconcile round against the
+				// demand estimated from the previous epoch's requests.
+				rep, err := ctrl.Reconcile()
+				if err != nil {
+					return nil, err
+				}
+				if rep.Outcome == control.OutcomeApplied {
+					transfer = rep.Diff.TransferGBHops
+				}
+				newP = target.Placement()
+			} else {
+				var err error
+				newP, err = place(strat, sys, sc, w)
+				if err != nil {
+					return nil, err
+				}
+				transfer = placement.Diff(p, newP).TransferGBHops
+				if strat == Controlled {
+					target = control.NewModelTarget(newP)
+					ctrl, err = control.New(control.Config{
+						Base:           sc.Sys,
+						Specs:          sc.Work.Specs(),
+						AvgObjectBytes: sc.Work.AvgObjectBytes,
+						Target:         target,
+						Hysteresis:     cfg.ControlHysteresis,
+						CooldownRounds: cfg.ControlCooldownRounds,
+						TransferWeight: cfg.ControlTransferWeight,
+					})
+					if err != nil {
+						return nil, err
+					}
+				}
 			}
-			transfer = transferVolume(sc, p, newP)
 			p = newP
 			if useCache {
 				if caches == nil {
@@ -190,6 +250,9 @@ func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Resul
 		for t := 0; t < warm+cfg.RequestsPerEpoch; t++ {
 			req := stream.Next()
 			i, j := req.Server, req.Site
+			if ctrl != nil {
+				ctrl.Estimator().Observe(i, j)
+			}
 			var hops float64
 			switch {
 			case p.Has(i, j):
@@ -228,6 +291,7 @@ func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Resul
 		}
 	}
 	res.MeanRTMs = totalRT / float64(totalReq)
+	res.Requests = totalReq
 	return res, nil
 }
 
@@ -238,7 +302,7 @@ func place(strat Strategy, sys *core.System, sc *scenario.Scenario, w *workload.
 		return core.NewPlacement(sys), nil
 	case StaticReplication, AdaptiveReplication:
 		return placement.GreedyGlobal(sys).Placement, nil
-	case StaticHybrid, AdaptiveHybrid:
+	case StaticHybrid, AdaptiveHybrid, Controlled:
 		res, err := placement.Hybrid(sys, placement.HybridConfig{
 			Specs:          w.Specs(),
 			AvgObjectBytes: sc.Work.AvgObjectBytes,
@@ -252,36 +316,19 @@ func place(strat Strategy, sys *core.System, sc *scenario.Scenario, w *workload.
 	}
 }
 
-// transferVolume is the GB·hops hauled to realize newP given oldP: each
-// replica present in newP but not oldP fetches o_j bytes from the
-// primary site of O_j.
-func transferVolume(sc *scenario.Scenario, oldP, newP *core.Placement) float64 {
-	var v float64
-	for i := 0; i < sc.Sys.N(); i++ {
-		for j := 0; j < sc.Sys.M(); j++ {
-			if newP.Has(i, j) && (oldP == nil || !oldP.Has(i, j)) {
-				v += float64(sc.Sys.SiteBytes[j]) * sc.Sys.CostOrigin[i][j]
-			}
-		}
-	}
-	return v / 1e9
-}
-
 // systemWithWeights derives the epoch's core.System: shared costs and
 // capacities, demand scaled to the drifted weights.
 func systemWithWeights(sc *scenario.Scenario, spread [][]float64, weights []float64) *core.System {
-	sys := &core.System{
-		CostServer: sc.Sys.CostServer,
-		CostOrigin: sc.Sys.CostOrigin,
-		SiteBytes:  sc.Sys.SiteBytes,
-		Capacity:   sc.Sys.Capacity,
-		Demand:     make([][]float64, sc.Sys.N()),
-	}
-	for i := range sys.Demand {
-		sys.Demand[i] = make([]float64, sc.Sys.M())
-		for j := range sys.Demand[i] {
-			sys.Demand[i][j] = spread[i][j] * weights[j]
+	demand := make([][]float64, sc.Sys.N())
+	for i := range demand {
+		demand[i] = make([]float64, sc.Sys.M())
+		for j := range demand[i] {
+			demand[i][j] = spread[i][j] * weights[j]
 		}
+	}
+	sys, err := sc.Sys.WithDemand(demand)
+	if err != nil {
+		panic(err) // unreachable: demand is well-shaped and non-negative
 	}
 	return sys
 }

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -71,6 +72,12 @@ type Config struct {
 	// Tracer, when non-nil, receives one JSONL event per edge-served
 	// request in the shared obs.Event schema.
 	Tracer *obs.Tracer
+	// RequestTap, when non-nil, is invoked once per client-facing
+	// request an edge accepts (internal edge-to-edge fetches excluded),
+	// before the request is served. The online control plane hangs its
+	// demand estimator here; the tap must be safe for concurrent use
+	// and fast — it runs on the serving path.
+	RequestTap func(edge, site int)
 }
 
 // DefaultConfig returns a zero-delay, 64 KiB-capped configuration.
@@ -81,8 +88,13 @@ func DefaultConfig() Config {
 // Cluster is a running set of origin and edge HTTP servers.
 type Cluster struct {
 	sc  *scenario.Scenario
-	p   *core.Placement
 	cfg Config
+
+	// pl is the live placement, swapped atomically by SwapPlacement so
+	// the control plane can re-place replicas while requests are in
+	// flight. Each request loads the pointer once and routes the whole
+	// request against that snapshot.
+	pl atomic.Pointer[core.Placement]
 
 	origins []*httptest.Server // one per site
 	edges   []*edge            // one per CDN server
@@ -180,11 +192,11 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 	}
 	c := &Cluster{
 		sc:       sc,
-		p:        p,
 		cfg:      cfg,
 		client:   &http.Client{Timeout: 30 * time.Second},
 		versions: make(map[cache.Key]int),
 	}
+	c.pl.Store(p)
 	for j := 0; j < sc.Sys.M(); j++ {
 		site := j
 		c.origins = append(c.origins, httptest.NewServer(http.HandlerFunc(
@@ -256,6 +268,45 @@ func (c *Cluster) Close() {
 
 // EdgeURL returns the base URL of edge i.
 func (c *Cluster) EdgeURL(i int) string { return c.edges[i].srv.URL }
+
+// Placement returns the placement currently routing requests.
+func (c *Cluster) Placement() *core.Placement { return c.pl.Load() }
+
+// SwapPlacement atomically replaces the live placement. In-flight
+// requests finish against the snapshot they loaded; a request that
+// redirects to a peer whose replica was just dropped falls through to
+// the origin via the internal-fetch path, so a swap never loses or
+// misroutes a request. After the swap every edge cache is resized to
+// the new free space (shrinking evicts LRU-first); a cache may briefly
+// exceed the new placement's free space between the pointer store and
+// its resize, which only overcommits the model's storage accounting,
+// never breaks serving.
+//
+// The new placement must describe the same deployment: either built on
+// the cluster's own System or on one derived from it via WithDemand
+// (same shape and capacities).
+func (c *Cluster) SwapPlacement(p *core.Placement) error {
+	sys := p.System()
+	base := c.sc.Sys
+	if sys != base {
+		if sys.N() != base.N() || sys.M() != base.M() {
+			return fmt.Errorf("httpcdn: swap placement of a %dx%d system into a %dx%d cluster",
+				sys.N(), sys.M(), base.N(), base.M())
+		}
+		for i := 0; i < base.N(); i++ {
+			if sys.Capacity[i] != base.Capacity[i] {
+				return fmt.Errorf("httpcdn: swap placement with different capacity at server %d", i)
+			}
+		}
+	}
+	c.pl.Store(p)
+	for i, e := range c.edges {
+		e.mu.Lock()
+		e.cache.Resize(p.Free(i))
+		e.mu.Unlock()
+	}
+	return nil
+}
 
 // EdgeStats returns a snapshot of edge i's counters.
 func (c *Cluster) EdgeStats(i int) EdgeStats {
@@ -390,6 +441,9 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if tap := c.cfg.RequestTap; tap != nil && r.Header.Get(internalHeader) == "" {
+		tap(e.id, site)
+	}
 	source, hops, ok := e.handle(w, r, site, object)
 	if !ok {
 		if e.fails != nil {
@@ -420,7 +474,12 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 // paid; ok = false means an error response was written instead.
 func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) (source string, hops float64, ok bool) {
 	c := e.cluster
-	if c.p.Has(e.id, site) {
+	// One placement snapshot per request: the control plane may swap
+	// the live placement at any moment, and routing a single request
+	// against two different placements could redirect to a peer chosen
+	// by one and accounted by the other.
+	pl := c.pl.Load()
+	if pl.Has(e.id, site) {
 		e.mu.Lock()
 		e.stats.Replica++
 		e.mu.Unlock()
@@ -471,7 +530,7 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) 
 	// Internal peer fetches that miss fall through to the origin; a
 	// client-facing miss redirects to SN (peer or origin).
 	internal := r.Header.Get(internalHeader) != ""
-	srv, hops := c.p.Nearest(e.id, site)
+	srv, hops := pl.Nearest(e.id, site)
 	url := c.origins[site].URL
 	source = SourceOrigin
 	if !internal && srv != core.Origin {

@@ -1,0 +1,167 @@
+package httpcdn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// swapScenario is a small cluster with two genuinely different
+// placements to flip between.
+func swapScenario(t *testing.T) (*scenario.Scenario, *placement.Result, *placement.Result) {
+	t.Helper()
+	w := workload.DefaultConfig()
+	w.Servers = 4
+	w.LowSites, w.MediumSites, w.HighSites = 1, 2, 1
+	w.ObjectsPerSite = 40
+	sc, err := scenario.Build(scenario.Config{
+		Topology: topology.Config{
+			TransitDomains:        1,
+			TransitNodesPerDomain: 2,
+			StubsPerTransitNode:   2,
+			StubNodesPerStub:      3,
+			ExtraEdgeProb:         0.3,
+		},
+		Workload:     w,
+		CapacityFrac: 0.3,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The alternate placement is pure caching (no replicas): maximally
+	// different routing from the hybrid result.
+	none := placement.None(sc.Sys)
+	if hybrid.Placement.Replicas() == 0 {
+		t.Fatal("hybrid placed no replicas; swap test needs two distinct placements")
+	}
+	return sc, hybrid, none
+}
+
+// TestConcurrentPlacementSwap hammers the cluster with client fetches
+// while another goroutine keeps swapping the live placement between two
+// replica sets. Run under -race (make race / CI does): every fetch must
+// succeed with a verified body — no lost or misrouted requests — and
+// the request tap must see exactly one event per client request.
+func TestConcurrentPlacementSwap(t *testing.T) {
+	sc, hybrid, alt := swapScenario(t)
+
+	var taps atomic.Int64
+	cfg := DefaultConfig()
+	cfg.RequestTap = func(edge, site int) {
+		if edge < 0 || edge >= sc.Sys.N() || site < 0 || site >= sc.Sys.M() {
+			t.Errorf("tap out of range: edge %d site %d", edge, site)
+		}
+		taps.Add(1)
+	}
+	cl, err := Start(sc, hybrid.Placement, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const (
+		clients    = 4
+		perClient  = 120
+		totalSwaps = 300
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Swapper: flip hybrid <-> alt as fast as it can.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := 0; s < totalSwaps; s++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := hybrid.Placement
+			if s%2 == 1 {
+				p = alt.Placement
+			}
+			if err := cl.SwapPlacement(p); err != nil {
+				t.Errorf("swap %d: %v", s, err)
+				return
+			}
+		}
+	}()
+
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stream := sc.Stream(xrand.New(uint64(1000 + g)))
+			for k := 0; k < perClient; k++ {
+				req := stream.Next()
+				fr, err := cl.Fetch(req.Server, req.Site, req.Object)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fr.Bytes <= 0 {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Fatalf("fetch during swap: %v", err)
+	}
+	if got, want := taps.Load(), int64(clients*perClient); got != want {
+		t.Fatalf("request tap saw %d events, want %d", got, want)
+	}
+
+	// The cluster must end on whichever placement was stored last and
+	// with caches sized to it.
+	final := cl.Placement()
+	if final != hybrid.Placement && final != alt.Placement {
+		t.Fatal("final placement is neither of the swapped ones")
+	}
+}
+
+// TestSwapPlacementRejectsForeignSystem pins the deployment check.
+func TestSwapPlacementRejectsForeignSystem(t *testing.T) {
+	sc, hybrid, _ := swapScenario(t)
+	cl, err := Start(sc, hybrid.Placement, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	other := *sc.Sys
+	other.Capacity = append([]int64(nil), sc.Sys.Capacity...)
+	other.Capacity[0]++
+	if err := cl.SwapPlacement(placement.GreedyGlobal(&other).Placement); err == nil {
+		t.Fatal("swap accepted a placement with different capacities")
+	}
+
+	// A placement on a demand-derived system is explicitly allowed.
+	derived, err := sc.Sys.WithDemand(sc.Sys.Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SwapPlacement(placement.GreedyGlobal(derived).Placement); err != nil {
+		t.Fatalf("swap rejected a WithDemand-derived placement: %v", err)
+	}
+}
