@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-json fmt vet lint
+.PHONY: all build test check race chaos bench bench-json fmt vet lint
 
 all: build test
 
@@ -30,6 +30,13 @@ fmt:
 
 race:
 	$(GO) test -race ./internal/obs/... ./internal/httpcdn/... ./internal/sim/... ./internal/placement/... ./internal/control/...
+
+# chaos runs the failure drill under the race detector: the fault
+# injector kills two live edges mid-load, the health tracker ejects
+# them, the controller re-places around them, and every client request
+# must still be served (see TestChaosEdgeChurn).
+chaos:
+	$(GO) test -race -count=1 -run TestChaosEdgeChurn -v ./internal/httpcdn/
 
 # lint runs staticcheck and govulncheck when they are installed and
 # skips them otherwise (CI installs both; offline dev machines may not

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ import (
 func BenchmarkFigure3(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		panels, err := Figure3(opts)
+		panels, err := Figure3(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -28,7 +29,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		panels, err := Figure4(opts)
+		panels, err := Figure4(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		panels, err := Figure5(opts)
+		panels, err := Figure5(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := Figure6(opts)
+		rows, err := Figure6(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkSummary(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := Summary(opts)
+		rows, err := Summary(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkSimulation(b *testing.B) {
 	cfg.KeepResponseTimes = false
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MustSimulate(sc, res.Placement, cfg, uint64(i))
+		MustSimulate(context.Background(), sc, res.Placement, cfg, uint64(i))
 	}
 	b.ReportMetric(float64(cfg.Requests+cfg.Warmup), "requests/op")
 }
@@ -137,7 +138,7 @@ func BenchmarkSimulation(b *testing.B) {
 func BenchmarkCachePolicyAblation(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := CachePolicyAblation(opts)
+		rows, err := CachePolicyAblation(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkCachePolicyAblation(b *testing.B) {
 func BenchmarkThetaSweep(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := ThetaSweep(opts, []float64{0.8, 1.0, 1.2})
+		rows, err := ThetaSweep(context.Background(), opts, []float64{0.8, 1.0, 1.2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkThetaSweep(b *testing.B) {
 func BenchmarkClusterComparison(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := ClusterComparison(opts, 4)
+		rows, err := ClusterComparison(context.Background(), opts, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkClusterComparison(b *testing.B) {
 func BenchmarkConsistencyComparison(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := ConsistencyComparison(opts)
+		rows, err := ConsistencyComparison(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +200,7 @@ func BenchmarkConsistencyComparison(b *testing.B) {
 func BenchmarkAvailabilityComparison(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := AvailabilityComparison(opts, []int{0, 5}, 2)
+		rows, err := AvailabilityComparison(context.Background(), opts, []int{0, 5}, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkDriftComparison(b *testing.B) {
 	opts := DefaultOptions()
 	cfg := DefaultDriftConfig()
 	for i := 0; i < b.N; i++ {
-		rows, err := DriftComparison(opts, cfg)
+		rows, err := DriftComparison(context.Background(), opts, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func BenchmarkDriftComparison(b *testing.B) {
 func BenchmarkRedirectionComparison(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := RedirectionComparison(opts)
+		rows, err := RedirectionComparison(context.Background(), opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -246,7 +247,7 @@ func BenchmarkRedirectionComparison(b *testing.B) {
 func BenchmarkKMedianQuality(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := KMedianQuality(opts, []int{1, 2, 3})
+		rows, err := KMedianQuality(context.Background(), opts, []int{1, 2, 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,7 +261,7 @@ func BenchmarkKMedianQuality(b *testing.B) {
 func BenchmarkModelComparison(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := ModelComparison(opts, []float64{0.02, 0.05, 0.1, 0.2})
+		rows, err := ModelComparison(context.Background(), opts, []float64{0.02, 0.05, 0.1, 0.2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,7 +283,7 @@ func BenchmarkModelComparison(b *testing.B) {
 func BenchmarkUpdateSweep(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := UpdateSweep(opts, []float64{0, 0.25, 1.0})
+		rows, err := UpdateSweep(context.Background(), opts, []float64{0, 0.25, 1.0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -297,7 +298,7 @@ func BenchmarkUpdateSweep(b *testing.B) {
 func BenchmarkHeterogeneityComparison(b *testing.B) {
 	opts := DefaultOptions()
 	for i := 0; i < b.N; i++ {
-		rows, err := HeterogeneityComparison(opts, []float64{0, 0.8})
+		rows, err := HeterogeneityComparison(context.Background(), opts, []float64{0, 0.8})
 		if err != nil {
 			b.Fatal(err)
 		}

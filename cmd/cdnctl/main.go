@@ -1,14 +1,16 @@
 // Command cdnctl is the control-plane client for a running cdnd: it
-// talks to the /debug/control endpoint that cdnd serves on its -metrics
-// address when -control-interval is set.
+// talks to the /debug/control and /debug/health endpoints that cdnd
+// serves on its -metrics address.
 //
 // Usage:
 //
 //	cdnctl -addr 127.0.0.1:8080 status      # controller state snapshot
 //	cdnctl -addr 127.0.0.1:8080 reconcile   # force one reconcile round
+//	cdnctl -addr 127.0.0.1:8080 health      # edge/origin health states
 //
 // status prints a human summary (add -json for the raw Status);
-// reconcile prints the round's report.
+// reconcile prints the round's report; health prints the passive
+// health tracker's view of every edge and origin.
 package main
 
 import (
@@ -22,40 +24,56 @@ import (
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/httpcdn"
 )
 
 func main() {
-	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "cdnd metrics address serving /debug/control")
-		raw     = flag.Bool("json", false, "print the raw JSON response")
-		timeout = flag.Duration("timeout", 10*time.Second, "HTTP timeout")
-	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cdnctl [flags] status|reconcile\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	client := &http.Client{Timeout: *timeout}
-	var err error
-	switch cmd := flag.Arg(0); cmd {
-	case "status":
-		err = status(client, *addr, *raw)
-	case "reconcile":
-		err = reconcile(client, *addr, *raw)
-	default:
-		err = fmt.Errorf("unknown command %q (want status or reconcile)", cmd)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cdnctl:", err)
-		os.Exit(1)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		code := 1
+		if err == flag.ErrHelp || strings.HasPrefix(err.Error(), "usage:") {
+			code = 2
+		}
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "cdnctl:", err)
+		}
+		os.Exit(code)
 	}
 }
 
-// get fetches url and decodes the JSON body into v, keeping the raw
+// run is the whole CLI behind a testable seam: args are the command-line
+// arguments after the program name, out receives all normal output.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cdnctl", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "cdnd metrics address serving /debug/control and /debug/health")
+		raw     = fs.Bool("json", false, "print the raw JSON response")
+		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cdnctl [flags] status|reconcile|health\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("usage: expected exactly one command")
+	}
+	client := &http.Client{Timeout: *timeout}
+	switch cmd := fs.Arg(0); cmd {
+	case "status":
+		return status(client, *addr, *raw, out)
+	case "reconcile":
+		return reconcile(client, *addr, *raw, out)
+	case "health":
+		return health(client, *addr, *raw, out)
+	default:
+		return fmt.Errorf("unknown command %q (want status, reconcile or health)", cmd)
+	}
+}
+
+// fetch requests url and decodes the JSON body into v, keeping the raw
 // bytes for -json passthrough.
 func fetch(client *http.Client, method, url string, v any) ([]byte, error) {
 	req, err := http.NewRequest(method, url, nil)
@@ -77,51 +95,82 @@ func fetch(client *http.Client, method, url string, v any) ([]byte, error) {
 	return body, json.Unmarshal(body, v)
 }
 
-func status(client *http.Client, addr string, raw bool) error {
+func status(client *http.Client, addr string, raw bool, out io.Writer) error {
 	var st control.Status
 	body, err := fetch(client, http.MethodGet, "http://"+addr+"/debug/control", &st)
 	if err != nil {
 		return err
 	}
 	if raw {
-		os.Stdout.Write(body)
+		out.Write(body)
 		return nil
 	}
-	fmt.Printf("rounds     %d (applied %d, skipped %d, noop %d, no-signal %d)\n",
+	fmt.Fprintf(out, "rounds     %d (applied %d, skipped %d, noop %d, no-signal %d)\n",
 		st.Rounds, st.Applied, st.Skipped, st.Noops, st.NoSignal)
-	fmt.Printf("observed   %d requests\n", st.Observed)
-	fmt.Printf("replicas   %d\n", st.Replicas)
+	fmt.Fprintf(out, "observed   %d requests\n", st.Observed)
+	fmt.Fprintf(out, "replicas   %d\n", st.Replicas)
 	for i, sites := range st.Placement {
-		fmt.Printf("  edge %d: %v\n", i, sites)
+		fmt.Fprintf(out, "  edge %d: %v\n", i, sites)
 	}
 	if st.Last != nil {
-		fmt.Printf("last round %d: %s, +%d/-%d replicas, net benefit %.4f (old %.4f → new %.4f)\n",
+		fmt.Fprintf(out, "last round %d: %s, +%d/-%d replicas, net benefit %.4f (old %.4f → new %.4f)\n",
 			st.Last.Round, st.Last.Outcome,
 			len(st.Last.Diff.Created), len(st.Last.Diff.Dropped),
 			st.Last.NetBenefit, st.Last.OldCost, st.Last.NewCost)
+		if len(st.Last.Excluded) > 0 {
+			fmt.Fprintf(out, "           excluded unhealthy edges %v\n", st.Last.Excluded)
+		}
 	}
 	if st.Pending != nil {
-		fmt.Printf("pending    +%d/-%d replicas withheld by hysteresis (%.3f GB·hops)\n",
+		fmt.Fprintf(out, "pending    +%d/-%d replicas withheld by hysteresis (%.3f GB·hops)\n",
 			len(st.Pending.Created), len(st.Pending.Dropped), st.Pending.TransferGBHops)
 	}
 	return nil
 }
 
-func reconcile(client *http.Client, addr string, raw bool) error {
+func reconcile(client *http.Client, addr string, raw bool, out io.Writer) error {
 	var rep control.Report
 	body, err := fetch(client, http.MethodPost, "http://"+addr+"/debug/control/reconcile", &rep)
 	if err != nil {
 		return err
 	}
 	if raw {
-		os.Stdout.Write(body)
+		out.Write(body)
 		return nil
 	}
-	fmt.Printf("round %d: %s\n", rep.Round, rep.Outcome)
-	fmt.Printf("  window     %d requests\n", rep.WindowRequests)
-	fmt.Printf("  plan       +%d/-%d replicas, %.3f GB·hops transfer, %d deferred\n",
+	fmt.Fprintf(out, "round %d: %s\n", rep.Round, rep.Outcome)
+	fmt.Fprintf(out, "  window     %d requests\n", rep.WindowRequests)
+	fmt.Fprintf(out, "  plan       +%d/-%d replicas, %.3f GB·hops transfer, %d deferred\n",
 		len(rep.Diff.Created), len(rep.Diff.Dropped), rep.Diff.TransferGBHops, rep.CreatesDeferred)
-	fmt.Printf("  objective  %.4f → %.4f hops/request (net benefit %.4f)\n",
+	fmt.Fprintf(out, "  objective  %.4f → %.4f hops/request (net benefit %.4f)\n",
 		rep.OldCost, rep.NewCost, rep.NetBenefit)
+	if len(rep.Excluded) > 0 {
+		fmt.Fprintf(out, "  excluded   unhealthy edges %v\n", rep.Excluded)
+	}
+	return nil
+}
+
+func health(client *http.Client, addr string, raw bool, out io.Writer) error {
+	var hr httpcdn.HealthReport
+	body, err := fetch(client, http.MethodGet, "http://"+addr+"/debug/health", &hr)
+	if err != nil {
+		return err
+	}
+	if raw {
+		out.Write(body)
+		return nil
+	}
+	print := func(ss []httpcdn.HealthStatus) {
+		for _, s := range ss {
+			fmt.Fprintf(out, "%-8s %4d  %-8s fails=%d ejections=%d readmissions=%d",
+				s.Kind, s.ID, s.State, s.ConsecutiveFailures, s.Ejections, s.Readmissions)
+			if s.RetryInMs > 0 {
+				fmt.Fprintf(out, " retry-in=%dms", s.RetryInMs)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	print(hr.Edges)
+	print(hr.Origins)
 	return nil
 }

@@ -16,6 +16,13 @@
 // hysteresis. Its state is served at /debug/control on the -metrics
 // address (cdnctl is the client).
 //
+// With -fault-mode a fault injector degrades a set of edges for a window
+// of the load (-fault-edges, -fault-from, -fault-to): requests to those
+// edges fail, stall, or hang, the passive health tracker ejects them,
+// redirection routes around them, and — with the control loop on — the
+// controller reconciles placement without the dead edges. Health state
+// is served at /debug/health on the -metrics address.
+//
 // SIGINT/SIGTERM stop the load generator, drain the metrics endpoint
 // and shut the cluster down cleanly.
 //
@@ -25,6 +32,7 @@
 //	cdnd -requests 5000 -hopdelay 2ms -capacity 0.15
 //	cdnd -metrics 127.0.0.1:0 -linger 30s
 //	cdnd -metrics 127.0.0.1:8080 -control-interval 5s -linger 10m
+//	cdnd -fault-mode error -fault-edges 0,1 -fault-from 500 -fault-to 1500
 package main
 
 import (
@@ -35,10 +43,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/control"
+	"repro/internal/fault"
 	"repro/internal/httpcdn"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -59,6 +71,11 @@ type options struct {
 	ctrlInterval time.Duration
 	ctrlHyst     float64
 	ctrlCooldown int
+	faultMode    string
+	faultEdges   string
+	faultLatency time.Duration
+	faultFrom    int
+	faultTo      int
 }
 
 func main() {
@@ -73,6 +90,11 @@ func main() {
 	flag.DurationVar(&opt.ctrlInterval, "control-interval", 0, "run the online control loop, reconciling at this interval (0 disables)")
 	flag.Float64Var(&opt.ctrlHyst, "control-hysteresis", 0, "minimum net benefit, as a fraction of current predicted cost, before a plan applies (0 = default, negative = off)")
 	flag.IntVar(&opt.ctrlCooldown, "control-cooldown", 0, "reconcile rounds a just-changed site stays frozen (0 = default, negative = off)")
+	flag.StringVar(&opt.faultMode, "fault-mode", "off", "fault to inject into -fault-edges: off, error, latency or blackhole")
+	flag.StringVar(&opt.faultEdges, "fault-edges", "0", "comma-separated edge ids the injector degrades")
+	flag.DurationVar(&opt.faultLatency, "fault-latency", 200*time.Millisecond, "added delay per request in latency mode")
+	flag.IntVar(&opt.faultFrom, "fault-from", 0, "client request index at which the fault starts")
+	flag.IntVar(&opt.faultTo, "fault-to", 0, "client request index at which the fault clears (0 = never)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -132,17 +154,56 @@ func run(ctx context.Context, opt options) error {
 	fmt.Printf("hybrid placement: %d replicas, predicted cost %.3f hops/request\n\n",
 		res.Placement.Replicas(), res.PredictedCost)
 
+	// The controller is created after the cluster (it needs the running
+	// cluster as target and health view), so the health callback reaches
+	// it through an atomic pointer.
+	var ctrlRef atomic.Pointer[control.Controller]
 	hcfg := httpcdn.DefaultConfig()
 	hcfg.PerHopDelay = opt.hopDelay
 	hcfg.Metrics = reg
 	if est != nil {
 		hcfg.RequestTap = est.Observe
 	}
+	hcfg.OnHealthChange = func(kind string, id int, ejected bool) {
+		if ejected {
+			fmt.Printf("health: %s %d ejected\n", kind, id)
+		} else {
+			fmt.Printf("health: %s %d readmitted\n", kind, id)
+		}
+		if c := ctrlRef.Load(); c != nil && kind == "edge" {
+			if !ejected {
+				// A recovered edge may deserve its replicas back
+				// immediately; clear placement cooldowns first.
+				c.Unfreeze()
+			}
+			c.Kick()
+		}
+	}
 	cl, err := httpcdn.Start(sc, res.Placement, hcfg)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+
+	faultMode, ok := fault.ParseMode(opt.faultMode)
+	if !ok {
+		return fmt.Errorf("bad -fault-mode %q (want off, error, latency or blackhole)", opt.faultMode)
+	}
+	var faultEdges []int
+	if faultMode != fault.ModeOff {
+		for _, f := range strings.Split(opt.faultEdges, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || id < 0 || id >= sc.Sys.N() {
+				return fmt.Errorf("bad -fault-edges entry %q", f)
+			}
+			faultEdges = append(faultEdges, id)
+		}
+	}
+	setFault := func(m fault.Mode) {
+		for _, id := range faultEdges {
+			cl.EdgeInjector(id).Set(m, opt.faultLatency)
+		}
+	}
 
 	var ctrl *control.Controller
 	if opt.ctrlInterval > 0 {
@@ -152,6 +213,7 @@ func run(ctx context.Context, opt options) error {
 			AvgObjectBytes: sc.Work.AvgObjectBytes,
 			Target:         cl,
 			Estimator:      est,
+			Health:         cl,
 			Interval:       opt.ctrlInterval,
 			Hysteresis:     opt.ctrlHyst,
 			CooldownRounds: opt.ctrlCooldown,
@@ -163,6 +225,7 @@ func run(ctx context.Context, opt options) error {
 		if err != nil {
 			return err
 		}
+		ctrlRef.Store(ctrl)
 		go ctrl.Run(ctx)
 		fmt.Printf("control loop: reconciling every %v\n", opt.ctrlInterval)
 	}
@@ -173,13 +236,14 @@ func run(ctx context.Context, opt options) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		mux := reg.DebugMux()
+		mux.Handle("/debug/health", cl.HealthHandler())
 		if ctrl != nil {
 			h := control.Handler(ctrl)
 			mux.Handle("/debug/control", h)
 			mux.Handle("/debug/control/reconcile", h)
 		}
 		srv := &http.Server{Handler: mux}
-		fmt.Printf("observability at http://%s/metrics (also /debug/vars, /debug/pprof/", ln.Addr())
+		fmt.Printf("observability at http://%s/metrics (also /debug/vars, /debug/pprof/, /debug/health", ln.Addr())
 		if ctrl != nil {
 			fmt.Print(", /debug/control")
 		}
@@ -213,6 +277,38 @@ func run(ctx context.Context, opt options) error {
 			obs.Labels{"source": src}, obs.DefaultLatencyBuckets())
 	}
 	failed := reg.Counter("cdnd_client_errors_total", "Client requests that failed.", nil)
+	steered := reg.Counter("cdnd_client_steered_total",
+		"Client requests redirected away from an unhealthy first-hop edge.", nil)
+
+	// pickHop plays the redirector's part: a client assigned to an edge
+	// the health tracker has ejected is steered to the cheapest healthy
+	// edge instead (the DNS-level move a real CDN would make). An edge
+	// whose half-open probe window is open ("probing") stays eligible —
+	// the one client request it receives is the probe that readmits it.
+	pickHop := func(want int, avoid int) int {
+		down := make(map[int]bool)
+		for _, e := range cl.Health().Edges {
+			if e.State == "ejected" {
+				down[e.ID] = true
+			}
+		}
+		if want != avoid && !down[want] {
+			return want
+		}
+		best, bestCost := -1, 0.0
+		for k := 0; k < sc.Sys.N(); k++ {
+			if k == avoid || down[k] {
+				continue
+			}
+			if cost := sc.Sys.CostServer[want][k]; best < 0 || cost < bestCost {
+				best, bestCost = k, cost
+			}
+		}
+		if best < 0 {
+			return want
+		}
+		return best
+	}
 
 	fmt.Printf("\nissuing %d client requests...\n", opt.requests)
 	stream := sc.Stream(xrand.New(opt.seed + 1000))
@@ -223,8 +319,43 @@ func run(ctx context.Context, opt options) error {
 			fmt.Printf("\ninterrupted after %d requests, shutting down\n", issued)
 			break
 		}
+		if faultMode != fault.ModeOff && k == opt.faultFrom {
+			fmt.Printf("fault: %s on edges %v\n", faultMode, faultEdges)
+			setFault(faultMode)
+		}
+		if faultMode != fault.ModeOff && opt.faultTo > opt.faultFrom && k == opt.faultTo {
+			fmt.Printf("fault: cleared on edges %v\n", faultEdges)
+			setFault(fault.ModeOff)
+		}
 		req := stream.Next()
-		fr, err := cl.Fetch(req.Server, req.Site, req.Object)
+		hop := pickHop(req.Server, -1)
+		if hop != req.Server {
+			steered.Inc()
+		}
+		fr, err := cl.Fetch(ctx, hop, req.Site, req.Object)
+		// Failover: each failed fetch fed the health tracker, so walk the
+		// remaining edges (nearest healthy first) before giving up — a
+		// request is lost only when every edge fails it.
+		for tried := map[int]bool{hop: true}; err != nil && ctx.Err() == nil && len(tried) < sc.Sys.N(); {
+			alt := pickHop(req.Server, hop)
+			if tried[alt] {
+				// pickHop converged on an edge that already failed; scan
+				// for any untried one.
+				alt = -1
+				for k := 0; k < sc.Sys.N(); k++ {
+					if !tried[k] {
+						alt = k
+						break
+					}
+				}
+				if alt < 0 {
+					break
+				}
+			}
+			tried[alt] = true
+			steered.Inc()
+			fr, err = cl.Fetch(ctx, alt, req.Site, req.Object)
+		}
 		issued++
 		if err != nil {
 			if failed.Value() < 5 {
@@ -237,9 +368,9 @@ func run(ctx context.Context, opt options) error {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\n%d requests in %v (%.0f req/s), %d failed\n",
+	fmt.Printf("\n%d requests in %v (%.0f req/s), %d failed, %d steered around unhealthy edges\n",
 		issued, elapsed.Round(time.Millisecond),
-		float64(issued)/elapsed.Seconds(), failed.Value())
+		float64(issued)/elapsed.Seconds(), failed.Value(), steered.Value())
 	fmt.Println("source      count  share     p50ms    p95ms    p99ms")
 	var total int64
 	for _, src := range obs.Sources {

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -34,7 +36,7 @@ func main() {
 // defers run before os.Exit.
 func realMain() int {
 	var (
-		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all")
+		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all")
 		quick    = flag.Bool("quick", false, "use the reduced-scale configuration (fast smoke run)")
 		seed     = flag.Uint64("seed", 1, "scenario seed (topology, workload, placement)")
 		trace    = flag.Uint64("traceseed", 99, "request-trace seed")
@@ -99,11 +101,16 @@ func realMain() int {
 		opts.Base.Workload.Theta = *theta
 	}
 
+	// Ctrl-C cancels the run between request batches instead of killing
+	// the process mid-figure (profiles still get written).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var err error
 	if *tracePth != "" {
-		err = runTraced(opts, *tracePth)
+		err = runTraced(ctx, opts, *tracePth)
 	} else {
-		err = run(*figure, opts)
+		err = run(ctx, *figure, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cdnsim:", err)
@@ -115,7 +122,7 @@ func realMain() int {
 // renderPlots switches the CDF panels from tables to ASCII charts.
 var renderPlots bool
 
-func run(figure string, opts repro.Options) error {
+func run(ctx context.Context, figure string, opts repro.Options) error {
 	printPanels := func(panels []repro.Panel, err error) error {
 		if err != nil {
 			return err
@@ -131,20 +138,20 @@ func run(figure string, opts repro.Options) error {
 	}
 	switch figure {
 	case "3":
-		return printPanels(repro.Figure3(opts))
+		return printPanels(repro.Figure3(ctx, opts))
 	case "4":
-		return printPanels(repro.Figure4(opts))
+		return printPanels(repro.Figure4(ctx, opts))
 	case "5":
-		return printPanels(repro.Figure5(opts))
+		return printPanels(repro.Figure5(ctx, opts))
 	case "6":
-		rows, err := repro.Figure6(opts)
+		rows, err := repro.Figure6(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatFig6(rows))
 		return nil
 	case "summary":
-		rows, err := repro.Summary(opts)
+		rows, err := repro.Summary(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -152,7 +159,7 @@ func run(figure string, opts repro.Options) error {
 		return nil
 	case "clusters":
 		for _, n := range []int{2, 4, 8} {
-			rows, err := repro.ClusterComparison(opts, n)
+			rows, err := repro.ClusterComparison(ctx, opts, n)
 			if err != nil {
 				return err
 			}
@@ -160,61 +167,61 @@ func run(figure string, opts repro.Options) error {
 		}
 		return nil
 	case "consistency":
-		rows, err := repro.ConsistencyComparison(opts)
+		rows, err := repro.ConsistencyComparison(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatConsistencyRows(rows))
 		return nil
 	case "availability":
-		rows, err := repro.AvailabilityComparison(opts, []int{0, 2, 5, 10}, 2)
+		rows, err := repro.AvailabilityComparison(ctx, opts, []int{0, 2, 5, 10}, 2)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatAvailabilityRows(rows))
 		return nil
 	case "redirection":
-		rows, err := repro.RedirectionComparison(opts)
+		rows, err := repro.RedirectionComparison(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatRedirectRows(rows))
 		return nil
 	case "kmedian":
-		rows, err := repro.KMedianQuality(opts, []int{1, 2, 3})
+		rows, err := repro.KMedianQuality(ctx, opts, []int{1, 2, 3})
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatKMedianRows(rows))
 		return nil
 	case "model":
-		rows, err := repro.ModelComparison(opts, []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4})
+		rows, err := repro.ModelComparison(ctx, opts, []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4})
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatModelCompareRows(rows))
-		robust, err := repro.ModelRobustness(opts, []float64{0, 0.2, 0.4, 0.6})
+		robust, err := repro.ModelRobustness(ctx, opts, []float64{0, 0.2, 0.4, 0.6})
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatRobustnessRows(robust))
 		return nil
 	case "updates":
-		rows, err := repro.UpdateSweep(opts, []float64{0, 0.1, 0.25, 0.5, 1.0})
+		rows, err := repro.UpdateSweep(ctx, opts, []float64{0, 0.1, 0.25, 0.5, 1.0})
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatUpdateRows(rows))
 		return nil
 	case "seeds":
-		rows, err := repro.SummaryOverSeeds(opts, []uint64{1, 2, 3, 4, 5})
+		rows, err := repro.SummaryOverSeeds(ctx, opts, []uint64{1, 2, 3, 4, 5})
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatGainStats(rows))
 		return nil
 	case "heterogeneity":
-		rows, err := repro.HeterogeneityComparison(opts, []float64{0, 0.4, 0.8, 1.2})
+		rows, err := repro.HeterogeneityComparison(ctx, opts, []float64{0, 0.4, 0.8, 1.2})
 		if err != nil {
 			return err
 		}
@@ -222,37 +229,44 @@ func run(figure string, opts repro.Options) error {
 		return nil
 	case "drift":
 		cfg := repro.DefaultDriftConfig()
-		rows, err := repro.DriftComparison(opts, cfg)
+		rows, err := repro.DriftComparison(ctx, opts, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatDriftRows(rows, cfg))
 		return nil
 	case "ablations":
-		policy, err := repro.CachePolicyAblation(opts)
+		policy, err := repro.CachePolicyAblation(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatPolicyRows(policy))
-		theta, err := repro.ThetaSweep(opts, []float64{0.6, 0.8, 1.0, 1.2, 1.4})
+		theta, err := repro.ThetaSweep(ctx, opts, []float64{0.6, 0.8, 1.0, 1.2, 1.4})
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatThetaRows(theta))
-		pl, err := repro.PlacementAblation(opts)
+		pl, err := repro.PlacementAblation(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(repro.FormatPlacementRows(pl))
 		return nil
+	case "churn":
+		rows, err := repro.ChurnComparison(ctx, opts, repro.DefaultChurn())
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatChurnRows(rows))
+		return nil
 	case "all":
-		for _, f := range []string{"3", "4", "5", "6", "summary", "ablations", "clusters", "consistency", "availability", "drift", "redirection", "kmedian", "model", "updates", "heterogeneity"} {
-			if err := run(f, opts); err != nil {
+		for _, f := range []string{"3", "4", "5", "6", "summary", "ablations", "clusters", "consistency", "availability", "churn", "drift", "redirection", "kmedian", "model", "updates", "heterogeneity"} {
+			if err := run(ctx, f, opts); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all)", figure)
+		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all)", figure)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -16,7 +17,7 @@ import (
 // end-of-run snapshot that reconciles each server's *measured* cache
 // hit ratio against the LRU model's (Eqs. (1)–(2)) prediction — the
 // §5/Figure 6 model-vs-system comparison at per-edge granularity.
-func runTraced(opts repro.Options, path string) error {
+func runTraced(ctx context.Context, opts repro.Options, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -28,7 +29,7 @@ func runTraced(opts repro.Options, path string) error {
 	if err != nil {
 		return err
 	}
-	res, err := repro.HybridPlacement(sc)
+	res, err := repro.Place(sc, repro.PlacementConfig{Strategy: repro.StrategyHybrid})
 	if err != nil {
 		return err
 	}
@@ -37,7 +38,7 @@ func runTraced(opts repro.Options, path string) error {
 	cfg.Tracer = tracer
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
-	m, err := sim.RunParallel(sc, res.Placement, cfg, xrand.New(opts.TraceSeed))
+	m, err := sim.RunParallel(ctx, sc, res.Placement, cfg, xrand.New(opts.TraceSeed))
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro"
@@ -44,11 +45,11 @@ func ExampleHybridPlacement() {
 	simCfg := repro.DefaultSim()
 	simCfg.Requests, simCfg.Warmup = 60000, 60000
 
-	mHybrid := repro.MustSimulate(sc, hybrid.Placement, simCfg, 1)
+	mHybrid := repro.MustSimulate(context.Background(), sc, hybrid.Placement, simCfg, 1)
 	simCfg.UseCache = false
-	mRepl := repro.MustSimulate(sc, replication.Placement, simCfg, 1)
+	mRepl := repro.MustSimulate(context.Background(), sc, replication.Placement, simCfg, 1)
 	simCfg.UseCache = true
-	mCache := repro.MustSimulate(sc, caching.Placement, simCfg, 1)
+	mCache := repro.MustSimulate(context.Background(), sc, caching.Placement, simCfg, 1)
 
 	fmt.Println("hybrid beats replication:", mHybrid.MeanRTMs < mRepl.MeanRTMs)
 	fmt.Println("hybrid beats caching:", mHybrid.MeanRTMs < mCache.MeanRTMs)
@@ -68,7 +69,7 @@ func ExampleSimulateTrace() {
 	simCfg := repro.DefaultSim()
 	simCfg.Requests, simCfg.Warmup = 30000, 10000
 
-	live := repro.MustSimulate(sc, p.Placement, simCfg, 7)
+	live := repro.MustSimulate(context.Background(), sc, p.Placement, simCfg, 7)
 
 	// Record the same stream, then replay it.
 	var buf bytes.Buffer
@@ -89,7 +90,7 @@ func ExampleSimulateTrace() {
 		return
 	}
 	r, _ := repro.NewTraceReader(&buf)
-	replay, err := repro.SimulateTrace(sc, p.Placement, simCfg, r)
+	replay, err := repro.SimulateTrace(context.Background(), sc, p.Placement, simCfg, r)
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 		}
 		c := simCfg
 		c.UseCache = frac > 0
-		m := repro.MustSimulate(sc, res.Placement, c, traceSeed)
+		m := repro.MustSimulate(context.Background(), sc, res.Placement, c, traceSeed)
 		fmt.Printf("cache=%3.0f%%     %12.2f %12.3f %10d\n",
 			100*frac, m.MeanRTMs, m.MeanHops, res.Placement.Replicas())
 	}
@@ -49,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := repro.MustSimulate(sc, hyb.Placement, simCfg, traceSeed)
+	m := repro.MustSimulate(context.Background(), sc, hyb.Placement, simCfg, traceSeed)
 	fmt.Printf("%-14s %12.2f %12.3f %10d\n", "hybrid", m.MeanRTMs, m.MeanHops, hyb.Placement.Replicas())
 
 	fmt.Println()

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	fmt.Printf("popularity drift over %d epochs (σ=%.1f) — 10 servers, 16 sites, 10%% capacity\n\n",
 		cfg.Epochs, cfg.Drift)
 
-	rows, err := repro.DriftComparison(opts, cfg)
+	rows, err := repro.DriftComparison(context.Background(), opts, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	fmt.Println("(2 CDN servers down in every scenario; origins crash progressively)")
 	fmt.Println()
 
-	rows, err := repro.AvailabilityComparison(opts, []int{0, 2, 4, 8}, 2)
+	rows, err := repro.AvailabilityComparison(context.Background(), opts, []int{0, 2, 4, 8}, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

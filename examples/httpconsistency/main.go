@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 
 		const edge, site, object = 0, 0, 1
 		step := func(label string) {
-			res, err := cl.Fetch(edge, site, object)
+			res, err := cl.Fetch(context.Background(), edge, site, object)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	run := func(name string, p *repro.Placement, useCache bool) {
 		c := simCfg
 		c.UseCache = useCache
-		m := repro.MustSimulate(sc, p, c, traceSeed)
+		m := repro.MustSimulate(context.Background(), sc, p, c, traceSeed)
 		fmt.Printf("%-12s mean RT %7.2f ms | mean cost %5.3f hops | local %5.1f%% | replicas %d\n",
 			name, m.MeanRTMs, m.MeanHops, 100*m.LocalFraction(), p.Replicas())
 	}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 		}
 		c := simCfg
 		c.UseCache = useCache
-		m, err := repro.SimulateTrace(sc, p, c, r)
+		m, err := repro.SimulateTrace(context.Background(), sc, p, c, r)
 		if err != nil {
 			log.Fatal(err)
 		}

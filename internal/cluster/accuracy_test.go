@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestClusterModelPredictsSimulatedCost(t *testing.T) {
 	cfg.Warmup = 150000
 	cfg.KeepResponseTimes = false
 	cfg.UnitOf = c.UnitOf
-	m, err := sim.Run(sc, res.Placement, cfg, xrand.New(7))
+	m, err := sim.Run(context.Background(), sc, res.Placement, cfg, xrand.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestClusterSimAccounting(t *testing.T) {
 	cfg.UseCache = false
 	cfg.KeepResponseTimes = false
 	cfg.UnitOf = c.UnitOf
-	m, err := sim.Run(sc, res.Placement, cfg, xrand.New(9))
+	m, err := sim.Run(context.Background(), sc, res.Placement, cfg, xrand.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,6 +61,14 @@ const (
 	DefaultTransferWeight = 0.05
 )
 
+// HealthView is the failure signal a deployment exposes to the
+// controller: which edge servers are currently ejected by the passive
+// health tracker. httpcdn.Cluster satisfies it structurally, so neither
+// package imports the other.
+type HealthView interface {
+	EjectedEdges() []int
+}
+
 // Config parameterizes a Controller.
 type Config struct {
 	// Base supplies the deployment's costs, capacities and site sizes;
@@ -78,8 +86,15 @@ type Config struct {
 	// controller build one (EstimatorConfig defaults) — reachable via
 	// Estimator() for wiring into a request tap.
 	Estimator *Estimator
-	// Interval is the Run loop's reconcile cadence.
+	// Interval is the Run loop's reconcile cadence. Non-positive means
+	// no periodic rounds: Run still serves Kick-triggered ones.
 	Interval time.Duration
+	// Health, when non-nil, is consulted at the start of every reconcile:
+	// ejected edges are excluded from the placement proposal (their
+	// capacity is zeroed in the optimizer's view and their replicas are
+	// dropped from the applied placement), so demand shifts onto live
+	// servers until the health tracker readmits them.
+	Health HealthView
 	// Hysteresis is the minimum net benefit — as a fraction of the
 	// current placement's predicted cost — a plan needs before it is
 	// applied. 0 selects DefaultHysteresis; negative disables (every
@@ -134,6 +149,9 @@ type Report struct {
 	// CreatesDeferred counts proposed creations withheld this round by
 	// a site cool-down or by capacity after partial application.
 	CreatesDeferred int `json:"creates_deferred"`
+	// Excluded lists the edges the health view reported ejected, which
+	// this round's proposal therefore placed nothing on.
+	Excluded []int `json:"excluded,omitempty"`
 }
 
 // Status is the controller state snapshot served at /debug/control.
@@ -161,8 +179,9 @@ type Status struct {
 
 // Controller closes the estimation → placement → swap loop.
 type Controller struct {
-	cfg Config
-	est *Estimator
+	cfg  Config
+	est  *Estimator
+	kick chan struct{}
 
 	mu            sync.Mutex
 	round         int64
@@ -213,6 +232,7 @@ func New(cfg Config) (*Controller, error) {
 	c := &Controller{
 		cfg:           cfg,
 		est:           est,
+		kick:          make(chan struct{}, 1),
 		cooldownUntil: make([]int64, cfg.Base.M()),
 		counts:        make(map[Outcome]int64),
 	}
@@ -247,23 +267,50 @@ func New(cfg Config) (*Controller, error) {
 // Observe into the deployment's request tap.
 func (c *Controller) Estimator() *Estimator { return c.est }
 
-// Run reconciles on cfg.Interval until ctx is cancelled. A non-positive
-// interval returns immediately (manual Reconcile only).
+// Run reconciles on cfg.Interval — and immediately on every Kick —
+// until ctx is cancelled. With a non-positive interval the loop is
+// kick-driven only.
 func (c *Controller) Run(ctx context.Context) {
-	if c.cfg.Interval <= 0 {
-		return
+	var tick <-chan time.Time
+	if c.cfg.Interval > 0 {
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
 	}
-	t := time.NewTicker(c.cfg.Interval)
-	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
-			if _, err := c.Reconcile(); err != nil && c.cfg.Logf != nil {
-				c.cfg.Logf("control: reconcile failed: %v", err)
-			}
+		case <-tick:
+		case <-c.kick:
 		}
+		if _, err := c.Reconcile(); err != nil && c.cfg.Logf != nil {
+			c.cfg.Logf("control: reconcile failed: %v", err)
+		}
+	}
+}
+
+// Kick requests an out-of-band reconcile from the Run loop without
+// waiting for the next tick — the failure-reactive path: wire it to the
+// deployment's health-change hook so an ejection re-places immediately.
+// Kicks coalesce; Kick never blocks. Without a running Run loop a kick
+// sits until one starts (call Reconcile directly in harnesses).
+func (c *Controller) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Unfreeze clears every site cool-down so the next reconcile may move
+// anything. Call it when a component recovers: the cool-downs exist to
+// damp estimate noise, and a real topology change should not wait them
+// out.
+func (c *Controller) Unfreeze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for j := range c.cooldownUntil {
+		c.cooldownUntil[j] = 0
 	}
 }
 
@@ -285,7 +332,32 @@ func (c *Controller) Reconcile() (*Report, error) {
 		c.round--
 		return nil, err
 	}
-	prop, err := placement.Hybrid(sys, placement.HybridConfig{
+
+	// Health exclusion: the optimizer sees ejected edges with zero
+	// capacity (so their demand is redistributed), while the applied
+	// placement is still built on the capacity-correct system — the
+	// target's SwapPlacement checks capacities against the deployment.
+	var down []bool
+	if c.cfg.Health != nil {
+		if ejected := c.cfg.Health.EjectedEdges(); len(ejected) > 0 {
+			down = make([]bool, sys.N())
+			for _, i := range ejected {
+				if i >= 0 && i < len(down) {
+					down[i] = true
+					rep.Excluded = append(rep.Excluded, i)
+				}
+			}
+		}
+	}
+	view := sys
+	if down != nil {
+		view, err = sys.WithServersDown(down)
+		if err != nil {
+			c.round--
+			return nil, err
+		}
+	}
+	prop, err := placement.Hybrid(view, placement.HybridConfig{
 		Specs:          c.cfg.Specs,
 		AvgObjectBytes: c.cfg.AvgObjectBytes,
 		Parallelism:    c.cfg.Parallelism,
@@ -296,7 +368,7 @@ func (c *Controller) Reconcile() (*Report, error) {
 	}
 
 	cur := c.cfg.Target.Placement()
-	next, deferred, err := c.plan(sys, cur, prop)
+	next, deferred, err := c.plan(sys, cur, prop, down)
 	if err != nil {
 		c.round--
 		return nil, err
@@ -369,7 +441,9 @@ func (c *Controller) finish(rep *Report, o Outcome) *Report {
 // algorithm's own benefit order, skipping any that no longer fit the
 // mixed column's capacity; skipped creations are deferred to a later
 // round, never silently forgotten (they reappear in the next proposal).
-func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement.Result) (p *core.Placement, deferred int, err error) {
+// Nothing is placed on a down server, cool-down or not: its replicas
+// are unreachable, and dropping them lets Nearest route around it.
+func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement.Result, down []bool) (p *core.Placement, deferred int, err error) {
 	n, m := sys.N(), sys.M()
 	frozen := make([]bool, m)
 	for j := 0; j < m; j++ {
@@ -377,6 +451,9 @@ func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement
 	}
 	next := core.NewPlacement(sys)
 	for i := 0; i < n; i++ {
+		if down != nil && down[i] {
+			continue
+		}
 		for j := 0; j < m; j++ {
 			if !cur.Has(i, j) {
 				continue
@@ -389,6 +466,9 @@ func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement
 		}
 	}
 	for _, s := range prop.Steps {
+		if down != nil && down[s.Server] {
+			continue
+		}
 		if frozen[s.Site] {
 			deferred++
 			continue

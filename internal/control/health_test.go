@@ -1,0 +1,183 @@
+package control
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+)
+
+// fakeHealth is a mutable HealthView for tests.
+type fakeHealth struct {
+	mu      sync.Mutex
+	ejected []int
+}
+
+func (h *fakeHealth) set(ids ...int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ejected = ids
+}
+
+func (h *fakeHealth) EjectedEdges() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.ejected...)
+}
+
+// TestReconcileExcludesEjectedEdges: with a health view reporting dead
+// edges, the reconcile reports them in Excluded, drops their replicas,
+// and places nothing new on them; once health clears, a later round
+// repopulates them.
+func TestReconcileExcludesEjectedEdges(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	health := &fakeHealth{}
+	ctrl := newTestController(t, sc, target, func(cfg *Config) {
+		cfg.Health = health
+		cfg.Hysteresis = -1
+		cfg.CooldownRounds = -1
+	})
+
+	// Healthy baseline round.
+	feedExact(ctrl.Estimator(), sc.Sys)
+	rep, err := ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Excluded) != 0 {
+		t.Fatalf("healthy round excluded %v", rep.Excluded)
+	}
+	// Pick a server the baseline actually uses, so the exclusion has bite.
+	down := -1
+	base := target.Placement()
+	for i := 0; i < sc.Sys.N() && down < 0; i++ {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if base.Has(i, j) {
+				down = i
+				break
+			}
+		}
+	}
+	if down < 0 {
+		t.Fatal("baseline placed no replicas; scenario too easy")
+	}
+
+	health.set(down)
+	feedExact(ctrl.Estimator(), sc.Sys)
+	rep, err = ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Excluded) != 1 || rep.Excluded[0] != down {
+		t.Fatalf("Excluded = %v, want [%d]", rep.Excluded, down)
+	}
+	if len(rep.Diff.Dropped) == 0 {
+		t.Fatal("no replicas dropped from the dead server")
+	}
+	after := target.Placement()
+	for j := 0; j < sc.Sys.M(); j++ {
+		if after.Has(down, j) {
+			t.Fatalf("site %d still placed on excluded server %d", j, down)
+		}
+	}
+
+	// Recovery: the exclusion lifts and the server is repopulated.
+	health.set()
+	feedExact(ctrl.Estimator(), sc.Sys)
+	rep, err = ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Excluded) != 0 {
+		t.Fatalf("post-recovery round excluded %v", rep.Excluded)
+	}
+	repopulated := false
+	for j := 0; j < sc.Sys.M(); j++ {
+		if target.Placement().Has(down, j) {
+			repopulated = true
+		}
+	}
+	if !repopulated {
+		t.Fatalf("recovered server %d never repopulated", down)
+	}
+}
+
+// TestKickDrivesRunLoop: with no interval, Run reconciles only on Kick,
+// and kicks coalesce instead of queueing.
+func TestKickDrivesRunLoop(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); ctrl.Run(ctx) }()
+
+	waitRounds := func(n int64) {
+		t.Helper()
+		for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+			if ctrl.Status().Rounds >= n {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("Run never reached %d rounds", n)
+	}
+
+	ctrl.Kick()
+	waitRounds(1)
+	// A burst of kicks coalesces to at most a couple of rounds, not one
+	// round per kick.
+	for i := 0; i < 50; i++ {
+		ctrl.Kick()
+	}
+	waitRounds(2)
+	cancel()
+	<-done
+	if got := ctrl.Status().Rounds; got > 4 {
+		t.Fatalf("50 kicks produced %d rounds; they should coalesce", got)
+	}
+}
+
+// TestUnfreezeClearsCooldowns: an applied plan freezes its sites; a
+// recovery-driven Unfreeze lifts every freeze immediately.
+func TestUnfreezeClearsCooldowns(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, func(cfg *Config) {
+		cfg.CooldownRounds = 5
+		cfg.Hysteresis = -1
+	})
+	feedExact(ctrl.Estimator(), sc.Sys)
+	rep, err := ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != OutcomeApplied || len(rep.Diff.Created) == 0 {
+		t.Fatalf("setup round: %q, +%d", rep.Outcome, len(rep.Diff.Created))
+	}
+	frozen := 0
+	ctrl.mu.Lock()
+	for _, until := range ctrl.cooldownUntil {
+		if until > 0 {
+			frozen++
+		}
+	}
+	ctrl.mu.Unlock()
+	if frozen == 0 {
+		t.Fatal("applied plan set no cool-downs")
+	}
+	ctrl.Unfreeze()
+	ctrl.mu.Lock()
+	for j, until := range ctrl.cooldownUntil {
+		if until != 0 {
+			ctrl.mu.Unlock()
+			t.Fatalf("site %d still frozen after Unfreeze", j)
+		}
+	}
+	ctrl.mu.Unlock()
+}

@@ -122,6 +122,32 @@ func (s *System) WithDemand(demand [][]float64) (*System, error) {
 	}, nil
 }
 
+// WithServersDown derives a System in which the marked servers cannot
+// hold replicas: their storage capacity is zeroed. Costs, site sizes and
+// demand are shared unchanged — a down server's clients still generate
+// demand (the serving layer re-dispatches them), it just must not be a
+// replication target. The failure-reactive control loop runs the
+// placement algorithm on this view so ejected servers are excluded from
+// new plans.
+func (s *System) WithServersDown(down []bool) (*System, error) {
+	if len(down) != s.N() {
+		return nil, fmt.Errorf("core: %d down flags for %d servers", len(down), s.N())
+	}
+	capacity := append([]int64(nil), s.Capacity...)
+	for i, d := range down {
+		if d {
+			capacity[i] = 0
+		}
+	}
+	return &System{
+		CostServer: s.CostServer,
+		CostOrigin: s.CostOrigin,
+		SiteBytes:  s.SiteBytes,
+		Capacity:   capacity,
+		Demand:     s.Demand,
+	}, nil
+}
+
 // Origin is the sentinel "server index" of a site's primary copy in
 // nearest-replicator tables.
 const Origin = -1

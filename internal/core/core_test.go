@@ -316,3 +316,30 @@ func randomSystem(r *xrand.Source, n, m int) *System {
 	}
 	return sys
 }
+
+func TestWithServersDown(t *testing.T) {
+	s := testSystem()
+	view, err := s.WithServersDown([]bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Capacity[0] != 0 || view.Capacity[2] != 0 {
+		t.Fatalf("down servers kept capacity: %v", view.Capacity)
+	}
+	if view.Capacity[1] != s.Capacity[1] {
+		t.Fatalf("healthy server capacity changed: %d", view.Capacity[1])
+	}
+	// The original is untouched and the view shares everything else.
+	if s.Capacity[0] != 150 {
+		t.Fatalf("base system mutated: %v", s.Capacity)
+	}
+	if &view.Demand[0][0] != &s.Demand[0][0] {
+		t.Fatal("demand not shared with the base system")
+	}
+	if err := view.Validate(); err != nil {
+		t.Fatalf("down view does not validate: %v", err)
+	}
+	if _, err := s.WithServersDown([]bool{true}); err == nil {
+		t.Fatal("wrong-length down vector accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"testing"
 )
 
@@ -20,11 +21,11 @@ func TestControlledBeatsStaticUnderDrift(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Epochs = 8
 
-	controlled, err := Run(sc, Controlled, cfg, 7)
+	controlled, err := Run(context.Background(), sc, Controlled, cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := Run(sc, StaticReplication, cfg, 7)
+	static, err := Run(context.Background(), sc, StaticReplication, cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +48,11 @@ func TestControlledPaysBoundedTransfer(t *testing.T) {
 	sc := smallScenario()
 	cfg := fastConfig()
 
-	controlled, err := Run(sc, Controlled, cfg, 11)
+	controlled, err := Run(context.Background(), sc, Controlled, cfg, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	adaptive, err := Run(sc, AdaptiveHybrid, cfg, 11)
+	adaptive, err := Run(context.Background(), sc, AdaptiveHybrid, cfg, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestControlledStationaryDoesNotChurn(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Drift = 0
 
-	res, err := Run(sc, Controlled, cfg, 3)
+	res, err := Run(context.Background(), sc, Controlled, cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -142,8 +143,9 @@ func (r *Result) TotalCostMs(msPerGBHop float64) float64 {
 
 // Run simulates the strategy over the drifting workload. The demand
 // drift sequence is derived from seed alone, so every strategy sees the
-// identical sequence of workloads and request traces.
-func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Result, error) {
+// identical sequence of workloads and request traces. Cancelling ctx
+// aborts between request batches with ctx.Err().
+func Run(ctx context.Context, sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -248,6 +250,9 @@ func Run(sc *scenario.Scenario, strat Strategy, cfg Config, seed uint64) (*Resul
 		er := EpochResult{Epoch: epoch, TransferGBHops: transfer, Replicas: p.Replicas()}
 		var rtSum float64
 		for t := 0; t < warm+cfg.RequestsPerEpoch; t++ {
+			if t%4096 == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			req := stream.Next()
 			i, j := req.Server, req.Site
 			if ctrl != nil {

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/scenario"
@@ -57,7 +58,7 @@ func TestValidate(t *testing.T) {
 
 func TestCachingPaysNoTransfer(t *testing.T) {
 	sc := smallScenario()
-	res, err := Run(sc, Caching, fastConfig(), 7)
+	res, err := Run(context.Background(), sc, Caching, fastConfig(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestCachingPaysNoTransfer(t *testing.T) {
 func TestStaticStrategiesTransferOnce(t *testing.T) {
 	sc := smallScenario()
 	for _, strat := range []Strategy{StaticReplication, StaticHybrid} {
-		res, err := Run(sc, strat, fastConfig(), 7)
+		res, err := Run(context.Background(), sc, strat, fastConfig(), 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestStaticStrategiesTransferOnce(t *testing.T) {
 
 func TestAdaptiveKeepsMoving(t *testing.T) {
 	sc := smallScenario()
-	res, err := Run(sc, AdaptiveHybrid, fastConfig(), 7)
+	res, err := Run(context.Background(), sc, AdaptiveHybrid, fastConfig(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestAdaptiveKeepsMoving(t *testing.T) {
 	}
 	// Adaptive re-placement must also pay more transfer in total than
 	// the one-shot static placement.
-	static, err := Run(sc, StaticHybrid, fastConfig(), 7)
+	static, err := Run(context.Background(), sc, StaticHybrid, fastConfig(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestDriftHurtsStaticReplicationMost(t *testing.T) {
 	cfg.Drift = 0.8
 	var declineR, declineH float64
 	for seed := uint64(11); seed < 17; seed++ {
-		repl, err := Run(sc, StaticReplication, cfg, seed)
+		repl, err := Run(context.Background(), sc, StaticReplication, cfg, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hyb, err := Run(sc, StaticHybrid, cfg, seed)
+		hyb, err := Run(context.Background(), sc, StaticHybrid, cfg, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,11 +161,11 @@ func TestZeroDriftStaticMatchesAdaptiveRT(t *testing.T) {
 	sc := smallScenario()
 	cfg := fastConfig()
 	cfg.Drift = 0
-	static, err := Run(sc, StaticHybrid, cfg, 13)
+	static, err := Run(context.Background(), sc, StaticHybrid, cfg, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	adaptive, err := Run(sc, AdaptiveHybrid, cfg, 13)
+	adaptive, err := Run(context.Background(), sc, AdaptiveHybrid, cfg, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +182,11 @@ func TestZeroDriftStaticMatchesAdaptiveRT(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	sc := smallScenario()
-	a, err := Run(sc, AdaptiveHybrid, fastConfig(), 17)
+	a, err := Run(context.Background(), sc, AdaptiveHybrid, fastConfig(), 17)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(sc, AdaptiveHybrid, fastConfig(), 17)
+	b, err := Run(context.Background(), sc, AdaptiveHybrid, fastConfig(), 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestDeterministic(t *testing.T) {
 
 func TestUnknownStrategy(t *testing.T) {
 	sc := smallScenario()
-	if _, err := Run(sc, Strategy("bogus"), fastConfig(), 1); err == nil {
+	if _, err := Run(context.Background(), sc, Strategy("bogus"), fastConfig(), 1); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,7 +28,7 @@ type PolicyRow struct {
 // assumes "a simple LRU caching scheme"; this quantifies what that
 // simplicity costs against LFU (frequency-optimal for static Zipf
 // traffic) and what it gains over FIFO.
-func CachePolicyAblation(opts Options) ([]PolicyRow, error) {
+func CachePolicyAblation(ctx context.Context, opts Options) ([]PolicyRow, error) {
 	cfg := opts.Base
 	sc, err := scenario.Build(cfg)
 	if err != nil {
@@ -48,7 +49,7 @@ func CachePolicyAblation(opts Options) ([]PolicyRow, error) {
 		simCfg.UseCache = true
 		simCfg.Policy = pol
 		simCfg.KeepResponseTimes = false
-		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(ctx, sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +71,7 @@ type ThetaRow struct {
 // algorithm takes the Zipf parameter as input and defines a cache size
 // that leads to higher performance": for each θ (in parallel) it
 // compares the hybrid algorithm against both fixed splits.
-func ThetaSweep(opts Options, thetas []float64) ([]ThetaRow, error) {
+func ThetaSweep(ctx context.Context, opts Options, thetas []float64) ([]ThetaRow, error) {
 	rows := make([]ThetaRow, len(thetas))
 	err := parallelFor(len(thetas), func(ti int) error {
 		theta := thetas[ti]
@@ -96,7 +97,7 @@ func ThetaSweep(opts Options, thetas []float64) ([]ThetaRow, error) {
 			simCfg := opts.Sim
 			simCfg.UseCache = useCache
 			simCfg.KeepResponseTimes = false
-			m, err := sim.RunParallel(sc, p, simCfg, xrand.New(opts.TraceSeed))
+			m, err := sim.RunParallel(ctx, sc, p, simCfg, xrand.New(opts.TraceSeed))
 			if err != nil {
 				return err
 			}
@@ -124,7 +125,7 @@ type PlacementRow struct {
 // model-driven placement, greedy-global, local-popularity and random.
 // It isolates how much of the hybrid gain comes from *where* replicas go
 // versus merely having caches at all.
-func PlacementAblation(opts Options) ([]PlacementRow, error) {
+func PlacementAblation(ctx context.Context, opts Options) ([]PlacementRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err
@@ -164,7 +165,7 @@ func PlacementAblation(opts Options) ([]PlacementRow, error) {
 		simCfg := opts.Sim
 		simCfg.UseCache = true
 		simCfg.KeepResponseTimes = false
-		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(ctx, sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return nil, err
 		}

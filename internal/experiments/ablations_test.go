@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func ablationOptions() Options {
 }
 
 func TestCachePolicyAblation(t *testing.T) {
-	rows, err := CachePolicyAblation(ablationOptions())
+	rows, err := CachePolicyAblation(context.Background(), ablationOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestCachePolicyAblation(t *testing.T) {
 }
 
 func TestThetaSweep(t *testing.T) {
-	rows, err := ThetaSweep(ablationOptions(), []float64{0.7, 1.0, 1.3})
+	rows, err := ThetaSweep(context.Background(), ablationOptions(), []float64{0.7, 1.0, 1.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestThetaSweep(t *testing.T) {
 }
 
 func TestPlacementAblation(t *testing.T) {
-	rows, err := PlacementAblation(ablationOptions())
+	rows, err := PlacementAblation(context.Background(), ablationOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

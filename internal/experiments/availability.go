@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,7 +25,7 @@ type AvailabilityRow struct {
 // availability") by crashing progressively more origins — plus a couple
 // of CDN servers — after the caches are warm, and measuring how much
 // traffic each mechanism can still serve.
-func AvailabilityComparison(opts Options, originFailures []int, failedServers int) ([]AvailabilityRow, error) {
+func AvailabilityComparison(ctx context.Context, opts Options, originFailures []int, failedServers int) ([]AvailabilityRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err
@@ -53,7 +54,7 @@ func AvailabilityComparison(opts Options, originFailures []int, failedServers in
 		simCfg := opts.Sim
 		simCfg.UseCache = useCache
 		simCfg.KeepResponseTimes = false
-		m, err := sim.RunWithFailures(sc, p, simCfg, fail, xrand.New(opts.TraceSeed))
+		m, err := sim.RunWithFailures(ctx, sc, p, simCfg, fail, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

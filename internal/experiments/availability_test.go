@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestAvailabilityComparison(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 50000
 	opts.Sim.Warmup = 50000
-	rows, err := AvailabilityComparison(opts, []int{0, 4}, 1)
+	rows, err := AvailabilityComparison(context.Background(), opts, []int{0, 4}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// ChurnConfig shapes the availability-under-churn experiment: unlike the
+// static AvailabilityComparison, components crash *and recover* while the
+// measured phase is running, so the table shows how each mechanism rides
+// through the outage rather than its steady degraded state.
+type ChurnConfig struct {
+	// ServerCrashes / OriginCrashes are how many distinct components of
+	// each kind crash during the run.
+	ServerCrashes, OriginCrashes int
+	// DowntimeFrac is each outage's length as a fraction of the measured
+	// phase (0 = never recovers).
+	DowntimeFrac float64
+}
+
+// DefaultChurn crashes a fifth of the servers and one origin, each for a
+// quarter of the measured phase.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{ServerCrashes: 10, OriginCrashes: 1, DowntimeFrac: 0.25}
+}
+
+// ChurnRow is one mechanism's ride through the shared churn schedule.
+type ChurnRow struct {
+	Mechanism Mechanism
+	// Served is the overall fraction of measured requests served.
+	Served float64
+	// WorstPhaseServed is the served fraction of the worst inter-event
+	// phase — the depth of the availability dip.
+	WorstPhaseServed float64
+	StaleRiskFrac    float64
+	MeanRTMs         float64
+	// Phases is the per-phase breakdown (between consecutive events).
+	Phases []sim.PhaseMetrics
+}
+
+// ChurnComparison runs every mechanism through one shared deterministic
+// fault schedule (crashes and recoveries mid-measurement) and reports
+// overall and worst-phase served fractions. It is the dynamic companion
+// to AvailabilityComparison: the paper's §1 availability argument, under
+// churn instead of permanent failure.
+func ChurnComparison(ctx context.Context, opts Options, cfg ChurnConfig) ([]ChurnRow, error) {
+	sc, err := scenario.Build(opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := opts.Sim
+	simCfg.KeepResponseTimes = false
+	simCfg.Parallelism = 1 // RunWithSchedule is sequential by design
+	// Crash window: the middle of the measured phase, so every run has a
+	// healthy head, a degraded middle, and (with recovery) a healed tail.
+	downtime := int(float64(simCfg.Requests) * cfg.DowntimeFrac)
+	sched, err := fault.Random(fault.RandomConfig{
+		Servers:       sc.Sys.N(),
+		Origins:       sc.Sys.M(),
+		ServerCrashes: cfg.ServerCrashes,
+		OriginCrashes: cfg.OriginCrashes,
+		CrashFrom:     simCfg.Warmup + simCfg.Requests/10,
+		CrashTo:       simCfg.Warmup + simCfg.Requests/2,
+		Downtime:      downtime,
+	}, xrand.New(opts.TraceSeed+0x9e3779b9))
+	if err != nil {
+		return nil, err
+	}
+	mechs := []Mechanism{MechReplication, MechCaching, MechHybrid}
+	rows := make([]ChurnRow, len(mechs))
+	err = parallelFor(len(mechs), func(mi int) error {
+		mech := mechs[mi]
+		p, useCache, _, err := buildPlacement(sc, mech)
+		if err != nil {
+			return err
+		}
+		runCfg := simCfg
+		runCfg.UseCache = useCache
+		m, err := sim.RunWithSchedule(ctx, sc, p, runCfg, sched, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return err
+		}
+		worst := 1.0
+		for _, ph := range m.Phases {
+			if a := ph.Availability(); ph.Requests > 0 && a < worst {
+				worst = a
+			}
+		}
+		staleFrac := 0.0
+		if m.Requests > 0 {
+			staleFrac = float64(m.StaleRisk) / float64(m.Requests)
+		}
+		rows[mi] = ChurnRow{
+			Mechanism:        mech,
+			Served:           1 - m.Unavailability(),
+			WorstPhaseServed: worst,
+			StaleRiskFrac:    staleFrac,
+			MeanRTMs:         m.MeanRTMs,
+			Phases:           m.Phases,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatChurnRows renders the availability-under-churn comparison.
+func FormatChurnRows(rows []ChurnRow) string {
+	var b strings.Builder
+	b.WriteString("availability under churn — crashes and recoveries mid-measurement\n")
+	b.WriteString("mechanism         served  worst-phase  stale-risk  mean RT (ms)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %7.4f %12.4f %11.4f %13.2f\n",
+			r.Mechanism, r.Served, r.WorstPhaseServed, r.StaleRiskFrac, r.MeanRTMs)
+	}
+	return b.String()
+}

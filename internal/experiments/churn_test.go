@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestChurnComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 50000
+	opts.Sim.Warmup = 50000
+	cfg := ChurnConfig{ServerCrashes: 2, OriginCrashes: 2, DowntimeFrac: 0.25}
+	rows, err := ChurnComparison(context.Background(), opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	get := func(m Mechanism) ChurnRow {
+		for _, r := range rows {
+			if r.Mechanism == m {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", m)
+		return ChurnRow{}
+	}
+
+	for _, r := range rows {
+		if r.Served < 0 || r.Served > 1 || r.WorstPhaseServed < 0 || r.WorstPhaseServed > 1 {
+			t.Fatalf("%s: fractions out of range: %+v", r.Mechanism, r)
+		}
+		if r.WorstPhaseServed > r.Served+1e-9 {
+			// The worst phase can't serve a larger fraction than the run
+			// does overall... unless every phase is perfect.
+			if r.Served != 1 {
+				t.Fatalf("%s: worst phase %.4f above overall %.4f", r.Mechanism, r.WorstPhaseServed, r.Served)
+			}
+		}
+		if len(r.Phases) < 2 {
+			t.Fatalf("%s: %d phases; churn events produced no phase boundaries", r.Mechanism, len(r.Phases))
+		}
+	}
+
+	// The acceptance criterion: under churn the hybrid serves at least
+	// the fraction pure replication does — replicas ride out origin
+	// deaths, caches absorb what replication can't hold.
+	repl, cach, hyb := get(MechReplication), get(MechCaching), get(MechHybrid)
+	if hyb.Served < repl.Served {
+		t.Errorf("hybrid served %.4f < replication %.4f under churn", hyb.Served, repl.Served)
+	}
+	if cach.Served == 1 {
+		t.Error("pure caching rode through dead origins untouched (suspicious)")
+	}
+	// Replication holds no caches, so it never serves at stale risk.
+	if repl.StaleRiskFrac != 0 {
+		t.Error("pure replication reported stale-risk serves")
+	}
+
+	// Same options, same schedule, same trace: the experiment is
+	// deterministic end to end.
+	again, err := ChurnComparison(context.Background(), opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Error("identical churn runs diverged")
+	}
+
+	out := FormatChurnRows(rows)
+	if !strings.Contains(out, "worst-phase") || !strings.Contains(out, "hybrid") {
+		t.Errorf("formatting lost content:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,7 @@ type ClusterRow struct {
 //   - pure caching
 //   - the hybrid algorithm at site granularity (the paper's)
 //   - the hybrid algorithm at cluster granularity (a further extension)
-func ClusterComparison(opts Options, clustersPerSite int) ([]ClusterRow, error) {
+func ClusterComparison(ctx context.Context, opts Options, clustersPerSite int) ([]ClusterRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err
@@ -88,7 +89,7 @@ func ClusterComparison(opts Options, clustersPerSite int) ([]ClusterRow, error) 
 		if j.units {
 			simCfg.UnitOf = cl.UnitOf
 		}
-		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(ctx, sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

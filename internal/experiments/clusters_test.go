@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestClusterComparison(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 60000
 	opts.Sim.Warmup = 60000
-	rows, err := ClusterComparison(opts, 4)
+	rows, err := ClusterComparison(context.Background(), opts, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestClusterComparison(t *testing.T) {
 }
 
 func TestClusterComparisonRejectsBadCount(t *testing.T) {
-	if _, err := ClusterComparison(QuickOptions(), 0); err == nil {
+	if _, err := ClusterComparison(context.Background(), QuickOptions(), 0); err == nil {
 		t.Fatal("perSite=0 accepted")
 	}
 }

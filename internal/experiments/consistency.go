@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,7 @@ type ConsistencyRow struct {
 // and reports the latency, the stale-serve fraction, and the effective λ
 // each mechanism induces. The paper's Figure 4 experiment corresponds to
 // an effective λ of 0.1 with strong consistency.
-func ConsistencyComparison(opts Options) ([]ConsistencyRow, error) {
+func ConsistencyComparison(ctx context.Context, opts Options) ([]ConsistencyRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err

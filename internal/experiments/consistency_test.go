@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestConsistencyComparison(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 50000
 	opts.Sim.Warmup = 30000
-	rows, err := ConsistencyComparison(opts)
+	rows, err := ConsistencyComparison(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

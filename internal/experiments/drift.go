@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,7 +23,7 @@ type DriftRow struct {
 // and adaptive re-placement buys latency only by hauling replicas around
 // the network. All strategies see the identical drift and trace
 // sequences.
-func DriftComparison(opts Options, cfg dynamic.Config) ([]DriftRow, error) {
+func DriftComparison(ctx context.Context, opts Options, cfg dynamic.Config) ([]DriftRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err
@@ -36,7 +37,7 @@ func DriftComparison(opts Options, cfg dynamic.Config) ([]DriftRow, error) {
 	}
 	rows := make([]DriftRow, len(strategies))
 	err = parallelFor(len(strategies), func(si int) error {
-		res, err := dynamic.Run(sc, strategies[si], cfg, opts.TraceSeed)
+		res, err := dynamic.Run(ctx, sc, strategies[si], cfg, opts.TraceSeed)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestDriftComparison(t *testing.T) {
 	cfg.Epochs = 4
 	cfg.RequestsPerEpoch = 30000
 	cfg.Warmup = 30000
-	rows, err := DriftComparison(opts, cfg)
+	rows, err := DriftComparison(context.Background(), opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -161,7 +162,7 @@ func buildPlacement(sc *scenario.Scenario, mech Mechanism) (*core.Placement, boo
 }
 
 // runPanel simulates the given mechanisms on one parameter setting.
-func runPanel(opts Options, id, title string, capacityFrac, lambda float64, mechs []Mechanism) (Panel, error) {
+func runPanel(ctx context.Context, opts Options, id, title string, capacityFrac, lambda float64, mechs []Mechanism) (Panel, error) {
 	cfg := opts.Base
 	cfg.CapacityFrac = capacityFrac
 	cfg.Workload.Lambda = lambda
@@ -181,7 +182,7 @@ func runPanel(opts Options, id, title string, capacityFrac, lambda float64, mech
 		}
 		simCfg := opts.Sim
 		simCfg.UseCache = useCache
-		m, err := sim.RunParallel(sc, p, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(ctx, sc, p, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}
@@ -205,13 +206,13 @@ func runPanel(opts Options, id, title string, capacityFrac, lambda float64, mech
 
 // Figure3 regenerates the λ=0 mechanism comparison: response-time CDFs
 // of replication, caching and hybrid at 5% (a) and 10% (b) capacity.
-func Figure3(opts Options) ([]Panel, error) {
+func Figure3(ctx context.Context, opts Options) ([]Panel, error) {
 	mechs := []Mechanism{MechReplication, MechCaching, MechHybrid}
-	a, err := runPanel(opts, "fig3a", "Mechanism comparison, λ=0, 5% capacity", 0.05, 0, mechs)
+	a, err := runPanel(ctx, opts, "fig3a", "Mechanism comparison, λ=0, 5% capacity", 0.05, 0, mechs)
 	if err != nil {
 		return nil, err
 	}
-	b, err := runPanel(opts, "fig3b", "Mechanism comparison, λ=0, 10% capacity", 0.10, 0, mechs)
+	b, err := runPanel(ctx, opts, "fig3b", "Mechanism comparison, λ=0, 10% capacity", 0.10, 0, mechs)
 	if err != nil {
 		return nil, err
 	}
@@ -220,13 +221,13 @@ func Figure3(opts Options) ([]Panel, error) {
 
 // Figure4 is Figure 3 with 10% stale documents under strong consistency
 // (λ = 0.1): cached pages must be refreshed while replicas stay local.
-func Figure4(opts Options) ([]Panel, error) {
+func Figure4(ctx context.Context, opts Options) ([]Panel, error) {
 	mechs := []Mechanism{MechReplication, MechCaching, MechHybrid}
-	a, err := runPanel(opts, "fig4a", "Mechanism comparison, λ=0.1, 5% capacity", 0.05, 0.1, mechs)
+	a, err := runPanel(ctx, opts, "fig4a", "Mechanism comparison, λ=0.1, 5% capacity", 0.05, 0.1, mechs)
 	if err != nil {
 		return nil, err
 	}
-	b, err := runPanel(opts, "fig4b", "Mechanism comparison, λ=0.1, 10% capacity", 0.10, 0.1, mechs)
+	b, err := runPanel(ctx, opts, "fig4b", "Mechanism comparison, λ=0.1, 10% capacity", 0.10, 0.1, mechs)
 	if err != nil {
 		return nil, err
 	}
@@ -235,13 +236,13 @@ func Figure4(opts Options) ([]Panel, error) {
 
 // Figure5 compares the hybrid algorithm against the ad-hoc fixed splits
 // (20% and 80% cache) at 5% capacity, for λ=0 (a) and λ=0.1 (b).
-func Figure5(opts Options) ([]Panel, error) {
+func Figure5(ctx context.Context, opts Options) ([]Panel, error) {
 	mechs := []Mechanism{MechHybrid, MechAdHoc20, MechAdHoc80}
-	a, err := runPanel(opts, "fig5a", "Hybrid vs ad-hoc splits, λ=0, 5% capacity", 0.05, 0, mechs)
+	a, err := runPanel(ctx, opts, "fig5a", "Hybrid vs ad-hoc splits, λ=0, 5% capacity", 0.05, 0, mechs)
 	if err != nil {
 		return nil, err
 	}
-	b, err := runPanel(opts, "fig5b", "Hybrid vs ad-hoc splits, λ=0.1, 5% capacity", 0.05, 0.1, mechs)
+	b, err := runPanel(ctx, opts, "fig5b", "Hybrid vs ad-hoc splits, λ=0.1, 5% capacity", 0.05, 0.1, mechs)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +271,7 @@ func (r Fig6Row) ErrPct() float64 {
 // (capacity%, uncacheable%) setting, run the hybrid algorithm, take its
 // predicted cost, and compare with the simulated cost per request.
 // Settings are independent and run in parallel.
-func Figure6(opts Options) ([]Fig6Row, error) {
+func Figure6(ctx context.Context, opts Options) ([]Fig6Row, error) {
 	settings := []struct{ capPct, lamPct int }{
 		{5, 0}, {10, 0}, {20, 0}, {5, 10}, {10, 10}, {20, 10},
 	}
@@ -294,7 +295,7 @@ func Figure6(opts Options) ([]Fig6Row, error) {
 		simCfg := opts.Sim
 		simCfg.UseCache = true
 		simCfg.KeepResponseTimes = false
-		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(ctx, sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}
@@ -341,14 +342,14 @@ func (g GainRow) VsCachingPct() float64 {
 }
 
 // Summary computes the headline gains across the Figures 3–4 settings.
-func Summary(opts Options) ([]GainRow, error) {
+func Summary(ctx context.Context, opts Options) ([]GainRow, error) {
 	var rows []GainRow
 	for _, setting := range []struct {
 		capPct, lamPct int
 	}{
 		{5, 0}, {10, 0}, {5, 10}, {10, 10},
 	} {
-		panel, err := runPanel(opts, "summary", "",
+		panel, err := runPanel(ctx, opts, "summary", "",
 			float64(setting.capPct)/100, float64(setting.lamPct)/100,
 			[]Mechanism{MechReplication, MechCaching, MechHybrid})
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func find(p Panel, m Mechanism) Series {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	panels, err := Figure3(QuickOptions())
+	panels, err := Figure3(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	panels, err := Figure4(QuickOptions())
+	panels, err := Figure4(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +112,11 @@ func TestStalenessShiftsGains(t *testing.T) {
 	// §5.2: with λ=0.1 the hybrid gain versus caching increases
 	// relative to λ=0 (staleness hurts caches, not replicas).
 	opts := QuickOptions()
-	f3, err := Figure3(opts)
+	f3, err := Figure3(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f4, err := Figure4(opts)
+	f4, err := Figure4(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestStalenessShiftsGains(t *testing.T) {
 }
 
 func TestFigure5HybridDominatesAdHoc(t *testing.T) {
-	panels, err := Figure5(QuickOptions())
+	panels, err := Figure5(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFigure5HybridDominatesAdHoc(t *testing.T) {
 }
 
 func TestFigure6ModelAccuracy(t *testing.T) {
-	rows, err := Figure6(QuickOptions())
+	rows, err := Figure6(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFigure6ModelAccuracy(t *testing.T) {
 }
 
 func TestSummaryGainsPositive(t *testing.T) {
-	rows, err := Summary(QuickOptions())
+	rows, err := Summary(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestFormatters(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 20000
 	opts.Sim.Warmup = 10000
-	panels, err := Figure5(opts)
+	panels, err := Figure5(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,14 +214,14 @@ func TestFormatters(t *testing.T) {
 			t.Errorf("panel output missing %q:\n%s", want, out)
 		}
 	}
-	rows, err := Figure6(opts)
+	rows, err := Figure6(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out := FormatFig6(rows); !strings.Contains(out, "predicted") {
 		t.Error("fig6 output missing header")
 	}
-	gains, err := Summary(opts)
+	gains, err := Summary(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,7 +37,7 @@ func (r HeterogeneityRow) HybridGainPct() float64 {
 // fixed) and the three mechanisms are re-run. The hybrid adapts each
 // server's replica/cache split to its actual capacity, so its advantage
 // should survive — and typically grow — under heterogeneity.
-func HeterogeneityComparison(opts Options, spreads []float64) ([]HeterogeneityRow, error) {
+func HeterogeneityComparison(ctx context.Context, opts Options, spreads []float64) ([]HeterogeneityRow, error) {
 	rows := make([]HeterogeneityRow, len(spreads))
 	err := parallelFor(len(spreads), func(si int) error {
 		cfg := opts.Base
@@ -61,7 +62,7 @@ func HeterogeneityComparison(opts Options, spreads []float64) ([]HeterogeneityRo
 			simCfg := opts.Sim
 			simCfg.UseCache = useCache
 			simCfg.KeepResponseTimes = false
-			m, err := sim.RunParallel(sc, p, simCfg, xrand.New(opts.TraceSeed))
+			m, err := sim.RunParallel(ctx, sc, p, simCfg, xrand.New(opts.TraceSeed))
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestHeterogeneityComparison(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 50000
 	opts.Sim.Warmup = 50000
-	rows, err := HeterogeneityComparison(opts, []float64{0, 0.8})
+	rows, err := HeterogeneityComparison(context.Background(), opts, []float64{0, 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,7 @@ type KMedianRow struct {
 // heuristics get to the exact optimum found by enumeration. [14]'s
 // finding — greedy achieves very good solution quality — should
 // reappear as ratios near 1.
-func KMedianQuality(opts Options, ks []int) ([]KMedianRow, error) {
+func KMedianQuality(ctx context.Context, opts Options, ks []int) ([]KMedianRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,7 +29,7 @@ type ModelCompareRow struct {
 // simulation — a model ablation the paper does not run. The workload is
 // the configured site mix collapsed onto one cache with unit-size
 // objects, the setting in which both models are defined.
-func ModelComparison(opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
+func ModelComparison(ctx context.Context, opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
 	wcfg := opts.Base.Workload
 	w, err := workload.Generate(wcfg, xrand.New(opts.Base.Seed))
 	if err != nil {
@@ -135,7 +136,7 @@ func (r RobustnessRow) ErrPct() float64 {
 // while the hybrid algorithm keeps planning with the IRM model. The
 // growing gap between predicted and simulated cost bounds how far the
 // paper's approach can be trusted on correlated traffic.
-func ModelRobustness(opts Options, probs []float64) ([]RobustnessRow, error) {
+func ModelRobustness(ctx context.Context, opts Options, probs []float64) ([]RobustnessRow, error) {
 	rows := make([]RobustnessRow, len(probs))
 	err := parallelFor(len(probs), func(pi int) error {
 		cfg := opts.Base
@@ -154,7 +155,7 @@ func ModelRobustness(opts Options, probs []float64) ([]RobustnessRow, error) {
 		simCfg := opts.Sim
 		simCfg.UseCache = true
 		simCfg.KeepResponseTimes = false
-		m, err := sim.RunParallel(sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
+		m, err := sim.RunParallel(ctx, sc, res.Placement, simCfg, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestModelComparison(t *testing.T) {
 	opts := QuickOptions()
-	rows, err := ModelComparison(opts, []float64{0.02, 0.05, 0.1, 0.2})
+	rows, err := ModelComparison(context.Background(), opts, []float64{0.02, 0.05, 0.1, 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestModelRobustness(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 60000
 	opts.Sim.Warmup = 60000
-	rows, err := ModelRobustness(opts, []float64{0, 0.4})
+	rows, err := ModelRobustness(context.Background(), opts, []float64{0, 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}

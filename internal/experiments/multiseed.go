@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -22,7 +23,7 @@ type GainStats struct {
 // SummaryOverSeeds runs Summary for every seed and aggregates per
 // parameter setting. Seeds run sequentially (each Summary already
 // parallelizes internally).
-func SummaryOverSeeds(opts Options, seeds []uint64) ([]GainStats, error) {
+func SummaryOverSeeds(ctx context.Context, opts Options, seeds []uint64) ([]GainStats, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: no seeds")
 	}
@@ -35,7 +36,7 @@ func SummaryOverSeeds(opts Options, seeds []uint64) ([]GainStats, error) {
 		o := opts
 		o.Base.Seed = seed
 		o.TraceSeed = opts.TraceSeed + seed
-		rows, err := Summary(o)
+		rows, err := Summary(ctx, o)
 		if err != nil {
 			return nil, err
 		}

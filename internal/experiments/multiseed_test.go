@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ func TestSummaryOverSeeds(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 40000
 	opts.Sim.Warmup = 40000
-	rows, err := SummaryOverSeeds(opts, []uint64{1, 2, 3})
+	rows, err := SummaryOverSeeds(context.Background(), opts, []uint64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestSummaryOverSeeds(t *testing.T) {
 }
 
 func TestSummaryOverSeedsRejectsEmpty(t *testing.T) {
-	if _, err := SummaryOverSeeds(QuickOptions(), nil); err == nil {
+	if _, err := SummaryOverSeeds(context.Background(), QuickOptions(), nil); err == nil {
 		t.Fatal("empty seed list accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,7 +27,7 @@ type RedirectRow struct {
 // greedy-global deployment with constrained server capacity, it compares
 // nearest-replica redirection (the paper's SN) against load-aware
 // selection ([9]-style) and blind rotation.
-func RedirectionComparison(opts Options) ([]RedirectRow, error) {
+func RedirectionComparison(ctx context.Context, opts Options) ([]RedirectRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err

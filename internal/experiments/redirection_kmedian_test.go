@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestRedirectionComparison(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 50000
 	opts.Sim.Warmup = 40000
-	rows, err := RedirectionComparison(opts)
+	rows, err := RedirectionComparison(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestRedirectionComparison(t *testing.T) {
 
 func TestKMedianQuality(t *testing.T) {
 	opts := QuickOptions()
-	rows, err := KMedianQuality(opts, []int{1, 2})
+	rows, err := KMedianQuality(context.Background(), opts, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,7 +38,7 @@ func (r UpdateRow) GreedyTotal() float64 { return r.GreedyReadHops + r.GreedyUpd
 // cost, replicas become less attractive, and both update-aware
 // algorithms should retreat toward caching — which pays no propagation
 // (cache freshness is the λ mechanism of §3.3).
-func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
+func UpdateSweep(ctx context.Context, opts Options, ratios []float64) ([]UpdateRow, error) {
 	sc, err := scenario.Build(opts.Base)
 	if err != nil {
 		return nil, err
@@ -54,7 +55,7 @@ func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
 	simCfg := opts.Sim
 	simCfg.UseCache = true
 	simCfg.KeepResponseTimes = false
-	mPure, err := sim.RunParallel(sc, pure.Placement, simCfg, xrand.New(opts.TraceSeed))
+	mPure, err := sim.RunParallel(ctx, sc, pure.Placement, simCfg, xrand.New(opts.TraceSeed))
 	if err != nil {
 		return nil, err
 	}
@@ -79,13 +80,13 @@ func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
 		cfgCache := opts.Sim
 		cfgCache.UseCache = true
 		cfgCache.KeepResponseTimes = false
-		mHyb, err := sim.RunParallel(sc, hyb.Placement, cfgCache, xrand.New(opts.TraceSeed))
+		mHyb, err := sim.RunParallel(ctx, sc, hyb.Placement, cfgCache, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}
 		cfgNoCache := cfgCache
 		cfgNoCache.UseCache = false
-		mGreedy, err := sim.RunParallel(sc, greedy.Placement, cfgNoCache, xrand.New(opts.TraceSeed))
+		mGreedy, err := sim.RunParallel(ctx, sc, greedy.Placement, cfgNoCache, xrand.New(opts.TraceSeed))
 		if err != nil {
 			return err
 		}

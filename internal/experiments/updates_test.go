@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestUpdateSweep(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 50000
 	opts.Sim.Warmup = 50000
-	rows, err := UpdateSweep(opts, []float64{0, 0.2, 1.0})
+	rows, err := UpdateSweep(context.Background(), opts, []float64{0, 0.2, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,257 @@
+package httpcdn
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/fault"
+	"repro/internal/placement"
+	"repro/internal/xrand"
+)
+
+// TestChaosEdgeChurn is the end-to-end failure drill: while concurrent
+// clients hammer the cluster, the fault injector kills two edges, the
+// passive health tracker ejects them, the controller re-places around
+// them, the injector revives them, and probes readmit them. Every
+// client request must eventually succeed with a verified payload —
+// zero lost, zero misrouted — and the whole episode must be observable
+// through /debug/health. Run under -race (see `make chaos`).
+func TestChaosEdgeChurn(t *testing.T) {
+	sc := smallScenario(t)
+	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est, err := control.NewEstimator(control.EstimatorConfig{
+		Servers: sc.Sys.N(), Sites: sc.Sys.M(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast-failure knobs so the drill finishes in well under a second of
+	// steady state per phase: 2 consecutive failures eject, probes retry
+	// every 50 ms, fetch attempts time out quickly.
+	var ctrlRef atomic.Pointer[control.Controller]
+	var transMu sync.Mutex
+	transitions := make(map[string]int) // "eject:1", "readmit:1", ...
+	cfg := DefaultConfig()
+	cfg.Retry = RetryPolicy{Attempts: 2, Timeout: 500 * time.Millisecond,
+		BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Jitter: 0.1}
+	cfg.FailThreshold = 2
+	cfg.EjectFor = 50 * time.Millisecond
+	cfg.RequestTap = func(edge, site int) { est.Observe(edge, site) }
+	cfg.OnHealthChange = func(kind string, id int, ejected bool) {
+		verb := "readmit"
+		if ejected {
+			verb = "eject"
+		}
+		transMu.Lock()
+		transitions[fmt.Sprintf("%s:%s:%d", verb, kind, id)]++
+		transMu.Unlock()
+		if c := ctrlRef.Load(); c != nil && kind == "edge" {
+			if !ejected {
+				c.Unfreeze()
+			}
+			c.Kick()
+		}
+	}
+	cl, err := Start(sc, res.Placement, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	ctrl, err := control.New(control.Config{
+		Base:           sc.Sys,
+		Specs:          sc.Work.Specs(),
+		AvgObjectBytes: sc.Work.AvgObjectBytes,
+		Target:         cl,
+		Health:         cl,
+		Estimator:      est,
+		Hysteresis:     -1, // apply every non-empty plan: the drill tests routing, not damping
+		CooldownRounds: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlRef.Store(ctrl)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var loopDone sync.WaitGroup
+	loopDone.Add(1)
+	go func() { defer loopDone.Done(); ctrl.Run(ctx) }() // kick-driven: Interval == 0
+
+	// Client load: workers issue logical requests, each retried across
+	// first-hop edges until it succeeds. A logical request that cannot be
+	// served anywhere within its deadline counts as lost.
+	victims := []int{1, 2}
+	isVictim := func(i int) bool { return i == victims[0] || i == victims[1] }
+	const workers = 4
+	var served, lost atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + w))
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				site := rng.Intn(sc.Sys.M())
+				object := 1 + rng.Intn(len(sc.Work.Sites[site].Objects))
+				deadline := time.Now().Add(5 * time.Second)
+				ok := false
+				for attempt := 0; time.Now().Before(deadline); attempt++ {
+					firstHop := (w + n + attempt) % sc.Sys.N()
+					if _, err := cl.Fetch(context.Background(), firstHop, site, object); err == nil {
+						ok = true
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if ok {
+					served.Add(1)
+				} else {
+					lost.Add(1)
+					t.Errorf("request for (%d,%d) lost: no edge served it within its deadline", site, object)
+				}
+			}
+		}(w)
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		for end := time.Now().Add(10 * time.Second); time.Now().Before(end); {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	ejectedSet := func() map[int]bool {
+		out := make(map[int]bool)
+		for _, i := range cl.EjectedEdges() {
+			out[i] = true
+		}
+		return out
+	}
+
+	// Let healthy traffic feed the demand estimator first.
+	waitFor("warm-up traffic", func() bool { return est.Observed() > 200 })
+
+	// Kill both victims mid-load. Client traffic alone must surface the
+	// deaths: fetches fail, trackers trip, EjectedEdges reports them.
+	for _, v := range victims {
+		cl.EdgeInjector(v).Set(fault.ModeError, 0)
+	}
+	waitFor("both victims ejected", func() bool {
+		e := ejectedSet()
+		return e[victims[0]] && e[victims[1]]
+	})
+
+	// The failure-reactive control loop: a reconcile during the outage
+	// must exclude the dead edges and leave no replicas on them.
+	rep, err := ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := make(map[int]bool)
+	for _, i := range rep.Excluded {
+		excluded[i] = true
+	}
+	if !excluded[victims[0]] || !excluded[victims[1]] {
+		t.Fatalf("reconcile during outage excluded %v, want both of %v", rep.Excluded, victims)
+	}
+	live := cl.Placement()
+	for _, v := range victims {
+		for j := 0; j < sc.Sys.M(); j++ {
+			if live.Has(v, j) {
+				t.Fatalf("site %d still placed on dead edge %d after reconcile", j, v)
+			}
+		}
+	}
+
+	// The outage is visible at /debug/health.
+	rr := httptest.NewRecorder()
+	cl.HealthHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/health", nil))
+	var mid HealthReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &mid); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range victims {
+		if mid.Edges[v].State == "healthy" {
+			t.Fatalf("/debug/health reports dead edge %d healthy: %+v", v, mid.Edges[v])
+		}
+	}
+
+	// Revive. Ongoing client traffic doubles as the health probe: the
+	// first successful fetch through each victim readmits it.
+	for _, v := range victims {
+		cl.EdgeInjector(v).Set(fault.ModeOff, 0)
+	}
+	waitFor("victims readmitted", func() bool { return len(cl.EjectedEdges()) == 0 })
+
+	// With health restored a fresh reconcile excludes nothing.
+	rep, err = ctrl.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Excluded) != 0 {
+		t.Fatalf("post-recovery reconcile still excludes %v", rep.Excluded)
+	}
+
+	// The kick-driven Run loop processed at least one ejection kick on
+	// top of the two direct calls above.
+	waitFor("kick-driven reconcile", func() bool { return ctrl.Status().Rounds >= 3 })
+
+	close(stop)
+	wg.Wait()
+	cancel()
+	loopDone.Wait()
+
+	if lost.Load() != 0 {
+		t.Fatalf("%d of %d requests lost during the churn", lost.Load(), lost.Load()+served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no requests served at all")
+	}
+	// The full episode is on the record: each victim ejected and
+	// readmitted at least once, both in the transition hook and in the
+	// health report's lifetime counters.
+	transMu.Lock()
+	defer transMu.Unlock()
+	final := cl.Health()
+	for _, v := range victims {
+		if transitions[fmt.Sprintf("eject:edge:%d", v)] == 0 {
+			t.Errorf("no ejection transition fired for edge %d: %v", v, transitions)
+		}
+		if transitions[fmt.Sprintf("readmit:edge:%d", v)] == 0 {
+			t.Errorf("no readmission transition fired for edge %d: %v", v, transitions)
+		}
+		if final.Edges[v].Ejections == 0 || final.Edges[v].Readmissions == 0 {
+			t.Errorf("edge %d lifetime counters: %+v", v, final.Edges[v])
+		}
+	}
+	for i := 0; i < sc.Sys.N(); i++ {
+		if !isVictim(i) && final.Edges[i].Ejections != 0 {
+			t.Errorf("healthy edge %d was ejected: %+v", i, final.Edges[i])
+		}
+	}
+}

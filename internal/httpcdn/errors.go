@@ -1,0 +1,69 @@
+package httpcdn
+
+import "errors"
+
+// Sentinel errors for the serving path, usable with errors.Is. Fetch and
+// the edge-internal upstream fetches wrap these with context (%w), so
+// callers branch on failure *class* — timeout vs. dead component vs.
+// wrong bytes — instead of matching message strings.
+var (
+	// ErrEdgeTimeout reports that an upstream fetch exceeded its
+	// per-attempt timeout (a hung or blackholed component).
+	ErrEdgeTimeout = errors.New("httpcdn: upstream fetch timed out")
+	// ErrPeerDown reports that a peer edge could not be reached or
+	// answered with an error for every retry attempt.
+	ErrPeerDown = errors.New("httpcdn: peer unreachable")
+	// ErrEdgeDown reports that the first-hop edge itself could not be
+	// reached by the client.
+	ErrEdgeDown = errors.New("httpcdn: edge unreachable")
+	// ErrOriginDown reports that a site's origin could not be reached or
+	// answered with an error for every retry attempt.
+	ErrOriginDown = errors.New("httpcdn: origin unreachable")
+	// ErrUpstreamStatus reports a non-200 answer from an upstream that
+	// was reachable (e.g. an injected 503).
+	ErrUpstreamStatus = errors.New("httpcdn: unexpected upstream status")
+	// ErrBadStatus reports a non-200 answer from the edge to a client
+	// fetch that does not carry a more specific X-Cdn-Error class.
+	ErrBadStatus = errors.New("httpcdn: edge answered with an error status")
+	// ErrCorruptPayload reports a response body that does not match the
+	// object's deterministic byte pattern.
+	ErrCorruptPayload = errors.New("httpcdn: corrupted payload")
+)
+
+// errorHeader carries the failure class from edge.handle to the client,
+// so Cluster.Fetch can rewrap the matching sentinel on its side of the
+// wire.
+const errorHeader = "X-Cdn-Error"
+
+// errorClass maps a serving-path error to its wire class.
+func errorClass(err error) string {
+	switch {
+	case errors.Is(err, ErrEdgeTimeout):
+		return "timeout"
+	case errors.Is(err, ErrOriginDown):
+		return "origin-down"
+	case errors.Is(err, ErrPeerDown):
+		return "peer-down"
+	case errors.Is(err, ErrUpstreamStatus):
+		return "upstream-status"
+	default:
+		return "internal"
+	}
+}
+
+// classError is errorClass's inverse: the sentinel for a wire class, or
+// nil for unknown classes.
+func classError(class string) error {
+	switch class {
+	case "timeout":
+		return ErrEdgeTimeout
+	case "origin-down":
+		return ErrOriginDown
+	case "peer-down":
+		return ErrPeerDown
+	case "upstream-status":
+		return ErrUpstreamStatus
+	default:
+		return nil
+	}
+}

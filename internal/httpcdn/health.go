@@ -1,0 +1,261 @@
+package httpcdn
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RetryPolicy bounds one upstream fetch: per-attempt timeout, attempt
+// count, and exponential backoff with jitter between attempts. The zero
+// value means "use the defaults" (3 attempts, 2 s per attempt, 25 ms
+// base backoff doubling to a 500 ms cap, ±20 % jitter).
+type RetryPolicy struct {
+	// Attempts is the maximum number of tries per upstream (≥ 1).
+	Attempts int
+	// Timeout is the per-attempt deadline. A blackholed peer costs at
+	// most Attempts×Timeout instead of hanging the serving path on the
+	// client's whole-request timeout.
+	Timeout time.Duration
+	// BaseBackoff is the sleep before the second attempt; it doubles per
+	// attempt up to MaxBackoff.
+	BaseBackoff, MaxBackoff time.Duration
+	// Jitter is the ± fraction applied to each backoff so synchronized
+	// retries from many edges don't stampede a recovering component.
+	Jitter float64
+}
+
+// withDefaults fills unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 2 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// backoff is the sleep before attempt number attempt (1-based count of
+// failures so far): BaseBackoff·2^(attempt-1) capped at MaxBackoff,
+// jittered ±Jitter. Jitter is the one intentionally nondeterministic
+// number in the package — it desynchronizes real retries and never
+// affects results, only timing.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	j := 1 + p.Jitter*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * j)
+}
+
+// tracker is the passive health state of one upstream component. It is
+// driven entirely by fetch outcomes — no active pinger — through the
+// classic consecutive-failure ejection / half-open probe state machine:
+//
+//	healthy --(FailThreshold consecutive failures)--> ejected
+//	ejected --(EjectFor elapsed)--> half-open: exactly one probe passes
+//	probe success --> healthy (readmitted); probe failure --> ejected again
+type tracker struct {
+	mu      sync.Mutex
+	fails   int
+	ejected bool
+	probing bool
+	until   time.Time
+
+	ejections, readmissions int64
+
+	// Registry handles, nil when metrics are off.
+	ejectCtr, readmitCtr *obs.Counter
+}
+
+// candidate reports whether the component may be offered traffic now:
+// healthy, or ejected with the half-open window open and no probe in
+// flight. It consumes nothing — selection may consider a component and
+// then not fetch from it.
+func (t *tracker) candidate(now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.ejected || (!t.probing && !now.Before(t.until))
+}
+
+// acquireProbe gates the actual fetch: healthy components always pass;
+// an ejected one passes exactly once per half-open window (the probe),
+// and concurrent fetches see false until that probe's outcome lands.
+func (t *tracker) acquireProbe(now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.ejected {
+		return true
+	}
+	if t.probing || now.Before(t.until) {
+		return false
+	}
+	t.probing = true
+	return true
+}
+
+// success records a successful fetch, readmitting an ejected component.
+func (t *tracker) success() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fails = 0
+	if t.ejected {
+		t.ejected, t.probing = false, false
+		t.readmissions++
+		if t.readmitCtr != nil {
+			t.readmitCtr.Inc()
+		}
+	}
+}
+
+// failure records a failed fetch; it ejects after threshold consecutive
+// failures and re-ejects on a failed half-open probe. It reports whether
+// this call flipped the component from healthy to ejected.
+func (t *tracker) failure(threshold int, ejectFor time.Duration, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fails++
+	if t.ejected {
+		// A failed probe (or a straggling in-flight fetch): push the
+		// next probe window out, stay ejected.
+		t.until = now.Add(ejectFor)
+		t.probing = false
+		return false
+	}
+	if t.fails < threshold {
+		return false
+	}
+	t.ejected = true
+	t.until = now.Add(ejectFor)
+	t.ejections++
+	if t.ejectCtr != nil {
+		t.ejectCtr.Inc()
+	}
+	return true
+}
+
+// snapshot renders the state for HealthReport.
+func (t *tracker) snapshot(kind string, id int, now time.Time) HealthStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := HealthStatus{
+		Kind:                kind,
+		ID:                  id,
+		State:               "healthy",
+		ConsecutiveFailures: t.fails,
+		Ejections:           t.ejections,
+		Readmissions:        t.readmissions,
+	}
+	if t.ejected {
+		s.State = "ejected"
+		if t.probing || !now.Before(t.until) {
+			s.State = "probing"
+		} else {
+			s.RetryInMs = t.until.Sub(now).Milliseconds()
+		}
+	}
+	return s
+}
+
+// isEjected reports the raw ejected flag (half-open still counts as
+// ejected until a probe succeeds) — the view the control plane uses to
+// exclude a server from placement.
+func (t *tracker) isEjected() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ejected
+}
+
+// HealthStatus is one component's externally visible health.
+type HealthStatus struct {
+	Kind                string `json:"kind"` // "edge" or "origin"
+	ID                  int    `json:"id"`
+	State               string `json:"state"` // healthy | ejected | probing
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Ejections           int64  `json:"ejections"`
+	Readmissions        int64  `json:"readmissions"`
+	// RetryInMs is how long until the next half-open probe (ejected
+	// components only).
+	RetryInMs int64 `json:"retry_in_ms,omitempty"`
+}
+
+// HealthReport is the /debug/health payload.
+type HealthReport struct {
+	Edges   []HealthStatus `json:"edges"`
+	Origins []HealthStatus `json:"origins"`
+}
+
+// Health snapshots every component's health state.
+func (c *Cluster) Health() HealthReport {
+	now := time.Now()
+	var rep HealthReport
+	for i, t := range c.edgeHealth {
+		rep.Edges = append(rep.Edges, t.snapshot("edge", i, now))
+	}
+	for j, t := range c.originHealth {
+		rep.Origins = append(rep.Origins, t.snapshot("origin", j, now))
+	}
+	return rep
+}
+
+// EjectedEdges lists the edges currently ejected by the health tracker,
+// ascending. It satisfies the control plane's HealthView, so a
+// controller wired to the cluster excludes dead edges from re-placement
+// without httpcdn importing the control package (or vice versa).
+func (c *Cluster) EjectedEdges() []int {
+	var out []int
+	for i, t := range c.edgeHealth {
+		if t.isEjected() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HealthHandler serves the health report as JSON — mount it at
+// /debug/health next to the metrics and control endpoints.
+func (c *Cluster) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Health())
+	})
+}
+
+// observe feeds one fetch outcome into a component's tracker and fires
+// the health-change hook on state transitions.
+func (c *Cluster) observe(t *tracker, kind string, id int, err error) {
+	if err == nil {
+		wasEjected := t.isEjected()
+		t.success()
+		if wasEjected && c.cfg.OnHealthChange != nil {
+			c.cfg.OnHealthChange(kind, id, false)
+		}
+		return
+	}
+	if t.failure(c.cfg.FailThreshold, c.cfg.EjectFor, time.Now()) {
+		if c.cfg.OnHealthChange != nil {
+			c.cfg.OnHealthChange(kind, id, true)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package httpcdn
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestTrackerStateMachine(t *testing.T) {
+	tr := &tracker{}
+	now := time.Now()
+	const threshold = 3
+	const ejectFor = 50 * time.Millisecond
+
+	if !tr.candidate(now) || !tr.acquireProbe(now) {
+		t.Fatal("fresh tracker not available")
+	}
+	// Failures below the threshold keep it healthy.
+	for i := 0; i < threshold-1; i++ {
+		if tr.failure(threshold, ejectFor, now) {
+			t.Fatal("ejected before threshold")
+		}
+	}
+	if !tr.candidate(now) {
+		t.Fatal("sub-threshold failures ejected the component")
+	}
+	// A success resets the streak.
+	tr.success()
+	for i := 0; i < threshold-1; i++ {
+		tr.failure(threshold, ejectFor, now)
+	}
+	if tr.isEjected() {
+		t.Fatal("streak not reset by success")
+	}
+	// The threshold-th consecutive failure flips it.
+	if !tr.failure(threshold, ejectFor, now) {
+		t.Fatal("threshold failure did not report the flip")
+	}
+	if !tr.isEjected() || tr.candidate(now) {
+		t.Fatal("ejected component still offered traffic")
+	}
+	if tr.acquireProbe(now) {
+		t.Fatal("probe granted before the eject window elapsed")
+	}
+
+	// Half-open: after EjectFor, exactly one probe passes.
+	later := now.Add(ejectFor)
+	if !tr.candidate(later) {
+		t.Fatal("half-open component not offered as candidate")
+	}
+	if !tr.acquireProbe(later) {
+		t.Fatal("first probe denied")
+	}
+	if tr.acquireProbe(later) {
+		t.Fatal("second concurrent probe granted")
+	}
+	if tr.candidate(later) {
+		t.Fatal("candidate while a probe is in flight")
+	}
+	// Failed probe: re-ejected, window extended.
+	tr.failure(threshold, ejectFor, later)
+	if tr.acquireProbe(later.Add(ejectFor / 2)) {
+		t.Fatal("probe granted inside the extended window")
+	}
+	// Successful probe after the next window readmits.
+	again := later.Add(2 * ejectFor)
+	if !tr.acquireProbe(again) {
+		t.Fatal("second-window probe denied")
+	}
+	tr.success()
+	if tr.isEjected() || !tr.candidate(again) {
+		t.Fatal("successful probe did not readmit")
+	}
+	if tr.ejections != 1 || tr.readmissions != 1 {
+		t.Fatalf("counters: %d ejections, %d readmissions", tr.ejections, tr.readmissions)
+	}
+
+	s := tr.snapshot("edge", 0, again)
+	if s.State != "healthy" || s.Ejections != 1 || s.Readmissions != 1 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestFetchTypedErrors(t *testing.T) {
+	// A cluster whose edge 0 errors: the client sees ErrBadStatus (the
+	// 503 comes from the injector, before the edge handler classifies
+	// anything) and the edge's tracker absorbs the blame.
+	_, _, cl := startHybridCluster(t)
+	cl.EdgeInjector(0).Set(fault.ModeError, 0)
+	_, err := cl.Fetch(context.Background(), 0, 0, 1)
+	if !errors.Is(err, ErrBadStatus) {
+		t.Fatalf("injected 503 returned %v, want ErrBadStatus", err)
+	}
+
+	// A cancelled client context surfaces as ErrEdgeTimeout.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = cl.Fetch(ctx, 1, 0, 1)
+	if !errors.Is(err, ErrEdgeTimeout) {
+		t.Fatalf("cancelled fetch returned %v, want ErrEdgeTimeout", err)
+	}
+
+	// A dead edge (closed server) surfaces as ErrEdgeDown.
+	cl.edges[2].srv.Close()
+	_, err = cl.Fetch(context.Background(), 2, 0, 1)
+	if !errors.Is(err, ErrEdgeDown) {
+		t.Fatalf("dead edge returned %v, want ErrEdgeDown", err)
+	}
+}
+
+func TestOriginDownClassPropagates(t *testing.T) {
+	sc, p, _ := startHybridCluster(t)
+
+	// A fast retry policy so the test doesn't sit in backoff.
+	cfg := DefaultConfig()
+	cfg.Retry = RetryPolicy{Attempts: 2, Timeout: 200 * time.Millisecond,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Jitter: 0.1}
+	cl, err := Start(sc, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	// Pick a (edge, site) pair with no replica anywhere, so the only
+	// source is the origin; then kill the origin.
+	edge, site := -1, -1
+	for j := 0; j < sc.Sys.M() && edge < 0; j++ {
+		anyReplica := false
+		for i := 0; i < sc.Sys.N(); i++ {
+			if p.Has(i, j) {
+				anyReplica = true
+				break
+			}
+		}
+		if !anyReplica {
+			edge, site = 0, j
+		}
+	}
+	if edge < 0 {
+		t.Skip("every site replicated in this configuration")
+	}
+	cl.OriginInjector(site).Set(fault.ModeError, 0)
+	_, err = cl.Fetch(context.Background(), edge, site, 1)
+	if !errors.Is(err, ErrUpstreamStatus) {
+		t.Fatalf("dead origin returned %v, want ErrUpstreamStatus", err)
+	}
+	// The first-hop edge must NOT be blamed for its upstream's failure.
+	if got := cl.edgeHealth[edge].fails; got != 0 {
+		t.Fatalf("edge blamed for origin failure: %d fails", got)
+	}
+	// The origin tracker took the blame.
+	if cl.originHealth[site].fails == 0 {
+		t.Fatal("origin failure not recorded")
+	}
+}
+
+func TestRedirectionSkipsEjectedPeer(t *testing.T) {
+	sc, p, cl := startHybridCluster(t)
+
+	// Find a site with a replica on some peer k and a client edge i != k.
+	from, peer, site := -1, -1, -1
+	for j := 0; j < sc.Sys.M() && from < 0; j++ {
+		for k := 0; k < sc.Sys.N(); k++ {
+			if p.Has(k, j) {
+				for i := 0; i < sc.Sys.N(); i++ {
+					if i != k && !p.Has(i, j) {
+						from, peer, site = i, k, j
+						break
+					}
+				}
+				break
+			}
+		}
+	}
+	if from < 0 {
+		t.Skip("no peer-replica pair in this configuration")
+	}
+
+	ups := cl.upstreams(cl.pl.Load(), from, site, false)
+	hasPeer := false
+	for _, u := range ups {
+		if u.kind == "edge" {
+			hasPeer = true
+		}
+	}
+	if !hasPeer {
+		t.Skip("origin nearer than any peer for this pair")
+	}
+
+	// Eject the peer far into the future: selection must drop it.
+	h := cl.edgeHealth[peer]
+	h.mu.Lock()
+	h.ejected = true
+	h.until = time.Now().Add(time.Hour)
+	h.mu.Unlock()
+
+	for _, u := range cl.upstreams(cl.pl.Load(), from, site, false) {
+		if u.kind == "edge" && u.id == peer {
+			t.Fatal("ejected peer still offered by upstreams")
+		}
+	}
+	// The fetch still succeeds through the remaining candidates.
+	if _, err := cl.Fetch(context.Background(), from, site, 1); err != nil {
+		t.Fatalf("fetch with ejected peer failed: %v", err)
+	}
+}
+
+func TestHealthHandlerAndEjectedEdges(t *testing.T) {
+	_, _, cl := startHybridCluster(t)
+	if got := cl.EjectedEdges(); len(got) != 0 {
+		t.Fatalf("healthy cluster reports ejected edges %v", got)
+	}
+	h := cl.edgeHealth[1]
+	h.mu.Lock()
+	h.ejected = true
+	h.until = time.Now().Add(time.Hour)
+	h.ejections = 2
+	h.mu.Unlock()
+
+	if got := cl.EjectedEdges(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("EjectedEdges = %v, want [1]", got)
+	}
+
+	rr := httptest.NewRecorder()
+	cl.HealthHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/health", nil))
+	if rr.Code != 200 {
+		t.Fatalf("health handler status %d", rr.Code)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Edges) != len(cl.edges) || len(rep.Origins) != len(cl.origins) {
+		t.Fatalf("report sizes: %d edges, %d origins", len(rep.Edges), len(rep.Origins))
+	}
+	if rep.Edges[1].State == "healthy" || rep.Edges[1].Ejections != 2 {
+		t.Fatalf("edge 1 report %+v", rep.Edges[1])
+	}
+
+	rr = httptest.NewRecorder()
+	cl.HealthHandler().ServeHTTP(rr, httptest.NewRequest("POST", "/debug/health", nil))
+	if rr.Code != 405 {
+		t.Fatalf("POST to health handler: %d", rr.Code)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.Attempts != 3 || p.Timeout != 2*time.Second {
+		t.Fatalf("defaults %+v", p)
+	}
+	for attempt := 1; attempt < 10; attempt++ {
+		d := p.backoff(attempt)
+		lo := time.Duration(float64(p.MaxBackoff) * (1 + p.Jitter))
+		if d <= 0 || d > lo {
+			t.Fatalf("backoff(%d) = %v out of range", attempt, d)
+		}
+	}
+}
+
+func TestBlackholedPeerBoundedByTimeout(t *testing.T) {
+	sc, p, _ := startHybridCluster(t)
+	cfg := DefaultConfig()
+	cfg.Retry = RetryPolicy{Attempts: 1, Timeout: 100 * time.Millisecond,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Jitter: 0.1}
+	cl, err := Start(sc, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	// Blackhole every origin: a miss with no replica anywhere must fail
+	// within the per-attempt timeout instead of hanging forever.
+	edge, site := -1, -1
+	for j := 0; j < sc.Sys.M() && edge < 0; j++ {
+		any := false
+		for i := 0; i < sc.Sys.N(); i++ {
+			if p.Has(i, j) {
+				any = true
+			}
+		}
+		if !any {
+			edge, site = 0, j
+		}
+	}
+	if edge < 0 {
+		t.Skip("every site replicated")
+	}
+	cl.OriginInjector(site).Set(fault.ModeBlackhole, 0)
+	start := time.Now()
+	_, err = cl.Fetch(context.Background(), edge, site, 1)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrEdgeTimeout) {
+		t.Fatalf("blackholed origin returned %v, want ErrEdgeTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("blackholed fetch took %v — per-hop timeout not enforced", elapsed)
+	}
+}

@@ -21,8 +21,11 @@
 package httpcdn
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -33,6 +36,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 )
@@ -78,6 +82,22 @@ type Config struct {
 	// demand estimator here; the tap must be safe for concurrent use
 	// and fast — it runs on the serving path.
 	RequestTap func(edge, site int)
+	// Retry bounds every peer/origin fetch: per-attempt timeout plus
+	// bounded retries with exponential backoff and jitter. Zero fields
+	// take the RetryPolicy defaults.
+	Retry RetryPolicy
+	// FailThreshold is how many consecutive fetch failures eject a
+	// component from redirection (default 3).
+	FailThreshold int
+	// EjectFor is how long an ejected component sits out before the
+	// half-open probe window opens (default 2s).
+	EjectFor time.Duration
+	// OnHealthChange, when non-nil, fires once per health transition:
+	// ejected=true when a component ("edge" or "origin") is ejected,
+	// false when a probe readmits it. The control plane hangs its
+	// out-of-band reconcile trigger here. Must be safe for concurrent
+	// use; it runs on the serving path.
+	OnHealthChange func(kind string, id int, ejected bool)
 }
 
 // DefaultConfig returns a zero-delay, 64 KiB-capped configuration.
@@ -99,6 +119,14 @@ type Cluster struct {
 	origins []*httptest.Server // one per site
 	edges   []*edge            // one per CDN server
 	client  *http.Client
+
+	// edgeHealth / originHealth are the passive per-component health
+	// trackers; edgeInj / originInj the always-present fault injectors
+	// wrapped around each server's handler (pass-through until Set).
+	edgeHealth   []*tracker
+	originHealth []*tracker
+	edgeInj      []*fault.Injector
+	originInj    []*fault.Injector
 
 	// sourceLatency holds the per-source serve-latency histograms when
 	// cfg.Metrics is set.
@@ -190,6 +218,13 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 	if cfg.MaxObjectBytes <= 0 {
 		cfg.MaxObjectBytes = 64 << 10
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.EjectFor <= 0 {
+		cfg.EjectFor = 2 * time.Second
+	}
 	c := &Cluster{
 		sc:       sc,
 		cfg:      cfg,
@@ -199,10 +234,29 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 	c.pl.Store(p)
 	for j := 0; j < sc.Sys.M(); j++ {
 		site := j
-		c.origins = append(c.origins, httptest.NewServer(http.HandlerFunc(
+		t := &tracker{}
+		inj := fault.NewInjector()
+		if reg := cfg.Metrics; reg != nil {
+			l := obs.Labels{"kind": "origin", "id": strconv.Itoa(j)}
+			t.ejectCtr = reg.Counter("cdn_health_ejections_total",
+				"Components ejected by the passive health tracker.", l)
+			t.readmitCtr = reg.Counter("cdn_health_readmissions_total",
+				"Ejected components readmitted after a successful probe.", l)
+			reg.GaugeFunc("cdn_health_ejected",
+				"1 while the component is ejected from redirection.", l,
+				func() float64 {
+					if t.isEjected() {
+						return 1
+					}
+					return 0
+				})
+		}
+		c.originHealth = append(c.originHealth, t)
+		c.originInj = append(c.originInj, inj)
+		c.origins = append(c.origins, httptest.NewServer(inj.Wrap(http.HandlerFunc(
 			func(w http.ResponseWriter, r *http.Request) {
 				c.serveOrigin(site, w, r)
-			})))
+			}))))
 	}
 	if reg := cfg.Metrics; reg != nil {
 		c.sourceLatency = make(map[string]*obs.Histogram, len(obs.Sources))
@@ -230,11 +284,37 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 			e.fails = reg.Counter("cdn_edge_errors_total",
 				"Requests an edge failed to serve.", edgeLabel)
 		}
-		e.srv = httptest.NewServer(http.HandlerFunc(e.serve))
+		t := &tracker{}
+		if reg := cfg.Metrics; reg != nil {
+			l := obs.Labels{"kind": "edge", "id": strconv.Itoa(i)}
+			t.ejectCtr = reg.Counter("cdn_health_ejections_total",
+				"Components ejected by the passive health tracker.", l)
+			t.readmitCtr = reg.Counter("cdn_health_readmissions_total",
+				"Ejected components readmitted after a successful probe.", l)
+			reg.GaugeFunc("cdn_health_ejected",
+				"1 while the component is ejected from redirection.", l,
+				func() float64 {
+					if t.isEjected() {
+						return 1
+					}
+					return 0
+				})
+		}
+		c.edgeHealth = append(c.edgeHealth, t)
+		inj := fault.NewInjector()
+		c.edgeInj = append(c.edgeInj, inj)
+		e.srv = httptest.NewServer(inj.Wrap(http.HandlerFunc(e.serve)))
 		c.edges = append(c.edges, e)
 	}
 	return c, nil
 }
+
+// EdgeInjector returns edge i's fault injector (pass-through until Set):
+// the chaos-testing hook that kills, slows or blackholes a live edge.
+func (c *Cluster) EdgeInjector(i int) *fault.Injector { return c.edgeInj[i] }
+
+// OriginInjector returns site j's origin fault injector.
+func (c *Cluster) OriginInjector(j int) *fault.Injector { return c.originInj[j] }
 
 // newEdgeCache builds edge i's LRU, instrumented with eviction and
 // resident-byte hooks when metrics are enabled. The hooks fire under
@@ -528,44 +608,43 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) 
 	}
 
 	// Internal peer fetches that miss fall through to the origin; a
-	// client-facing miss redirects to SN (peer or origin).
+	// client-facing miss redirects to SN, preferring healthy sources:
+	// ejected peers are skipped at selection time, and when the chosen
+	// source fails anyway (after its retries) the fetch fails over to
+	// the next candidate instead of surfacing the error.
 	internal := r.Header.Get(internalHeader) != ""
-	srv, hops := pl.Nearest(e.id, site)
-	url := c.origins[site].URL
-	source = SourceOrigin
-	if !internal && srv != core.Origin {
-		url = c.edges[srv].srv.URL
+	var body []byte
+	var etag string
+	var ferr error
+	var used upstream
+	for _, u := range c.upstreams(pl, e.id, site, internal) {
+		if c.cfg.PerHopDelay > 0 {
+			time.Sleep(time.Duration(u.hops * float64(c.cfg.PerHopDelay)))
+		}
+		body, etag, ferr = c.fetchWithRetry(r.Context(), u, objectPath(site, object))
+		if ferr == nil {
+			used = u
+			break
+		}
+	}
+	if ferr != nil {
+		status := http.StatusBadGateway
+		if errors.Is(ferr, ErrEdgeTimeout) {
+			status = http.StatusGatewayTimeout
+		}
+		w.Header().Set(errorHeader, errorClass(ferr))
+		http.Error(w, ferr.Error(), status)
+		return source, hops, false
+	}
+	source, hops = SourceOrigin, used.hops
+	if used.kind == "edge" {
 		source = SourcePeer
-	}
-	if internal {
-		hops = c.sc.Sys.CostOrigin[e.id][site]
-	}
-	if c.cfg.PerHopDelay > 0 {
-		time.Sleep(time.Duration(hops * float64(c.cfg.PerHopDelay)))
-	}
-
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url+objectPath(site, object), nil)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return source, hops, false
-	}
-	req.Header.Set(internalHeader, "1")
-	resp, err := c.client.Do(req)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return source, hops, false
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil || resp.StatusCode != http.StatusOK {
-		http.Error(w, "upstream failure", http.StatusBadGateway)
-		return source, hops, false
 	}
 
 	e.mu.Lock()
 	e.cache.Put(key, int64(len(body)))
 	if e.cache.Contains(key) {
-		e.cachedVer[key] = versionFromETag(resp.Header.Get("Etag"))
+		e.cachedVer[key] = versionFromETag(etag)
 	}
 	if len(e.cachedVer) > 2*e.cache.Len()+64 {
 		for k := range e.cachedVer {
@@ -582,13 +661,129 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) 
 	e.mu.Unlock()
 
 	w.Header().Set("X-Cdn-Source", source)
-	w.Header().Set("Etag", resp.Header.Get("Etag"))
+	w.Header().Set("Etag", etag)
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(body); err != nil {
 		return source, hops, true
 	}
 	return source, hops, true
+}
+
+// upstream is one candidate source for a miss fetch.
+type upstream struct {
+	kind string // "edge" or "origin"
+	id   int
+	url  string
+	hops float64
+}
+
+// trackerFor maps an upstream to its health tracker.
+func (c *Cluster) trackerFor(u upstream) *tracker {
+	if u.kind == "edge" {
+		return c.edgeHealth[u.id]
+	}
+	return c.originHealth[u.id]
+}
+
+// upstreams orders the candidate sources for a miss fetch. Internal
+// fetches go straight to the origin (recursion prevention, unchanged).
+// Client-facing fetches consider the cheapest replica-holding peer that
+// the health tracker offers and the origin, nearest-first — the same SN
+// choice as Placement.Nearest, minus dead components. The origin is
+// kept as last resort even while ejected: gating the only remaining
+// source turns a slow failure into a guaranteed one, and the attempt
+// doubles as its health probe.
+func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) []upstream {
+	orig := upstream{kind: "origin", id: site, url: c.origins[site].URL,
+		hops: c.sc.Sys.CostOrigin[from][site]}
+	if internal {
+		return []upstream{orig}
+	}
+	now := time.Now()
+	best, bestCost := -1, math.Inf(1)
+	for k := 0; k < c.sc.Sys.N(); k++ {
+		if k == from || !pl.Has(k, site) || !c.edgeHealth[k].candidate(now) {
+			continue
+		}
+		if cost := c.sc.Sys.CostServer[from][k]; cost < bestCost {
+			best, bestCost = k, cost
+		}
+	}
+	if best < 0 {
+		return []upstream{orig}
+	}
+	peer := upstream{kind: "edge", id: best, url: c.edges[best].srv.URL, hops: bestCost}
+	if orig.hops < peer.hops && c.originHealth[site].candidate(now) {
+		return []upstream{orig, peer}
+	}
+	return []upstream{peer, orig}
+}
+
+// fetchWithRetry GETs path from u under the retry policy: per-attempt
+// timeouts, bounded attempts, exponential backoff with jitter between
+// them. The overall outcome — success, or failure after the last
+// attempt — is fed to u's health tracker; an ejected upstream is only
+// contacted under its half-open probe token.
+func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string) (body []byte, etag string, err error) {
+	t := c.trackerFor(u)
+	if !t.acquireProbe(time.Now()) {
+		down := error(ErrOriginDown)
+		if u.kind == "edge" {
+			down = ErrPeerDown
+		}
+		return nil, "", fmt.Errorf("%w: %s %d is ejected", down, u.kind, u.id)
+	}
+	p := c.cfg.Retry
+	for attempt := 1; ; attempt++ {
+		body, etag, err = c.fetchOnce(ctx, u.url+path)
+		if err == nil || attempt >= p.Attempts || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-time.After(p.backoff(attempt)):
+		case <-ctx.Done():
+		}
+	}
+	if err != nil && !errors.Is(err, ErrEdgeTimeout) && !errors.Is(err, ErrUpstreamStatus) {
+		down := error(ErrOriginDown)
+		if u.kind == "edge" {
+			down = ErrPeerDown
+		}
+		err = fmt.Errorf("%w: %v", down, err)
+	}
+	c.observe(t, u.kind, u.id, err)
+	return body, etag, err
+}
+
+// fetchOnce performs one upstream attempt under the per-attempt timeout.
+func (c *Cluster) fetchOnce(ctx context.Context, url string) ([]byte, string, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Retry.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set(internalHeader, "1")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if actx.Err() != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrEdgeTimeout, err)
+		}
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if actx.Err() != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrEdgeTimeout, err)
+		}
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("%w: %d", ErrUpstreamStatus, resp.StatusCode)
+	}
+	return body, resp.Header.Get("Etag"), nil
 }
 
 // revalidate sends a conditional GET to the origin for a cached object.
@@ -600,7 +795,11 @@ func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int) (fre
 	e.mu.Lock()
 	e.stats.Revalidations++
 	e.mu.Unlock()
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+	// A revalidation round-trip runs under the same per-attempt timeout
+	// as a fetch, so a hung origin cannot stall cache hits forever.
+	rctx, cancel := context.WithTimeout(r.Context(), c.cfg.Retry.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
 		c.origins[site].URL+objectPath(site, object), nil)
 	if err != nil {
 		return false, 0, false
@@ -638,25 +837,57 @@ type FetchResult struct {
 }
 
 // Fetch issues a client request for (site, object) at the given
-// first-hop edge and verifies the payload.
-func (c *Cluster) Fetch(firstHop, site, object int) (FetchResult, error) {
+// first-hop edge and verifies the payload. Failures come wrapped in the
+// package's sentinel errors (errors.Is): ErrEdgeTimeout when ctx ran
+// out, ErrEdgeDown when the edge was unreachable, ErrOriginDown /
+// ErrPeerDown / ErrUpstreamStatus when the edge reported an upstream
+// failure class, ErrBadStatus for other non-200 answers and
+// ErrCorruptPayload for wrong bytes. Outcomes that implicate the edge
+// itself (unreachable, unclassified errors, corruption) feed its
+// health tracker, so client traffic alone is enough to surface a dead
+// edge in Health / EjectedEdges.
+func (c *Cluster) Fetch(ctx context.Context, firstHop, site, object int) (FetchResult, error) {
 	start := time.Now()
-	resp, err := c.client.Get(c.EdgeURL(firstHop) + objectPath(site, object))
+	health := c.edgeHealth[firstHop]
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.EdgeURL(firstHop)+objectPath(site, object), nil)
 	if err != nil {
+		return FetchResult{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			err = fmt.Errorf("%w: %v", ErrEdgeTimeout, err)
+		} else {
+			err = fmt.Errorf("%w: %v", ErrEdgeDown, err)
+		}
+		c.observe(health, "edge", firstHop, err)
 		return FetchResult{}, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrEdgeDown, err)
+		c.observe(health, "edge", firstHop, err)
 		return FetchResult{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return FetchResult{}, fmt.Errorf("httpcdn: status %d", resp.StatusCode)
+		if sentinel := classError(resp.Header.Get(errorHeader)); sentinel != nil {
+			// The edge is alive and reported an upstream failure; that
+			// is not evidence against the edge itself.
+			return FetchResult{}, fmt.Errorf("%w: status %d", sentinel, resp.StatusCode)
+		}
+		err = fmt.Errorf("%w: %d", ErrBadStatus, resp.StatusCode)
+		c.observe(health, "edge", firstHop, err)
+		return FetchResult{}, err
 	}
 	version := versionFromETag(resp.Header.Get("Etag"))
 	if !VerifyBody(body, site, object, version) {
-		return FetchResult{}, fmt.Errorf("httpcdn: corrupted payload for %s", objectPath(site, object))
+		err = fmt.Errorf("%w: %s", ErrCorruptPayload, objectPath(site, object))
+		c.observe(health, "edge", firstHop, err)
+		return FetchResult{}, err
 	}
+	c.observe(health, "edge", firstHop, nil)
 	return FetchResult{
 		Source:  resp.Header.Get("X-Cdn-Source"),
 		Bytes:   int64(len(body)),

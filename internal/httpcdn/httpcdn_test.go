@@ -2,6 +2,7 @@ package httpcdn
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestReplicaServedLocally(t *testing.T) {
 	if edge < 0 {
 		t.Skip("no replicas placed in this configuration")
 	}
-	res, err := cl.Fetch(edge, site, 1)
+	res, err := cl.Fetch(context.Background(), edge, site, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +94,14 @@ func TestMissThenCacheHit(t *testing.T) {
 	if edge < 0 {
 		t.Fatal("everything replicated?")
 	}
-	first, err := cl.Fetch(edge, site, 3)
+	first, err := cl.Fetch(context.Background(), edge, site, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Source != SourcePeer && first.Source != SourceOrigin {
 		t.Fatalf("first fetch source %q", first.Source)
 	}
-	second, err := cl.Fetch(edge, site, 3)
+	second, err := cl.Fetch(context.Background(), edge, site, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestPayloadDeterministic(t *testing.T) {
 	sc, _, cl := startHybridCluster(t)
 	// Fetch the same object via two different edges; the bodies (sizes
 	// capped) must be identical byte patterns.
-	a, err := cl.Fetch(0, 0, 5)
+	a, err := cl.Fetch(context.Background(), 0, 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cl.Fetch(sc.Sys.N()-1, 0, 5)
+	b, err := cl.Fetch(context.Background(), sc.Sys.N()-1, 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestConsistencyOverHTTP(t *testing.T) {
 
 		const edge, site, object = 0, 0, 2
 		// Prime the cache.
-		first, err := cl.Fetch(edge, site, object)
+		first, err := cl.Fetch(context.Background(), edge, site, object)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestConsistencyOverHTTP(t *testing.T) {
 			t.Fatalf("fresh object at version %d", first.Version)
 		}
 		// Second fetch must hit the cache.
-		second, err := cl.Fetch(edge, site, object)
+		second, err := cl.Fetch(context.Background(), edge, site, object)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestConsistencyOverHTTP(t *testing.T) {
 		}
 		// Modify at the origin, fetch again.
 		cl.ModifyObject(site, object)
-		third, err := cl.Fetch(edge, site, object)
+		third, err := cl.Fetch(context.Background(), edge, site, object)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +251,7 @@ func TestConcurrentFetches(t *testing.T) {
 		go func(reqs []workload.Request) {
 			defer wg.Done()
 			for _, r := range reqs {
-				if _, err := cl.Fetch(r.Server, r.Site, r.Object); err != nil {
+				if _, err := cl.Fetch(context.Background(), r.Server, r.Site, r.Object); err != nil {
 					errs <- err
 					return
 				}
@@ -270,7 +271,7 @@ func TestLoadRunHitRatio(t *testing.T) {
 	sources := map[string]int{}
 	for i := 0; i < 600; i++ {
 		req := stream.Next()
-		res, err := cl.Fetch(req.Server, req.Site, req.Object)
+		res, err := cl.Fetch(context.Background(), req.Server, req.Site, req.Object)
 		if err != nil {
 			t.Fatal(err)
 		}

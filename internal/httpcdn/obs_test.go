@@ -2,6 +2,7 @@ package httpcdn
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -58,7 +59,7 @@ func TestClusterMetricsAndTrace(t *testing.T) {
 	stream := sc.Stream(xrand.New(42))
 	for k := 0; k < requests; k++ {
 		req := stream.Next()
-		if _, err := cl.Fetch(req.Server, req.Site, req.Object); err != nil {
+		if _, err := cl.Fetch(context.Background(), req.Server, req.Site, req.Object); err != nil {
 			t.Fatalf("request %d: %v", k, err)
 		}
 	}
@@ -141,7 +142,7 @@ func TestUninstrumentedClusterUnaffected(t *testing.T) {
 	stream := sc.Stream(xrand.New(7))
 	for k := 0; k < 50; k++ {
 		req := stream.Next()
-		if _, err := cl.Fetch(req.Server, req.Site, req.Object); err != nil {
+		if _, err := cl.Fetch(context.Background(), req.Server, req.Site, req.Object); err != nil {
 			t.Fatalf("request %d: %v", k, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package httpcdn
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -110,7 +111,7 @@ func TestConcurrentPlacementSwap(t *testing.T) {
 			stream := sc.Stream(xrand.New(uint64(1000 + g)))
 			for k := 0; k < perClient; k++ {
 				req := stream.Next()
-				fr, err := cl.Fetch(req.Server, req.Site, req.Object)
+				fr, err := cl.Fetch(context.Background(), req.Server, req.Site, req.Object)
 				if err != nil {
 					errs <- err
 					return

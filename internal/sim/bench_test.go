@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -23,9 +24,9 @@ func benchSetup(b *testing.B) (run func(parallelism int)) {
 		cfg.Parallelism = parallelism
 		var err error
 		if parallelism == 0 {
-			_, err = Run(sc, p, cfg, xrand.New(9))
+			_, err = Run(context.Background(), sc, p, cfg, xrand.New(9))
 		} else {
-			_, err = RunParallel(sc, p, cfg, xrand.New(9))
+			_, err = RunParallel(context.Background(), sc, p, cfg, xrand.New(9))
 		}
 		if err != nil {
 			b.Fatal(err)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -53,8 +54,8 @@ func TestZeroCapacityAllMechanismsEqual(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Requests = 30000
 	cfg.Warmup = 5000
-	mRepl := MustRun(sc, repl.Placement, noCache(cfg), xrand.New(2))
-	mHyb := MustRun(sc, hyb.Placement, cfg, xrand.New(2))
+	mRepl := MustRun(context.Background(), sc, repl.Placement, noCache(cfg), xrand.New(2))
+	mHyb := MustRun(context.Background(), sc, hyb.Placement, cfg, xrand.New(2))
 	// Zero-byte caches cannot hold anything: identical behaviour.
 	if mRepl.MeanRTMs != mHyb.MeanRTMs {
 		t.Fatalf("zero-capacity mechanisms diverge: %v vs %v", mRepl.MeanRTMs, mHyb.MeanRTMs)
@@ -77,7 +78,7 @@ func TestZeroWarmup(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Requests = 5000
 	cfg.Warmup = 0
-	m := MustRun(sc, core.NewPlacement(sc.Sys), cfg, xrand.New(3))
+	m := MustRun(context.Background(), sc, core.NewPlacement(sc.Sys), cfg, xrand.New(3))
 	if m.Requests != 5000 {
 		t.Fatalf("measured %d requests", m.Requests)
 	}
@@ -103,7 +104,7 @@ func TestPerServerHitRatioBounds(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Requests = 40000
 	cfg.Warmup = 20000
-	m := MustRun(sc, core.NewPlacement(sc.Sys), cfg, xrand.New(6))
+	m := MustRun(context.Background(), sc, core.NewPlacement(sc.Sys), cfg, xrand.New(6))
 	if len(m.PerServerHitRatio) != sc.Sys.N() {
 		t.Fatalf("%d per-server ratios", len(m.PerServerHitRatio))
 	}
@@ -139,7 +140,7 @@ func TestAccountingIdentity(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Requests = 50000
 	cfg.Warmup = 20000
-	m := MustRun(sc, res.Placement, cfg, xrand.New(8))
+	m := MustRun(context.Background(), sc, res.Placement, cfg, xrand.New(8))
 	sum := m.LocalReplica + m.CacheHits + m.CacheMisses + m.Bypass
 	if sum != int64(m.Requests) {
 		t.Fatalf("accounting: %d+%d+%d+%d = %d != %d requests",

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -55,7 +56,12 @@ func (m *FailureMetrics) Unavailability() float64 {
 // are injected (cfg.Warmup requests with everything alive), so the run
 // answers: "the system was in steady state, then k components died —
 // what do clients see?"
-func RunWithFailures(sc *scenario.Scenario, p *core.Placement, cfg Config, fail FailureSet, r *xrand.Source) (*FailureMetrics, error) {
+//
+// Failures here are static — dead at the measurement boundary, forever.
+// RunWithSchedule generalizes this to crash/recover/slow events at
+// arbitrary virtual times; Crashes(cfg.Warmup, servers, origins) is the
+// degenerate schedule reproducing this function exactly.
+func RunWithFailures(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, fail FailureSet, r *xrand.Source) (*FailureMetrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -145,6 +151,9 @@ func RunWithFailures(sc *scenario.Scenario, p *core.Placement, cfg Config, fail 
 	var totalRT float64
 	total := cfg.Warmup + cfg.Requests
 	for t := 0; t < total; t++ {
+		if t%cancelEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		req := stream.Next()
 		measured := t >= cfg.Warmup
 		origin, j := req.Server, req.Site

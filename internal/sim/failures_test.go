@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -13,7 +14,7 @@ func TestNoFailuresMatchesHealthyAccounting(t *testing.T) {
 	p := core.NewPlacement(sc.Sys)
 	cfg := fastConfig(true)
 	cfg.KeepResponseTimes = false
-	m, err := RunWithFailures(sc, p, cfg, FailureSet{}, xrand.New(32))
+	m, err := RunWithFailures(context.Background(), sc, p, cfg, FailureSet{}, xrand.New(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestFailedServerReroutes(t *testing.T) {
 	sc := smallScenario(33, 0)
 	p := core.NewPlacement(sc.Sys)
 	cfg := fastConfig(true)
-	m, err := RunWithFailures(sc, p, cfg, FailureSet{Servers: []int{0, 1}}, xrand.New(34))
+	m, err := RunWithFailures(context.Background(), sc, p, cfg, FailureSet{Servers: []int{0, 1}}, xrand.New(34))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestFailedOriginUnavailabilityOrdering(t *testing.T) {
 	pure := placement.None(sc.Sys)
 
 	cfg := fastConfig(true)
-	mHyb, err := RunWithFailures(sc, hyb.Placement, cfg, fail, xrand.New(37))
+	mHyb, err := RunWithFailures(context.Background(), sc, hyb.Placement, cfg, fail, xrand.New(37))
 	if err != nil {
 		t.Fatal(err)
 	}
-	mPure, err := RunWithFailures(sc, pure.Placement, cfg, fail, xrand.New(37))
+	mPure, err := RunWithFailures(context.Background(), sc, pure.Placement, cfg, fail, xrand.New(37))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestAllServersFailedRejected(t *testing.T) {
 	for i := range all {
 		all[i] = i
 	}
-	if _, err := RunWithFailures(sc, p, fastConfig(true), FailureSet{Servers: all}, xrand.New(40)); err == nil {
+	if _, err := RunWithFailures(context.Background(), sc, p, fastConfig(true), FailureSet{Servers: all}, xrand.New(40)); err == nil {
 		t.Fatal("total outage accepted")
 	}
 }
@@ -95,10 +96,10 @@ func TestAllServersFailedRejected(t *testing.T) {
 func TestFailureSetValidation(t *testing.T) {
 	sc := smallScenario(41, 0)
 	p := core.NewPlacement(sc.Sys)
-	if _, err := RunWithFailures(sc, p, fastConfig(true), FailureSet{Servers: []int{-1}}, xrand.New(1)); err == nil {
+	if _, err := RunWithFailures(context.Background(), sc, p, fastConfig(true), FailureSet{Servers: []int{-1}}, xrand.New(1)); err == nil {
 		t.Fatal("negative server index accepted")
 	}
-	if _, err := RunWithFailures(sc, p, fastConfig(true), FailureSet{Origins: []int{999}}, xrand.New(1)); err == nil {
+	if _, err := RunWithFailures(context.Background(), sc, p, fastConfig(true), FailureSet{Origins: []int{999}}, xrand.New(1)); err == nil {
 		t.Fatal("out-of-range origin accepted")
 	}
 }

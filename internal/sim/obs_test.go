@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func TestPerServerHitRatioZeroLookupsIsZero(t *testing.T) {
 			}
 		}
 	}
-	m := MustRun(sc, p, fastConfig(true), xrand.New(12))
+	m := MustRun(context.Background(), sc, p, fastConfig(true), xrand.New(12))
 	for i, r := range m.PerServerHitRatio {
 		if math.IsNaN(r) || r != 0 {
 			t.Errorf("server %d: hit ratio %v with %d lookups, want 0",
@@ -63,7 +64,7 @@ func TestTracerEmitsSchemaAndReconciles(t *testing.T) {
 	cfg.Requests = 20000
 	cfg.Warmup = 10000
 	cfg.Tracer = obs.NewTracer(&buf)
-	m := MustRun(sc, res.Placement, cfg, xrand.New(14))
+	m := MustRun(context.Background(), sc, res.Placement, cfg, xrand.New(14))
 	if err := cfg.Tracer.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestMetricsPublished(t *testing.T) {
 	p := core.NewPlacement(sc.Sys) // pure caching: hits and misses happen
 	cfg := fastConfig(true)
 	cfg.Metrics = obs.NewRegistry()
-	m := MustRun(sc, p, cfg, xrand.New(16))
+	m := MustRun(context.Background(), sc, p, cfg, xrand.New(16))
 
 	var total int64
 	for _, src := range obs.Sources {

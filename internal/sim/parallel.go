@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -46,13 +47,13 @@ type reqRecord struct {
 // RunParallel is Run executed on cfg.Parallelism workers (0 =
 // runtime.GOMAXPROCS). The result is bit-identical to Run with the same
 // seed; see the package comment above for why sharding is exact.
-func RunParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
-	return RunSourceParallel(sc, p, cfg, streamSource{sc.Stream(r)})
+func RunParallel(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
+	return RunSourceParallel(ctx, sc, p, cfg, streamSource{sc.Stream(r)})
 }
 
 // MustRunParallel is RunParallel for known-good configurations.
-func MustRunParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) *Metrics {
-	m, err := RunParallel(sc, p, cfg, r)
+func MustRunParallel(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) *Metrics {
+	m, err := RunParallel(ctx, sc, p, cfg, r)
 	if err != nil {
 		panic(err)
 	}
@@ -62,7 +63,9 @@ func MustRunParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xr
 // RunSourceParallel is RunSource executed on cfg.Parallelism workers.
 // The source is drained sequentially by a producer goroutine (request
 // sampling owns a single RNG stream), so any Source works unchanged.
-func RunSourceParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
+// Cancelling ctx aborts the producer between batches; the workers drain
+// what was already queued and the call returns ctx.Err().
+func RunSourceParallel(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
 	if err := validateRun(sc, p, cfg); err != nil {
 		return nil, err
 	}
@@ -75,7 +78,7 @@ func RunSourceParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, src
 		workers = n
 	}
 	if workers <= 1 {
-		return RunSource(sc, p, cfg, src)
+		return RunSource(ctx, sc, p, cfg, src)
 	}
 
 	// Register the response-time histogram before simulating, exactly as
@@ -153,6 +156,10 @@ func RunSourceParallel(sc *scenario.Scenario, p *core.Placement, cfg Config, src
 	}
 	total := cfg.Warmup + cfg.Requests
 	for t := 0; t < total; t++ {
+		if t%cancelEvery == 0 && ctx.Err() != nil {
+			srcErr = ctx.Err()
+			break
+		}
 		req, ok := src.Next()
 		if !ok {
 			srcErr = fmt.Errorf("sim: request source exhausted after %d of %d requests", t, total)

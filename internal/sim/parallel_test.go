@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -55,14 +56,14 @@ func TestRunParallelMatchesRun(t *testing.T) {
 		sc := smallScenario(seed, 0)
 		p := hybridPlacementFor(sc)
 		cfg := gridConfig(true)
-		seq, err := Run(sc, p, cfg, xrand.New(seed*100+9))
+		seq, err := Run(context.Background(), sc, p, cfg, xrand.New(seed*100+9))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, par := range []int{1, 2, 3, 8} {
 			cfgP := cfg
 			cfgP.Parallelism = par
-			got, err := RunParallel(sc, p, cfgP, xrand.New(seed*100+9))
+			got, err := RunParallel(context.Background(), sc, p, cfgP, xrand.New(seed*100+9))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,12 +80,12 @@ func TestRunParallelMatchesRunAllPolicies(t *testing.T) {
 	for _, pol := range []cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyLFU, cache.PolicyDelayedLRU} {
 		cfg := gridConfig(true)
 		cfg.Policy = pol
-		seq, err := Run(sc, p, cfg, xrand.New(11))
+		seq, err := Run(context.Background(), sc, p, cfg, xrand.New(11))
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg.Parallelism = 4
-		got, err := RunParallel(sc, p, cfg, xrand.New(11))
+		got, err := RunParallel(context.Background(), sc, p, cfg, xrand.New(11))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,12 +93,12 @@ func TestRunParallelMatchesRunAllPolicies(t *testing.T) {
 	}
 
 	cfg := gridConfig(false) // pure replication: no caches at all
-	seq, err := Run(sc, p, cfg, xrand.New(12))
+	seq, err := Run(context.Background(), sc, p, cfg, xrand.New(12))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Parallelism = 4
-	got, err := RunParallel(sc, p, cfg, xrand.New(12))
+	got, err := RunParallel(context.Background(), sc, p, cfg, xrand.New(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +111,12 @@ func TestRunParallelMatchesRunLambda(t *testing.T) {
 	sc := smallScenario(5, 0.1)
 	p := hybridPlacementFor(sc)
 	cfg := gridConfig(true)
-	seq, err := Run(sc, p, cfg, xrand.New(21))
+	seq, err := Run(context.Background(), sc, p, cfg, xrand.New(21))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Parallelism = 8
-	got, err := RunParallel(sc, p, cfg, xrand.New(21))
+	got, err := RunParallel(context.Background(), sc, p, cfg, xrand.New(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,9 +141,9 @@ func TestRunParallelTraceAndRegistry(t *testing.T) {
 		cfg.Parallelism = parallelism
 		var err error
 		if parallelism == 0 {
-			_, err = Run(sc, p, cfg, xrand.New(33))
+			_, err = Run(context.Background(), sc, p, cfg, xrand.New(33))
 		} else {
-			_, err = RunParallel(sc, p, cfg, xrand.New(33))
+			_, err = RunParallel(context.Background(), sc, p, cfg, xrand.New(33))
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -200,9 +201,9 @@ func TestRunSourceParallelExhausted(t *testing.T) {
 		}
 		return &sliceSource{reqs: reqs}
 	}
-	_, seqErr := RunSource(sc, p, cfg, mk())
+	_, seqErr := RunSource(context.Background(), sc, p, cfg, mk())
 	cfg.Parallelism = 4
-	_, parErr := RunSourceParallel(sc, p, cfg, mk())
+	_, parErr := RunSourceParallel(context.Background(), sc, p, cfg, mk())
 	if seqErr == nil || parErr == nil {
 		t.Fatalf("expected exhaustion errors, got seq=%v par=%v", seqErr, parErr)
 	}
@@ -225,14 +226,14 @@ func TestParallelismValidation(t *testing.T) {
 	p := hybridPlacementFor(sc)
 	fcfg := gridConfig(true)
 	fcfg.Parallelism = 4
-	_, err := RunWithFailures(sc, p, fcfg, FailureSet{}, xrand.New(1))
+	_, err := RunWithFailures(context.Background(), sc, p, fcfg, FailureSet{}, xrand.New(1))
 	if err == nil || !strings.Contains(err.Error(), "sequential") {
 		t.Errorf("RunWithFailures with Parallelism=4: got %v, want explicit sequential-only error", err)
 	}
 	// Parallelism 0 (auto) must keep working: the failure path simply
 	// stays sequential.
 	fcfg.Parallelism = 0
-	if _, err := RunWithFailures(sc, p, fcfg, FailureSet{}, xrand.New(1)); err != nil {
+	if _, err := RunWithFailures(context.Background(), sc, p, fcfg, FailureSet{}, xrand.New(1)); err != nil {
 		t.Errorf("RunWithFailures with Parallelism=0: %v", err)
 	}
 }

@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -180,13 +181,19 @@ type streamSource struct{ s *workload.Stream }
 
 func (ss streamSource) Next() (workload.Request, bool) { return ss.s.Next(), true }
 
+// cancelEvery is how often the request loops poll ctx between batches:
+// frequent enough that cancellation lands within microseconds at any
+// scale, rare enough to stay invisible on the hot path.
+const cancelEvery = 4096
+
 // Run simulates cfg.Warmup+cfg.Requests requests drawn from the
 // scenario's workload against placement p, and returns the measured-phase
 // metrics. r drives request sampling only, so runs with equal seeds are
 // identical for every placement being compared — the paper's mechanisms
-// all see the same trace.
-func Run(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
-	return RunSource(sc, p, cfg, streamSource{sc.Stream(r)})
+// all see the same trace. Cancelling ctx aborts the run between request
+// batches with ctx.Err().
+func Run(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) (*Metrics, error) {
+	return RunSource(ctx, sc, p, cfg, streamSource{sc.Stream(r)})
 }
 
 // validateRun checks the configuration and the placement/scenario pairing
@@ -328,7 +335,7 @@ func (m *Metrics) finalize(cfg *Config, totalRT, totalHops float64) {
 // RunSource is Run driven by an explicit request source (e.g. a recorded
 // trace). It fails if the source is exhausted before warm-up plus
 // measurement completes.
-func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
+func RunSource(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, src Source) (*Metrics, error) {
 	if err := validateRun(sc, p, cfg); err != nil {
 		return nil, err
 	}
@@ -347,6 +354,9 @@ func RunSource(sc *scenario.Scenario, p *core.Placement, cfg Config, src Source)
 	var totalRT, totalHops float64
 	total := cfg.Warmup + cfg.Requests
 	for t := 0; t < total; t++ {
+		if t%cancelEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		req, ok := src.Next()
 		if !ok {
 			return nil, fmt.Errorf("sim: request source exhausted after %d of %d requests", t, total)
@@ -420,8 +430,8 @@ func (m *Metrics) countRemote(p *core.Placement, i, j int) string {
 }
 
 // MustRun is Run for known-good configurations.
-func MustRun(sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) *Metrics {
-	m, err := Run(sc, p, cfg, r)
+func MustRun(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cfg Config, r *xrand.Source) *Metrics {
+	m, err := Run(ctx, sc, p, cfg, r)
 	if err != nil {
 		panic(err)
 	}

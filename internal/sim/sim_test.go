@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestRunRejectsForeignPlacement(t *testing.T) {
 	a := smallScenario(1, 0)
 	b := smallScenario(2, 0)
 	p := core.NewPlacement(b.Sys)
-	if _, err := Run(a, p, fastConfig(true), xrand.New(1)); err == nil {
+	if _, err := Run(context.Background(), a, p, fastConfig(true), xrand.New(1)); err == nil {
 		t.Fatal("placement from another system accepted")
 	}
 }
@@ -85,7 +86,7 @@ func TestFullReplicationAllLocal(t *testing.T) {
 			}
 		}
 	}
-	m := MustRun(sc, p, fastConfig(false), xrand.New(4))
+	m := MustRun(context.Background(), sc, p, fastConfig(false), xrand.New(4))
 	if m.LocalReplica != int64(m.Requests) {
 		t.Fatalf("local %d of %d requests", m.LocalReplica, m.Requests)
 	}
@@ -103,7 +104,7 @@ func TestFullReplicationAllLocal(t *testing.T) {
 func TestPureReplicationNoCacheEvents(t *testing.T) {
 	sc := smallScenario(5, 0)
 	res := placement.GreedyGlobal(sc.Sys)
-	m := MustRun(sc, res.Placement, fastConfig(false), xrand.New(6))
+	m := MustRun(context.Background(), sc, res.Placement, fastConfig(false), xrand.New(6))
 	if m.CacheHits != 0 || m.CacheMisses != 0 {
 		t.Fatal("cache events recorded with UseCache=false")
 	}
@@ -118,7 +119,7 @@ func TestPureReplicationNoCacheEvents(t *testing.T) {
 func TestPureCachingHasHitsAndMisses(t *testing.T) {
 	sc := smallScenario(7, 0)
 	p := core.NewPlacement(sc.Sys) // no replicas: pure caching
-	m := MustRun(sc, p, fastConfig(true), xrand.New(8))
+	m := MustRun(context.Background(), sc, p, fastConfig(true), xrand.New(8))
 	if m.CacheHits == 0 || m.CacheMisses == 0 {
 		t.Fatalf("hits=%d misses=%d: expected both nonzero", m.CacheHits, m.CacheMisses)
 	}
@@ -140,7 +141,7 @@ func TestPureCachingHasHitsAndMisses(t *testing.T) {
 func TestResponseTimesQuantized(t *testing.T) {
 	sc := smallScenario(9, 0)
 	p := core.NewPlacement(sc.Sys)
-	m := MustRun(sc, p, fastConfig(true), xrand.New(10))
+	m := MustRun(context.Background(), sc, p, fastConfig(true), xrand.New(10))
 	if len(m.ResponseTimesMs) != m.Requests {
 		t.Fatalf("%d response times for %d requests", len(m.ResponseTimesMs), m.Requests)
 	}
@@ -158,7 +159,7 @@ func TestKeepResponseTimesOff(t *testing.T) {
 	sc := smallScenario(11, 0)
 	cfg := fastConfig(true)
 	cfg.KeepResponseTimes = false
-	m := MustRun(sc, core.NewPlacement(sc.Sys), cfg, xrand.New(12))
+	m := MustRun(context.Background(), sc, core.NewPlacement(sc.Sys), cfg, xrand.New(12))
 	if m.ResponseTimesMs != nil {
 		t.Fatal("response times retained despite KeepResponseTimes=false")
 	}
@@ -170,14 +171,14 @@ func TestKeepResponseTimesOff(t *testing.T) {
 func TestLambdaBypass(t *testing.T) {
 	sc := smallScenario(13, 0.2)
 	p := core.NewPlacement(sc.Sys)
-	m := MustRun(sc, p, fastConfig(true), xrand.New(14))
+	m := MustRun(context.Background(), sc, p, fastConfig(true), xrand.New(14))
 	frac := float64(m.Bypass) / float64(m.Requests)
 	if math.Abs(frac-0.2) > 0.02 {
 		t.Fatalf("bypass fraction %v, want ~0.2", frac)
 	}
 	// Bypass traffic must depress the local fraction versus λ=0.
 	sc0 := smallScenario(13, 0)
-	m0 := MustRun(sc0, core.NewPlacement(sc0.Sys), fastConfig(true), xrand.New(14))
+	m0 := MustRun(context.Background(), sc0, core.NewPlacement(sc0.Sys), fastConfig(true), xrand.New(14))
 	if m.LocalFraction() >= m0.LocalFraction() {
 		t.Fatalf("local fraction with λ=0.2 (%v) not below λ=0 (%v)",
 			m.LocalFraction(), m0.LocalFraction())
@@ -187,8 +188,8 @@ func TestLambdaBypass(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	sc := smallScenario(15, 0.1)
 	p := core.NewPlacement(sc.Sys)
-	a := MustRun(sc, p, fastConfig(true), xrand.New(16))
-	b := MustRun(sc, p, fastConfig(true), xrand.New(16))
+	a := MustRun(context.Background(), sc, p, fastConfig(true), xrand.New(16))
+	b := MustRun(context.Background(), sc, p, fastConfig(true), xrand.New(16))
 	if a.MeanRTMs != b.MeanRTMs || a.CacheHits != b.CacheHits || a.MeanHops != b.MeanHops {
 		t.Fatal("identical seeds produced different metrics")
 	}
@@ -197,7 +198,7 @@ func TestDeterministicRuns(t *testing.T) {
 func TestRemoteVsOriginAccounting(t *testing.T) {
 	sc := smallScenario(17, 0)
 	res := placement.GreedyGlobal(sc.Sys)
-	m := MustRun(sc, res.Placement, fastConfig(false), xrand.New(18))
+	m := MustRun(context.Background(), sc, res.Placement, fastConfig(false), xrand.New(18))
 	redirected := int64(m.Requests) - m.LocalReplica
 	if m.RemoteServer+m.OriginFetch != redirected {
 		t.Fatalf("remote %d + origin %d != redirected %d",
@@ -224,9 +225,9 @@ func TestHybridBeatsBothStandalones(t *testing.T) {
 
 	cfg := fastConfig(true)
 	cfgNoCache := fastConfig(false)
-	mRepl := MustRun(sc, repl.Placement, cfgNoCache, xrand.New(20))
-	mPure := MustRun(sc, pure.Placement, cfg, xrand.New(20))
-	mHyb := MustRun(sc, hyb.Placement, cfg, xrand.New(20))
+	mRepl := MustRun(context.Background(), sc, repl.Placement, cfgNoCache, xrand.New(20))
+	mPure := MustRun(context.Background(), sc, pure.Placement, cfg, xrand.New(20))
+	mHyb := MustRun(context.Background(), sc, hyb.Placement, cfg, xrand.New(20))
 
 	if mHyb.MeanRTMs >= mRepl.MeanRTMs {
 		t.Errorf("hybrid %.2f ms not better than replication %.2f ms",
@@ -254,7 +255,7 @@ func TestModelPredictsSimulatedCost(t *testing.T) {
 	cfg := fastConfig(true)
 	cfg.Requests = 150000
 	cfg.Warmup = 80000
-	m := MustRun(sc, hyb.Placement, cfg, xrand.New(22))
+	m := MustRun(context.Background(), sc, hyb.Placement, cfg, xrand.New(22))
 	predicted := hyb.PredictedCost // hops per request: demand sums to 1
 	actual := m.MeanHops
 	if actual == 0 {
@@ -273,7 +274,7 @@ func TestCachePolicyVariantsRun(t *testing.T) {
 	for _, pol := range []cache.Policy{cache.PolicyLRU, cache.PolicyFIFO, cache.PolicyLFU, cache.PolicyDelayedLRU} {
 		cfg := fastConfig(true)
 		cfg.Policy = pol
-		m := MustRun(sc, p, cfg, xrand.New(24))
+		m := MustRun(context.Background(), sc, p, cfg, xrand.New(24))
 		if m.Requests != cfg.Requests {
 			t.Fatalf("%s: measured %d requests", pol, m.Requests)
 		}
@@ -290,6 +291,6 @@ func BenchmarkSimulate(b *testing.B) {
 	cfg.KeepResponseTimes = false
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MustRun(sc, p, cfg, xrand.New(uint64(i)))
+		MustRun(context.Background(), sc, p, cfg, xrand.New(uint64(i)))
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -159,7 +160,7 @@ func TestReplayMatchesLiveRun(t *testing.T) {
 	cfg.Warmup = 10000
 
 	// Live run.
-	live, err := sim.Run(sc, p, cfg, xrand.New(7))
+	live, err := sim.Run(context.Background(), sc, p, cfg, xrand.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestReplayMatchesLiveRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := sim.RunSource(sc, p, cfg, r)
+	replay, err := sim.RunSource(context.Background(), sc, p, cfg, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestRunSourceExhausted(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	cfg.Requests = 200
 	cfg.Warmup = 0
-	if _, err := sim.RunSource(sc, p, cfg, r); err == nil {
+	if _, err := sim.RunSource(context.Background(), sc, p, cfg, r); err == nil {
 		t.Fatal("exhausted source accepted")
 	}
 }

@@ -15,22 +15,25 @@
 // Quick start:
 //
 //	sc := repro.MustBuildScenario(repro.DefaultScenario())
-//	pl, _ := repro.HybridPlacement(sc)
-//	m := repro.MustSimulate(sc, pl, repro.DefaultSim(), 1)
+//	pl, _ := repro.Place(sc, repro.PlacementConfig{Strategy: repro.StrategyHybrid})
+//	m := repro.MustSimulate(context.Background(), sc, pl, repro.DefaultSim(), 1)
 //	fmt.Println(m.MeanRTMs)
 //
 // or regenerate a whole figure:
 //
-//	panels, _ := repro.Figure3(repro.DefaultOptions())
+//	panels, _ := repro.Figure3(context.Background(), repro.DefaultOptions())
 //	fmt.Println(repro.FormatPanel(panels[0]))
 package repro
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/lrumodel"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -102,73 +105,156 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) { return scenario.Buil
 // MustBuildScenario is BuildScenario for known-good configurations.
 func MustBuildScenario(cfg ScenarioConfig) *Scenario { return scenario.MustBuild(cfg) }
 
-// HybridPlacement runs the paper's Figure 2 algorithm on the scenario.
-func HybridPlacement(sc *Scenario) (*PlacementResult, error) {
-	return placement.Hybrid(sc.Sys, placement.HybridConfig{
-		Specs:          sc.Work.Specs(),
-		AvgObjectBytes: sc.Work.AvgObjectBytes,
-	})
-}
-
 // PlacementStep records one replica-creation decision of an algorithm.
 type PlacementStep = placement.Step
 
+// Strategy selects the placement algorithm Place runs — the §5.2
+// mechanisms as one enumeration instead of one constructor each.
+type Strategy string
+
+// The placement strategies.
+const (
+	// StrategyHybrid is the paper's Figure 2 algorithm: replicas where
+	// the LRU model says they beat caching, free storage left as cache.
+	StrategyHybrid Strategy = "hybrid"
+	// StrategyReplication is the greedy-global baseline (no caching).
+	StrategyReplication Strategy = "replication"
+	// StrategyCaching places no replicas: all storage is cache.
+	StrategyCaching Strategy = "caching"
+	// StrategyAdHoc reserves PlacementConfig.CacheFrac of storage for
+	// caching and fills the rest with greedy-global replicas (§5.2's
+	// fixed-split strawman).
+	StrategyAdHoc Strategy = "adhoc"
+)
+
+// PlacementConfig parameterizes Place.
+type PlacementConfig struct {
+	// Strategy selects the algorithm; the zero value is StrategyHybrid.
+	Strategy Strategy
+	// CacheFrac is the cache share for StrategyAdHoc (ignored
+	// otherwise).
+	CacheFrac float64
+	// Observer, when non-nil, is invoked after every replica creation —
+	// the iteration-by-iteration view of the placement loop
+	// (StrategyHybrid only; ignored by the others).
+	Observer func(PlacementStep)
+	// Parallelism fans out the hybrid benefit-matrix computation
+	// (0 = all cores).
+	Parallelism int
+}
+
+// Place runs the selected placement strategy on the scenario. It is the
+// single entry point replacing the per-strategy constructors
+// (HybridPlacement, ReplicationPlacement, CachingPlacement,
+// AdHocPlacement), which survive as deprecated wrappers.
+func Place(sc *Scenario, cfg PlacementConfig) (*PlacementResult, error) {
+	switch cfg.Strategy {
+	case StrategyHybrid, "":
+		return placement.Hybrid(sc.Sys, placement.HybridConfig{
+			Specs:          sc.Work.Specs(),
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			Observer:       cfg.Observer,
+			Parallelism:    cfg.Parallelism,
+		})
+	case StrategyReplication:
+		return placement.GreedyGlobalOpts(sc.Sys, placement.GreedyConfig{
+			Parallelism: cfg.Parallelism,
+		}), nil
+	case StrategyCaching:
+		return placement.None(sc.Sys), nil
+	case StrategyAdHoc:
+		return placement.AdHoc(sc.Sys, cfg.CacheFrac)
+	default:
+		return nil, fmt.Errorf("repro: unknown placement strategy %q", cfg.Strategy)
+	}
+}
+
+// HybridPlacement runs the paper's Figure 2 algorithm on the scenario.
+//
+// Deprecated: use Place(sc, PlacementConfig{Strategy: StrategyHybrid}).
+func HybridPlacement(sc *Scenario) (*PlacementResult, error) {
+	return Place(sc, PlacementConfig{Strategy: StrategyHybrid})
+}
+
 // HybridPlacementWithObserver is HybridPlacement with a callback invoked
-// after every replica creation — the iteration-by-iteration view of the
-// Figure 2 loop.
+// after every replica creation.
+//
+// Deprecated: use Place with PlacementConfig.Observer.
 func HybridPlacementWithObserver(sc *Scenario, obs func(PlacementStep)) (*PlacementResult, error) {
-	return placement.Hybrid(sc.Sys, placement.HybridConfig{
-		Specs:          sc.Work.Specs(),
-		AvgObjectBytes: sc.Work.AvgObjectBytes,
-		Observer:       obs,
-	})
+	return Place(sc, PlacementConfig{Strategy: StrategyHybrid, Observer: obs})
 }
 
 // ReplicationPlacement runs the greedy-global baseline (no caching).
+//
+// Deprecated: use Place(sc, PlacementConfig{Strategy: StrategyReplication}).
 func ReplicationPlacement(sc *Scenario) *PlacementResult {
-	return placement.GreedyGlobal(sc.Sys)
+	res, err := Place(sc, PlacementConfig{Strategy: StrategyReplication})
+	if err != nil {
+		panic(err) // unreachable: the replication strategy cannot fail
+	}
+	return res
 }
 
 // CachingPlacement returns the pure-caching configuration (no replicas).
+//
+// Deprecated: use Place(sc, PlacementConfig{Strategy: StrategyCaching}).
 func CachingPlacement(sc *Scenario) *PlacementResult {
-	return placement.None(sc.Sys)
+	res, err := Place(sc, PlacementConfig{Strategy: StrategyCaching})
+	if err != nil {
+		panic(err) // unreachable: the caching strategy cannot fail
+	}
+	return res
 }
 
 // AdHocPlacement reserves cacheFrac of storage for caching and fills the
-// rest with greedy-global replicas (§5.2's fixed-split strawman).
+// rest with greedy-global replicas.
+//
+// Deprecated: use Place(sc, PlacementConfig{Strategy: StrategyAdHoc,
+// CacheFrac: cacheFrac}).
 func AdHocPlacement(sc *Scenario, cacheFrac float64) (*PlacementResult, error) {
-	return placement.AdHoc(sc.Sys, cacheFrac)
+	return Place(sc, PlacementConfig{Strategy: StrategyAdHoc, CacheFrac: cacheFrac})
 }
 
 // Simulate runs the trace-driven simulator; seed fixes the request trace
 // so different placements can be compared on identical traffic. The run
 // shards across cfg.Parallelism workers (0 = all cores) and is
-// bit-identical to a sequential run of the same seed.
-func Simulate(sc *Scenario, p *Placement, cfg SimConfig, seed uint64) (*Metrics, error) {
-	return sim.RunParallel(sc, p, cfg, xrand.New(seed))
+// bit-identical to a sequential run of the same seed. Cancelling ctx
+// aborts between request batches with ctx.Err().
+func Simulate(ctx context.Context, sc *Scenario, p *Placement, cfg SimConfig, seed uint64) (*Metrics, error) {
+	return sim.RunParallel(ctx, sc, p, cfg, xrand.New(seed))
 }
 
 // MustSimulate is Simulate for known-good configurations.
-func MustSimulate(sc *Scenario, p *Placement, cfg SimConfig, seed uint64) *Metrics {
-	return sim.MustRunParallel(sc, p, cfg, xrand.New(seed))
+func MustSimulate(ctx context.Context, sc *Scenario, p *Placement, cfg SimConfig, seed uint64) *Metrics {
+	return sim.MustRunParallel(ctx, sc, p, cfg, xrand.New(seed))
 }
 
 // Figure3 regenerates the λ=0 mechanism-comparison CDFs (5% and 10%
 // capacity panels).
-func Figure3(opts Options) ([]Panel, error) { return experiments.Figure3(opts) }
+func Figure3(ctx context.Context, opts Options) ([]Panel, error) {
+	return experiments.Figure3(ctx, opts)
+}
 
 // Figure4 regenerates the λ=0.1 (strong-consistency) comparison.
-func Figure4(opts Options) ([]Panel, error) { return experiments.Figure4(opts) }
+func Figure4(ctx context.Context, opts Options) ([]Panel, error) {
+	return experiments.Figure4(ctx, opts)
+}
 
 // Figure5 regenerates the hybrid vs ad-hoc fixed-split comparison.
-func Figure5(opts Options) ([]Panel, error) { return experiments.Figure5(opts) }
+func Figure5(ctx context.Context, opts Options) ([]Panel, error) {
+	return experiments.Figure5(ctx, opts)
+}
 
 // Figure6 regenerates the model-accuracy rows (predicted vs actual cost
 // per request).
-func Figure6(opts Options) ([]Fig6Row, error) { return experiments.Figure6(opts) }
+func Figure6(ctx context.Context, opts Options) ([]Fig6Row, error) {
+	return experiments.Figure6(ctx, opts)
+}
 
 // Summary computes the §5.2 headline latency gains.
-func Summary(opts Options) ([]GainRow, error) { return experiments.Summary(opts) }
+func Summary(ctx context.Context, opts Options) ([]GainRow, error) {
+	return experiments.Summary(ctx, opts)
+}
 
 // Trace recording and replay: a recorded request trace replays through
 // the simulator bit-identically (internal/trace).
@@ -210,8 +296,8 @@ func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
 
 // SimulateTrace replays a recorded trace through the simulator.
-func SimulateTrace(sc *Scenario, p *Placement, cfg SimConfig, tr *TraceReader) (*Metrics, error) {
-	return sim.RunSource(sc, p, cfg, tr)
+func SimulateTrace(ctx context.Context, sc *Scenario, p *Placement, cfg SimConfig, tr *TraceReader) (*Metrics, error) {
+	return sim.RunSource(ctx, sc, p, cfg, tr)
 }
 
 // The analytical LRU model (§3.2), usable stand-alone: SiteSpec describes
@@ -244,15 +330,15 @@ type (
 // ConsistencyComparison runs real cache-consistency mechanisms (strong
 // invalidation, TTLs) under the hybrid placement and reports the
 // effective λ each induces.
-func ConsistencyComparison(opts Options) ([]ConsistencyRow, error) {
-	return experiments.ConsistencyComparison(opts)
+func ConsistencyComparison(ctx context.Context, opts Options) ([]ConsistencyRow, error) {
+	return experiments.ConsistencyComparison(ctx, opts)
 }
 
 // AvailabilityComparison crashes origins (and optionally servers) after
 // cache warm-up and measures how much traffic each mechanism still
 // serves.
-func AvailabilityComparison(opts Options, originFailures []int, failedServers int) ([]AvailabilityRow, error) {
-	return experiments.AvailabilityComparison(opts, originFailures, failedServers)
+func AvailabilityComparison(ctx context.Context, opts Options, originFailures []int, failedServers int) ([]AvailabilityRow, error) {
+	return experiments.AvailabilityComparison(ctx, opts, originFailures, failedServers)
 }
 
 // FormatConsistencyRows and FormatAvailabilityRows render the grounding
@@ -265,6 +351,64 @@ func FormatConsistencyRows(rows []ConsistencyRow) string {
 func FormatAvailabilityRows(rows []AvailabilityRow) string {
 	return experiments.FormatAvailabilityRows(rows)
 }
+
+// Failure-aware simulation (internal/fault + sim.RunWithSchedule): a
+// deterministic schedule of crash / recover / slow events over virtual
+// time (the global request index), driven through the simulator with
+// per-phase availability accounting.
+type (
+	// FaultEvent is one scheduled state change of a server or origin.
+	FaultEvent = fault.Event
+	// FaultSchedule is a validated, time-ordered event list.
+	FaultSchedule = fault.Schedule
+	// PhaseMetrics is one inter-event window's measured results.
+	PhaseMetrics = sim.PhaseMetrics
+	// ScheduleMetrics aggregates a churn run: overall failure metrics
+	// plus the per-phase breakdown.
+	ScheduleMetrics = sim.ScheduleMetrics
+)
+
+// Fault event components and kinds, for building schedules by hand.
+const (
+	FaultServer  = fault.Server
+	FaultOrigin  = fault.Origin
+	FaultCrash   = fault.Crash
+	FaultRecover = fault.Recover
+	FaultSlow    = fault.Slow
+)
+
+// NewFaultSchedule validates and time-orders a fault event list.
+func NewFaultSchedule(events ...FaultEvent) (*FaultSchedule, error) {
+	return fault.NewSchedule(events...)
+}
+
+// SimulateWithSchedule runs the trace-driven simulator while applying the
+// fault schedule as virtual time passes, re-resolving redirection around
+// dead components as events fire. The run is sequential and
+// deterministic for a fixed seed.
+func SimulateWithSchedule(ctx context.Context, sc *Scenario, p *Placement, cfg SimConfig, sched *FaultSchedule, seed uint64) (*ScheduleMetrics, error) {
+	return sim.RunWithSchedule(ctx, sc, p, cfg, sched, xrand.New(seed))
+}
+
+// Availability-under-churn experiment types.
+type (
+	ChurnRow    = experiments.ChurnRow
+	ChurnConfig = experiments.ChurnConfig
+)
+
+// DefaultChurn returns the default churn shape (a fifth of the servers
+// and one origin crash, each down for a quarter of the measured phase).
+func DefaultChurn() ChurnConfig { return experiments.DefaultChurn() }
+
+// ChurnComparison runs every mechanism through one shared deterministic
+// fault schedule — crashes and recoveries mid-measurement — and reports
+// overall and worst-phase served fractions.
+func ChurnComparison(ctx context.Context, opts Options, cfg ChurnConfig) ([]ChurnRow, error) {
+	return experiments.ChurnComparison(ctx, opts, cfg)
+}
+
+// FormatChurnRows renders the availability-under-churn comparison.
+func FormatChurnRows(rows []ChurnRow) string { return experiments.FormatChurnRows(rows) }
 
 // Drift experiment types (§2.1 grounded: static placements vs drifting
 // popularity).
@@ -279,8 +423,8 @@ func DefaultDriftConfig() DriftConfig { return dynamic.DefaultConfig() }
 
 // DriftComparison runs all replica-management strategies over an
 // identical drifting workload and reports latency and transfer volume.
-func DriftComparison(opts Options, cfg DriftConfig) ([]DriftRow, error) {
-	return experiments.DriftComparison(opts, cfg)
+func DriftComparison(ctx context.Context, opts Options, cfg DriftConfig) ([]DriftRow, error) {
+	return experiments.DriftComparison(ctx, opts, cfg)
 }
 
 // FormatDriftRows renders the drift comparison.
@@ -297,14 +441,14 @@ type (
 
 // RedirectionComparison compares nearest / load-aware / blind-rotation
 // server selection under constrained server capacity.
-func RedirectionComparison(opts Options) ([]RedirectRow, error) {
-	return experiments.RedirectionComparison(opts)
+func RedirectionComparison(ctx context.Context, opts Options) ([]RedirectRow, error) {
+	return experiments.RedirectionComparison(ctx, opts)
 }
 
 // KMedianQuality measures greedy and swap placement heuristics against
 // the exact per-site k-median optimum.
-func KMedianQuality(opts Options, ks []int) ([]KMedianRow, error) {
-	return experiments.KMedianQuality(opts, ks)
+func KMedianQuality(ctx context.Context, opts Options, ks []int) ([]KMedianRow, error) {
+	return experiments.KMedianQuality(ctx, opts, ks)
 }
 
 // FormatRedirectRows and FormatKMedianRows render those experiments.
@@ -320,14 +464,14 @@ type (
 
 // ModelComparison sweeps cache sizes and compares the paper's model and
 // Che's approximation against a simulated LRU.
-func ModelComparison(opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
-	return experiments.ModelComparison(opts, slotFracs)
+func ModelComparison(ctx context.Context, opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
+	return experiments.ModelComparison(ctx, opts, slotFracs)
 }
 
 // ModelRobustness measures prediction error as the workload gains
 // temporal locality the IRM-based model does not know about.
-func ModelRobustness(opts Options, probs []float64) ([]RobustnessRow, error) {
-	return experiments.ModelRobustness(opts, probs)
+func ModelRobustness(ctx context.Context, opts Options, probs []float64) ([]RobustnessRow, error) {
+	return experiments.ModelRobustness(ctx, opts, probs)
 }
 
 // FormatModelCompareRows and FormatRobustnessRows render those sweeps.
@@ -345,8 +489,8 @@ type UpdateRow = experiments.UpdateRow
 
 // UpdateSweep extends the placement objective with update-propagation
 // costs ([19, 28]) and sweeps the write intensity.
-func UpdateSweep(opts Options, ratios []float64) ([]UpdateRow, error) {
-	return experiments.UpdateSweep(opts, ratios)
+func UpdateSweep(ctx context.Context, opts Options, ratios []float64) ([]UpdateRow, error) {
+	return experiments.UpdateSweep(ctx, opts, ratios)
 }
 
 // FormatUpdateRows renders the read+update sweep.
@@ -357,8 +501,8 @@ type HeterogeneityRow = experiments.HeterogeneityRow
 
 // HeterogeneityComparison relaxes the homogeneous-capacity assumption
 // and re-runs the mechanism comparison.
-func HeterogeneityComparison(opts Options, spreads []float64) ([]HeterogeneityRow, error) {
-	return experiments.HeterogeneityComparison(opts, spreads)
+func HeterogeneityComparison(ctx context.Context, opts Options, spreads []float64) ([]HeterogeneityRow, error) {
+	return experiments.HeterogeneityComparison(ctx, opts, spreads)
 }
 
 // FormatHeterogeneityRows renders the heterogeneity sweep.
@@ -371,8 +515,8 @@ type GainStats = experiments.GainStats
 
 // SummaryOverSeeds repeats the §5.2 summary over multiple scenario seeds
 // and reports mean ± std of the gains.
-func SummaryOverSeeds(opts Options, seeds []uint64) ([]GainStats, error) {
-	return experiments.SummaryOverSeeds(opts, seeds)
+func SummaryOverSeeds(ctx context.Context, opts Options, seeds []uint64) ([]GainStats, error) {
+	return experiments.SummaryOverSeeds(ctx, opts, seeds)
 }
 
 // FormatGainStats renders the multi-seed summary.
@@ -382,8 +526,8 @@ func FormatGainStats(rows []GainStats) string { return experiments.FormatGainSta
 // comparing per-site replication, per-cluster replication ([6]-style
 // popularity bands), pure caching, and the hybrid algorithm at both
 // granularities on one trace.
-func ClusterComparison(opts Options, clustersPerSite int) ([]ClusterRow, error) {
-	return experiments.ClusterComparison(opts, clustersPerSite)
+func ClusterComparison(ctx context.Context, opts Options, clustersPerSite int) ([]ClusterRow, error) {
+	return experiments.ClusterComparison(ctx, opts, clustersPerSite)
 }
 
 // FormatClusterRows renders the per-cluster comparison.
@@ -393,20 +537,20 @@ func FormatClusterRows(rows []ClusterRow, clustersPerSite int) string {
 
 // CachePolicyAblation compares LRU against FIFO, LFU and delayed-LRU
 // under the hybrid placement on identical traces.
-func CachePolicyAblation(opts Options) ([]PolicyRow, error) {
-	return experiments.CachePolicyAblation(opts)
+func CachePolicyAblation(ctx context.Context, opts Options) ([]PolicyRow, error) {
+	return experiments.CachePolicyAblation(ctx, opts)
 }
 
 // ThetaSweep quantifies the §5.2 remark that ad-hoc splits are sensitive
 // to the Zipf parameter while the hybrid adapts.
-func ThetaSweep(opts Options, thetas []float64) ([]ThetaRow, error) {
-	return experiments.ThetaSweep(opts, thetas)
+func ThetaSweep(ctx context.Context, opts Options, thetas []float64) ([]ThetaRow, error) {
+	return experiments.ThetaSweep(ctx, opts, thetas)
 }
 
 // PlacementAblation compares placement heuristics with caching enabled
 // everywhere.
-func PlacementAblation(opts Options) ([]PlacementRow, error) {
-	return experiments.PlacementAblation(opts)
+func PlacementAblation(ctx context.Context, opts Options) ([]PlacementRow, error) {
+	return experiments.PlacementAblation(ctx, opts)
 }
 
 // FormatPanel, FormatFig6, FormatSummary and the ablation formatters

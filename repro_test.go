@@ -1,6 +1,10 @@
 package repro
 
-import "testing"
+import (
+	"context"
+
+	"testing"
+)
 
 // TestFacadeEndToEnd drives the public API the way the README's
 // quick-start does, at reduced scale.
@@ -27,12 +31,12 @@ func TestFacadeEndToEnd(t *testing.T) {
 	simCfg.Requests = 50000
 	simCfg.Warmup = 25000
 
-	mHyb := MustSimulate(sc, hyb.Placement, simCfg, 7)
+	mHyb := MustSimulate(context.Background(), sc, hyb.Placement, simCfg, 7)
 	simCfg.UseCache = false
-	mRepl := MustSimulate(sc, repl.Placement, simCfg, 7)
+	mRepl := MustSimulate(context.Background(), sc, repl.Placement, simCfg, 7)
 	simCfg.UseCache = true
-	mPure := MustSimulate(sc, pure.Placement, simCfg, 7)
-	mAdhoc := MustSimulate(sc, adhoc.Placement, simCfg, 7)
+	mPure := MustSimulate(context.Background(), sc, pure.Placement, simCfg, 7)
+	mAdhoc := MustSimulate(context.Background(), sc, adhoc.Placement, simCfg, 7)
 
 	if mHyb.MeanRTMs >= mRepl.MeanRTMs || mHyb.MeanRTMs >= mPure.MeanRTMs {
 		t.Errorf("hybrid %.2f ms vs replication %.2f / caching %.2f: headline violated",
@@ -47,10 +51,10 @@ func TestFacadeFigureRunners(t *testing.T) {
 	opts := QuickOptions()
 	opts.Sim.Requests = 30000
 	opts.Sim.Warmup = 15000
-	if _, err := Figure5(opts); err != nil {
+	if _, err := Figure5(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := Figure6(opts)
+	rows, err := Figure6(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,5 +72,118 @@ func TestDefaultsAreValid(t *testing.T) {
 	}
 	if err := DefaultSim().Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPlaceMatchesDeprecatedWrappers: the unified Place entry point must
+// produce exactly the placements the per-strategy constructors did.
+func TestPlaceMatchesDeprecatedWrappers(t *testing.T) {
+	sc, err := BuildScenario(QuickOptions().Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := func(a, b *Placement) bool {
+		for i := 0; i < sc.Sys.N(); i++ {
+			for j := 0; j < sc.Sys.M(); j++ {
+				if a.Has(i, j) != b.Has(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	hybOld, err := HybridPlacement(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybNew, err := Place(sc, PlacementConfig{Strategy: StrategyHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(hybOld.Placement, hybNew.Placement) {
+		t.Error("Place(hybrid) differs from HybridPlacement")
+	}
+	// The zero-value config is hybrid too.
+	hybZero, err := Place(sc, PlacementConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(hybNew.Placement, hybZero.Placement) {
+		t.Error("zero-value PlacementConfig is not hybrid")
+	}
+
+	replNew, err := Place(sc, PlacementConfig{Strategy: StrategyReplication})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(ReplicationPlacement(sc).Placement, replNew.Placement) {
+		t.Error("Place(replication) differs from ReplicationPlacement")
+	}
+	cachNew, err := Place(sc, PlacementConfig{Strategy: StrategyCaching})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachNew.Placement.Replicas() != 0 || !same(CachingPlacement(sc).Placement, cachNew.Placement) {
+		t.Error("Place(caching) differs from CachingPlacement")
+	}
+	adOld, err := AdHocPlacement(sc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adNew, err := Place(sc, PlacementConfig{Strategy: StrategyAdHoc, CacheFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same(adOld.Placement, adNew.Placement) {
+		t.Error("Place(adhoc) differs from AdHocPlacement")
+	}
+
+	if _, err := Place(sc, PlacementConfig{Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+
+	// The observer sees every hybrid replication step.
+	var steps int
+	obs, err := Place(sc, PlacementConfig{Observer: func(PlacementStep) { steps++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != obs.Placement.Replicas() {
+		t.Errorf("observer saw %d steps for %d replicas", steps, obs.Placement.Replicas())
+	}
+}
+
+// TestFacadeScheduleSimulation smoke-tests the failure-aware facade:
+// build a schedule, run it, read phase metrics.
+func TestFacadeScheduleSimulation(t *testing.T) {
+	sc, err := BuildScenario(QuickOptions().Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Place(sc, PlacementConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSim()
+	cfg.Requests = 40000
+	cfg.Warmup = 20000
+	cfg.KeepResponseTimes = false
+	sched, err := NewFaultSchedule(
+		FaultEvent{At: cfg.Warmup + 10000, Comp: FaultOrigin, ID: 0, Kind: FaultCrash},
+		FaultEvent{At: cfg.Warmup + 30000, Comp: FaultOrigin, ID: 0, Kind: FaultRecover},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := SimulateWithSchedule(context.Background(), sc, hyb.Placement, cfg, sched, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EventsApplied != 2 || len(m.Phases) != 3 {
+		t.Fatalf("applied %d events over %d phases, want 2 over 3", m.EventsApplied, len(m.Phases))
+	}
+	if m.Requests != cfg.Requests {
+		t.Fatalf("measured %d requests", m.Requests)
 	}
 }
