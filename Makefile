@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos bench bench-json fmt vet lint
+.PHONY: all build test check race chaos bench bench-json bench-scale bench-scale-smoke fmt vet lint
 
 all: build test
 
@@ -61,3 +61,16 @@ bench:
 # simulator and placement timings with the hardware context recorded.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+# bench-scale regenerates BENCH_scale.json: scenario build, lazy vs
+# scanning placement and simulator throughput at paper size ×{1,4,10}.
+# The scanning engine is skipped above ×4 (it is the point of the
+# sweep that it stops being practical). Budget ~4 minutes on one core.
+bench-scale:
+	$(GO) run ./cmd/benchjson -suite scale -out BENCH_scale.json
+
+# bench-scale-smoke is the CI-sized sweep: small factors, fewer
+# requests, same JSON schema. It exists to catch scaling regressions
+# on every push without paying for the ×10 run.
+bench-scale-smoke:
+	$(GO) run ./cmd/benchjson -suite scale -factors 1,2 -scanmax 2 -requests 50000 -out BENCH_scale.json

@@ -308,6 +308,44 @@ func BenchmarkHeterogeneityComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkScalePlacement measures the lazy-greedy hybrid placement on
+// instances grown beyond paper scale with ScaleScenario (servers, sites
+// and transit domains ×factor, per-server capacity constant in
+// site-equivalents). The full sweep with the scanning-engine baseline
+// and the ×10 instance lives in `make bench-scale` → BENCH_scale.json.
+func BenchmarkScalePlacement(b *testing.B) {
+	for _, factor := range []int{1, 2, 4} {
+		sc := MustBuildScenario(ScaleScenario(DefaultScenario(), factor))
+		b.Run(fmt.Sprintf("x%d-n%d", factor, sc.Sys.N()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := HybridPlacement(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleSimulation measures simulator throughput on the grown
+// instances under the hybrid placement.
+func BenchmarkScaleSimulation(b *testing.B) {
+	for _, factor := range []int{1, 2, 4} {
+		sc := MustBuildScenario(ScaleScenario(DefaultScenario(), factor))
+		res, err := HybridPlacement(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := DefaultSim()
+		cfg.KeepResponseTimes = false
+		b.Run(fmt.Sprintf("x%d-n%d", factor, sc.Sys.N()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MustSimulate(context.Background(), sc, res.Placement, cfg, uint64(i))
+			}
+			b.ReportMetric(float64(cfg.Requests+cfg.Warmup), "requests/op")
+		})
+	}
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

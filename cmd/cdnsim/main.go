@@ -1,12 +1,18 @@
 // Command cdnsim regenerates the paper's evaluation (§5): the
 // response-time CDFs of Figures 3–5, the model-accuracy comparison of
-// Figure 6 and the §5.2 headline latency-gain summary.
+// Figure 6 and the §5.2 headline latency-gain summary — plus the
+// beyond-the-paper figures of DESIGN.md §5 (ablations, clusters,
+// consistency, availability, churn, drift, redirection, kmedian,
+// model, updates, heterogeneity, seeds) and the scale sweep of
+// DESIGN.md §10 (-figure scale re-runs the mechanism comparison at
+// ×1/×2/×4/×10 paper size; it is deliberately not part of "all").
 //
 // Usage:
 //
 //	cdnsim -figure 3            # Figure 3 at paper scale
 //	cdnsim -figure all -quick   # everything at reduced scale
 //	cdnsim -figure 6 -requests 200000 -seed 7 -traceseed 3
+//	cdnsim -figure scale -quick # scale sweep, ×1/×2 only
 //
 // With -trace it instead runs one hybrid-placement simulation that
 // writes a JSONL event per measured request (the obs.Event schema) and
@@ -36,7 +42,7 @@ func main() {
 // defers run before os.Exit.
 func realMain() int {
 	var (
-		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all")
+		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds, scale or all (scale sweeps ×1..×10 paper size and is not part of all)")
 		quick    = flag.Bool("quick", false, "use the reduced-scale configuration (fast smoke run)")
 		seed     = flag.Uint64("seed", 1, "scenario seed (topology, workload, placement)")
 		trace    = flag.Uint64("traceseed", 99, "request-trace seed")
@@ -52,6 +58,7 @@ func realMain() int {
 	)
 	flag.Parse()
 	renderPlots = *plot
+	quickRun = *quick
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -121,6 +128,9 @@ func realMain() int {
 
 // renderPlots switches the CDF panels from tables to ASCII charts.
 var renderPlots bool
+
+// quickRun records -quick so figure-specific sweeps (scale) can shrink.
+var quickRun bool
 
 func run(ctx context.Context, figure string, opts repro.Options) error {
 	printPanels := func(panels []repro.Panel, err error) error {
@@ -259,6 +269,17 @@ func run(ctx context.Context, figure string, opts repro.Options) error {
 		}
 		fmt.Println(repro.FormatChurnRows(rows))
 		return nil
+	case "scale":
+		factors := []int{1, 2, 4, 10}
+		if quickRun {
+			factors = []int{1, 2}
+		}
+		rows, err := repro.ScaleComparison(ctx, opts, factors)
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatScaleRows(rows))
+		return nil
 	case "all":
 		for _, f := range []string{"3", "4", "5", "6", "summary", "ablations", "clusters", "consistency", "availability", "churn", "drift", "redirection", "kmedian", "model", "updates", "heterogeneity"} {
 			if err := run(ctx, f, opts); err != nil {
@@ -267,6 +288,6 @@ func run(ctx context.Context, figure string, opts repro.Options) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds or all)", figure)
+		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds, scale or all)", figure)
 	}
 }

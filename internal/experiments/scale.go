@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// ScaleRow is one growth factor of the scale sweep: the paper's §5.1
+// setup multiplied by Factor (servers, sites and transit domains ×Factor,
+// per-server capacity held constant in site-equivalents), with the three
+// §5.2 mechanisms compared on a shared trace and the engineering
+// quantities — scenario build time, hybrid placement time, simulator
+// throughput — measured alongside.
+type ScaleRow struct {
+	Factor  int
+	Nodes   int // topology nodes
+	Servers int // N
+	Sites   int // M
+
+	BuildMs  float64 // scenario build: topology + per-server shortest paths
+	PlaceMs  float64 // placement.Hybrid wall time (lazy-greedy engine)
+	Replicas int     // replicas the hybrid placed
+
+	ReplicationRTMs float64 // mean response time, greedy-global replication
+	CachingRTMs     float64 // mean response time, pure caching
+	HybridRTMs      float64 // mean response time, hybrid
+	GainPct         float64 // hybrid gain vs the better single mechanism
+
+	SimReqPerSec float64 // hybrid simulation throughput (measured phase)
+}
+
+// ScaleComparison grows the scenario by each factor and re-runs the
+// Figure 3 mechanism comparison, reporting whether the hybrid's
+// advantage survives away from paper scale, together with wall-time
+// measurements of the engines. Everything runs sequentially so the
+// timings are not polluted by sibling runs; results are deterministic
+// for a fixed Options (the timings, of course, are not).
+func ScaleComparison(ctx context.Context, opts Options, factors []int) ([]ScaleRow, error) {
+	rows := make([]ScaleRow, 0, len(factors))
+	for _, f := range factors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg := scenario.Scale(opts.Base, f)
+
+		t0 := time.Now()
+		sc, err := scenario.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scale ×%d: %w", f, err)
+		}
+		buildMs := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		t0 = time.Now()
+		hybrid, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
+			Specs:          sc.Work.Specs(),
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scale ×%d: %w", f, err)
+		}
+		placeMs := float64(time.Since(t0)) / float64(time.Millisecond)
+
+		row := ScaleRow{
+			Factor:   f,
+			Nodes:    sc.Topo.G.N(),
+			Servers:  sc.Sys.N(),
+			Sites:    sc.Sys.M(),
+			BuildMs:  buildMs,
+			PlaceMs:  placeMs,
+			Replicas: hybrid.Placement.Replicas(),
+		}
+
+		simCfg := opts.Sim
+		for _, mech := range []Mechanism{MechReplication, MechCaching} {
+			p, useCache, _, err := buildPlacement(sc, mech)
+			if err != nil {
+				return nil, fmt.Errorf("scale ×%d: %w", f, err)
+			}
+			runCfg := simCfg
+			runCfg.UseCache = useCache
+			m, err := sim.RunParallel(ctx, sc, p, runCfg, xrand.New(opts.TraceSeed))
+			if err != nil {
+				return nil, fmt.Errorf("scale ×%d: %w", f, err)
+			}
+			switch mech {
+			case MechReplication:
+				row.ReplicationRTMs = m.MeanRTMs
+			case MechCaching:
+				row.CachingRTMs = m.MeanRTMs
+			}
+		}
+
+		runCfg := simCfg
+		runCfg.UseCache = true
+		t0 = time.Now()
+		m, err := sim.RunParallel(ctx, sc, hybrid.Placement, runCfg, xrand.New(opts.TraceSeed))
+		if err != nil {
+			return nil, fmt.Errorf("scale ×%d: %w", f, err)
+		}
+		simSec := time.Since(t0).Seconds()
+		row.HybridRTMs = m.MeanRTMs
+		if simSec > 0 {
+			row.SimReqPerSec = float64(simCfg.Warmup+simCfg.Requests) / simSec
+		}
+		best := row.ReplicationRTMs
+		if row.CachingRTMs < best {
+			best = row.CachingRTMs
+		}
+		if best > 0 {
+			row.GainPct = 100 * (best - row.HybridRTMs) / best
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatScaleRows renders the scale sweep.
+func FormatScaleRows(rows []ScaleRow) string {
+	var b strings.Builder
+	b.WriteString("scale sweep — paper setup ×factor, capacity constant per server\n")
+	b.WriteString("factor  nodes  servers  sites  build(ms)  place(ms)  repl  RT repl  RT cache  RT hybrid  gain%  sim req/s\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %6d %8d %6d %10.1f %10.1f %5d %8.2f %9.2f %10.2f %6.1f %10.0f\n",
+			r.Factor, r.Nodes, r.Servers, r.Sites, r.BuildMs, r.PlaceMs, r.Replicas,
+			r.ReplicationRTMs, r.CachingRTMs, r.HybridRTMs, r.GainPct, r.SimReqPerSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestScaleComparison(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 30000
+	opts.Sim.Warmup = 15000
+	rows, err := ScaleComparison(context.Background(), opts, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		want := 1 << i // factors 1, 2
+		if r.Factor != want {
+			t.Fatalf("row %d factor %d, want %d", i, r.Factor, want)
+		}
+		if r.ReplicationRTMs <= 0 || r.CachingRTMs <= 0 || r.HybridRTMs <= 0 {
+			t.Fatalf("factor %d: non-positive response times: %+v", r.Factor, r)
+		}
+		if r.SimReqPerSec <= 0 || r.PlaceMs < 0 || r.BuildMs < 0 {
+			t.Fatalf("factor %d: bad engineering metrics: %+v", r.Factor, r)
+		}
+		// The hybrid must not lose to the better single mechanism by
+		// more than noise — the paper's core claim, which this sweep
+		// checks away from paper scale.
+		best := r.ReplicationRTMs
+		if r.CachingRTMs < best {
+			best = r.CachingRTMs
+		}
+		if r.HybridRTMs > best*1.05 {
+			t.Fatalf("factor %d: hybrid RT %.2f worse than best mechanism %.2f", r.Factor, r.HybridRTMs, best)
+		}
+	}
+	// Growth sanity: factor 2 doubles servers and sites.
+	if rows[1].Servers != 2*rows[0].Servers || rows[1].Sites != 2*rows[0].Sites {
+		t.Fatalf("factor 2 did not double the instance: %+v vs %+v", rows[1], rows[0])
+	}
+	if rows[1].Nodes <= rows[0].Nodes {
+		t.Fatalf("factor 2 did not grow the topology: %d vs %d nodes", rows[1].Nodes, rows[0].Nodes)
+	}
+
+	out := FormatScaleRows(rows)
+	if !strings.Contains(out, "scale sweep") || len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("unexpected formatting:\n%s", out)
+	}
+}

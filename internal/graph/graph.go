@@ -20,6 +20,12 @@ import (
 type Graph struct {
 	n   int
 	adj [][]Edge
+	// nonUnit counts directed edge halves whose weight differs from 1.
+	// When it is zero the graph is a pure hop-count graph and every
+	// shortest-path query takes the BFS fast path, which produces
+	// bit-identical distances to Dijkstra (both accumulate exact
+	// integer-valued float64 sums) in O(V+E) without a priority queue.
+	nonUnit int
 }
 
 // Edge is one directed half of an undirected edge.
@@ -66,6 +72,9 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 		g.updateIfExists(v, u, w)
 		return
 	}
+	if w != 1 {
+		g.nonUnit += 2
+	}
 	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
 	g.adj[v] = append(g.adj[v], Edge{To: u, Weight: w})
 }
@@ -74,6 +83,12 @@ func (g *Graph) updateIfExists(u, v int, w float64) bool {
 	for i := range g.adj[u] {
 		if g.adj[u][i].To == v {
 			if w < g.adj[u][i].Weight {
+				if g.adj[u][i].Weight != 1 {
+					g.nonUnit--
+				}
+				if w != 1 {
+					g.nonUnit++
+				}
 				g.adj[u][i].Weight = w
 			}
 			return true
@@ -81,6 +96,10 @@ func (g *Graph) updateIfExists(u, v int, w float64) bool {
 	}
 	return false
 }
+
+// UnitWeight reports whether every edge has weight exactly 1, i.e. the
+// graph measures pure hop counts.
+func (g *Graph) UnitWeight() bool { return g.nonUnit == 0 }
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
@@ -128,26 +147,57 @@ func (g *Graph) Connected() bool {
 
 // Dijkstra computes single-source shortest-path distances from src.
 // Unreachable nodes get +Inf. Edge weights are the graph's weights; for
-// hop counts build the graph with unit weights.
+// hop counts build the graph with unit weights. Pure hop-count graphs
+// take a BFS fast path with bit-identical results (both algorithms
+// accumulate the same exact integer-valued float64 distances).
 func (g *Graph) Dijkstra(src int) []float64 {
+	var s spScratch
+	return g.shortestFrom(src, &s)
+}
+
+// spScratch holds the reusable per-worker state of a shortest-path
+// sweep: the BFS queue or the Dijkstra priority queue. The distance row
+// itself is always freshly allocated because callers keep it.
+type spScratch struct {
+	queue []int32
+	pq    nodeHeap
+}
+
+func (g *Graph) shortestFrom(src int, s *spScratch) []float64 {
 	dist := make([]float64, g.n)
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[src] = 0
-	pq := &nodeHeap{{node: src, dist: 0}}
+	if g.nonUnit == 0 {
+		q := append(s.queue[:0], int32(src))
+		for head := 0; head < len(q); head++ {
+			u := int(q[head])
+			nd := dist[u] + 1
+			for _, e := range g.adj[u] {
+				if math.IsInf(dist[e.To], 1) {
+					dist[e.To] = nd
+					q = append(q, int32(e.To))
+				}
+			}
+		}
+		s.queue = q
+		return dist
+	}
+	pq := append(s.pq[:0], nodeItem{node: src, dist: 0})
 	for pq.Len() > 0 {
-		it := heap.Pop(pq).(nodeItem)
+		it := heap.Pop(&pq).(nodeItem)
 		if it.dist > dist[it.node] {
 			continue // stale entry
 		}
 		for _, e := range g.adj[it.node] {
 			if nd := it.dist + e.Weight; nd < dist[e.To] {
 				dist[e.To] = nd
-				heap.Push(pq, nodeItem{node: e.To, dist: nd})
+				heap.Push(&pq, nodeItem{node: e.To, dist: nd})
 			}
 		}
 	}
+	s.pq = pq
 	return dist
 }
 
@@ -172,8 +222,9 @@ func (g *Graph) ShortestPathsFrom(sources []int) [][]float64 {
 		workers = len(sources)
 	}
 	if workers <= 1 {
-		for i, s := range sources {
-			d[i] = g.Dijkstra(s)
+		var s spScratch
+		for i, src := range sources {
+			d[i] = g.shortestFrom(src, &s)
 		}
 		return d
 	}
@@ -183,8 +234,9 @@ func (g *Graph) ShortestPathsFrom(sources []int) [][]float64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var s spScratch
 			for i := range next {
-				d[i] = g.Dijkstra(sources[i])
+				d[i] = g.shortestFrom(sources[i], &s)
 			}
 		}()
 	}
@@ -203,8 +255,9 @@ func (g *Graph) Diameter() float64 {
 		return 0
 	}
 	max := 0.0
+	var s spScratch
 	for i := 0; i < g.n; i++ {
-		for _, d := range g.Dijkstra(i) {
+		for _, d := range g.shortestFrom(i, &s) {
 			if math.IsInf(d, 1) {
 				return math.Inf(1)
 			}

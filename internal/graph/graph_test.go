@@ -248,3 +248,70 @@ func BenchmarkDijkstra560(b *testing.B) {
 		g.Dijkstra(i % g.N())
 	}
 }
+
+// TestBFSMatchesDijkstra pins the unit-weight fast path: on a hop-count
+// graph the BFS branch of shortestFrom must produce bitwise the same
+// distances as the Dijkstra branch. The test builds random unit-weight
+// graphs and runs both branches on the same graph by toggling the
+// nonUnit counter, which is exactly the dispatch condition.
+func TestBFSMatchesDijkstra(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		// Random spanning tree plus extra edges, all weight 1.
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, rng.Intn(v), 1)
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		if !g.UnitWeight() {
+			t.Fatal("unit-weight graph reports UnitWeight() == false")
+		}
+		for src := 0; src < n; src++ {
+			bfs := g.Dijkstra(src)
+			g.nonUnit = 1 // force the heap branch on the same adjacency
+			dij := g.Dijkstra(src)
+			g.nonUnit = 0
+			for v := range bfs {
+				if bfs[v] != dij[v] {
+					t.Fatalf("trial %d src %d node %d: BFS %v != Dijkstra %v", trial, src, v, bfs[v], dij[v])
+				}
+			}
+		}
+	}
+}
+
+// TestUnitWeightTracking exercises the nonUnit bookkeeping through
+// inserts and parallel-edge weight updates.
+func TestUnitWeightTracking(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	if !g.UnitWeight() {
+		t.Fatal("all-unit graph not recognized")
+	}
+	g.AddEdge(2, 3, 2.5)
+	if g.UnitWeight() {
+		t.Fatal("weight-2.5 edge not counted")
+	}
+	// Parallel re-add with a smaller non-unit weight keeps it non-unit.
+	g.AddEdge(2, 3, 2)
+	if g.UnitWeight() {
+		t.Fatal("weight-2 edge not counted")
+	}
+	// Lowering the edge to weight 1 restores the hop-count invariant.
+	g.AddEdge(3, 2, 1)
+	if !g.UnitWeight() {
+		t.Fatal("edge lowered to 1 still counted as non-unit")
+	}
+	// Re-adding with a *larger* weight must not disturb the count.
+	g.AddEdge(0, 1, 5)
+	if !g.UnitWeight() {
+		t.Fatal("losing parallel insert disturbed the unit-weight count")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -81,12 +82,64 @@ type Predictor struct {
 	pStep float64
 	kmemo map[int]float64  // B -> K
 	hmemo map[hKey]float64 // (quantized p, quantized K) -> unadjusted hit ratio per site
+
+	totalObjects int          // Σ_j Objects, frozen at construction
+	shared       *SharedTable // optional cross-predictor memo (may be nil)
 }
 
 type hKey struct {
 	site int
 	pq   int64 // quantized effective popularity bucket
 	kq   int64 // quantized K bucket; -1 encodes K = +Inf
+}
+
+// SharedTable memoizes Equation (1) evaluations on the quantized
+// (popularity, K) grid across predictors. The memoized value is a pure
+// function of the grid point and the site's Zipf shape (rank offset,
+// catalog size, θ) — it does not depend on which server or site asks —
+// so predictors built over the same site catalog can share one table:
+// this is the paper's "pre-computed at the initialization step" table
+// generalized across the N per-server predictors. Sharing changes no
+// bits, only who computes each entry first.
+//
+// A SharedTable is safe for concurrent use. Each predictor still keeps
+// its private unsynchronized memo in front of it, so the shared lock is
+// only taken on private misses.
+type SharedTable struct {
+	mu sync.RWMutex
+	m  map[sharedKey]float64
+}
+
+type sharedKey struct {
+	rankOffset int
+	objects    int
+	theta      float64
+	pq, kq     int64
+}
+
+// NewSharedTable returns an empty shared hit-ratio table.
+func NewSharedTable() *SharedTable {
+	return &SharedTable{m: make(map[sharedKey]float64)}
+}
+
+// Len returns the number of memoized grid points.
+func (t *SharedTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+func (t *SharedTable) lookup(k sharedKey) (float64, bool) {
+	t.mu.RLock()
+	h, ok := t.m[k]
+	t.mu.RUnlock()
+	return h, ok
+}
+
+func (t *SharedTable) store(k sharedKey, h float64) {
+	t.mu.Lock()
+	t.m[k] = h
+	t.mu.Unlock()
 }
 
 // NewPredictor builds a predictor for one server.
@@ -97,6 +150,15 @@ type hKey struct {
 // server's total storage capacity); the frozen popularity prefix is
 // computed up to the corresponding B.
 func NewPredictor(specs []SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64) *Predictor {
+	return NewPredictorShared(specs, weights, avgObjBytes, maxCacheBytes, nil)
+}
+
+// NewPredictorShared is NewPredictor with a cross-predictor hit-ratio
+// table. All predictors attached to the same table must be built over
+// the same site catalog semantics (the table is keyed by Zipf shape, so
+// mismatched catalogs merely waste entries, they cannot corrupt
+// results). A nil table reproduces NewPredictor.
+func NewPredictorShared(specs []SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64, shared *SharedTable) *Predictor {
 	if len(specs) != len(weights) {
 		panic(fmt.Sprintf("lrumodel: %d specs but %d weights", len(specs), len(weights)))
 	}
@@ -110,6 +172,10 @@ func NewPredictor(specs []SiteSpec, weights []float64, avgObjBytes float64, maxC
 		pStep:  DefaultPStep,
 		kmemo:  make(map[int]float64),
 		hmemo:  make(map[hKey]float64),
+		shared: shared,
+	}
+	for _, s := range specs {
+		p.totalObjects += s.Objects
 	}
 	total := 0.0
 	for j, w := range weights {
@@ -146,13 +212,9 @@ func NewPredictor(specs []SiteSpec, weights []float64, avgObjBytes float64, maxC
 // cumulative mass of the top-i objects, for i up to maxB. This is the
 // sorted list of §4 used to estimate p_B, built once.
 func (p *Predictor) buildPrefix(maxB int) {
-	totalObjects := 0
-	for _, s := range p.specs {
-		totalObjects += s.Objects
-	}
 	n := maxB
-	if n > totalObjects {
-		n = totalObjects
+	if n > p.totalObjects {
+		n = p.totalObjects
 	}
 	p.prefix = make([]float64, n+1)
 
@@ -190,14 +252,9 @@ func (p *Predictor) B(cacheBytes int64) int {
 	return int(float64(cacheBytes) / p.avgObj)
 }
 
-// TotalObjects returns the number of objects across all sites.
-func (p *Predictor) TotalObjects() int {
-	total := 0
-	for _, s := range p.specs {
-		total += s.Objects
-	}
-	return total
-}
+// TotalObjects returns the number of objects across all sites (frozen
+// at construction — the placement loop calls this on every K lookup).
+func (p *Predictor) TotalObjects() int { return p.totalObjects }
 
 // TopMass returns the frozen p_B: the cumulative popularity of the B most
 // popular objects. B values beyond the frozen prefix clamp to its end.
@@ -300,6 +357,15 @@ func (p *Predictor) siteHitRatioK(j int, visibleMass float64, K float64) float64
 	if h, ok := p.hmemo[key]; ok {
 		return h * (1 - p.specs[j].Lambda)
 	}
+	var sk sharedKey
+	if p.shared != nil {
+		s := p.specs[j]
+		sk = sharedKey{rankOffset: s.RankOffset, objects: s.Objects, theta: s.Theta, pq: key.pq, kq: key.kq}
+		if h, ok := p.shared.lookup(sk); ok {
+			p.hmemo[key] = h
+			return h * (1 - p.specs[j].Lambda)
+		}
+	}
 	// Evaluate at the quantized grid point so the memo is
 	// self-consistent (the paper's pre-computed table does the same).
 	kEff := K
@@ -308,6 +374,9 @@ func (p *Predictor) siteHitRatioK(j int, visibleMass float64, K float64) float64
 	}
 	h := hitRatioExact(float64(key.pq)*p.pStep, p.zipfs[j], kEff)
 	p.hmemo[key] = h
+	if p.shared != nil {
+		p.shared.store(sk, h)
+	}
 	return h * (1 - p.specs[j].Lambda)
 }
 

@@ -1,0 +1,73 @@
+package lrumodel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestSharedTableBitIdentical pins the cross-predictor table to the
+// private-memo path: every hit ratio a shared predictor returns must be
+// bitwise equal to an unshared predictor's, regardless of which
+// predictor populated the table first.
+func TestSharedTableBitIdentical(t *testing.T) {
+	r := xrand.New(7)
+	specs := []SiteSpec{
+		{Objects: 120, Theta: 0.7, Lambda: 0.1},
+		{Objects: 80, Theta: 0.7},
+		{Objects: 200, Theta: 0.9, Lambda: 0.3},
+		{Objects: 120, Theta: 0.7}, // same shape as site 0, different λ
+	}
+	shared := NewSharedTable()
+	for server := 0; server < 6; server++ {
+		w := make([]float64, len(specs))
+		for j := range w {
+			w[j] = r.Float64() + 0.01
+		}
+		plain := NewPredictor(specs, w, 1, 150)
+		with := NewPredictorShared(specs, w, 1, 150, shared)
+		for _, cache := range []int64{0, 10, 40, 150} {
+			for j := range specs {
+				for _, mass := range []float64{1, 0.8, 0.5} {
+					a := plain.SiteHitRatioCond(j, mass, cache)
+					b := with.SiteHitRatioCond(j, mass, cache)
+					if a != b {
+						t.Fatalf("server %d site %d cache %d mass %v: plain %v shared %v",
+							server, j, cache, mass, a, b)
+					}
+				}
+			}
+		}
+	}
+	if shared.Len() == 0 {
+		t.Fatal("shared table stayed empty")
+	}
+}
+
+// TestSharedTableConcurrent exercises the table from parallel predictors
+// (the placement engines query per-server predictors from worker
+// goroutines); run with -race.
+func TestSharedTableConcurrent(t *testing.T) {
+	specs, _ := singleSite(300, 0.8, 0)
+	shared := NewSharedTable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := NewPredictorShared(specs, []float64{1}, 1, 200, shared)
+			for c := int64(1); c <= 200; c++ {
+				p.SiteHitRatioCond(0, 1-float64(g)*0.05, c)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ref := NewPredictor(specs, []float64{1}, 1, 200)
+	p := NewPredictorShared(specs, []float64{1}, 1, 200, shared)
+	for c := int64(1); c <= 200; c++ {
+		if a, b := ref.SiteHitRatio(0, c), p.SiteHitRatio(0, c); a != b {
+			t.Fatalf("cache %d: plain %v shared %v", c, a, b)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Lazy-greedy selection engines. Both placement algorithms pick, each
+// iteration, the feasible (server, site) candidate with the largest
+// cached benefit; the reference engines do that with a full O(n·m)
+// argmax scan. The engines in this file replace the scan with a
+// max-heap ordered by (benefit desc, server asc, site asc) — exactly
+// the order the scan's row-major strict-greater comparison induces — so
+// the selected step sequence is bit-identical (enforced by
+// TestLazyMatchesScan*).
+//
+// GreedyGlobal benefits are monotone non-increasing as replicas are
+// placed (every term of greedyBenefit shrinks pointwise when a column's
+// NearestCost entries drop), which admits the textbook CELF form: a
+// stale heap entry is an upper bound on the cell's current value, so it
+// is re-evaluated only when it surfaces at the heap top, and the eager
+// per-iteration column re-evaluation disappears entirely. Re-evaluating
+// at the pop reads exactly the state an eager column re-evaluation
+// would have read (the column is unchanged since its last event), so
+// the floats are bitwise identical to the scanning engine's matrix.
+//
+// Hybrid benefits can also rise (shrinking server i*'s cache lowers its
+// hit ratios, raising the remote term other candidates earn from it),
+// so the heap runs in a lazy-deletion form over the same eagerly
+// maintained matrix as the scanning engine: any update that raises a
+// cell above its live heap key pushes a fresh entry, decayed entries
+// are re-pushed at their current value when popped, and the top entry
+// whose key matches the live matrix is the exact argmax. The model
+// lookups themselves — the dominant cost — are served from a per-row
+// cache of shrink-term hit ratios that stays valid until the row's own
+// cache state changes (only the chosen server's row per iteration),
+// returning the very float64 the predictor memo produced before.
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// benEntry is one heap candidate. epoch is the column epoch the entry's
+// key was computed at (lazy-greedy engine); the hybrid engine leaves it
+// at zero and detects staleness by comparing key against the live
+// matrix.
+type benEntry struct {
+	key   float64
+	i, j  int32
+	epoch int32
+}
+
+// benHeap is a max-heap of candidates ordered by (key desc, i asc,
+// j asc) — the scan's row-major first-maximum order. A hand-rolled
+// sift-up/down avoids container/heap's interface boxing on a hot path.
+type benHeap struct {
+	e []benEntry
+}
+
+func benLess(a, b benEntry) bool {
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}
+
+func (h *benHeap) len() int { return len(h.e) }
+
+func (h *benHeap) push(e benEntry) {
+	h.e = append(h.e, e)
+	i := len(h.e) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !benLess(h.e[i], h.e[parent]) {
+			break
+		}
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
+		i = parent
+	}
+}
+
+func (h *benHeap) pop() benEntry {
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && benLess(h.e[l], h.e[best]) {
+			best = l
+		}
+		if r < last && benLess(h.e[r], h.e[best]) {
+			best = r
+		}
+		if best == i {
+			return top
+		}
+		h.e[i], h.e[best] = h.e[best], h.e[i]
+		i = best
+	}
+}
+
+// greedyLazy is the CELF-style engine behind GreedyGlobalOpts. The
+// benefit of candidate (i, j) depends on the placement only through
+// column j (NearestCost(·, j) and Has(·, j)), changes only when a
+// replica of site j is created, and only ever decreases; feasibility,
+// once lost, never returns (free space shrinks monotonically). So every
+// heap entry keys an upper bound, a popped stale entry (column epoch
+// behind) is re-evaluated against the current — equivalently,
+// last-column-event — state and re-pushed, a popped infeasible entry is
+// discarded for good, and the first fresh top is the scan's argmax.
+func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
+	updateRates := cfg.UpdateRates
+	p := core.NewPlacement(sys)
+	res := &Result{Placement: p}
+	n, m := sys.N(), sys.M()
+	workers := normWorkers(cfg.Parallelism, n)
+	objective := func() float64 {
+		c := p.Cost(core.ZeroHitRatio)
+		if updateRates != nil {
+			c += p.UpdateCost(updateRates)
+		}
+		return c
+	}
+	// Initial fill, identical to the reference engine's.
+	ben := make([][]float64, n)
+	fanOutRows(n, workers, func(i int) {
+		ben[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			ben[i][j] = greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j)
+		}
+	})
+	colEpoch := make([]int32, m)
+	hp := benHeap{e: make([]benEntry, 0, n*m)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if ben[i][j] > 0 {
+				hp.push(benEntry{key: ben[i][j], i: int32(i), j: int32(j)})
+			}
+		}
+	}
+	for hp.len() > 0 {
+		e := hp.pop()
+		i, j := int(e.i), int(e.j)
+		if !p.CanReplicate(i, j) {
+			continue // permanently infeasible: free only shrinks, Has only grows
+		}
+		if e.epoch != colEpoch[j] {
+			// Stale: the column changed since the key was computed.
+			// Re-evaluate — bitwise the value the reference engine's
+			// eager column re-evaluation holds right now — and re-push
+			// unless the candidate dropped out (values never increase,
+			// so a non-positive value stays non-positive).
+			if v := greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j); v > 0 {
+				hp.push(benEntry{key: v, i: e.i, j: e.j, epoch: colEpoch[j]})
+			}
+			continue
+		}
+		// Fresh top: the scan's row-major first maximum.
+		mustReplicate(p, i, j)
+		colEpoch[j]++
+		res.Steps = append(res.Steps, Step{
+			Server:        i,
+			Site:          j,
+			Benefit:       e.key,
+			PredictedCost: objective(),
+		})
+	}
+	res.PredictedCost = objective()
+	return res
+}
+
+// evalBenCached is the lazy hybrid engine's cell evaluation. It is the
+// same computation as the reference engine's evalBen — identical
+// floating-point chain, hence bitwise-identical values — except that
+// the shrink-term model values preds[i].SiteHitRatioCond(k, ·, ·) are
+// stored in (fill=true) or served from (fill=false) cache, the row's
+// m×m table indexed [candidate j][site k]. The cached inputs (Free(i),
+// visMass[i], the row's visibility and h[i]) change only when server i
+// itself receives a replica, so a row's table stays valid across the
+// many iterations where only its NearestCost column entries move, and
+// the predictor memo guarantees a recomputation would return the very
+// same float64.
+func (st *hybridState) evalBenCached(i, j int, cache []float64, fill bool) float64 {
+	p := st.p
+	if !p.CanReplicate(i, j) {
+		return 0
+	}
+	sys, h, m := st.sys, st.h, st.m
+
+	// Line 9: local benefit.
+	b := (1 - h[i][j]) * sys.Demand[i][j] * p.NearestCost(i, j)
+
+	// Lines 10–13: shrink penalty, model values cached per row epoch.
+	// Cells skipped here (k == j, replicated at i, or infeasible j —
+	// handled above) are never read back within the same epoch, because
+	// the skip conditions only change when the row is refilled.
+	row := cache[j*m : (j+1)*m]
+	if fill {
+		newCache := p.Free(i) - sys.SiteBytes[j]
+		newMass := st.visMass[i] - st.preds[i].SitePopularity(j)
+		for k := 0; k < m; k++ {
+			if k == j || p.Has(i, k) {
+				continue
+			}
+			hNew := st.preds[i].SiteHitRatioCond(k, newMass, newCache)
+			row[k] = hNew
+			if dh := h[i][k] - hNew; dh != 0 {
+				b -= dh * sys.Demand[i][k] * p.NearestCost(i, k)
+			}
+		}
+	} else {
+		hi := h[i]
+		for k := 0; k < m; k++ {
+			if k == j || p.Has(i, k) {
+				continue
+			}
+			if dh := hi[k] - row[k]; dh != 0 {
+				b -= dh * sys.Demand[i][k] * p.NearestCost(i, k)
+			}
+		}
+	}
+
+	// Lines 14–17: remote benefit.
+	for s := 0; s < st.n; s++ {
+		if s == i || p.Has(s, j) {
+			continue
+		}
+		if dc := p.NearestCost(s, j) - sys.CostServer[s][i]; dc > 0 {
+			b += dc * (1 - h[s][j]) * sys.Demand[s][j]
+		}
+	}
+	return b - updatePenalty(sys, st.cfg.UpdateRates, i, j)
+}
+
+// hybridLazy is the heap engine behind Hybrid. The benefit matrix is
+// maintained eagerly with exactly the reference engine's invalidation
+// schedule (stale rows in full, the placed site's column, arithmetic
+// remote-term adjustments for the rest), so the two matrices are
+// bitwise equal after every iteration; only the selection differs. The
+// heap runs lazy deletion: heapKey[i][j] is the key of the cell's
+// newest live entry, any update raising a cell above its key pushes
+// immediately (hybrid benefits can rise, so the upper-bound invariant
+// must be restored eagerly), decayed entries re-push at their current
+// value when popped, and a popped entry whose key matches the live
+// matrix is the scan's row-major argmax.
+func hybridLazy(st *hybridState) *Result {
+	sys, p, preds, h, visMass := st.sys, st.p, st.preds, st.h, st.visMass
+	n, m, cfg, workers := st.n, st.m, st.cfg, st.workers
+	res := &Result{Placement: p}
+
+	// Initial fill, populating the per-row shrink-term caches.
+	ben := make([][]float64, n)
+	hShrink := make([][]float64, n)
+	fanOutRows(n, workers, func(i int) {
+		ben[i] = make([]float64, m)
+		hShrink[i] = make([]float64, m*m)
+		for j := 0; j < m; j++ {
+			ben[i][j] = st.evalBenCached(i, j, hShrink[i], true)
+		}
+	})
+
+	heapKey := make([][]float64, n) // newest live entry per cell; 0 = none
+	hp := benHeap{e: make([]benEntry, 0, n*m)}
+	for i := 0; i < n; i++ {
+		heapKey[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			if ben[i][j] > 0 {
+				hp.push(benEntry{key: ben[i][j], i: int32(i), j: int32(j)})
+				heapKey[i][j] = ben[i][j]
+			}
+		}
+	}
+	pushIfRaised := func(i, j int) {
+		if v := ben[i][j]; v > 0 && v > heapKey[i][j] {
+			hp.push(benEntry{key: v, i: int32(i), j: int32(j)})
+			heapKey[i][j] = v
+		}
+	}
+
+	// Per-iteration scratch (see hybridScan).
+	hOld := make([]float64, m)
+	visible := make([]bool, m)
+	staleRow := make([]bool, n)
+
+	for hp.len() > 0 {
+		e := hp.pop()
+		bestI, bestJ := int(e.i), int(e.j)
+		if e.key != heapKey[bestI][bestJ] {
+			continue // superseded by a newer entry for the same cell
+		}
+		if v := ben[bestI][bestJ]; v != e.key {
+			// Decayed since pushed: re-key at the current value, or
+			// retire the cell if it dropped out.
+			if v > 0 {
+				hp.push(benEntry{key: v, i: e.i, j: e.j})
+				heapKey[bestI][bestJ] = v
+			} else {
+				heapKey[bestI][bestJ] = 0
+			}
+			continue
+		}
+		if !p.CanReplicate(bestI, bestJ) {
+			// Unreachable while the eager maintenance zeroes infeasible
+			// cells; kept as a safeguard (infeasibility is permanent).
+			heapKey[bestI][bestJ] = 0
+			continue
+		}
+		bestB := e.key
+
+		// Lines 18–25, identical to the reference engine.
+		copy(hOld, h[bestI])
+		improved, err := p.ReplicateTracked(bestI, bestJ)
+		if err != nil {
+			panic(fmt.Sprintf("placement: internal error: %v", err))
+		}
+		visMass[bestI] -= preds[bestI].SitePopularity(bestJ)
+		for k := 0; k < m; k++ {
+			visible[k] = !p.Has(bestI, k)
+		}
+		copy(h[bestI], preds[bestI].HitRatiosCond(visible, p.Free(bestI)))
+
+		for i := range staleRow {
+			staleRow[i] = false
+		}
+		for _, k := range improved {
+			staleRow[k] = true
+		}
+		for j := 0; j < m; j++ {
+			if j == bestJ || p.Has(bestI, j) {
+				continue
+			}
+			dh := hOld[j] - h[bestI][j]
+			if dh == 0 {
+				continue
+			}
+			snCost := p.NearestCost(bestI, j)
+			w := dh * sys.Demand[bestI][j]
+			for i := 0; i < n; i++ {
+				if i == bestI || staleRow[i] {
+					continue
+				}
+				if dc := snCost - sys.CostServer[bestI][i]; dc > 0 {
+					ben[i][j] += dc * w
+					pushIfRaised(i, j)
+				}
+			}
+		}
+		// Model re-evaluations fan out across rows: stale rows in full,
+		// everyone else only the bestJ column cell. Only bestI's own
+		// cache state changed, so only its shrink cache refills; the
+		// other stale rows re-run their benefit chains against cached
+		// model values.
+		fanOutRows(n, workers, func(i int) {
+			if staleRow[i] {
+				fill := i == bestI
+				for j := 0; j < m; j++ {
+					ben[i][j] = st.evalBenCached(i, j, hShrink[i], fill)
+				}
+			} else {
+				ben[i][bestJ] = st.evalBenCached(i, bestJ, hShrink[i], false)
+			}
+		})
+		// Heap pushes stay out of the parallel section.
+		for i := 0; i < n; i++ {
+			if staleRow[i] {
+				for j := 0; j < m; j++ {
+					pushIfRaised(i, j)
+				}
+			} else {
+				pushIfRaised(i, bestJ)
+			}
+		}
+		// Lazy deletion only ever adds entries; rebuild if the garbage
+		// outgrows the live set (the argmax is unchanged by a rebuild).
+		if hp.len() > 4*n*m {
+			hp.e = hp.e[:0]
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					heapKey[i][j] = 0
+					if ben[i][j] > 0 {
+						hp.push(benEntry{key: ben[i][j], i: int32(i), j: int32(j)})
+						heapKey[i][j] = ben[i][j]
+					}
+				}
+			}
+		}
+		step := Step{
+			Server:        bestI,
+			Site:          bestJ,
+			Benefit:       bestB,
+			PredictedCost: hybridObjective(p, st.hitFn, cfg.UpdateRates),
+		}
+		res.Steps = append(res.Steps, step)
+		if cfg.Observer != nil {
+			cfg.Observer(step)
+		}
+	}
+	res.PredictedCost = hybridObjective(p, st.hitFn, cfg.UpdateRates)
+	return res
+}

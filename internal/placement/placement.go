@@ -105,14 +105,32 @@ type GreedyConfig struct {
 	UpdateRates []float64
 	// Parallelism is the worker count the benefit-matrix evaluation
 	// fans out across (0 = GOMAXPROCS, 1 = serial). Every matrix cell
-	// is a pure function of the current placement and the argmax scan
+	// is a pure function of the current placement and the selection
 	// stays sequential, so parallel and serial runs produce identical
 	// step sequences.
 	Parallelism int
+	// Scan selects the reference engine: a full O(n·m) argmax scan over
+	// the benefit matrix per iteration, with every cell of the placed
+	// site's column eagerly re-evaluated. The default (false) is the
+	// lazy-greedy (CELF-style) heap engine, which defers column
+	// re-evaluation until a stale entry surfaces at the heap top. Both
+	// engines produce bit-identical step sequences (test-enforced); the
+	// knob exists for verification and benchmarking.
+	Scan bool
 }
 
 // GreedyGlobalOpts is the greedy-global algorithm with explicit options.
 func GreedyGlobalOpts(sys *core.System, cfg GreedyConfig) *Result {
+	if cfg.Scan {
+		return greedyScan(sys, cfg)
+	}
+	return greedyLazy(sys, cfg)
+}
+
+// greedyScan is the reference engine: the literal "compare all
+// server-site pairs each iteration" loop, kept as the provenance anchor
+// the lazy engine is verified against.
+func greedyScan(sys *core.System, cfg GreedyConfig) *Result {
 	updateRates := cfg.UpdateRates
 	p := core.NewPlacement(sys)
 	res := &Result{Placement: p}
@@ -214,6 +232,16 @@ type HybridConfig struct {
 	// is a pure function of the placement: parallel and serial runs
 	// produce identical step sequences.
 	Parallelism int
+	// Scan selects the reference engine: a full O(n·m) argmax scan over
+	// the benefit matrix per iteration, re-deriving every model value it
+	// needs from the lrumodel predictors. The default (false) is the
+	// lazy-greedy heap engine, which replaces the scan with a max-heap
+	// whose stale entries are refreshed when they surface at the top and
+	// serves repeated shrink-term model lookups from a per-row cache
+	// keyed by the row's cache state. Both engines produce bit-identical
+	// step sequences (test-enforced); the knob exists for verification
+	// and benchmarking.
+	Scan bool
 }
 
 // Hybrid is the paper's Figure 2 algorithm. It starts from a network
@@ -228,6 +256,31 @@ type HybridConfig struct {
 // i's cache by o_j bytes. It terminates when no candidate has positive
 // benefit or no site fits anywhere.
 func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
+	st, err := newHybridState(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scan {
+		return hybridScan(st), nil
+	}
+	return hybridLazy(st), nil
+}
+
+// hybridState is the shared setup of the two hybrid engines: the
+// placement under construction, one predictor per server and the current
+// per-server hit ratios and visible cache mass (lines 1–5 of Figure 2).
+type hybridState struct {
+	sys     *core.System
+	cfg     HybridConfig
+	p       *core.Placement
+	preds   []*lrumodel.Predictor
+	h       [][]float64
+	visMass []float64
+	workers int
+	n, m    int
+}
+
+func newHybridState(sys *core.System, cfg HybridConfig) (*hybridState, error) {
 	n, m := sys.N(), sys.M()
 	if len(cfg.Specs) != m {
 		return nil, fmt.Errorf("placement: %d specs for %d sites", len(cfg.Specs), m)
@@ -238,8 +291,14 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 	if cfg.UpdateRates != nil && len(cfg.UpdateRates) != m {
 		return nil, fmt.Errorf("placement: %d update rates for %d sites", len(cfg.UpdateRates), m)
 	}
-	p := core.NewPlacement(sys)
-	res := &Result{Placement: p}
+	st := &hybridState{
+		sys:     sys,
+		cfg:     cfg,
+		p:       core.NewPlacement(sys),
+		workers: normWorkers(cfg.Parallelism, n),
+		n:       n,
+		m:       m,
+	}
 
 	// Lines 1–5: build one predictor per server and the initial hit
 	// ratios with the whole capacity as cache. visMass tracks the
@@ -247,21 +306,45 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 	// cache; replicating a site removes its traffic from the cache and
 	// "the popularity of the rest of the objects is increased
 	// accordingly" (§4).
-	preds := make([]*lrumodel.Predictor, n)
-	h := make([][]float64, n)
-	visMass := make([]float64, n)
+	st.preds = make([]*lrumodel.Predictor, n)
+	st.h = make([][]float64, n)
+	st.visMass = make([]float64, n)
+	// The lazy engine shares one hit-ratio table across all N
+	// predictors: the memoized Equation (1) values depend only on the
+	// quantized (p, K) grid point and the site's Zipf shape, so servers
+	// reuse each other's entries bit for bit instead of each paying the
+	// O(L) evaluation. The Scan reference engine keeps the seed's
+	// per-predictor memos — it is the baseline the speedups are
+	// measured against, and the bit-identicality tests double as an
+	// end-to-end proof that sharing changes no values.
+	var shared *lrumodel.SharedTable
+	if !cfg.Scan {
+		shared = lrumodel.NewSharedTable()
+	}
 	for i := 0; i < n; i++ {
-		preds[i] = lrumodel.NewPredictor(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i])
-		h[i] = preds[i].HitRatios(p.Free(i))
-		visMass[i] = 1
+		st.preds[i] = lrumodel.NewPredictorShared(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], shared)
+		st.h[i] = st.preds[i].HitRatios(st.p.Free(i))
+		st.visMass[i] = 1
 	}
+	return st, nil
+}
 
-	hitFn := func(i, j int) float64 {
-		if p.Has(i, j) {
-			return 0 // irrelevant: C(i,i)=0
-		}
-		return h[i][j]
+// hitFn is the model hit ratio the objective is evaluated under.
+func (st *hybridState) hitFn(i, j int) float64 {
+	if st.p.Has(i, j) {
+		return 0 // irrelevant: C(i,i)=0
 	}
+	return st.h[i][j]
+}
+
+// hybridScan is the reference engine: the eagerly maintained benefit
+// matrix with a full argmax scan per iteration, kept as the provenance
+// anchor the lazy engine is verified against.
+func hybridScan(st *hybridState) *Result {
+	sys, p, preds, h, visMass := st.sys, st.p, st.preds, st.h, st.visMass
+	n, m, cfg := st.n, st.m, st.cfg
+	res := &Result{Placement: p}
+	hitFn := st.hitFn
 
 	// Cached benefit matrix with exact invalidation. Placing (i*, j*)
 	// changes: (a) server i*'s cache size, visible mass and hit ratios
@@ -275,7 +358,7 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 	// Matrix evaluation fans out at row granularity (see
 	// HybridConfig.Parallelism): row i only reads preds[i], h, visMass
 	// and the read-only placement, so rows never contend.
-	workers := normWorkers(cfg.Parallelism, n)
+	workers := st.workers
 	ben := make([][]float64, n)
 	evalBen := func(i, j int) float64 {
 		if !p.CanReplicate(i, j) {
@@ -382,7 +465,7 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 		}
 	}
 	res.PredictedCost = hybridObjective(p, hitFn, cfg.UpdateRates)
-	return res, nil
+	return res
 }
 
 // hybridObjective is the hybrid's full predicted objective: the cached
@@ -527,8 +610,9 @@ func sortSitesByDemand(demand []float64) []int {
 func PredictCost(p *core.Placement, specs []lrumodel.SiteSpec, avgObjectBytes float64) float64 {
 	sys := p.System()
 	total := 0.0
+	shared := lrumodel.NewSharedTable()
 	for i := 0; i < sys.N(); i++ {
-		pred := lrumodel.NewPredictor(specs, sys.Demand[i], avgObjectBytes, sys.Capacity[i])
+		pred := lrumodel.NewPredictorShared(specs, sys.Demand[i], avgObjectBytes, sys.Capacity[i], shared)
 		visible := make([]bool, sys.M())
 		for j := range visible {
 			visible[j] = !p.Has(i, j)

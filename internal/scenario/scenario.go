@@ -43,6 +43,27 @@ func Default() Config {
 	}
 }
 
+// Scale returns cfg grown by an integer factor: factor× the transit
+// domains (the topology's node count grows linearly with them), factor×
+// the servers and factor× every site-popularity class, with CapacityFrac
+// divided by factor so each server's storage stays constant in
+// site-equivalents (the paper sizes storage as a percentage of Σ o_j,
+// which itself grows with the site count). Scale(cfg, 1) == cfg; the
+// 10× paper-scale experiments use Scale(Default(), 10).
+func Scale(cfg Config, factor int) Config {
+	if factor < 1 {
+		panic(fmt.Sprintf("scenario: Scale factor %d", factor))
+	}
+	out := cfg
+	out.Topology.TransitDomains *= factor
+	out.Workload.Servers *= factor
+	out.Workload.LowSites *= factor
+	out.Workload.MediumSites *= factor
+	out.Workload.HighSites *= factor
+	out.CapacityFrac /= float64(factor)
+	return out
+}
+
 // Validate reports a configuration error, or nil.
 func (c Config) Validate() error {
 	if err := c.Topology.Validate(); err != nil {

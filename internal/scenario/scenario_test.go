@@ -181,3 +181,35 @@ func TestStream(t *testing.T) {
 		}
 	}
 }
+
+func TestScale(t *testing.T) {
+	base := Default()
+	if got := Scale(base, 1); got != base {
+		t.Fatalf("Scale ×1 changed the config: %+v", got)
+	}
+	s4 := Scale(base, 4)
+	if s4.Topology.TransitDomains != 4*base.Topology.TransitDomains {
+		t.Fatalf("transit domains %d, want ×4", s4.Topology.TransitDomains)
+	}
+	if s4.Workload.Servers != 4*base.Workload.Servers || s4.Workload.Sites() != 4*base.Workload.Sites() {
+		t.Fatalf("workload not ×4: %+v", s4.Workload)
+	}
+	if s4.CapacityFrac != base.CapacityFrac/4 {
+		t.Fatalf("capacity frac %v, want %v", s4.CapacityFrac, base.CapacityFrac/4)
+	}
+	if err := s4.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	// Per-server capacity stays constant in site-equivalents: total
+	// bytes grow ~×4 while the fraction shrinks ×4.
+	sc := MustBuild(s4)
+	if n := sc.Sys.N(); n != 200 {
+		t.Fatalf("built %d servers, want 200", n)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Scale(cfg, 0) did not panic")
+		}
+	}()
+	Scale(base, 0)
+}

@@ -410,6 +410,27 @@ func ChurnComparison(ctx context.Context, opts Options, cfg ChurnConfig) ([]Chur
 // FormatChurnRows renders the availability-under-churn comparison.
 func FormatChurnRows(rows []ChurnRow) string { return experiments.FormatChurnRows(rows) }
 
+// ScaleRow is one growth factor of the scale sweep.
+type ScaleRow = experiments.ScaleRow
+
+// ScaleScenario grows a scenario configuration by an integer factor:
+// servers, sites and transit domains ×factor, per-server capacity held
+// constant in site-equivalents.
+func ScaleScenario(cfg ScenarioConfig, factor int) ScenarioConfig {
+	return scenario.Scale(cfg, factor)
+}
+
+// ScaleComparison re-runs the Figure 3 mechanism comparison at each
+// growth factor and measures scenario-build time, hybrid placement time
+// and simulator throughput alongside, showing whether the hybrid's
+// advantage (and the engines' practicality) hold away from paper scale.
+func ScaleComparison(ctx context.Context, opts Options, factors []int) ([]ScaleRow, error) {
+	return experiments.ScaleComparison(ctx, opts, factors)
+}
+
+// FormatScaleRows renders the scale sweep.
+func FormatScaleRows(rows []ScaleRow) string { return experiments.FormatScaleRows(rows) }
+
 // Drift experiment types (§2.1 grounded: static placements vs drifting
 // popularity).
 type (

@@ -2,7 +2,7 @@ package repro
 
 import (
 	"context"
-
+	"strings"
 	"testing"
 )
 
@@ -185,5 +185,24 @@ func TestFacadeScheduleSimulation(t *testing.T) {
 	}
 	if m.Requests != cfg.Requests {
 		t.Fatalf("measured %d requests", m.Requests)
+	}
+}
+
+func TestScaleScenarioFacade(t *testing.T) {
+	base := DefaultScenario()
+	s2 := ScaleScenario(base, 2)
+	if s2.Workload.Servers != 2*base.Workload.Servers {
+		t.Fatalf("servers %d, want ×2", s2.Workload.Servers)
+	}
+	if s2.CapacityFrac != base.CapacityFrac/2 {
+		t.Fatalf("capacity frac %v, want halved", s2.CapacityFrac)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	rows := []ScaleRow{{Factor: 1, Nodes: 544, Servers: 50, Sites: 20,
+		ReplicationRTMs: 118, CachingRTMs: 79, HybridRTMs: 73, GainPct: 7.7}}
+	if out := FormatScaleRows(rows); !strings.Contains(out, "scale sweep") {
+		t.Fatalf("unexpected formatting:\n%s", out)
 	}
 }
