@@ -23,6 +23,13 @@
 // controller reconciles placement without the dead edges. Health state
 // is served at /debug/health on the -metrics address.
 //
+// With -trace every request is recorded to a JSONL file as an event
+// plus a span tree (serve/health/failover/upstream/retry/origin, with
+// multi-hop fetches stitched into one trace by the Traceparent
+// header); cmd/cdntrace analyzes the file. Records dropped on write
+// errors are counted in cdn_trace_dropped_total and the shutdown
+// summary.
+//
 // SIGINT/SIGTERM stop the load generator, drain the metrics endpoint
 // and shut the cluster down cleanly.
 //
@@ -33,6 +40,7 @@
 //	cdnd -metrics 127.0.0.1:0 -linger 30s
 //	cdnd -metrics 127.0.0.1:8080 -control-interval 5s -linger 10m
 //	cdnd -fault-mode error -fault-edges 0,1 -fault-from 500 -fault-to 1500
+//	cdnd -trace run.jsonl && cdntrace run.jsonl
 package main
 
 import (
@@ -67,6 +75,7 @@ type options struct {
 	capacity     float64
 	edges        int
 	metricsAddr  string
+	tracePath    string
 	linger       time.Duration
 	ctrlInterval time.Duration
 	ctrlHyst     float64
@@ -86,6 +95,7 @@ func main() {
 	flag.Float64Var(&opt.capacity, "capacity", 0.15, "per-edge storage as a fraction of total content bytes")
 	flag.IntVar(&opt.edges, "edges", 6, "number of CDN edge servers")
 	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /metrics, /debug/vars, /debug/pprof/ and /debug/control on this address (e.g. 127.0.0.1:0)")
+	flag.StringVar(&opt.tracePath, "trace", "", "write a JSONL event+span trace to this file (analyze with cdntrace)")
 	flag.DurationVar(&opt.linger, "linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics)")
 	flag.DurationVar(&opt.ctrlInterval, "control-interval", 0, "run the online control loop, reconciling at this interval (0 disables)")
 	flag.Float64Var(&opt.ctrlHyst, "control-hysteresis", 0, "minimum net benefit, as a fraction of current predicted cost, before a plan applies (0 = default, negative = off)")
@@ -136,6 +146,22 @@ func run(ctx context.Context, opt options) error {
 
 	reg := obs.NewRegistry()
 
+	// The tracer writes the mixed event+span JSONL stream cdntrace
+	// consumes; a dying disk shows up as cdn_trace_dropped_total in
+	// /metrics and in the shutdown summary rather than as a silently
+	// truncated file.
+	var tracer *obs.Tracer
+	if opt.tracePath != "" {
+		tf, err := os.Create(opt.tracePath)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer tf.Close()
+		tracer = obs.NewTracer(tf)
+		tracer.CountDrops(reg.Counter("cdn_trace_dropped_total",
+			"Trace records discarded after a write error.", nil))
+	}
+
 	// The estimator exists before the cluster so the request tap can feed
 	// it; the controller itself needs the running cluster as its target.
 	var est *control.Estimator
@@ -161,6 +187,10 @@ func run(ctx context.Context, opt options) error {
 	hcfg := httpcdn.DefaultConfig()
 	hcfg.PerHopDelay = opt.hopDelay
 	hcfg.Metrics = reg
+	if tracer != nil {
+		hcfg.Tracer = tracer
+		hcfg.TraceSpans = true
+	}
 	if est != nil {
 		hcfg.RequestTap = est.Observe
 	}
@@ -240,6 +270,7 @@ func run(ctx context.Context, opt options) error {
 		if ctrl != nil {
 			h := control.Handler(ctrl)
 			mux.Handle("/debug/control", h)
+			mux.Handle("/debug/control/audit", h)
 			mux.Handle("/debug/control/reconcile", h)
 		}
 		srv := &http.Server{Handler: mux}
@@ -397,6 +428,13 @@ func run(ctx context.Context, opt options) error {
 		st := ctrl.Status()
 		fmt.Printf("\ncontrol: %d rounds (%d applied, %d skipped, %d noop, %d no-signal), %d replicas live\n",
 			st.Rounds, st.Applied, st.Skipped, st.Noops, st.NoSignal, st.Replicas)
+	}
+	if tracer != nil {
+		err := tracer.Flush()
+		fmt.Printf("\ntrace: wrote %s (%d records dropped)\n", opt.tracePath, tracer.Dropped())
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", opt.tracePath, err)
+		}
 	}
 
 	if opt.linger > 0 && opt.metricsAddr != "" && ctx.Err() == nil {

@@ -36,6 +36,7 @@ func runTraced(ctx context.Context, opts repro.Options, path string) error {
 
 	cfg := opts.Sim
 	cfg.Tracer = tracer
+	cfg.TraceSpans = true
 	reg := obs.NewRegistry()
 	cfg.Metrics = reg
 	m, err := sim.RunParallel(ctx, sc, res.Placement, cfg, xrand.New(opts.TraceSeed))
@@ -46,7 +47,8 @@ func runTraced(ctx context.Context, opts repro.Options, path string) error {
 		return fmt.Errorf("trace %s: %w", path, err)
 	}
 
-	fmt.Printf("wrote %d trace events to %s\n\n", m.Requests, path)
+	fmt.Printf("wrote %d trace events (with virtual-time spans) to %s — analyze with cdntrace\n\n",
+		m.Requests, path)
 	fmt.Printf("hybrid placement: %d replicas, predicted cost %.3f hops/request\n",
 		res.Placement.Replicas(), res.PredictedCost)
 	fmt.Printf("measured: mean %.1f ms, %.3f hops/request, local %.1f%%, aggregate hit ratio %.3f\n\n",

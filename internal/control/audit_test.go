@@ -1,0 +1,102 @@
+package control
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+)
+
+func TestAuditExplainsEveryRound(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+
+	// Round 1: no traffic yet → no-signal.
+	if _, err := ctrl.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: exact demand → the first plan applies.
+	feedExact(ctrl.Estimator(), sc.Sys)
+	if _, err := ctrl.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 3: same demand → noop or a skipped marginal plan.
+	feedExact(ctrl.Estimator(), sc.Sys)
+	if _, err := ctrl.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := ctrl.Audit()
+	if len(recs) != 3 {
+		t.Fatalf("%d audit records for 3 rounds", len(recs))
+	}
+	if recs[0].Outcome != OutcomeNoSignal {
+		t.Fatalf("round 1 outcome %q, want no-signal", recs[0].Outcome)
+	}
+	if recs[0].Verdict == "" || recs[0].When == "" {
+		t.Fatalf("round 1 record incomplete: %+v", recs[0])
+	}
+
+	applied := recs[1]
+	if applied.Outcome != OutcomeApplied {
+		t.Fatalf("round 2 outcome %q, want applied", applied.Outcome)
+	}
+	if applied.DemandHash == "" || len(applied.DemandHash) != 16 {
+		t.Fatalf("round 2 demand hash %q", applied.DemandHash)
+	}
+	if len(applied.Proposed) == 0 || applied.Proposed[0].Benefit <= 0 {
+		t.Fatalf("applied round has no priced proposal: %+v", applied.Proposed)
+	}
+	if len(applied.Created) == 0 {
+		t.Fatal("applied round records no created replicas")
+	}
+	if len(applied.EngineSteps) == 0 {
+		t.Fatal("applied round has no engine explain trail")
+	}
+	if applied.EngineSteps[0].HeapPops == 0 {
+		t.Fatalf("engine steps carry no heap-pop counters: %+v", applied.EngineSteps[0])
+	}
+	if applied.Verdict == "" || applied.NetBenefit <= 0 {
+		t.Fatalf("applied verdict incomplete: %+v", applied)
+	}
+
+	// Every round — applied, rejected or noop — must carry a verdict,
+	// and rounds 2 and 3 saw the same demand fingerprint.
+	for _, r := range recs {
+		if r.Verdict == "" {
+			t.Fatalf("round %d has no verdict", r.Round)
+		}
+	}
+	if recs[1].DemandHash != recs[2].DemandHash {
+		t.Fatalf("identical demand hashed differently: %q vs %q",
+			recs[1].DemandHash, recs[2].DemandHash)
+	}
+}
+
+func TestAuditRingOverwritesOldest(t *testing.T) {
+	sc := testScenario(t)
+	target := NewModelTarget(placement.None(sc.Sys).Placement)
+	ctrl := newTestController(t, sc, target, nil)
+	rounds := auditRing + 10
+	for i := 0; i < rounds; i++ {
+		if _, err := ctrl.Reconcile(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := ctrl.Audit()
+	if len(recs) != auditRing {
+		t.Fatalf("%d records retained, want %d", len(recs), auditRing)
+	}
+	if got := recs[0].Round; got != int64(rounds-auditRing+1) {
+		t.Fatalf("oldest retained round %d, want %d", got, rounds-auditRing+1)
+	}
+	if got := recs[len(recs)-1].Round; got != int64(rounds) {
+		t.Fatalf("newest retained round %d, want %d", got, rounds)
+	}
+	for k := 1; k < len(recs); k++ {
+		if recs[k].Round != recs[k-1].Round+1 {
+			t.Fatalf("audit records out of order at %d: %d then %d",
+				k, recs[k-1].Round, recs[k].Round)
+		}
+	}
+}

@@ -190,6 +190,11 @@ type Controller struct {
 	pending       *placement.DiffResult
 	counts        map[Outcome]int64
 
+	// auditLog is the decision-audit ring (see audit.go): up to
+	// auditRing ReconcileRecords, auditNext the overwrite cursor.
+	auditLog  []ReconcileRecord
+	auditNext int
+
 	// metric handles, nil when cfg.Metrics is unset
 	reconciles map[Outcome]*obs.Counter
 	created    *obs.Counter
@@ -320,13 +325,20 @@ func (c *Controller) Unfreeze() {
 func (c *Controller) Reconcile() (*Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
 	c.round++
 	rep := &Report{Round: c.round, WindowRequests: c.est.Roll()}
+	rec := ReconcileRecord{
+		Round:          c.round,
+		When:           start.UTC().Format(time.RFC3339Nano),
+		WindowRequests: rep.WindowRequests,
+	}
 
 	demand, ok := c.est.Demand()
 	if !ok {
-		return c.finish(rep, OutcomeNoSignal), nil
+		return c.finish(rep, rec, start, OutcomeNoSignal), nil
 	}
+	rec.DemandHash = demandHash(demand)
 	sys, err := c.cfg.Base.WithDemand(demand)
 	if err != nil {
 		c.round--
@@ -361,22 +373,34 @@ func (c *Controller) Reconcile() (*Report, error) {
 		Specs:          c.cfg.Specs,
 		AvgObjectBytes: c.cfg.AvgObjectBytes,
 		Parallelism:    c.cfg.Parallelism,
+		Explain: func(e placement.ExplainStep) {
+			if len(rec.EngineSteps) < auditEngineStepsCap {
+				rec.EngineSteps = append(rec.EngineSteps, e)
+			}
+		},
 	})
 	if err != nil {
 		c.round--
 		return nil, err
 	}
+	for _, s := range prop.Steps {
+		if len(rec.Proposed) == auditProposedCap {
+			break
+		}
+		rec.Proposed = append(rec.Proposed, PlanStep{Server: s.Server, Site: s.Site, Benefit: s.Benefit})
+	}
 
 	cur := c.cfg.Target.Placement()
-	next, deferred, err := c.plan(sys, cur, prop, down)
+	next, deferred, frozen, err := c.plan(sys, cur, prop, down)
 	if err != nil {
 		c.round--
 		return nil, err
 	}
 	rep.CreatesDeferred = deferred
+	rec.FrozenSites = frozen
 	diff := placement.Diff(cur, next)
 	if diff.Empty() {
-		return c.finish(rep, OutcomeNoop), nil
+		return c.finish(rep, rec, start, OutcomeNoop), nil
 	}
 	rep.Diff = diff
 
@@ -391,9 +415,12 @@ func (c *Controller) Reconcile() (*Report, error) {
 	if c.cfg.TransferWeight > 0 {
 		rep.NetBenefit -= c.cfg.TransferWeight * diff.TransferGBHops
 	}
-	if c.cfg.Hysteresis > 0 && rep.NetBenefit < c.cfg.Hysteresis*rep.OldCost {
+	if c.cfg.Hysteresis > 0 {
+		rec.HysteresisBar = c.cfg.Hysteresis * rep.OldCost
+	}
+	if c.cfg.Hysteresis > 0 && rep.NetBenefit < rec.HysteresisBar {
 		c.pending = &diff
-		return c.finish(rep, OutcomeSkipped), nil
+		return c.finish(rep, rec, start, OutcomeSkipped), nil
 	}
 
 	if err := c.cfg.Target.SwapPlacement(next); err != nil {
@@ -415,14 +442,27 @@ func (c *Controller) Reconcile() (*Report, error) {
 		c.dropped.Add(int64(len(diff.Dropped)))
 		c.transfer.Add(int64(diff.TransferGBHops * 1000))
 	}
-	return c.finish(rep, OutcomeApplied), nil
+	return c.finish(rep, rec, start, OutcomeApplied), nil
 }
 
-// finish records the round's outcome under the held mutex.
-func (c *Controller) finish(rep *Report, o Outcome) *Report {
+// finish records the round's outcome and its audit record under the
+// held mutex.
+func (c *Controller) finish(rep *Report, rec ReconcileRecord, start time.Time, o Outcome) *Report {
 	rep.Outcome = o
 	c.last = rep
 	c.counts[o]++
+	rec.Outcome = o
+	rec.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	rec.OldCost = rep.OldCost
+	rec.NewCost = rep.NewCost
+	rec.NetBenefit = rep.NetBenefit
+	rec.TransferGBHops = rep.Diff.TransferGBHops
+	rec.Created = rep.Diff.Created
+	rec.Dropped = rep.Diff.Dropped
+	rec.ExcludedEdges = rep.Excluded
+	rec.CreatesDeferred = rep.CreatesDeferred
+	rec.Verdict = rec.verdict(o)
+	c.recordAudit(rec)
 	if c.reconciles != nil {
 		c.reconciles[o].Inc()
 	}
@@ -443,11 +483,16 @@ func (c *Controller) finish(rep *Report, o Outcome) *Report {
 // round, never silently forgotten (they reappear in the next proposal).
 // Nothing is placed on a down server, cool-down or not: its replicas
 // are unreachable, and dropping them lets Nearest route around it.
-func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement.Result, down []bool) (p *core.Placement, deferred int, err error) {
+// frozenSites lists the sites cool-down excluded from movement this
+// round, for the audit record.
+func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement.Result, down []bool) (p *core.Placement, deferred int, frozenSites []int, err error) {
 	n, m := sys.N(), sys.M()
 	frozen := make([]bool, m)
 	for j := 0; j < m; j++ {
 		frozen[j] = c.cfg.CooldownRounds > 0 && c.round <= c.cooldownUntil[j]
+		if frozen[j] {
+			frozenSites = append(frozenSites, j)
+		}
 	}
 	next := core.NewPlacement(sys)
 	for i := 0; i < n; i++ {
@@ -460,7 +505,7 @@ func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement
 			}
 			if frozen[j] || prop.Placement.Has(i, j) {
 				if err := next.Replicate(i, j); err != nil {
-					return nil, 0, fmt.Errorf("control: survivor (%d,%d): %w", i, j, err)
+					return nil, 0, nil, fmt.Errorf("control: survivor (%d,%d): %w", i, j, err)
 				}
 			}
 		}
@@ -481,10 +526,10 @@ func (c *Controller) plan(sys *core.System, cur *core.Placement, prop *placement
 			continue
 		}
 		if err := next.Replicate(s.Server, s.Site); err != nil {
-			return nil, 0, fmt.Errorf("control: create (%d,%d): %w", s.Server, s.Site, err)
+			return nil, 0, nil, fmt.Errorf("control: create (%d,%d): %w", s.Server, s.Site, err)
 		}
 	}
-	return next, deferred, nil
+	return next, deferred, frozenSites, nil
 }
 
 // Status snapshots the controller for the debug endpoint.

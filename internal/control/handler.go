@@ -8,6 +8,8 @@ import (
 // Handler serves the controller's debug surface:
 //
 //	GET  /debug/control           — Status as JSON
+//	GET  /debug/control/audit     — AuditPage: the retained
+//	                                ReconcileRecords, oldest first
 //	POST /debug/control/reconcile — force a reconcile round, reply with
 //	                                its Report as JSON
 //
@@ -21,6 +23,13 @@ func Handler(c *Controller) http.Handler {
 			return
 		}
 		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("/debug/control/audit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, AuditPage{Records: c.Audit()})
 	})
 	mux.HandleFunc("/debug/control/reconcile", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -181,7 +181,7 @@ func TestRedirectionSkipsEjectedPeer(t *testing.T) {
 		t.Skip("no peer-replica pair in this configuration")
 	}
 
-	ups := cl.upstreams(cl.pl.Load(), from, site, false)
+	ups, _ := cl.upstreams(cl.pl.Load(), from, site, false)
 	hasPeer := false
 	for _, u := range ups {
 		if u.kind == "edge" {
@@ -199,10 +199,14 @@ func TestRedirectionSkipsEjectedPeer(t *testing.T) {
 	h.until = time.Now().Add(time.Hour)
 	h.mu.Unlock()
 
-	for _, u := range cl.upstreams(cl.pl.Load(), from, site, false) {
+	ups, skipped := cl.upstreams(cl.pl.Load(), from, site, false)
+	for _, u := range ups {
 		if u.kind == "edge" && u.id == peer {
 			t.Fatal("ejected peer still offered by upstreams")
 		}
+	}
+	if skipped == 0 {
+		t.Fatal("upstreams did not count the ejected peer as skipped")
 	}
 	// The fetch still succeeds through the remaining candidates.
 	if _, err := cl.Fetch(context.Background(), from, site, 1); err != nil {

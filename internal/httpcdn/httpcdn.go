@@ -76,6 +76,13 @@ type Config struct {
 	// Tracer, when non-nil, receives one JSONL event per edge-served
 	// request in the shared obs.Event schema.
 	Tracer *obs.Tracer
+	// TraceSpans additionally emits obs.Span records to the same Tracer:
+	// a root serve span per request with children for the health consult,
+	// each failover hop, each upstream attempt and each retry backoff,
+	// stitched across servers via the Traceparent header. Ignored when
+	// Tracer is nil; off adds nothing to the serving path beyond a nil
+	// pointer check.
+	TraceSpans bool
 	// RequestTap, when non-nil, is invoked once per client-facing
 	// request an edge accepts (internal edge-to-edge fetches excluded),
 	// before the request is served. The online control plane hangs its
@@ -498,12 +505,21 @@ func (c *Cluster) serveOrigin(site int, w http.ResponseWriter, r *http.Request) 
 		http.NotFound(w, r)
 		return
 	}
+	// An incoming Traceparent stitches the origin's work into the
+	// caller's trace (the parent is the edge's upstream-attempt span).
+	var sp *span
+	if trace, parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		sp = c.startSpan(obs.SpanOrigin, trace, parent, site, site, object)
+	}
+	defer sp.end()
 	version := c.version(site, object)
 	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etagFor(site, object, version) {
+		sp.attr("status", "304")
 		w.Header().Set("Etag", etagFor(site, object, version))
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	sp.attr("status", "200")
 	c.writeBody(w, site, object, version, SourceOrigin)
 }
 
@@ -524,13 +540,25 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	if tap := c.cfg.RequestTap; tap != nil && r.Header.Get(internalHeader) == "" {
 		tap(e.id, site)
 	}
-	source, hops, ok := e.handle(w, r, site, object)
+	// Root span for this edge's work. An internal edge-to-edge fetch
+	// carries the calling edge's Traceparent, making this serve span a
+	// child of its upstream-attempt span — one trace per client request
+	// across the whole mesh.
+	trace, parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	sp := c.startSpan(obs.SpanServe, trace, parent, e.id, site, object)
+	source, hops, ok := e.handle(w, r, site, object, sp)
 	if !ok {
+		sp.attr("outcome", "error")
+		sp.end()
 		if e.fails != nil {
 			e.fails.Inc()
 		}
 		return
 	}
+	sp.attr("source", source)
+	sp.attrFloat("hops", hops)
+	sp.attr("outcome", "ok")
+	sp.end()
 	latencyMs := float64(time.Since(start)) / float64(time.Millisecond)
 	if e.served != nil {
 		e.served[source].Inc()
@@ -552,7 +580,7 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 // handle serves one parsed request: replica, then cache, then fetch.
 // It reports where the response came from and the redirection hops
 // paid; ok = false means an error response was written instead.
-func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) (source string, hops float64, ok bool) {
+func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int, sp *span) (source string, hops float64, ok bool) {
 	c := e.cluster
 	// One placement snapshot per request: the control plane may swap
 	// the live placement at any moment, and routing a single request
@@ -582,7 +610,7 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) 
 			e.hits.Inc()
 		}
 		if c.cfg.RevalidateOnHit {
-			fresh, newVer, ok := e.revalidate(r, site, object, ver)
+			fresh, newVer, ok := e.revalidate(r, site, object, ver, sp)
 			if ok {
 				if fresh {
 					c.writeBody(w, site, object, ver, SourceCache)
@@ -613,15 +641,26 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int) 
 	// source fails anyway (after its retries) the fetch fails over to
 	// the next candidate instead of surfacing the error.
 	internal := r.Header.Get(internalHeader) != ""
+	hsp := sp.child(obs.SpanHealth)
+	candidates, skipped := c.upstreams(pl, e.id, site, internal)
+	hsp.attrInt("candidates", len(candidates))
+	hsp.attrInt("skipped_ejected", skipped)
+	hsp.end()
 	var body []byte
 	var etag string
 	var ferr error
 	var used upstream
-	for _, u := range c.upstreams(pl, e.id, site, internal) {
+	for hop, u := range candidates {
+		fsp := sp.child(obs.SpanFailover)
+		fsp.attrInt("hop", hop)
+		fsp.attrTarget(u.kind, u.id)
+		fsp.attrFloat("cost_hops", u.hops)
 		if c.cfg.PerHopDelay > 0 {
 			time.Sleep(time.Duration(u.hops * float64(c.cfg.PerHopDelay)))
 		}
-		body, etag, ferr = c.fetchWithRetry(r.Context(), u, objectPath(site, object))
+		body, etag, ferr = c.fetchWithRetry(r.Context(), u, objectPath(site, object), fsp)
+		fsp.attrOutcome(ferr)
+		fsp.end()
 		if ferr == nil {
 			used = u
 			break
@@ -693,17 +732,22 @@ func (c *Cluster) trackerFor(u upstream) *tracker {
 // choice as Placement.Nearest, minus dead components. The origin is
 // kept as last resort even while ejected: gating the only remaining
 // source turns a slow failure into a guaranteed one, and the attempt
-// doubles as its health probe.
-func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) []upstream {
+// doubles as its health probe. skipped counts the replica-holding peers
+// the health tracker excluded (the health span's evidence).
+func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) (ups []upstream, skipped int) {
 	orig := upstream{kind: "origin", id: site, url: c.origins[site].URL,
 		hops: c.sc.Sys.CostOrigin[from][site]}
 	if internal {
-		return []upstream{orig}
+		return []upstream{orig}, 0
 	}
 	now := time.Now()
 	best, bestCost := -1, math.Inf(1)
 	for k := 0; k < c.sc.Sys.N(); k++ {
-		if k == from || !pl.Has(k, site) || !c.edgeHealth[k].candidate(now) {
+		if k == from || !pl.Has(k, site) {
+			continue
+		}
+		if !c.edgeHealth[k].candidate(now) {
+			skipped++
 			continue
 		}
 		if cost := c.sc.Sys.CostServer[from][k]; cost < bestCost {
@@ -711,13 +755,13 @@ func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) [
 		}
 	}
 	if best < 0 {
-		return []upstream{orig}
+		return []upstream{orig}, skipped
 	}
 	peer := upstream{kind: "edge", id: best, url: c.edges[best].srv.URL, hops: bestCost}
 	if orig.hops < peer.hops && c.originHealth[site].candidate(now) {
-		return []upstream{orig, peer}
+		return []upstream{orig, peer}, skipped
 	}
-	return []upstream{peer, orig}
+	return []upstream{peer, orig}, skipped
 }
 
 // fetchWithRetry GETs path from u under the retry policy: per-attempt
@@ -725,9 +769,10 @@ func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) [
 // them. The overall outcome — success, or failure after the last
 // attempt — is fed to u's health tracker; an ejected upstream is only
 // contacted under its half-open probe token.
-func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string) (body []byte, etag string, err error) {
+func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string, sp *span) (body []byte, etag string, err error) {
 	t := c.trackerFor(u)
 	if !t.acquireProbe(time.Now()) {
+		sp.attr("gated", "ejected")
 		down := error(ErrOriginDown)
 		if u.kind == "edge" {
 			down = ErrPeerDown
@@ -736,14 +781,22 @@ func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string) (
 	}
 	p := c.cfg.Retry
 	for attempt := 1; ; attempt++ {
-		body, etag, err = c.fetchOnce(ctx, u.url+path)
+		usp := sp.child(obs.SpanUpstream)
+		usp.attrInt("attempt", attempt)
+		usp.attrTarget(u.kind, u.id)
+		body, etag, err = c.fetchOnce(ctx, u.url+path, usp)
+		usp.attrOutcome(err)
+		usp.end()
 		if err == nil || attempt >= p.Attempts || ctx.Err() != nil {
 			break
 		}
+		rsp := sp.child(obs.SpanRetry)
+		rsp.attrInt("after_attempt", attempt)
 		select {
 		case <-time.After(p.backoff(attempt)):
 		case <-ctx.Done():
 		}
+		rsp.end()
 	}
 	if err != nil && !errors.Is(err, ErrEdgeTimeout) && !errors.Is(err, ErrUpstreamStatus) {
 		down := error(ErrOriginDown)
@@ -757,7 +810,9 @@ func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string) (
 }
 
 // fetchOnce performs one upstream attempt under the per-attempt timeout.
-func (c *Cluster) fetchOnce(ctx context.Context, url string) ([]byte, string, error) {
+// sp (the attempt's upstream span) is propagated via the Traceparent
+// header so the remote server's spans nest under this attempt.
+func (c *Cluster) fetchOnce(ctx context.Context, url string, sp *span) ([]byte, string, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Retry.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
@@ -765,6 +820,9 @@ func (c *Cluster) fetchOnce(ctx context.Context, url string) ([]byte, string, er
 		return nil, "", err
 	}
 	req.Header.Set(internalHeader, "1")
+	if hdr := sp.header(); hdr != "" {
+		req.Header.Set(obs.TraceparentHeader, hdr)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if actx.Err() != nil {
@@ -790,11 +848,15 @@ func (c *Cluster) fetchOnce(ctx context.Context, url string) ([]byte, string, er
 // It returns (fresh, newVersion, ok): fresh means the cached version is
 // still current (304); otherwise newVersion is the origin's current
 // version. ok=false means the origin could not be reached.
-func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int) (fresh bool, newVersion int, ok bool) {
+func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int, sp *span) (fresh bool, newVersion int, ok bool) {
 	c := e.cluster
 	e.mu.Lock()
 	e.stats.Revalidations++
 	e.mu.Unlock()
+	usp := sp.child(obs.SpanUpstream)
+	usp.attr("revalidate", "1")
+	usp.attrTarget("origin", site)
+	defer usp.end()
 	// A revalidation round-trip runs under the same per-attempt timeout
 	// as a fetch, so a hung origin cannot stall cache hits forever.
 	rctx, cancel := context.WithTimeout(r.Context(), c.cfg.Retry.Timeout)
@@ -805,8 +867,12 @@ func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int) (fre
 		return false, 0, false
 	}
 	req.Header.Set("If-None-Match", etagFor(site, object, cachedVersion))
+	if hdr := usp.header(); hdr != "" {
+		req.Header.Set(obs.TraceparentHeader, hdr)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
+		usp.attr("outcome", "error:unreachable")
 		return false, 0, false
 	}
 	defer resp.Body.Close()
@@ -815,13 +881,17 @@ func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int) (fre
 		e.mu.Lock()
 		e.stats.NotModified++
 		e.mu.Unlock()
+		usp.attr("outcome", "304")
 		return true, cachedVersion, true
 	case http.StatusOK:
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			usp.attr("outcome", "error:body")
 			return false, 0, false
 		}
+		usp.attr("outcome", "200")
 		return false, versionFromETag(resp.Header.Get("Etag")), true
 	default:
+		usp.attr("outcome", "error:status")
 		return false, 0, false
 	}
 }

@@ -1,0 +1,69 @@
+package httpcdn
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+)
+
+// TestHealthHandlerSchema pins the /debug/health wire schema (key sets,
+// not values) the same way the control package pins /debug/control —
+// dashboards and cdnctl read these field names.
+func TestHealthHandlerSchema(t *testing.T) {
+	_, _, cl := startHybridCluster(t)
+	srv := httptest.NewServer(cl.HealthHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/health = %d", resp.StatusCode)
+	}
+	var page map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	assertKeys(t, "/debug/health", page, []string{"edges", "origins"}, nil)
+
+	for _, section := range []string{"edges", "origins"} {
+		var comps []map[string]json.RawMessage
+		if err := json.Unmarshal(page[section], &comps); err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) == 0 {
+			t.Fatalf("/debug/health %s empty", section)
+		}
+		assertKeys(t, "/debug/health "+section+" entry", comps[0],
+			[]string{"kind", "id", "state", "consecutive_failures", "ejections", "readmissions"},
+			[]string{"retry_in_ms"})
+	}
+}
+
+func assertKeys(t *testing.T, what string, obj map[string]json.RawMessage, required, optional []string) {
+	t.Helper()
+	allowed := map[string]bool{}
+	for _, k := range required {
+		if _, ok := obj[k]; !ok {
+			t.Errorf("%s: required key %q missing", what, k)
+		}
+		allowed[k] = true
+	}
+	for _, k := range optional {
+		allowed[k] = true
+	}
+	var extra []string
+	for k := range obj {
+		if !allowed[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	if len(extra) > 0 {
+		t.Errorf("%s: unexpected keys %v — extend the golden schema test if this is deliberate", what, extra)
+	}
+}

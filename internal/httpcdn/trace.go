@@ -1,0 +1,124 @@
+package httpcdn
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// span is the cluster-side handle for one obs.Span under construction.
+// Every method is nil-safe and the constructors return nil when span
+// tracing is disabled, so the serving path carries unconditional span
+// calls at the cost of a pointer check — no allocation, no formatting —
+// when tracing is off.
+type span struct {
+	t     *obs.Tracer
+	start time.Time
+	s     obs.Span
+}
+
+// startSpan opens a span. An empty trace starts a new trace; a non-empty
+// (trace, parent) pair — typically parsed from an incoming Traceparent
+// header — attaches the span to the caller's trace so multi-hop requests
+// stitch into one tree.
+func (c *Cluster) startSpan(kind, trace, parent string, component, site, object int) *span {
+	if !c.cfg.TraceSpans || c.cfg.Tracer == nil {
+		return nil
+	}
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	now := time.Now()
+	return &span{
+		t:     c.cfg.Tracer,
+		start: now,
+		s: obs.Span{
+			Trace: trace, Span: obs.NewSpanID(), Parent: parent,
+			Kind: kind, Edge: component, Site: site, Object: object,
+			StartUs: now.UnixMicro(),
+		},
+	}
+}
+
+// child opens a sub-span of sp with the same trace and request identity.
+func (sp *span) child(kind string) *span {
+	if sp == nil {
+		return nil
+	}
+	now := time.Now()
+	return &span{
+		t:     sp.t,
+		start: now,
+		s: obs.Span{
+			Trace: sp.s.Trace, Span: obs.NewSpanID(), Parent: sp.s.Span,
+			Kind: kind, Edge: sp.s.Edge, Site: sp.s.Site, Object: sp.s.Object,
+			StartUs: now.UnixMicro(),
+		},
+	}
+}
+
+// attr records one key/value pair on the span.
+func (sp *span) attr(key, value string) {
+	if sp == nil {
+		return
+	}
+	if sp.s.Attrs == nil {
+		sp.s.Attrs = make(map[string]string, 4)
+	}
+	sp.s.Attrs[key] = value
+}
+
+// attrInt records an integer attribute; the formatting happens after the
+// nil check so disabled tracing pays nothing.
+func (sp *span) attrInt(key string, value int) {
+	if sp == nil {
+		return
+	}
+	sp.attr(key, strconv.Itoa(value))
+}
+
+// attrTarget records the "kind:id" of an upstream component.
+func (sp *span) attrTarget(kind string, id int) {
+	if sp == nil {
+		return
+	}
+	sp.attr("target", kind+":"+strconv.Itoa(id))
+}
+
+// attrFloat records a float attribute with short formatting.
+func (sp *span) attrFloat(key string, value float64) {
+	if sp == nil {
+		return
+	}
+	sp.attr(key, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// attrOutcome records "ok" or the error's wire class.
+func (sp *span) attrOutcome(err error) {
+	if sp == nil {
+		return
+	}
+	if err == nil {
+		sp.attr("outcome", "ok")
+	} else {
+		sp.attr("outcome", "error:"+errorClass(err))
+	}
+}
+
+// header renders the Traceparent value linking downstream work to sp.
+func (sp *span) header() string {
+	if sp == nil {
+		return ""
+	}
+	return obs.Traceparent(sp.s.Trace, sp.s.Span)
+}
+
+// end stamps the duration and emits the span.
+func (sp *span) end() {
+	if sp == nil {
+		return
+	}
+	sp.s.DurUs = int64(time.Since(sp.start) / time.Microsecond)
+	sp.t.EmitSpan(sp.s)
+}

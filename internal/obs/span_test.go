@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpanRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := Span{
+		Trace: NewTraceID(), Span: NewSpanID(), Kind: SpanServe,
+		Edge: 2, Site: 1, Object: 7, StartUs: 1000, DurUs: 2500,
+		Attrs: map[string]string{"source": "cache"},
+	}
+	child := Span{
+		Trace: root.Trace, Span: NewSpanID(), Parent: root.Span,
+		Kind: SpanUpstream, Edge: 2, Site: 1, Object: 7,
+		StartUs: 1200, DurUs: 800,
+	}
+	tr.EmitSpan(root)
+	tr.Emit(Event{Req: 1, Edge: 2, Site: 1, Object: 7, Source: SourceCache, LatencyMs: 2.5})
+	tr.EmitSpan(child)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, spans, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || len(spans) != 2 {
+		t.Fatalf("got %d events, %d spans; want 1, 2", len(events), len(spans))
+	}
+	if spans[0].Kind != SpanServe || spans[1].Parent != root.Span {
+		t.Fatalf("spans did not round-trip: %+v", spans)
+	}
+	if spans[0].Attrs["source"] != "cache" {
+		t.Fatalf("attrs did not round-trip: %+v", spans[0].Attrs)
+	}
+	if spans[1].EndUs() != 2000 {
+		t.Fatalf("EndUs = %d, want 2000", spans[1].EndUs())
+	}
+	for _, s := range spans {
+		if err := ValidateSpan(s); err != nil {
+			t.Fatalf("valid span rejected: %v", err)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	trace, span := NewTraceID(), NewSpanID()
+	if len(trace) != 32 || len(span) != 16 {
+		t.Fatalf("ID lengths: trace %d, span %d", len(trace), len(span))
+	}
+	hdr := Traceparent(trace, span)
+	gotTrace, gotSpan, ok := ParseTraceparent(hdr)
+	if !ok || gotTrace != trace || gotSpan != span {
+		t.Fatalf("ParseTraceparent(%q) = %q, %q, %v", hdr, gotTrace, gotSpan, ok)
+	}
+	for _, bad := range []string{
+		"", "00-zz-yy-01", hdr[:54], hdr + "0",
+		"00-" + strings.ToUpper(trace) + "-" + span + "-01",
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent accepted %q", bad)
+		}
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	if DeterministicTraceID(42) != DeterministicTraceID(42) {
+		t.Fatal("DeterministicTraceID is not deterministic")
+	}
+	if DeterministicTraceID(1) == DeterministicTraceID(2) {
+		t.Fatal("DeterministicTraceID collides on adjacent seeds")
+	}
+	if id := DeterministicSpanID(7); len(id) != 16 || !isHex(id) {
+		t.Fatalf("DeterministicSpanID(7) = %q", id)
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Fatal("NewTraceID returned the same ID twice")
+	}
+}
+
+func TestValidateSpanRejects(t *testing.T) {
+	good := Span{Trace: NewTraceID(), Span: NewSpanID(), Kind: SpanServe}
+	cases := map[string]Span{
+		"short trace":  {Trace: "abc", Span: good.Span, Kind: SpanServe},
+		"short span":   {Trace: good.Trace, Span: "12", Kind: SpanServe},
+		"bad parent":   {Trace: good.Trace, Span: good.Span, Parent: "xyz", Kind: SpanServe},
+		"no kind":      {Trace: good.Trace, Span: good.Span},
+		"unknown kind": {Trace: good.Trace, Span: good.Span, Kind: "coffee"},
+		"negative dur": {Trace: good.Trace, Span: good.Span, Kind: SpanServe, DurUs: -1},
+	}
+	if err := ValidateSpan(good); err != nil {
+		t.Fatalf("good span rejected: %v", err)
+	}
+	for name, s := range cases {
+		if ValidateSpan(s) == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// failAfter fails every write after the first n bytes.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestTracerCountsDrops(t *testing.T) {
+	// A tiny buffered writer would hide the failure until Flush; force
+	// flushing through by writing more than the 64 KiB buffer.
+	tr := NewTracer(&failAfter{n: 1 << 16})
+	reg := NewRegistry()
+	ctr := reg.Counter("cdn_trace_dropped_total",
+		"Trace records dropped after a write error.", nil)
+	tr.CountDrops(ctr)
+
+	big := Event{Req: 1, Source: strings.Repeat("x", 4096)}
+	for i := 0; i < 64; i++ {
+		tr.Emit(big)
+	}
+	tr.EmitSpan(Span{Trace: NewTraceID(), Span: NewSpanID(), Kind: SpanServe})
+	if tr.Err() == nil {
+		t.Fatal("write error did not stick")
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("no drops counted after a write error")
+	}
+	if ctr.Value() != tr.Dropped() {
+		t.Fatalf("registry counter %d != Dropped %d", ctr.Value(), tr.Dropped())
+	}
+}
+
+func TestTracerCountDropsAttachLate(t *testing.T) {
+	tr := NewTracer(&failAfter{n: 0})
+	for i := 0; i < 32; i++ {
+		tr.Emit(Event{Req: int64(i), Source: strings.Repeat("y", 4096)})
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("no drops before attach")
+	}
+	var ctr Counter
+	tr.CountDrops(&ctr)
+	if ctr.Value() != tr.Dropped() {
+		t.Fatalf("late-attached counter %d != Dropped %d", ctr.Value(), tr.Dropped())
+	}
+}

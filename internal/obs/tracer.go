@@ -32,15 +32,20 @@ type Event struct {
 	LatencyMs float64 `json:"latency_ms"`
 }
 
-// Tracer writes Events as JSONL. Safe for concurrent use; the first
-// write error is sticky and subsequent Emits are dropped (Err reports
-// it). Always Flush (or Close) a tracer before reading its output.
+// Tracer writes Events (and Spans) as JSONL. Safe for concurrent use;
+// the first write error is sticky and subsequent emits are dropped —
+// visibly: Dropped counts them, and CountDrops mirrors the count into a
+// registry counter so a dying disk shows up in /metrics instead of
+// silently truncating the trace. Always Flush (or Close) a tracer
+// before reading its output.
 type Tracer struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
-	seq atomic.Int64
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	err     error
+	seq     atomic.Int64
+	dropped atomic.Int64
+	dropCtr *Counter // optional registry mirror, set by CountDrops
 }
 
 // NewTracer returns a tracer writing JSONL to w.
@@ -52,14 +57,42 @@ func NewTracer(w io.Writer) *Tracer {
 // NextID returns a fresh request id (1, 2, 3, ...).
 func (t *Tracer) NextID() int64 { return t.seq.Add(1) }
 
+// CountDrops registers a counter (typically cdn_trace_dropped_total in
+// the deployment's registry) that is incremented for every record
+// discarded after a write error.
+func (t *Tracer) CountDrops(c *Counter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropCtr = c
+	if n := t.dropped.Load(); n > 0 && c != nil {
+		c.Add(n) // drops recorded before the counter was attached
+	}
+}
+
+// Dropped reports how many records were discarded because of a write
+// error (including the record whose write failed).
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
 // Emit appends one event.
 func (t *Tracer) Emit(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.err != nil {
-		return
+	t.emitLocked(e)
+}
+
+// emitLocked encodes one record under the held mutex, counting it as
+// dropped when the stream is already broken or this write breaks it.
+func (t *Tracer) emitLocked(v any) {
+	if t.err == nil {
+		t.err = t.enc.Encode(v)
+		if t.err == nil {
+			return
+		}
 	}
-	t.err = t.enc.Encode(e)
+	t.dropped.Add(1)
+	if t.dropCtr != nil {
+		t.dropCtr.Inc()
+	}
 }
 
 // Flush pushes buffered events to the underlying writer and returns

@@ -1,0 +1,36 @@
+package placement
+
+// ExplainStep is one replica-creation decision annotated with the
+// engine work that produced it — the audit trail behind a placement
+// run. The JSON tags match what cmd/cdntrace and the control plane's
+// /debug/control/audit serve.
+type ExplainStep struct {
+	// Iter is the 0-based decision index within the run.
+	Iter int `json:"iter"`
+	// Server and Site identify the replica created.
+	Server int `json:"server"`
+	Site   int `json:"site"`
+	// Benefit is the winning candidate's marginal benefit (the heap key
+	// or scan maximum that selected it).
+	Benefit float64 `json:"benefit"`
+	// PredictedCost is the objective D after applying the step, under
+	// the engine's own cost model.
+	PredictedCost float64 `json:"predicted_cost"`
+	// HeapPops counts heap pops since the previous step (lazy engines;
+	// 0 for the Scan reference engines).
+	HeapPops int `json:"heap_pops,omitempty"`
+	// StaleReevals counts popped entries whose key was out of date and
+	// had to be re-evaluated against the live state.
+	StaleReevals int `json:"stale_reevals,omitempty"`
+	// Superseded counts popped entries discarded because a newer entry
+	// for the same cell was already live (hybrid lazy deletion).
+	Superseded int `json:"superseded,omitempty"`
+	// Infeasible counts popped candidates that no longer fit.
+	Infeasible int `json:"infeasible,omitempty"`
+}
+
+// ExplainWriter receives one record per replica creation. A nil writer
+// disables explain at zero cost: the engines keep plain integer
+// counters on their existing paths and only materialize an ExplainStep
+// inside a nil check.
+type ExplainWriter func(ExplainStep)

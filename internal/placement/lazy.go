@@ -140,10 +140,15 @@ func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
 			}
 		}
 	}
+	// Engine work counters since the last emitted step; plain ints on
+	// the existing paths, so a nil Explain costs nothing.
+	var pops, stale, infeasible int
 	for hp.len() > 0 {
 		e := hp.pop()
+		pops++
 		i, j := int(e.i), int(e.j)
 		if !p.CanReplicate(i, j) {
+			infeasible++
 			continue // permanently infeasible: free only shrinks, Has only grows
 		}
 		if e.epoch != colEpoch[j] {
@@ -152,6 +157,7 @@ func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
 			// eager column re-evaluation holds right now — and re-push
 			// unless the candidate dropped out (values never increase,
 			// so a non-positive value stays non-positive).
+			stale++
 			if v := greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j); v > 0 {
 				hp.push(benEntry{key: v, i: e.i, j: e.j, epoch: colEpoch[j]})
 			}
@@ -160,12 +166,21 @@ func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
 		// Fresh top: the scan's row-major first maximum.
 		mustReplicate(p, i, j)
 		colEpoch[j]++
+		cost := objective()
 		res.Steps = append(res.Steps, Step{
 			Server:        i,
 			Site:          j,
 			Benefit:       e.key,
-			PredictedCost: objective(),
+			PredictedCost: cost,
 		})
+		if cfg.Explain != nil {
+			cfg.Explain(ExplainStep{
+				Iter: len(res.Steps) - 1, Server: i, Site: j,
+				Benefit: e.key, PredictedCost: cost,
+				HeapPops: pops, StaleReevals: stale, Infeasible: infeasible,
+			})
+		}
+		pops, stale, infeasible = 0, 0, 0
 	}
 	res.PredictedCost = objective()
 	return res
@@ -284,15 +299,21 @@ func hybridLazy(st *hybridState) *Result {
 	visible := make([]bool, m)
 	staleRow := make([]bool, n)
 
+	// Engine work counters since the last emitted step; plain ints on
+	// the existing paths, so a nil Explain costs nothing.
+	var pops, stale, superseded, infeasible int
 	for hp.len() > 0 {
 		e := hp.pop()
+		pops++
 		bestI, bestJ := int(e.i), int(e.j)
 		if e.key != heapKey[bestI][bestJ] {
+			superseded++
 			continue // superseded by a newer entry for the same cell
 		}
 		if v := ben[bestI][bestJ]; v != e.key {
 			// Decayed since pushed: re-key at the current value, or
 			// retire the cell if it dropped out.
+			stale++
 			if v > 0 {
 				hp.push(benEntry{key: v, i: e.i, j: e.j})
 				heapKey[bestI][bestJ] = v
@@ -304,6 +325,7 @@ func hybridLazy(st *hybridState) *Result {
 		if !p.CanReplicate(bestI, bestJ) {
 			// Unreachable while the eager maintenance zeroes infeasible
 			// cells; kept as a safeguard (infeasibility is permanent).
+			infeasible++
 			heapKey[bestI][bestJ] = 0
 			continue
 		}
@@ -396,6 +418,15 @@ func hybridLazy(st *hybridState) *Result {
 		if cfg.Observer != nil {
 			cfg.Observer(step)
 		}
+		if cfg.Explain != nil {
+			cfg.Explain(ExplainStep{
+				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
+				Benefit: bestB, PredictedCost: step.PredictedCost,
+				HeapPops: pops, StaleReevals: stale,
+				Superseded: superseded, Infeasible: infeasible,
+			})
+		}
+		pops, stale, superseded, infeasible = 0, 0, 0, 0
 	}
 	res.PredictedCost = hybridObjective(p, st.hitFn, cfg.UpdateRates)
 	return res

@@ -117,6 +117,9 @@ type GreedyConfig struct {
 	// engines produce bit-identical step sequences (test-enforced); the
 	// knob exists for verification and benchmarking.
 	Scan bool
+	// Explain, if non-nil, receives one ExplainStep per replica created
+	// (nil-cost when disabled; see ExplainWriter).
+	Explain ExplainWriter
 }
 
 // GreedyGlobalOpts is the greedy-global algorithm with explicit options.
@@ -172,12 +175,19 @@ func greedyScan(sys *core.System, cfg GreedyConfig) *Result {
 		fanOutRows(n, workers, func(i int) {
 			ben[i][bestJ] = greedyBenefit(sys, p, i, bestJ) - updatePenalty(sys, updateRates, i, bestJ)
 		})
+		cost := objective()
 		res.Steps = append(res.Steps, Step{
 			Server:        bestI,
 			Site:          bestJ,
 			Benefit:       bestB,
-			PredictedCost: objective(),
+			PredictedCost: cost,
 		})
+		if cfg.Explain != nil {
+			cfg.Explain(ExplainStep{
+				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
+				Benefit: bestB, PredictedCost: cost,
+			})
+		}
 	}
 	res.PredictedCost = objective()
 	return res
@@ -242,6 +252,9 @@ type HybridConfig struct {
 	// step sequences (test-enforced); the knob exists for verification
 	// and benchmarking.
 	Scan bool
+	// Explain, if non-nil, receives one ExplainStep per replica created
+	// (nil-cost when disabled; see ExplainWriter).
+	Explain ExplainWriter
 }
 
 // Hybrid is the paper's Figure 2 algorithm. It starts from a network
@@ -462,6 +475,12 @@ func hybridScan(st *hybridState) *Result {
 		res.Steps = append(res.Steps, step)
 		if cfg.Observer != nil {
 			cfg.Observer(step)
+		}
+		if cfg.Explain != nil {
+			cfg.Explain(ExplainStep{
+				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
+				Benefit: bestB, PredictedCost: step.PredictedCost,
+			})
 		}
 	}
 	res.PredictedCost = hybridObjective(p, hitFn, cfg.UpdateRates)

@@ -215,6 +215,9 @@ func RunSourceParallel(ctx context.Context, sc *scenario.Scenario, p *core.Place
 			ev := events[k]
 			ev.Req = cfg.Tracer.NextID()
 			cfg.Tracer.Emit(ev)
+			if cfg.TraceSpans {
+				emitSimSpans(&cfg, k, ev)
+			}
 		}
 	}
 	if cfg.KeepResponseTimes {

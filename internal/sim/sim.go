@@ -73,6 +73,13 @@ type Config struct {
 	// simulated and real traffic diff directly. Warm-up requests are
 	// not traced.
 	Tracer *obs.Tracer
+	// TraceSpans additionally emits obs.Span records per measured
+	// request in virtual time (request k starts at k ms; durations are
+	// the latency model's), the same schema the HTTP cluster emits, so
+	// one cdntrace invocation analyses either. IDs are derived from the
+	// request id: sequential and parallel runs emit identical bytes.
+	// Ignored when Tracer is nil.
+	TraceSpans bool
 	// Metrics, when non-nil, receives an end-of-run snapshot of the
 	// per-server hit/miss counters and the modelled response-time
 	// histogram (publishing after the run keeps the hot loop free of
@@ -376,7 +383,7 @@ func RunSource(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cf
 				rtHist.Observe(rt)
 			}
 			if cfg.Tracer != nil {
-				cfg.Tracer.Emit(obs.Event{
+				ev := obs.Event{
 					Req:       cfg.Tracer.NextID(),
 					Edge:      req.Server,
 					Site:      req.Site,
@@ -384,7 +391,11 @@ func RunSource(ctx context.Context, sc *scenario.Scenario, p *core.Placement, cf
 					Source:    source,
 					Hops:      hops,
 					LatencyMs: rt,
-				})
+				}
+				cfg.Tracer.Emit(ev)
+				if cfg.TraceSpans {
+					emitSimSpans(&cfg, t-cfg.Warmup, ev)
+				}
 			}
 		}
 	}

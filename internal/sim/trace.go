@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// emitSimSpans renders measured request k as a virtual-time span tree in
+// the same schema the HTTP cluster emits, so cmd/cdntrace reads both: a
+// serve root covering the modelled response time, plus an upstream child
+// covering the redirect hops when the request travelled. Virtual time
+// places request k at k ms (StartUs = k*1000); durations are the latency
+// model's, in microseconds. All IDs derive from the request id, so the
+// sequential and parallel runners — which assign ids in the same global
+// order — emit byte-identical spans.
+//
+// Callers gate on cfg.Tracer != nil && cfg.TraceSpans, keeping the hot
+// loop allocation-free when tracing is off.
+func emitSimSpans(cfg *Config, k int, ev obs.Event) {
+	seed := uint64(ev.Req)
+	trace := obs.DeterministicTraceID(seed)
+	root := obs.DeterministicSpanID(2 * seed)
+	startUs := int64(k) * 1000
+	cfg.Tracer.EmitSpan(obs.Span{
+		Trace: trace, Span: root, Kind: obs.SpanServe,
+		Edge: ev.Edge, Site: ev.Site, Object: ev.Object,
+		StartUs: startUs,
+		DurUs:   int64(ev.LatencyMs * 1000),
+		Attrs:   map[string]string{"source": ev.Source, "outcome": "ok"},
+	})
+	if ev.Hops > 0 {
+		// The redirected fraction: the upstream fetch begins after the
+		// first hop and lasts the per-hop delay times the path length.
+		cfg.Tracer.EmitSpan(obs.Span{
+			Trace: trace, Span: obs.DeterministicSpanID(2*seed + 1), Parent: root,
+			Kind: obs.SpanUpstream,
+			Edge: ev.Edge, Site: ev.Site, Object: ev.Object,
+			StartUs: startUs + int64(cfg.FirstHopMs*1000),
+			DurUs:   int64(cfg.PerHopMs * ev.Hops * 1000),
+			Attrs: map[string]string{
+				"target":  ev.Source,
+				"hops":    strconv.FormatFloat(ev.Hops, 'g', -1, 64),
+				"outcome": "ok",
+			},
+		})
+	}
+}
