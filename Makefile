@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos bench bench-json bench-scale bench-scale-smoke fmt vet lint
+.PHONY: all build test check race chaos bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx fmt vet lint
 
 all: build test
 
@@ -63,14 +63,31 @@ bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json
 
 # bench-scale regenerates BENCH_scale.json: scenario build, lazy vs
-# scanning placement and simulator throughput at paper size ×{1,4,10}.
-# The scanning engine is skipped above ×4 (it is the point of the
-# sweep that it stops being practical). Budget ~4 minutes on one core.
+# scanning placement, the ε-approximate engine, the cold/warm reconcile
+# pair and simulator throughput at paper size ×{1,4,10}. The scanning
+# engine is skipped above ×4 (it is the point of the sweep that it
+# stops being practical). Budget ~15 minutes on one core.
 bench-scale:
 	$(GO) run ./cmd/benchjson -suite scale -out BENCH_scale.json
 
 # bench-scale-smoke is the CI-sized sweep: small factors, fewer
-# requests, same JSON schema. It exists to catch scaling regressions
-# on every push without paying for the ×10 run.
+# requests, same JSON schema, written to a separate file so the
+# committed baseline survives as the -compare reference. It exists to
+# catch scaling regressions on every push without paying for the ×10
+# run.
 bench-scale-smoke:
-	$(GO) run ./cmd/benchjson -suite scale -factors 1,2 -scanmax 2 -requests 50000 -out BENCH_scale.json
+	$(GO) run ./cmd/benchjson -suite scale -factors 1,2 -scanmax 2 -requests 50000 -out BENCH_scale_smoke.json
+
+# bench-scale-check runs the smoke sweep and gates it against the
+# committed BENCH_scale.json: any placement benchmark more than 15%
+# slower fails, unless the hardware context differs (a different
+# machine downgrades the gate to a warning — timings across machines
+# are not a regression signal).
+bench-scale-check: bench-scale-smoke
+	$(GO) run ./cmd/benchjson -compare BENCH_scale.json -fail-above 15 BENCH_scale_smoke.json
+
+# bench-approx regenerates BENCH_approx.json: the ε-approximate
+# engine's quality-versus-time sweep (ε ∈ {0, 1e-3, 1e-2} against the
+# exact lazy baseline) plus the cold/warm incremental-reconcile pair.
+bench-approx:
+	$(GO) run ./cmd/benchjson -suite approx -factors 1,4 -out BENCH_approx.json

@@ -117,6 +117,10 @@ func status(client *http.Client, addr string, raw bool, out io.Writer) error {
 			st.Last.Round, st.Last.Outcome,
 			len(st.Last.Diff.Created), len(st.Last.Diff.Dropped),
 			st.Last.NetBenefit, st.Last.OldCost, st.Last.NewCost)
+		if st.Last.Engine != "" {
+			fmt.Fprintf(out, "           engine %s, placement %.1f ms\n",
+				st.Last.Engine, st.Last.PlacementMs)
+		}
 		if len(st.Last.Excluded) > 0 {
 			fmt.Fprintf(out, "           excluded unhealthy edges %v\n", st.Last.Excluded)
 		}
@@ -144,6 +148,9 @@ func reconcile(client *http.Client, addr string, raw bool, out io.Writer) error 
 		len(rep.Diff.Created), len(rep.Diff.Dropped), rep.Diff.TransferGBHops, rep.CreatesDeferred)
 	fmt.Fprintf(out, "  objective  %.4f → %.4f hops/request (net benefit %.4f)\n",
 		rep.OldCost, rep.NewCost, rep.NetBenefit)
+	if rep.Engine != "" {
+		fmt.Fprintf(out, "  engine     %s (%.1f ms placement)\n", rep.Engine, rep.PlacementMs)
+	}
 	if len(rep.Excluded) > 0 {
 		fmt.Fprintf(out, "  excluded   unhealthy edges %v\n", rep.Excluded)
 	}

@@ -80,6 +80,9 @@ type options struct {
 	ctrlInterval time.Duration
 	ctrlHyst     float64
 	ctrlCooldown int
+	ctrlEpsilon  float64
+	ctrlCold     bool
+	ctrlDrift    float64
 	faultMode    string
 	faultEdges   string
 	faultLatency time.Duration
@@ -100,6 +103,9 @@ func main() {
 	flag.DurationVar(&opt.ctrlInterval, "control-interval", 0, "run the online control loop, reconciling at this interval (0 disables)")
 	flag.Float64Var(&opt.ctrlHyst, "control-hysteresis", 0, "minimum net benefit, as a fraction of current predicted cost, before a plan applies (0 = default, negative = off)")
 	flag.IntVar(&opt.ctrlCooldown, "control-cooldown", 0, "reconcile rounds a just-changed site stays frozen (0 = default, negative = off)")
+	flag.Float64Var(&opt.ctrlEpsilon, "control-epsilon", 0, "approximate placement drift budget: final predicted cost stays within this fraction of the exact engine's (0 = exact)")
+	flag.BoolVar(&opt.ctrlCold, "control-cold", false, "disable warm-start incremental re-placement (re-solve cold every reconcile)")
+	flag.Float64Var(&opt.ctrlDrift, "control-warm-drift", 0, "per-server demand drift above which warm-start rebuilds the row exactly (0 = default)")
 	flag.StringVar(&opt.faultMode, "fault-mode", "off", "fault to inject into -fault-edges: off, error, latency or blackhole")
 	flag.StringVar(&opt.faultEdges, "fault-edges", "0", "comma-separated edge ids the injector degrades")
 	flag.DurationVar(&opt.faultLatency, "fault-latency", 200*time.Millisecond, "added delay per request in latency mode")
@@ -238,16 +244,19 @@ func run(ctx context.Context, opt options) error {
 	var ctrl *control.Controller
 	if opt.ctrlInterval > 0 {
 		ctrl, err = control.New(control.Config{
-			Base:           sc.Sys,
-			Specs:          sc.Work.Specs(),
-			AvgObjectBytes: sc.Work.AvgObjectBytes,
-			Target:         cl,
-			Estimator:      est,
-			Health:         cl,
-			Interval:       opt.ctrlInterval,
-			Hysteresis:     opt.ctrlHyst,
-			CooldownRounds: opt.ctrlCooldown,
-			Metrics:        reg,
+			Base:               sc.Sys,
+			Specs:              sc.Work.Specs(),
+			AvgObjectBytes:     sc.Work.AvgObjectBytes,
+			Target:             cl,
+			Estimator:          est,
+			Health:             cl,
+			Interval:           opt.ctrlInterval,
+			Hysteresis:         opt.ctrlHyst,
+			CooldownRounds:     opt.ctrlCooldown,
+			Epsilon:            opt.ctrlEpsilon,
+			DisableWarmStart:   opt.ctrlCold,
+			WarmDriftThreshold: opt.ctrlDrift,
+			Metrics:            reg,
 			Logf: func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
 			},

@@ -71,6 +71,18 @@ type ReconcileRecord struct {
 	// (heap pops, stale re-evaluations, ...), capped at
 	// auditEngineStepsCap entries.
 	EngineSteps []placement.ExplainStep `json:"engine_steps,omitempty"`
+	// Engine labels the placement engine the round ran: "warm" for an
+	// incremental repair, "lazy"/"approx"/"scan" for a cold solve.
+	Engine string `json:"engine,omitempty"`
+	// PlacementMs is the optimizer's wall time within the round — the
+	// number the warm-vs-cold speedup claims are audited against.
+	PlacementMs float64 `json:"placement_ms"`
+	// Epsilon is the approximate engine's configured drift budget
+	// (0 = exact).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Warm details the warm-start decision: dirty-row counts, measured
+	// drift, fallback reason. Nil when warm start is disabled.
+	Warm *placement.IncrementalStats `json:"warm,omitempty"`
 }
 
 // AuditPage is the JSON document served at /debug/control/audit.

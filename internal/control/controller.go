@@ -59,6 +59,10 @@ const (
 	// hauling 1 GB·hop costs this many predicted hops/request of
 	// sustained benefit before a plan breaks even.
 	DefaultTransferWeight = 0.05
+	// DefaultWarmMaxRounds: a cold re-solve is forced after this many
+	// consecutive warm repairs, bounding how far the monotone warm
+	// path can lag a shifting optimum.
+	DefaultWarmMaxRounds = 32
 )
 
 // HealthView is the failure signal a deployment exposes to the
@@ -113,6 +117,31 @@ type Config struct {
 	// Parallelism is passed through to placement.Hybrid's benefit
 	// matrix fan-out (0 = GOMAXPROCS).
 	Parallelism int
+	// Epsilon enables the approximate ε-lazy placement engine: the
+	// optimizer may accept drift-stale candidates as long as the final
+	// predicted cost stays within Epsilon (relative) of the exact
+	// engine's. 0 keeps the exact engine.
+	Epsilon float64
+	// DisableWarmStart turns off warm-start incremental re-placement
+	// and re-solves cold every round (the pre-warm behavior). By
+	// default each reconcile repairs the previous round's solver state
+	// in place, falling back to a cold solve on large demand drift or
+	// topology change.
+	DisableWarmStart bool
+	// WarmDriftThreshold and WarmMaxDirtyFrac tune the warm path (0
+	// selects placement.DefaultWarmDriftThreshold /
+	// DefaultWarmMaxDirtyFrac): a server row whose demand moved more
+	// than the threshold since its model state was built is rebuilt
+	// exactly, and when more than the dirty fraction of rows moved the
+	// whole round re-solves cold.
+	WarmDriftThreshold float64
+	WarmMaxDirtyFrac   float64
+	// WarmMaxRounds bounds how long warm repairs may chain before a
+	// forced cold re-solve (greedy repair only ever adds replicas, so
+	// a periodic cold round is what removes placements the demand no
+	// longer justifies). 0 selects DefaultWarmMaxRounds; negative
+	// disables the bound.
+	WarmMaxRounds int
 	// Metrics, when non-nil, receives the control_* series (reconcile
 	// outcomes, replica churn, last benefit/transfer).
 	Metrics *obs.Registry
@@ -149,6 +178,10 @@ type Report struct {
 	// CreatesDeferred counts proposed creations withheld this round by
 	// a site cool-down or by capacity after partial application.
 	CreatesDeferred int `json:"creates_deferred"`
+	// Engine labels the placement engine the round ran ("warm" for an
+	// incremental repair); PlacementMs is the optimizer's wall time.
+	Engine      string  `json:"engine,omitempty"`
+	PlacementMs float64 `json:"placement_ms"`
 	// Excluded lists the edges the health view reported ejected, which
 	// this round's proposal therefore placed nothing on.
 	Excluded []int `json:"excluded,omitempty"`
@@ -190,6 +223,12 @@ type Controller struct {
 	pending       *placement.DiffResult
 	counts        map[Outcome]int64
 
+	// warm is the solver state carried between reconcile rounds
+	// (warm-start incremental re-placement); warmRounds counts the
+	// consecutive warm repairs since the last cold solve.
+	warm       *placement.WarmState
+	warmRounds int
+
 	// auditLog is the decision-audit ring (see audit.go): up to
 	// auditRing ReconcileRecords, auditNext the overwrite cursor.
 	auditLog  []ReconcileRecord
@@ -200,6 +239,8 @@ type Controller struct {
 	created    *obs.Counter
 	dropped    *obs.Counter
 	transfer   *obs.Counter // milli-GB·hops paid, integer counter
+	placeWarm  *obs.Counter // rounds served by warm incremental repair
+	placeCold  *obs.Counter // rounds that ran a cold solve
 }
 
 // New validates cfg and builds a controller (not yet running; use Run,
@@ -225,6 +266,9 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.TransferWeight == 0 {
 		cfg.TransferWeight = DefaultTransferWeight
+	}
+	if cfg.WarmMaxRounds == 0 {
+		cfg.WarmMaxRounds = DefaultWarmMaxRounds
 	}
 	est := cfg.Estimator
 	if est == nil {
@@ -253,6 +297,10 @@ func New(cfg Config) (*Controller, error) {
 			"Replicas dropped by applied plans.", nil)
 		c.transfer = reg.Counter("control_transfer_milli_gbhops_total",
 			"Transfer volume paid by applied plans, in 1/1000 GB·hops.", nil)
+		c.placeWarm = reg.Counter("control_placement_rounds_total",
+			"Placement rounds by engine path.", obs.Labels{"path": "warm"})
+		c.placeCold = reg.Counter("control_placement_rounds_total",
+			"Placement rounds by engine path.", obs.Labels{"path": "cold"})
 		reg.GaugeFunc("control_replicas", "Replicas in the live placement.", nil,
 			func() float64 { return float64(cfg.Target.Placement().Replicas()) })
 		reg.GaugeFunc("control_last_net_benefit", "Net benefit of the last evaluated plan.", nil,
@@ -369,16 +417,7 @@ func (c *Controller) Reconcile() (*Report, error) {
 			return nil, err
 		}
 	}
-	prop, err := placement.Hybrid(view, placement.HybridConfig{
-		Specs:          c.cfg.Specs,
-		AvgObjectBytes: c.cfg.AvgObjectBytes,
-		Parallelism:    c.cfg.Parallelism,
-		Explain: func(e placement.ExplainStep) {
-			if len(rec.EngineSteps) < auditEngineStepsCap {
-				rec.EngineSteps = append(rec.EngineSteps, e)
-			}
-		},
-	})
+	prop, err := c.propose(view, &rec)
 	if err != nil {
 		c.round--
 		return nil, err
@@ -445,10 +484,80 @@ func (c *Controller) Reconcile() (*Report, error) {
 	return c.finish(rep, rec, start, OutcomeApplied), nil
 }
 
+// propose runs the placement optimizer for one round — warm-start
+// incremental by default, cold Hybrid when disabled — and fills the
+// audit record's engine fields. Caller holds c.mu.
+func (c *Controller) propose(view *core.System, rec *ReconcileRecord) (*placement.Result, error) {
+	hcfg := placement.HybridConfig{
+		Specs:          c.cfg.Specs,
+		AvgObjectBytes: c.cfg.AvgObjectBytes,
+		Parallelism:    c.cfg.Parallelism,
+		Epsilon:        c.cfg.Epsilon,
+		Explain: func(e placement.ExplainStep) {
+			if len(rec.EngineSteps) < auditEngineStepsCap {
+				rec.EngineSteps = append(rec.EngineSteps, e)
+			}
+		},
+	}
+	rec.Epsilon = c.cfg.Epsilon
+	start := time.Now()
+
+	if c.cfg.DisableWarmStart {
+		prop, err := placement.Hybrid(view, hcfg)
+		if err != nil {
+			return nil, err
+		}
+		rec.PlacementMs = float64(time.Since(start)) / float64(time.Millisecond)
+		rec.Engine = hcfg.ResolveEngineLabel(view.N(), view.M())
+		if c.placeCold != nil {
+			c.placeCold.Inc()
+		}
+		return prop, nil
+	}
+
+	prev := c.warm
+	if prev != nil && c.cfg.WarmMaxRounds > 0 && c.warmRounds >= c.cfg.WarmMaxRounds {
+		prev = nil // force a periodic cold re-solve; the shared model table still carries over
+		c.warm = nil
+	}
+	prop, warm, stats, err := placement.Incremental(prev, view, placement.IncrementalConfig{
+		HybridConfig:   hcfg,
+		DriftThreshold: c.cfg.WarmDriftThreshold,
+		MaxDirtyFrac:   c.cfg.WarmMaxDirtyFrac,
+	})
+	if err != nil {
+		c.warm = nil // prev was consumed; do not reuse half-repaired state
+		return nil, err
+	}
+	c.warm = warm
+	rec.PlacementMs = float64(time.Since(start)) / float64(time.Millisecond)
+	rec.Warm = &stats
+	if stats.Warm {
+		c.warmRounds++
+		rec.Engine = "warm"
+		if c.placeWarm != nil {
+			c.placeWarm.Inc()
+		}
+	} else {
+		c.warmRounds = 0
+		if c.cfg.Epsilon > 0 {
+			rec.Engine = placement.EngineApprox.String()
+		} else {
+			rec.Engine = placement.EngineLazy.String()
+		}
+		if c.placeCold != nil {
+			c.placeCold.Inc()
+		}
+	}
+	return prop, nil
+}
+
 // finish records the round's outcome and its audit record under the
 // held mutex.
 func (c *Controller) finish(rep *Report, rec ReconcileRecord, start time.Time, o Outcome) *Report {
 	rep.Outcome = o
+	rep.Engine = rec.Engine
+	rep.PlacementMs = rec.PlacementMs
 	c.last = rep
 	c.counts[o]++
 	rec.Outcome = o

@@ -82,8 +82,8 @@ func TestControlStatusSchema(t *testing.T) {
 	}
 	checkKeys(t, "/debug/control last report", last,
 		[]string{"round", "outcome", "window_requests", "old_cost", "new_cost",
-			"net_benefit", "diff", "creates_deferred"},
-		[]string{"excluded"})
+			"net_benefit", "diff", "creates_deferred", "placement_ms"},
+		[]string{"excluded", "engine"})
 
 	var diff map[string]json.RawMessage
 	if err := json.Unmarshal(last["diff"], &diff); err != nil {
@@ -117,8 +117,18 @@ func TestControlAuditSchema(t *testing.T) {
 	checkKeys(t, "audit record", records[0],
 		[]string{"round", "when", "duration_ms", "outcome", "verdict", "demand_hash",
 			"window_requests", "old_cost", "new_cost", "net_benefit", "transfer_gb_hops",
-			"hysteresis_bar", "proposed", "created", "engine_steps", "creates_deferred"},
-		[]string{"dropped", "frozen_sites", "excluded_edges"})
+			"hysteresis_bar", "proposed", "created", "engine_steps", "creates_deferred",
+			"placement_ms"},
+		[]string{"dropped", "frozen_sites", "excluded_edges", "engine", "epsilon", "warm"})
+
+	var warm map[string]json.RawMessage
+	if err := json.Unmarshal(records[0]["warm"], &warm); err != nil {
+		t.Fatal(err)
+	}
+	checkKeys(t, "audit warm stats", warm,
+		[]string{"warm", "dirty_rows", "total_rows", "max_row_drift",
+			"predictors_reused", "steps_added", "shared"},
+		[]string{"reason"})
 
 	var proposed []map[string]json.RawMessage
 	if err := json.Unmarshal(records[0]["proposed"], &proposed); err != nil {
@@ -139,7 +149,8 @@ func TestControlAuditSchema(t *testing.T) {
 	}
 	checkKeys(t, "audit engine step", steps[0],
 		[]string{"iter", "server", "site", "benefit", "predicted_cost"},
-		[]string{"heap_pops", "stale_reevals", "superseded", "infeasible"})
+		[]string{"heap_pops", "stale_reevals", "superseded", "infeasible", "engine",
+			"rows_deferred", "rows_caught_up", "drift_accepts", "drift_budget_used"})
 }
 
 // ExampleHandler_audit is compile-time documentation that the audit

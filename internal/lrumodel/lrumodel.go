@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -108,6 +109,11 @@ type hKey struct {
 type SharedTable struct {
 	mu sync.RWMutex
 	m  map[sharedKey]float64
+	// hits/misses count lookups served from / added to the table,
+	// atomically (lookup holds only the read lock). They feed the warm
+	// reconcile audit: a warm round that reuses the previous round's
+	// table shows up as a high hit fraction here.
+	hits, misses atomic.Int64
 }
 
 type sharedKey struct {
@@ -129,10 +135,36 @@ func (t *SharedTable) Len() int {
 	return len(t.m)
 }
 
+// SharedTableStats is a point-in-time snapshot of a table's traffic.
+type SharedTableStats struct {
+	// Entries is the number of memoized grid points.
+	Entries int `json:"entries"`
+	// Hits counts lookups served from the table; Misses counts lookups
+	// that fell through to an Equation (1) evaluation (each miss stores
+	// one entry, so Misses ≥ Entries only via re-stores, which do not
+	// occur — the two are equal in practice).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Stats snapshots the table's size and hit/miss counters.
+func (t *SharedTable) Stats() SharedTableStats {
+	return SharedTableStats{
+		Entries: t.Len(),
+		Hits:    t.hits.Load(),
+		Misses:  t.misses.Load(),
+	}
+}
+
 func (t *SharedTable) lookup(k sharedKey) (float64, bool) {
 	t.mu.RLock()
 	h, ok := t.m[k]
 	t.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
 	return h, ok
 }
 

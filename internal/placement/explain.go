@@ -27,6 +27,31 @@ type ExplainStep struct {
 	Superseded int `json:"superseded,omitempty"`
 	// Infeasible counts popped candidates that no longer fit.
 	Infeasible int `json:"infeasible,omitempty"`
+	// Engine labels the selection engine that produced the step:
+	// "scan", "lazy", "approx" or "warm" (incremental repair).
+	Engine string `json:"engine,omitempty"`
+	// RowsDeferred counts row re-evaluations the approximate engine
+	// deferred since the previous step (ε > 0 only); each deferral
+	// grows the row's drift bound instead of paying the re-evaluation.
+	RowsDeferred int `json:"rows_deferred,omitempty"`
+	// RowsCaughtUp counts deferred rows re-evaluated exactly since the
+	// previous step, either to restore headroom when the drift budget
+	// ran out or during the final drain sweep.
+	RowsCaughtUp int `json:"rows_caught_up,omitempty"`
+	// CellsVerified counts optimistic seed cells whose exact value was
+	// computed since the previous step — the cell surfaced at the top
+	// of the heap, so the engine filled its m-entry shrink slice (the
+	// lazy cold start defers the m×m row fills entirely and pays only
+	// these slices; ε > 0 only).
+	CellsVerified int `json:"cells_verified,omitempty"`
+	// DriftAccepts counts selections accepted under drift uncertainty:
+	// the winning entry's gap to the runner-up did not cover the
+	// outstanding drift bounds, and the worst-case loss was charged to
+	// the ε budget instead of re-evaluating.
+	DriftAccepts int `json:"drift_accepts,omitempty"`
+	// DriftBudgetUsed is the cumulative fraction of the ε budget
+	// consumed up to and including this step (0..1).
+	DriftBudgetUsed float64 `json:"drift_budget_used,omitempty"`
 }
 
 // ExplainWriter receives one record per replica creation. A nil writer

@@ -53,7 +53,9 @@ func TestExplainMatchesSteps(t *testing.T) {
 	})
 	check("greedy-scan", greedyScanEx, greedyScanRes, greedyBase, false)
 
-	hybridCfg := HybridConfig{Specs: specs, AvgObjectBytes: 1}
+	// Engine forced: this instance is below the auto crossover, which
+	// would otherwise select the scanning engine for the lazy case.
+	hybridCfg := HybridConfig{Specs: specs, AvgObjectBytes: 1, Engine: EngineLazy}
 	hybridBase, err := Hybrid(sys, hybridCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +71,7 @@ func TestExplainMatchesSteps(t *testing.T) {
 
 	var hybridScanEx []ExplainStep
 	cfg = hybridCfg
+	cfg.Engine = EngineAuto
 	cfg.Scan = true
 	cfg.Explain = func(e ExplainStep) { hybridScanEx = append(hybridScanEx, e) }
 	hybridScanRes, err := Hybrid(sys, cfg)

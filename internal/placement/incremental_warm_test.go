@@ -1,0 +1,227 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// withDemand shallow-copies a system with a fresh demand matrix —
+// the shape of a reconcile round: same topology, new EWMA.
+func withDemand(sys *core.System, mutate func(d [][]float64)) *core.System {
+	next := *sys
+	next.Demand = make([][]float64, sys.N())
+	for i := range next.Demand {
+		next.Demand[i] = append([]float64(nil), sys.Demand[i]...)
+	}
+	if mutate != nil {
+		mutate(next.Demand)
+	}
+	return &next
+}
+
+// TestIncrementalUnchangedDemand: with zero drift the warm round must
+// pass the previous solution through — same replica matrix, same
+// predicted cost, no steps added, all predictors reused.
+func TestIncrementalUnchangedDemand(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(11), 20, 10, 0.1)
+	cfg := IncrementalConfig{HybridConfig: HybridConfig{Specs: specs, AvgObjectBytes: 1}}
+
+	cold, warm, stats, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm || stats.Reason != "cold-start" {
+		t.Fatalf("first round: stats = %+v, want cold-start", stats)
+	}
+	if len(cold.Steps) == 0 {
+		t.Fatal("degenerate cold run, no steps")
+	}
+
+	again, warm2, stats2, err := Incremental(warm, withDemand(sys, nil), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.Warm {
+		t.Fatalf("unchanged demand went cold: %+v", stats2)
+	}
+	if stats2.DirtyRows != 0 || stats2.PredictorsReused != sys.N() {
+		t.Fatalf("unchanged demand dirtied rows: %+v", stats2)
+	}
+	if stats2.StepsAdded != 0 {
+		t.Fatalf("unchanged demand added %d steps", stats2.StepsAdded)
+	}
+	if !placementsEqual(cold.Placement, again.Placement) {
+		t.Fatal("warm round changed the placement")
+	}
+	if again.PredictedCost != cold.PredictedCost {
+		t.Fatalf("predicted cost drifted: cold %v, warm %v", cold.PredictedCost, again.PredictedCost)
+	}
+	if len(again.Steps) != len(cold.Steps) {
+		t.Fatalf("step recipe changed length: %d vs %d", len(again.Steps), len(cold.Steps))
+	}
+	if warm2.SharedStats().Entries == 0 {
+		t.Fatal("shared table empty after two rounds")
+	}
+}
+
+// TestIncrementalSmallDriftStaysWarm: sub-threshold noise on every row
+// must repair in place and keep the predicted cost near a cold
+// re-solve on the same demand.
+func TestIncrementalSmallDriftStaysWarm(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(12), 20, 10, 0.1)
+	cfg := IncrementalConfig{HybridConfig: HybridConfig{Specs: specs, AvgObjectBytes: 1}}
+
+	_, warm, _, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := xrand.New(13)
+	drifted := withDemand(sys, func(d [][]float64) {
+		for i := range d {
+			for j := range d[i] {
+				d[i][j] *= 1 + 0.02*(2*r.Float64()-1) // ±2% per cell, below the 5% row threshold
+			}
+		}
+	})
+	res, _, stats, err := Incremental(warm, drifted, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Warm {
+		t.Fatalf("small drift went cold: %+v", stats)
+	}
+	coldRes, _, _, err := Incremental(nil, drifted, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(res.PredictedCost-coldRes.PredictedCost) / coldRes.PredictedCost
+	if rel > 0.05 {
+		t.Fatalf("warm cost %v vs cold %v: rel diff %.3g", res.PredictedCost, coldRes.PredictedCost, rel)
+	}
+	if err := res.Placement.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalLargeDriftFallsBack: when most rows move, the warm
+// path must abandon the carried placement and re-solve cold — the
+// result must equal a from-scratch solve exactly.
+func TestIncrementalLargeDriftFallsBack(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(14), 18, 9, 0.1)
+	cfg := IncrementalConfig{HybridConfig: HybridConfig{Specs: specs, AvgObjectBytes: 1}}
+
+	_, warm, _, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(15)
+	shifted := withDemand(sys, func(d [][]float64) {
+		for i := range d {
+			for j := range d[i] {
+				d[i][j] *= 0.2 + 1.6*r.Float64() // ±80% per cell
+			}
+		}
+	})
+	res, _, stats, err := Incremental(warm, shifted, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm || stats.Reason != "drift-too-large" {
+		t.Fatalf("large drift stayed warm: %+v", stats)
+	}
+	fresh, err := Hybrid(shifted, HybridConfig{Specs: specs, AvgObjectBytes: 1, Engine: EngineLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placementsEqual(res.Placement, fresh.Placement) {
+		t.Fatal("cold fallback placement differs from a fresh solve")
+	}
+	if res.PredictedCost != fresh.PredictedCost {
+		t.Fatalf("cold fallback cost %v, fresh %v", res.PredictedCost, fresh.PredictedCost)
+	}
+}
+
+// TestIncrementalTopologyChange: a capacity change invalidates the
+// carried state entirely.
+func TestIncrementalTopologyChange(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(16), 12, 8, 0.1)
+	cfg := IncrementalConfig{HybridConfig: HybridConfig{Specs: specs, AvgObjectBytes: 1}}
+	_, warm, _, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := withDemand(sys, nil)
+	next.Capacity = append([]int64(nil), sys.Capacity...)
+	next.Capacity[0] *= 2
+	_, _, stats, err := Incremental(warm, next, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm || stats.Reason != "topology-changed" {
+		t.Fatalf("topology change not detected: %+v", stats)
+	}
+}
+
+// TestIncrementalGrowingDemandAddsReplicas: a warm round facing a
+// localized hot spot must extend the placement (monotone repair) and
+// report the added steps, with the full recipe recreating the result.
+func TestIncrementalGrowingDemandAddsReplicas(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(17), 20, 10, 0.05)
+	cfg := IncrementalConfig{
+		HybridConfig:   HybridConfig{Specs: specs, AvgObjectBytes: 1},
+		DriftThreshold: 0.5, // keep the hot rows warm so the repair path runs
+		MaxDirtyFrac:   1,
+	}
+	_, warm, _, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := withDemand(sys, func(d [][]float64) {
+		for i := 0; i < 3; i++ {
+			d[i][0] *= 4
+		}
+	})
+	res, warm2, stats, err := Incremental(warm, hot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Warm {
+		t.Fatalf("hot spot went cold: %+v", stats)
+	}
+	// Replay the recipe: every step must be a valid creation and the
+	// final matrix must match.
+	replay := core.NewPlacement(hot)
+	for _, s := range res.Steps {
+		if err := replay.Replicate(s.Server, s.Site); err != nil {
+			t.Fatalf("recipe step (%d,%d): %v", s.Server, s.Site, err)
+		}
+	}
+	if !placementsEqual(replay, res.Placement) {
+		t.Fatal("step recipe does not recreate the warm placement")
+	}
+	if got := len(warm2.Steps()); got != len(res.Steps) {
+		t.Fatalf("warm state holds %d steps, result %d", got, len(res.Steps))
+	}
+	if err := res.Placement.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func placementsEqual(a, b *core.Placement) bool {
+	sa, sb := a.System(), b.System()
+	if sa.N() != sb.N() || sa.M() != sb.M() {
+		return false
+	}
+	for i := 0; i < sa.N(); i++ {
+		for j := 0; j < sa.M(); j++ {
+			if a.Has(i, j) != b.Has(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}

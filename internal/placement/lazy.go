@@ -39,9 +39,12 @@ import (
 // benEntry is one heap candidate. epoch is the column epoch the entry's
 // key was computed at (lazy-greedy engine); the hybrid engine leaves it
 // at zero and detects staleness by comparing key against the live
-// matrix.
+// matrix. snap records the column's accumulated drift bound at push
+// time (approximate greedy engine only): colDrift[j] − snap bounds how
+// far the entry's key can sit above the cell's current value.
 type benEntry struct {
 	key   float64
+	snap  float64
 	i, j  int32
 	epoch int32
 }
@@ -110,7 +113,20 @@ func (h *benHeap) pop() benEntry {
 // behind) is re-evaluated against the current — equivalently,
 // last-column-event — state and re-pushed, a popped infeasible entry is
 // discarded for good, and the first fresh top is the scan's argmax.
-func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
+//
+// With eps > 0 the engine runs in ε-approximate mode: placing (i*, j*)
+// lowers the benefit of any cell in column j* by at most
+// Σ_{k improved} r_kj*·ΔC_k (each improved server k contributes through
+// either the local term, k = i, or its remote term, at weight
+// r_kj*·ΔC_k), so colDrift[j] accumulates that per-column bound and a
+// popped stale entry whose key can have drifted by at most
+// d = colDrift[j] − snap is accepted without re-evaluation when the
+// worst-case loss max(0, k₂ + d − key) fits the remaining ε budget:
+// every other entry's key upper-bounds its cell, so the true best among
+// them is ≤ k₂, while the popped entry's true value is ≥ key − d.
+// eps == 0 never charges the (empty) budget and reproduces the exact
+// engine's float-op stream unchanged.
+func greedyLazy(sys *core.System, cfg GreedyConfig, eps float64, engine Engine) *Result {
 	updateRates := cfg.UpdateRates
 	p := core.NewPlacement(sys)
 	res := &Result{Placement: p}
@@ -140,6 +156,19 @@ func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
 			}
 		}
 	}
+	// ε machinery, inert at eps == 0.
+	var (
+		budget, spent float64
+		colDrift      []float64
+		oldCol        []float64
+		driftAccepts  int
+	)
+	if eps > 0 {
+		budget = eps * approxBudgetFrac * objective()
+		colDrift = make([]float64, m)
+		oldCol = make([]float64, n)
+	}
+	engineLabel := engine.String()
 	// Engine work counters since the last emitted step; plain ints on
 	// the existing paths, so a nil Explain costs nothing.
 	var pops, stale, infeasible int
@@ -153,18 +182,52 @@ func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
 		}
 		if e.epoch != colEpoch[j] {
 			// Stale: the column changed since the key was computed.
-			// Re-evaluate — bitwise the value the reference engine's
-			// eager column re-evaluation holds right now — and re-push
-			// unless the candidate dropped out (values never increase,
-			// so a non-positive value stays non-positive).
-			stale++
-			if v := greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j); v > 0 {
-				hp.push(benEntry{key: v, i: e.i, j: e.j, epoch: colEpoch[j]})
+			accepted := false
+			if eps > 0 {
+				d := colDrift[j] - e.snap
+				k2 := 0.0
+				if hp.len() > 0 {
+					k2 = hp.e[0].key
+				}
+				if slack := maxf(0, k2+d-e.key); spent+slack <= budget {
+					spent += slack
+					driftAccepts++
+					accepted = true
+				}
 			}
-			continue
+			if !accepted {
+				// Re-evaluate — bitwise the value the reference engine's
+				// eager column re-evaluation holds right now — and re-push
+				// unless the candidate dropped out (values never increase,
+				// so a non-positive value stays non-positive).
+				stale++
+				if v := greedyBenefit(sys, p, i, j) - updatePenalty(sys, updateRates, i, j); v > 0 {
+					ent := benEntry{key: v, i: e.i, j: e.j, epoch: colEpoch[j]}
+					if eps > 0 {
+						ent.snap = colDrift[j]
+					}
+					hp.push(ent)
+				}
+				continue
+			}
 		}
-		// Fresh top: the scan's row-major first maximum.
-		mustReplicate(p, i, j)
+		// Fresh top (or a stale entry accepted under the drift budget):
+		// the scan's row-major first maximum, exactly or within the
+		// charged slack.
+		if eps > 0 {
+			for k := 0; k < n; k++ {
+				oldCol[k] = p.NearestCost(k, j)
+			}
+			improved, err := p.ReplicateTracked(i, j)
+			if err != nil {
+				panic(fmt.Sprintf("placement: internal error: %v", err))
+			}
+			for _, k := range improved {
+				colDrift[j] += sys.Demand[k][j] * (oldCol[k] - p.NearestCost(k, j))
+			}
+		} else {
+			mustReplicate(p, i, j)
+		}
 		colEpoch[j]++
 		cost := objective()
 		res.Steps = append(res.Steps, Step{
@@ -174,13 +237,19 @@ func greedyLazy(sys *core.System, cfg GreedyConfig) *Result {
 			PredictedCost: cost,
 		})
 		if cfg.Explain != nil {
+			used := 0.0
+			if budget > 0 {
+				used = spent / budget
+			}
 			cfg.Explain(ExplainStep{
 				Iter: len(res.Steps) - 1, Server: i, Site: j,
 				Benefit: e.key, PredictedCost: cost,
 				HeapPops: pops, StaleReevals: stale, Infeasible: infeasible,
+				Engine: engineLabel, DriftAccepts: driftAccepts,
+				DriftBudgetUsed: used,
 			})
 		}
-		pops, stale, infeasible = 0, 0, 0
+		pops, stale, infeasible, driftAccepts = 0, 0, 0, 0
 	}
 	res.PredictedCost = objective()
 	return res
@@ -249,185 +318,11 @@ func (st *hybridState) evalBenCached(i, j int, cache []float64, fill bool) float
 	return b - updatePenalty(sys, st.cfg.UpdateRates, i, j)
 }
 
-// hybridLazy is the heap engine behind Hybrid. The benefit matrix is
-// maintained eagerly with exactly the reference engine's invalidation
-// schedule (stale rows in full, the placed site's column, arithmetic
-// remote-term adjustments for the rest), so the two matrices are
-// bitwise equal after every iteration; only the selection differs. The
-// heap runs lazy deletion: heapKey[i][j] is the key of the cell's
-// newest live entry, any update raising a cell above its key pushes
-// immediately (hybrid benefits can rise, so the upper-bound invariant
-// must be restored eagerly), decayed entries re-push at their current
-// value when popped, and a popped entry whose key matches the live
-// matrix is the scan's row-major argmax.
+// hybridLazy is the exact heap engine behind Hybrid: the unified heap
+// run of approx.go with a zero drift budget, which disables every
+// deferral and reproduces the scanning engine's step sequence byte for
+// byte (test-enforced). See hybridHeapRun for the loop itself.
 func hybridLazy(st *hybridState) *Result {
-	sys, p, preds, h, visMass := st.sys, st.p, st.preds, st.h, st.visMass
-	n, m, cfg, workers := st.n, st.m, st.cfg, st.workers
-	res := &Result{Placement: p}
-
-	// Initial fill, populating the per-row shrink-term caches.
-	ben := make([][]float64, n)
-	hShrink := make([][]float64, n)
-	fanOutRows(n, workers, func(i int) {
-		ben[i] = make([]float64, m)
-		hShrink[i] = make([]float64, m*m)
-		for j := 0; j < m; j++ {
-			ben[i][j] = st.evalBenCached(i, j, hShrink[i], true)
-		}
-	})
-
-	heapKey := make([][]float64, n) // newest live entry per cell; 0 = none
-	hp := benHeap{e: make([]benEntry, 0, n*m)}
-	for i := 0; i < n; i++ {
-		heapKey[i] = make([]float64, m)
-		for j := 0; j < m; j++ {
-			if ben[i][j] > 0 {
-				hp.push(benEntry{key: ben[i][j], i: int32(i), j: int32(j)})
-				heapKey[i][j] = ben[i][j]
-			}
-		}
-	}
-	pushIfRaised := func(i, j int) {
-		if v := ben[i][j]; v > 0 && v > heapKey[i][j] {
-			hp.push(benEntry{key: v, i: int32(i), j: int32(j)})
-			heapKey[i][j] = v
-		}
-	}
-
-	// Per-iteration scratch (see hybridScan).
-	hOld := make([]float64, m)
-	visible := make([]bool, m)
-	staleRow := make([]bool, n)
-
-	// Engine work counters since the last emitted step; plain ints on
-	// the existing paths, so a nil Explain costs nothing.
-	var pops, stale, superseded, infeasible int
-	for hp.len() > 0 {
-		e := hp.pop()
-		pops++
-		bestI, bestJ := int(e.i), int(e.j)
-		if e.key != heapKey[bestI][bestJ] {
-			superseded++
-			continue // superseded by a newer entry for the same cell
-		}
-		if v := ben[bestI][bestJ]; v != e.key {
-			// Decayed since pushed: re-key at the current value, or
-			// retire the cell if it dropped out.
-			stale++
-			if v > 0 {
-				hp.push(benEntry{key: v, i: e.i, j: e.j})
-				heapKey[bestI][bestJ] = v
-			} else {
-				heapKey[bestI][bestJ] = 0
-			}
-			continue
-		}
-		if !p.CanReplicate(bestI, bestJ) {
-			// Unreachable while the eager maintenance zeroes infeasible
-			// cells; kept as a safeguard (infeasibility is permanent).
-			infeasible++
-			heapKey[bestI][bestJ] = 0
-			continue
-		}
-		bestB := e.key
-
-		// Lines 18–25, identical to the reference engine.
-		copy(hOld, h[bestI])
-		improved, err := p.ReplicateTracked(bestI, bestJ)
-		if err != nil {
-			panic(fmt.Sprintf("placement: internal error: %v", err))
-		}
-		visMass[bestI] -= preds[bestI].SitePopularity(bestJ)
-		for k := 0; k < m; k++ {
-			visible[k] = !p.Has(bestI, k)
-		}
-		copy(h[bestI], preds[bestI].HitRatiosCond(visible, p.Free(bestI)))
-
-		for i := range staleRow {
-			staleRow[i] = false
-		}
-		for _, k := range improved {
-			staleRow[k] = true
-		}
-		for j := 0; j < m; j++ {
-			if j == bestJ || p.Has(bestI, j) {
-				continue
-			}
-			dh := hOld[j] - h[bestI][j]
-			if dh == 0 {
-				continue
-			}
-			snCost := p.NearestCost(bestI, j)
-			w := dh * sys.Demand[bestI][j]
-			for i := 0; i < n; i++ {
-				if i == bestI || staleRow[i] {
-					continue
-				}
-				if dc := snCost - sys.CostServer[bestI][i]; dc > 0 {
-					ben[i][j] += dc * w
-					pushIfRaised(i, j)
-				}
-			}
-		}
-		// Model re-evaluations fan out across rows: stale rows in full,
-		// everyone else only the bestJ column cell. Only bestI's own
-		// cache state changed, so only its shrink cache refills; the
-		// other stale rows re-run their benefit chains against cached
-		// model values.
-		fanOutRows(n, workers, func(i int) {
-			if staleRow[i] {
-				fill := i == bestI
-				for j := 0; j < m; j++ {
-					ben[i][j] = st.evalBenCached(i, j, hShrink[i], fill)
-				}
-			} else {
-				ben[i][bestJ] = st.evalBenCached(i, bestJ, hShrink[i], false)
-			}
-		})
-		// Heap pushes stay out of the parallel section.
-		for i := 0; i < n; i++ {
-			if staleRow[i] {
-				for j := 0; j < m; j++ {
-					pushIfRaised(i, j)
-				}
-			} else {
-				pushIfRaised(i, bestJ)
-			}
-		}
-		// Lazy deletion only ever adds entries; rebuild if the garbage
-		// outgrows the live set (the argmax is unchanged by a rebuild).
-		if hp.len() > 4*n*m {
-			hp.e = hp.e[:0]
-			for i := 0; i < n; i++ {
-				for j := 0; j < m; j++ {
-					heapKey[i][j] = 0
-					if ben[i][j] > 0 {
-						hp.push(benEntry{key: ben[i][j], i: int32(i), j: int32(j)})
-						heapKey[i][j] = ben[i][j]
-					}
-				}
-			}
-		}
-		step := Step{
-			Server:        bestI,
-			Site:          bestJ,
-			Benefit:       bestB,
-			PredictedCost: hybridObjective(p, st.hitFn, cfg.UpdateRates),
-		}
-		res.Steps = append(res.Steps, step)
-		if cfg.Observer != nil {
-			cfg.Observer(step)
-		}
-		if cfg.Explain != nil {
-			cfg.Explain(ExplainStep{
-				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
-				Benefit: bestB, PredictedCost: step.PredictedCost,
-				HeapPops: pops, StaleReevals: stale,
-				Superseded: superseded, Infeasible: infeasible,
-			})
-		}
-		pops, stale, superseded, infeasible = 0, 0, 0, 0
-	}
-	res.PredictedCost = hybridObjective(p, st.hitFn, cfg.UpdateRates)
-	return res
+	st.prepareCold()
+	return hybridHeapRun(st, 0)
 }

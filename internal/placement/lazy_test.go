@@ -82,7 +82,10 @@ func TestLazyMatchesScanHybrid(t *testing.T) {
 					t.Run(name, func(t *testing.T) {
 						r := xrand.New(seed)
 						sys, specs := randomSystem(r, 14, 9, capFrac)
-						cfg := HybridConfig{Specs: specs, AvgObjectBytes: 1, Parallelism: par}
+						// Engine forced: this grid sits below the auto
+						// crossover, which would otherwise compare the
+						// scanning engine against itself.
+						cfg := HybridConfig{Specs: specs, AvgObjectBytes: 1, Parallelism: par, Engine: EngineLazy}
 						if withUpdates {
 							cfg.UpdateRates = make([]float64, sys.M())
 							for j := range cfg.UpdateRates {
@@ -125,8 +128,9 @@ func TestLazyMatchesScanPaperScale(t *testing.T) {
 	lazyG := GreedyGlobalOpts(sys, GreedyConfig{})
 	requireBitIdentical(t, scanG, lazyG)
 
-	cfg := HybridConfig{Specs: specs, AvgObjectBytes: 1}
+	cfg := HybridConfig{Specs: specs, AvgObjectBytes: 1, Engine: EngineLazy}
 	scanCfg := cfg
+	scanCfg.Engine = EngineAuto
 	scanCfg.Scan = true
 	scanH, err := Hybrid(sys, scanCfg)
 	if err != nil {

@@ -76,8 +76,10 @@ func TestGreedyGlobalOptsParallelMatchesSerialUpdates(t *testing.T) {
 // row-granular — and therefore decision-identical to the serial path.
 func TestHybridParallelMatchesSerial(t *testing.T) {
 	for _, seed := range []uint64{2, 8} {
+		// Engine forced: below the auto crossover the heap engine (whose
+		// row fan-out this test exercises) would not be selected.
 		sys, specs := randomSystem(xrand.New(seed), 10, 7, 0.2)
-		cfg := HybridConfig{Specs: specs, AvgObjectBytes: 1, Parallelism: 1}
+		cfg := HybridConfig{Specs: specs, AvgObjectBytes: 1, Parallelism: 1, Engine: EngineLazy}
 		serial, err := Hybrid(sys, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -106,13 +108,13 @@ func TestHybridParallelMatchesSerialUpdates(t *testing.T) {
 		updates[j] = r.Float64() * 0.05
 	}
 	serial, err := Hybrid(sys, HybridConfig{
-		Specs: specs, AvgObjectBytes: 1, UpdateRates: updates, Parallelism: 1,
+		Specs: specs, AvgObjectBytes: 1, UpdateRates: updates, Parallelism: 1, Engine: EngineLazy,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got, err := Hybrid(sys, HybridConfig{
-		Specs: specs, AvgObjectBytes: 1, UpdateRates: updates, Parallelism: 4,
+		Specs: specs, AvgObjectBytes: 1, UpdateRates: updates, Parallelism: 4, Engine: EngineLazy,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -61,6 +61,47 @@ func fanOutRows(n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
+// Engine selects the selection machinery behind a placement run. The
+// zero value (EngineAuto) picks the cheapest engine for the instance:
+// the scanning reference below the measured crossover size, the exact
+// lazy heap above it, and the approximate heap whenever an ε budget is
+// configured. Explicit values force one engine; EngineLazy ignores
+// Epsilon, EngineApprox honors it (ε=0 reproduces the exact lazy run
+// byte for byte).
+type Engine int
+
+const (
+	EngineAuto Engine = iota
+	EngineScan
+	EngineLazy
+	EngineApprox
+)
+
+// String returns the engine label used in ExplainStep.Engine and the
+// control plane's audit records.
+func (e Engine) String() string {
+	switch e {
+	case EngineScan:
+		return "scan"
+	case EngineLazy:
+		return "lazy"
+	case EngineApprox:
+		return "approx"
+	default:
+		return "auto"
+	}
+}
+
+// hybridScanCrossoverCells is the instance size (n·m benefit cells)
+// below which the scanning hybrid engine is at least as fast as the
+// lazy heap and EngineAuto selects it. Measured on the scale suite:
+// at 1000 cells (paper scale, n=50 m=20) the two engines are within
+// noise of each other (0.95×–1.07× across runs), while at 4000 cells
+// (×2, n=100 m=40) the lazy engine is already 1.6× faster; the heap
+// only loses below the paper instance, where the eager maintenance is
+// cheap and heap churn dominates.
+const hybridScanCrossoverCells = 1024
+
 // Step records one replica creation decision.
 type Step struct {
 	Server, Site int
@@ -115,19 +156,56 @@ type GreedyConfig struct {
 	// lazy-greedy (CELF-style) heap engine, which defers column
 	// re-evaluation until a stale entry surfaces at the heap top. Both
 	// engines produce bit-identical step sequences (test-enforced); the
-	// knob exists for verification and benchmarking.
+	// knob exists for verification and benchmarking. Equivalent to
+	// Engine: EngineScan; honored only when Engine is EngineAuto.
 	Scan bool
+	// Engine forces a specific selection engine; EngineAuto (the zero
+	// value) picks the lazy heap, or the approximate heap when
+	// Epsilon > 0 (the greedy heap wins at every measured size, so there
+	// is no scan crossover here).
+	Engine Engine
+	// Epsilon is the approximate engine's relative drift budget: stale
+	// heap entries may be accepted without re-evaluation as long as the
+	// total worst-case selection loss stays within Epsilon of the
+	// initial objective. 0 reproduces the exact lazy engine byte for
+	// byte; negative values are treated as 0.
+	Epsilon float64
 	// Explain, if non-nil, receives one ExplainStep per replica created
 	// (nil-cost when disabled; see ExplainWriter).
 	Explain ExplainWriter
 }
 
+// resolveEngine maps the Auto/Scan/Epsilon knobs to a concrete engine.
+func (cfg GreedyConfig) resolveEngine() Engine {
+	if cfg.Engine != EngineAuto {
+		return cfg.Engine
+	}
+	if cfg.Scan {
+		return EngineScan
+	}
+	if cfg.Epsilon > 0 {
+		return EngineApprox
+	}
+	return EngineLazy
+}
+
 // GreedyGlobalOpts is the greedy-global algorithm with explicit options.
 func GreedyGlobalOpts(sys *core.System, cfg GreedyConfig) *Result {
-	if cfg.Scan {
+	switch cfg.resolveEngine() {
+	case EngineScan:
 		return greedyScan(sys, cfg)
+	case EngineApprox:
+		return greedyLazy(sys, cfg, maxf(cfg.Epsilon, 0), EngineApprox)
+	default:
+		return greedyLazy(sys, cfg, 0, EngineLazy)
 	}
-	return greedyLazy(sys, cfg)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // greedyScan is the reference engine: the literal "compare all
@@ -186,6 +264,7 @@ func greedyScan(sys *core.System, cfg GreedyConfig) *Result {
 			cfg.Explain(ExplainStep{
 				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
 				Benefit: bestB, PredictedCost: cost,
+				Engine: EngineScan.String(),
 			})
 		}
 	}
@@ -250,11 +329,52 @@ type HybridConfig struct {
 	// serves repeated shrink-term model lookups from a per-row cache
 	// keyed by the row's cache state. Both engines produce bit-identical
 	// step sequences (test-enforced); the knob exists for verification
-	// and benchmarking.
+	// and benchmarking. Equivalent to Engine: EngineScan; honored only
+	// when Engine is EngineAuto.
 	Scan bool
+	// Engine forces a specific selection engine. EngineAuto (the zero
+	// value) picks the scanning engine below hybridScanCrossoverCells,
+	// the approximate heap when Epsilon > 0, and the exact lazy heap
+	// otherwise, so the default entry point is never a pessimization.
+	Engine Engine
+	// Epsilon is the approximate engine's relative drift budget: row
+	// re-evaluations after a replica creation may be deferred, with
+	// per-row drift bounds tracked as replicas are created, as long as
+	// the total worst-case selection loss stays within Epsilon of the
+	// starting objective — so the final predicted cost lands within
+	// Epsilon of the exact lazy engine's (test-enforced for
+	// ε ∈ {1e-3, 1e-2}). 0 reproduces the exact lazy engine byte for
+	// byte; negative values are treated as 0. See approx.go for the
+	// drift-bound invariant.
+	Epsilon float64
 	// Explain, if non-nil, receives one ExplainStep per replica created
 	// (nil-cost when disabled; see ExplainWriter).
 	Explain ExplainWriter
+}
+
+// resolveEngine maps the Auto/Scan/Epsilon knobs to a concrete engine
+// for an n-server, m-site instance.
+func (cfg HybridConfig) resolveEngine(n, m int) Engine {
+	if cfg.Engine != EngineAuto {
+		return cfg.Engine
+	}
+	if cfg.Scan {
+		return EngineScan
+	}
+	if cfg.Epsilon > 0 {
+		return EngineApprox
+	}
+	if n*m <= hybridScanCrossoverCells {
+		return EngineScan
+	}
+	return EngineLazy
+}
+
+// ResolveEngineLabel reports which engine a Hybrid call with this
+// config would run on an n-server, m-site instance ("scan", "lazy" or
+// "approx") — the label callers record next to a run's results.
+func (cfg HybridConfig) ResolveEngineLabel(n, m int) string {
+	return cfg.resolveEngine(n, m).String()
 }
 
 // Hybrid is the paper's Figure 2 algorithm. It starts from a network
@@ -273,10 +393,23 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Scan {
+	switch st.engine {
+	case EngineScan:
 		return hybridScan(st), nil
+	case EngineApprox:
+		if eps := maxf(cfg.Epsilon, 0); eps > 0 {
+			// A positive budget also unlocks the lazy cold start: the
+			// heap is seeded with cheap optimistic bounds and a row's
+			// m×m shrink fill is paid only if one of its cells ever
+			// reaches the top (approx.go).
+			st.prepareOptimistic()
+			return hybridHeapRun(st, eps), nil
+		}
+		st.prepareCold()
+		return hybridHeapRun(st, 0), nil
+	default:
+		return hybridLazy(st), nil
 	}
-	return hybridLazy(st), nil
 }
 
 // hybridState is the shared setup of the two hybrid engines: the
@@ -287,10 +420,41 @@ type hybridState struct {
 	cfg     HybridConfig
 	p       *core.Placement
 	preds   []*lrumodel.Predictor
+	shared  *lrumodel.SharedTable
 	h       [][]float64
 	visMass []float64
 	workers int
 	n, m    int
+	// engine is the resolved selection engine; its String() labels the
+	// run's ExplainSteps (overridden to "warm" for incremental repairs).
+	engine      Engine
+	engineLabel string
+	// ben / hShrink are the benefit matrix and per-row shrink-term
+	// caches the heap engines run over; prepareCold fills them from an
+	// empty placement, Incremental from a reused warm base.
+	ben     [][]float64
+	hShrink [][]float64
+	// baseSteps are replicas already present before the heap run (warm
+	// repair only); they are prepended to Result.Steps so the step list
+	// stays a complete creation recipe for the final placement.
+	baseSteps []Step
+	// captureWarm makes the heap run leave the shrink caches consistent
+	// with the final placement (refilling rows the approximate engine
+	// deferred) so a WarmState can be captured afterwards.
+	captureWarm bool
+	// optInit marks a prepareOptimistic cold start: ben holds tightened
+	// optimistic upper bounds and hShrink rows are allocated lazily, on
+	// first cell verification (approx.go). optRefO holds the reference
+	// shrink sizes (site-size quantiles), optQ maps each site to its
+	// reference slice, optL holds the per-row slice hit-ratio drops and
+	// optPenTot the resulting penalty lower-bound totals, maintained
+	// arithmetically as nearest-replica costs move and recomputed
+	// (optSliceRow) when the row itself receives a replica.
+	optInit   bool
+	optRefO   []int64
+	optQ      []int
+	optL      [][]float64
+	optPenTot [][]float64
 }
 
 func newHybridState(sys *core.System, cfg HybridConfig) (*hybridState, error) {
@@ -312,6 +476,8 @@ func newHybridState(sys *core.System, cfg HybridConfig) (*hybridState, error) {
 		n:       n,
 		m:       m,
 	}
+	st.engine = cfg.resolveEngine(n, m)
+	st.engineLabel = st.engine.String()
 
 	// Lines 1–5: build one predictor per server and the initial hit
 	// ratios with the whole capacity as cache. visMass tracks the
@@ -330,16 +496,30 @@ func newHybridState(sys *core.System, cfg HybridConfig) (*hybridState, error) {
 	// per-predictor memos — it is the baseline the speedups are
 	// measured against, and the bit-identicality tests double as an
 	// end-to-end proof that sharing changes no values.
-	var shared *lrumodel.SharedTable
 	if !cfg.Scan {
-		shared = lrumodel.NewSharedTable()
+		st.shared = lrumodel.NewSharedTable()
 	}
 	for i := 0; i < n; i++ {
-		st.preds[i] = lrumodel.NewPredictorShared(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], shared)
+		st.preds[i] = lrumodel.NewPredictorShared(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], st.shared)
 		st.h[i] = st.preds[i].HitRatios(st.p.Free(i))
 		st.visMass[i] = 1
 	}
 	return st, nil
+}
+
+// prepareCold fills the benefit matrix and the per-row shrink caches
+// from the empty placement — the heap engines' shared initial state.
+func (st *hybridState) prepareCold() {
+	n, m := st.n, st.m
+	st.ben = make([][]float64, n)
+	st.hShrink = make([][]float64, n)
+	fanOutRows(n, st.workers, func(i int) {
+		st.ben[i] = make([]float64, m)
+		st.hShrink[i] = make([]float64, m*m)
+		for j := 0; j < m; j++ {
+			st.ben[i][j] = st.evalBenCached(i, j, st.hShrink[i], true)
+		}
+	})
 }
 
 // hitFn is the model hit ratio the objective is evaluated under.
@@ -480,6 +660,7 @@ func hybridScan(st *hybridState) *Result {
 			cfg.Explain(ExplainStep{
 				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
 				Benefit: bestB, PredictedCost: step.PredictedCost,
+				Engine: EngineScan.String(),
 			})
 		}
 	}
