@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx fmt vet lint
+.PHONY: all build test check race chaos cluster-smoke bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx fmt vet lint
 
 all: build test
 
@@ -37,6 +37,17 @@ race:
 # must still be served (see TestChaosEdgeChurn).
 chaos:
 	$(GO) test -race -count=1 -run TestChaosEdgeChurn -v ./internal/httpcdn/
+
+# cluster-smoke exercises the multi-process deployment end to end:
+# first the in-process chaos drill under the race detector (fault an
+# edge mid-load; zero lost requests; the control plane's audit ring
+# records the exclusion and readmission), then the real thing — four
+# separate processes booted by scripts/cluster-smoke.sh, the load
+# generator's drill against them, and BENCH_cluster.json written from
+# measured throughput/latency.
+cluster-smoke:
+	$(GO) test -race -count=1 -run TestClusterChaosDrill -v ./internal/clusterd/
+	sh scripts/cluster-smoke.sh
 
 # lint runs staticcheck and govulncheck when they are installed and
 # skips them otherwise (CI installs both; offline dev machines may not

@@ -1,16 +1,20 @@
-// Command cdnctl is the control-plane client for a running cdnd: it
-// talks to the /debug/control and /debug/health endpoints that cdnd
-// serves on its -metrics address.
+// Command cdnctl is the control-plane client: it talks to the
+// /debug/control and /debug/health endpoints, which both cdnd (on its
+// -metrics address) and the standalone cdncontrol (on its -addr) serve.
 //
 // Usage:
 //
 //	cdnctl -addr 127.0.0.1:8080 status      # controller state snapshot
 //	cdnctl -addr 127.0.0.1:8080 reconcile   # force one reconcile round
 //	cdnctl -addr 127.0.0.1:8080 health      # edge/origin health states
+//	cdnctl -addr 127.0.0.1:9300 shards      # per-shard estimator state
 //
 // status prints a human summary (add -json for the raw Status);
-// reconcile prints the round's report; health prints the passive
-// health tracker's view of every edge and origin.
+// reconcile prints the round's report; health prints the health
+// tracker's view of every edge and origin (passive trackers on cdnd,
+// the active prober on cdncontrol); shards prints the sharded
+// estimator's per-shard key/observation counts (cdncontrol only —
+// cdnd's single estimator has no shards).
 package main
 
 import (
@@ -45,12 +49,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cdnctl", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "cdnd metrics address serving /debug/control and /debug/health")
+		addr    = fs.String("addr", "127.0.0.1:8080", "address serving /debug/control (cdnd -metrics or cdncontrol -addr)")
 		raw     = fs.Bool("json", false, "print the raw JSON response")
 		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: cdnctl [flags] status|reconcile|health\n")
+		fmt.Fprintf(fs.Output(), "usage: cdnctl [flags] status|reconcile|health|shards\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -68,8 +72,10 @@ func run(args []string, out io.Writer) error {
 		return reconcile(client, *addr, *raw, out)
 	case "health":
 		return health(client, *addr, *raw, out)
+	case "shards":
+		return shards(client, *addr, *raw, out)
 	default:
-		return fmt.Errorf("unknown command %q (want status, reconcile or health)", cmd)
+		return fmt.Errorf("unknown command %q (want status, reconcile, health or shards)", cmd)
 	}
 }
 
@@ -179,5 +185,32 @@ func health(client *http.Client, addr string, raw bool, out io.Writer) error {
 	}
 	print(hr.Edges)
 	print(hr.Origins)
+	return nil
+}
+
+func shards(client *http.Client, addr string, raw bool, out io.Writer) error {
+	var page control.ShardsPage
+	body, err := fetch(client, http.MethodGet, "http://"+addr+"/debug/control/shards", &page)
+	if err != nil {
+		return err
+	}
+	if raw {
+		out.Write(body)
+		return nil
+	}
+	fmt.Fprintf(out, "%d shards x %d vnodes over %d (edge, site) keys\n",
+		len(page.Shards), page.VNodes, page.KeySpace)
+	var observed int64
+	for _, sh := range page.Shards {
+		observed += sh.Observed
+	}
+	for _, sh := range page.Shards {
+		pct := 0.0
+		if observed > 0 {
+			pct = 100 * float64(sh.Observed) / float64(observed)
+		}
+		fmt.Fprintf(out, "shard %2d  keys=%-5d observed=%-10d (%5.1f%%) rolls=%-6d rate/window=%.1f\n",
+			sh.Shard, sh.Keys, sh.Observed, pct, sh.Rolls, sh.RatePerWindow)
+	}
 	return nil
 }

@@ -62,6 +62,17 @@ func stubControlServer(t *testing.T) string {
 	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(hr)
 	})
+	sh := control.ShardsPage{
+		VNodes:   64,
+		KeySpace: 16,
+		Shards: []control.ShardStatus{
+			{Shard: 0, Keys: 9, Observed: 900, Rolls: 3, RatePerWindow: 300.5},
+			{Shard: 1, Keys: 7, Observed: 100, Rolls: 3, RatePerWindow: 33.1},
+		},
+	}
+	mux.HandleFunc("/debug/control/shards", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(sh)
+	})
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return strings.TrimPrefix(srv.URL, "http://")
@@ -126,9 +137,30 @@ func TestHealthCommand(t *testing.T) {
 	}
 }
 
+func TestShardsCommand(t *testing.T) {
+	addr := stubControlServer(t)
+	var out bytes.Buffer
+	if err := run([]string{"-addr", addr, "shards"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"2 shards x 64 vnodes over 16 (edge, site) keys",
+		"shard  0  keys=9",
+		"observed=900",
+		"( 90.0%)",
+		"rate/window=300.5",
+		"shard  1  keys=7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shards output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestJSONPassthrough(t *testing.T) {
 	addr := stubControlServer(t)
-	for _, cmd := range []string{"status", "reconcile", "health"} {
+	for _, cmd := range []string{"status", "reconcile", "health", "shards"} {
 		var out bytes.Buffer
 		if err := run([]string{"-addr", addr, "-json", cmd}, &out); err != nil {
 			t.Fatal(err)

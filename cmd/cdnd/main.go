@@ -47,8 +47,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,6 +61,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/scenario"
+	"repro/internal/serverutil"
 	"repro/internal/topology"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -270,11 +269,7 @@ func run(ctx context.Context, opt options) error {
 	}
 
 	if opt.metricsAddr != "" {
-		ln, err := net.Listen("tcp", opt.metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
-		}
-		mux := reg.DebugMux()
+		mux := serverutil.DebugMux(reg)
 		mux.Handle("/debug/health", cl.HealthHandler())
 		if ctrl != nil {
 			h := control.Handler(ctrl)
@@ -282,13 +277,17 @@ func run(ctx context.Context, opt options) error {
 			mux.Handle("/debug/control/audit", h)
 			mux.Handle("/debug/control/reconcile", h)
 		}
-		srv := &http.Server{Handler: mux}
-		fmt.Printf("observability at http://%s/metrics (also /debug/vars, /debug/pprof/, /debug/health", ln.Addr())
+		srv, err := serverutil.Start(serverutil.Config{
+			Addr: opt.metricsAddr, Handler: mux, DrainTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("observability at %s/metrics (also /debug/vars, /debug/pprof/, /debug/health", srv.URL())
 		if ctrl != nil {
 			fmt.Print(", /debug/control")
 		}
 		fmt.Println(")")
-		go func() { _ = srv.Serve(ln) }()
 		defer func() {
 			// Drain in-flight scrapes instead of snapping connections.
 			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

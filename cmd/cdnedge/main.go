@@ -1,0 +1,103 @@
+// Command cdnedge is one standalone edge server of the cluster
+// deployment. It serves /obj/{site}/{object} with the same discipline
+// as the in-process httpcdn cluster — pinned replica, then LRU cache,
+// then cheapest healthy replica-holding peer, then origin — counts
+// per-site demand locally and flushes deltas to the control plane,
+// and accepts placement swaps at /admin/placement (push) while pulling
+// catch-up documents when a report reply shows it is behind.
+//
+// Chaos hook: POST /admin/fault?mode=... (always reachable, even
+// blackholed). Debug: /metrics, /debug/health (peer/origin trackers).
+//
+// Usage:
+//
+//	cdnedge -id 0 -addr 127.0.0.1:9310 -control http://127.0.0.1:9300
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/clusterd"
+	"repro/internal/obs"
+	"repro/internal/serverutil"
+)
+
+func main() {
+	cfg := clusterd.EdgeConfig{}
+	addr := flag.String("addr", "127.0.0.1:9310", "listen address")
+	control := flag.String("control", "http://127.0.0.1:9300", "control plane base URL")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for the control plane to come up")
+	tracePath := flag.String("trace", "", "write the JSONL span stream to this file (cdntrace reads it)")
+	flag.IntVar(&cfg.ID, "id", 0, "edge id in 0..edges-1")
+	flag.DurationVar(&cfg.PerHopDelay, "per-hop-delay", 0, "artificial latency per upstream hop")
+	flag.Int64Var(&cfg.MaxObjectBytes, "max-object-bytes", 0, "cap synthetic payload sizes (0 = 64 KiB)")
+	flag.IntVar(&cfg.FailThreshold, "fail-threshold", 0, "consecutive upstream failures before ejection (0 = default)")
+	flag.DurationVar(&cfg.EjectFor, "eject-for", 0, "upstream ejection backoff (0 = default)")
+	quiet := flag.Bool("quiet", false, "suppress log output")
+	flag.Parse()
+
+	cfg.Addr = *addr
+	if !*quiet {
+		logger := log.New(os.Stderr, fmt.Sprintf("cdnedge[%d]: ", cfg.ID), log.LstdFlags|log.Lmsgprefix)
+		cfg.Logf = logger.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *control, *wait, *tracePath, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cdnedge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, control string, wait time.Duration, tracePath string, cfg clusterd.EdgeConfig) error {
+	if err := serverutil.WaitReady(ctx, nil, control+"/cluster/config", wait); err != nil {
+		return fmt.Errorf("control plane at %s: %w", control, err)
+	}
+	params, err := clusterd.FetchParams(ctx, nil, control)
+	if err != nil {
+		return err
+	}
+
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = obs.NewTracer(tf)
+		cfg.Tracer = tracer
+	}
+
+	e, err := clusterd.StartEdge(params, cfg)
+	if err != nil {
+		return err
+	}
+	if err := e.Register(ctx, control); err != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Shutdown(sctx)
+		return err
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("serving at %s (scenario: %d edges, seed %d)", e.URL(), params.Edges, params.Seed)
+	}
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err = e.Shutdown(sctx)
+	if tracer != nil {
+		if ferr := tracer.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}

@@ -1,0 +1,88 @@
+// Command cdnload is the cluster deployment's load generator. It
+// bootstraps the edge roster from the control plane, drives
+// Zipf-popular requests from concurrent workers over persistent
+// connections — each request aimed at the edge its simulated client is
+// nearest to, with cheapest-first failover across the rest — verifies
+// every payload against the deterministic pattern, and writes the
+// measured throughput/latency report (BENCH_cluster.json schema).
+//
+// The chaos drill is built in: -fault-edge/-fault-mode/-fault-at/
+// -clear-at inject and clear a fault on one edge at fixed points in the
+// request sequence. The drill passes when the error count stays zero —
+// clients steer around the dead edge — which is also the exit code:
+// cdnload exits 1 if any request was lost.
+//
+// Usage:
+//
+//	cdnload -control http://127.0.0.1:9300 -requests 5000 -workers 8 \
+//	        -fault-edge 1 -fault-mode error -fault-at 1500 -clear-at 3500 \
+//	        -out BENCH_cluster.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/clusterd"
+)
+
+func main() {
+	cfg := clusterd.LoadConfig{}
+	control := flag.String("control", "http://127.0.0.1:9300", "control plane base URL")
+	out := flag.String("out", "-", "write the JSON report here (- = stdout)")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for the full cluster to come up")
+	flag.IntVar(&cfg.Requests, "requests", 5000, "total request count")
+	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent client workers")
+	flag.Uint64Var(&cfg.Seed, "seed", 42, "request-stream seed (independent of the scenario seed)")
+	flag.IntVar(&cfg.FaultEdge, "fault-edge", -1, "edge id to fault mid-run (-1 = no chaos)")
+	flag.StringVar(&cfg.FaultMode, "fault-mode", "error", "fault mode: error, latency or blackhole")
+	flag.IntVar(&cfg.FaultAt, "fault-at", 0, "request index at which the fault is injected")
+	flag.IntVar(&cfg.ClearAt, "clear-at", 0, "request index at which the fault clears")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	cfg.ControlURL = *control
+	if !*quiet {
+		logger := log.New(os.Stderr, "cdnload: ", log.LstdFlags|log.Lmsgprefix)
+		cfg.Logf = logger.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *wait, *out, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cdnload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, wait time.Duration, out string, cfg clusterd.LoadConfig) error {
+	wctx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	if _, err := clusterd.WaitMembers(wctx, nil, cfg.ControlURL); err != nil {
+		return err
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("cluster up, driving %d requests from %d workers", cfg.Requests, cfg.Workers)
+	}
+	res, err := clusterd.RunLoad(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if err := clusterd.WriteReport(out, res); err != nil {
+		return err
+	}
+	if cfg.Logf != nil {
+		cfg.Logf("%d requests in %.0f ms: %.0f req/s, p50 %.2f ms, p99 %.2f ms, %d errors, %d steered",
+			res.Requests, res.DurationMs, res.ReqPerSec, res.Latency.P50, res.Latency.P99, res.Errors, res.Steered)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package clusterd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// testCluster boots a full in-process deployment on real loopback
+// sockets: control plane, origin, and one edge process per scenario
+// edge. Shutdown order is edges → origin → control.
+type testCluster struct {
+	params  Params
+	control *ControlPlane
+	origin  *Origin
+	edges   []*Edge
+}
+
+func startCluster(t *testing.T, params Params, ccfg ControlConfig) *testCluster {
+	t.Helper()
+	ccfg.Addr = "127.0.0.1:0"
+	cp, err := StartControl(params, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{params: params, control: cp}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, e := range tc.edges {
+			e.Shutdown(ctx)
+		}
+		if tc.origin != nil {
+			tc.origin.Shutdown(ctx)
+		}
+		cp.Shutdown(ctx)
+	})
+
+	o, err := StartOrigin(params, OriginConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.origin = o
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := o.Register(ctx, nil, cp.URL()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < params.Edges; i++ {
+		e, err := StartEdge(params, EdgeConfig{ID: i, Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.edges = append(tc.edges, e)
+		if err := e.Register(ctx, cp.URL()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tc
+}
+
+// waitFor polls cond until it returns nil or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() error) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = cond(); last == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s: %v", what, last)
+}
+
+// TestClusterServes boots control+origin+2 edges and drives a small
+// load with no chaos: every request must succeed, demand reports must
+// reach the sharded estimator, and a reconcile against the live
+// estimate must apply.
+func TestClusterServes(t *testing.T) {
+	params := DefaultParams()
+	tc := startCluster(t, params, ControlConfig{
+		Interval:    time.Hour, // reconcile manually below
+		ReportEvery: 50 * time.Millisecond,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := RunLoad(ctx, LoadConfig{
+		ControlURL: tc.control.URL(),
+		Requests:   400,
+		Workers:    4,
+		Seed:       7,
+		FaultEdge:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d/%d requests failed", res.Errors, res.Requests)
+	}
+	if res.ReqPerSec <= 0 || res.Latency.P99 <= 0 || res.Latency.Max < res.Latency.P50 {
+		t.Fatalf("degenerate measurements: %+v", res)
+	}
+	if len(res.BySource) == 0 {
+		t.Fatal("no X-Cdn-Source breakdown")
+	}
+
+	// Demand flushed by the edges must land in the sharded estimator.
+	waitFor(t, 5*time.Second, "demand reports", func() error {
+		if tc.control.Estimator().Observed() == 0 {
+			return fmt.Errorf("estimator still empty")
+		}
+		return nil
+	})
+	page := tc.control.Estimator().Status()
+	var keys int
+	for _, sh := range page.Shards {
+		keys += sh.Keys
+	}
+	if keys != params.Edges*tc.control.sc.Sys.M() {
+		t.Fatalf("shard key counts sum to %d, want %d", keys, params.Edges*tc.control.sc.Sys.M())
+	}
+
+	// A manual reconcile over the live estimate must produce a
+	// placement and push it to the edges.
+	tc.control.Estimator().Roll()
+	tc.control.Controller().Unfreeze()
+	if _, err := http.Post(tc.control.URL()+"/debug/control/reconcile", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	_, version := tc.control.Placement()
+	waitFor(t, 5*time.Second, "placement push", func() error {
+		for _, e := range tc.edges {
+			if got := e.PlacementVersion(); got < version {
+				return fmt.Errorf("edge %d at placement v%d, control at v%d", e.cfg.ID, got, version)
+			}
+		}
+		return nil
+	})
+}
+
+// TestClusterChaosDrill is the acceptance drill: fault an edge mid-run,
+// require zero lost requests (clients steer to the surviving edge), and
+// require the control plane's probe loop to eject the edge — recorded
+// as an exclusion in the reconcile audit — then readmit it after the
+// fault clears.
+func TestClusterChaosDrill(t *testing.T) {
+	params := Params{Edges: 2, Seed: 1, CapacityFrac: 0.15}
+	tc := startCluster(t, params, ControlConfig{
+		Interval:       200 * time.Millisecond,
+		ReportEvery:    50 * time.Millisecond,
+		ProbeEvery:     50 * time.Millisecond,
+		ProbeTimeout:   250 * time.Millisecond,
+		FailThreshold:  2,
+		EjectFor:       300 * time.Millisecond,
+		Hysteresis:     -1,
+		CooldownRounds: -1,
+	})
+	const faulted = 1
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := RunLoad(ctx, LoadConfig{
+		ControlURL: tc.control.URL(),
+		Requests:   1200,
+		Workers:    4,
+		Seed:       11,
+		FaultEdge:  faulted,
+		FaultMode:  "error",
+		FaultAt:    300,
+		ClearAt:    700,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("chaos drill lost %d/%d requests", res.Errors, res.Requests)
+	}
+	if res.Steered == 0 {
+		t.Fatal("no requests steered away from the faulted edge — fault never bit")
+	}
+	if res.Fault == nil || res.Fault.Edge != faulted {
+		t.Fatalf("fault summary %+v", res.Fault)
+	}
+
+	// The fault is cleared by now, but the probe loop must have seen it:
+	// the tracker records an ejection and, after the fault cleared, a
+	// readmission.
+	waitFor(t, 10*time.Second, "ejection+readmission", func() error {
+		st := tc.edgeHealth(t, faulted)
+		if st.Ejections == 0 {
+			return fmt.Errorf("edge %d never ejected", faulted)
+		}
+		if st.Readmissions == 0 {
+			return fmt.Errorf("edge %d never readmitted", faulted)
+		}
+		if st.State != "healthy" {
+			return fmt.Errorf("edge %d still %s", faulted, st.State)
+		}
+		return nil
+	})
+
+	// The audit ring must hold a reconcile that excluded the faulted
+	// edge, and a later one that did not.
+	waitFor(t, 10*time.Second, "audit exclusion and readmission", func() error {
+		records := tc.control.Controller().Audit()
+		sawExcluded, sawReadmitted := false, false
+		for _, rec := range records {
+			excluded := false
+			for _, id := range rec.ExcludedEdges {
+				if id == faulted {
+					excluded = true
+				}
+			}
+			if excluded {
+				sawExcluded = true
+			} else if sawExcluded {
+				sawReadmitted = true
+			}
+		}
+		if !sawExcluded {
+			return fmt.Errorf("no audit record excludes edge %d (%d records)", faulted, len(records))
+		}
+		if !sawReadmitted {
+			return fmt.Errorf("no post-exclusion audit record readmits edge %d", faulted)
+		}
+		return nil
+	})
+}
+
+// edgeHealth fetches one edge's row from the control plane's
+// /debug/health.
+func (tc *testCluster) edgeHealth(t *testing.T, id int) (st struct {
+	State        string `json:"state"`
+	Ejections    int64  `json:"ejections"`
+	Readmissions int64  `json:"readmissions"`
+}) {
+	t.Helper()
+	var rep struct {
+		Edges []struct {
+			ID           int    `json:"id"`
+			State        string `json:"state"`
+			Ejections    int64  `json:"ejections"`
+			Readmissions int64  `json:"readmissions"`
+		} `json:"edges"`
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := getJSON(ctx, http.DefaultClient, tc.control.URL()+"/debug/health", &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Edges {
+		if e.ID == id {
+			st.State, st.Ejections, st.Readmissions = e.State, e.Ejections, e.Readmissions
+			return st
+		}
+	}
+	t.Fatalf("edge %d missing from /debug/health", id)
+	return st
+}
+
+// TestClusterBlackholeRestorable pins the admin-mux split: a blackholed
+// edge still answers POST /admin/fault, so chaos is always reversible.
+func TestClusterBlackholeRestorable(t *testing.T) {
+	params := Params{Edges: 1, Seed: 3, CapacityFrac: 0.2}
+	tc := startCluster(t, params, ControlConfig{Interval: time.Hour})
+	e := tc.edges[0]
+
+	e.Injector().Set(fault.ModeBlackhole, 0)
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	if _, err := client.Get(e.URL() + "/admin/ping"); err == nil {
+		t.Fatal("blackholed edge answered a ping")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	setFault(ctx, &http.Client{Timeout: 2 * time.Second}, e.URL(), "off")
+	if e.Injector().Mode() != fault.ModeOff {
+		t.Fatal("/admin/fault did not clear the blackhole")
+	}
+	resp, err := http.Get(e.URL() + "/admin/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ping after restore: %s", resp.Status)
+	}
+}
+
+// TestPlacementVersionGate: replayed or stale pushes must not regress
+// an edge's placement.
+func TestPlacementVersionGate(t *testing.T) {
+	params := Params{Edges: 1, Seed: 2, CapacityFrac: 0.2}
+	tc := startCluster(t, params, ControlConfig{Interval: time.Hour})
+	e := tc.edges[0]
+	v := e.PlacementVersion()
+	if v < 1 {
+		t.Fatalf("registered edge at placement v%d", v)
+	}
+
+	// Replay the current document under a stale version: accepted (the
+	// push protocol is idempotent) but ignored.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var cur PlacementPush
+	if err := getJSON(ctx, http.DefaultClient, tc.control.URL()+"/cluster/placement", &cur); err != nil {
+		t.Fatal(err)
+	}
+	stale := PlacementPush{Version: v - 1, Doc: cur.Doc}
+	if err := postJSON(ctx, http.DefaultClient, e.URL()+"/admin/placement", stale, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.PlacementVersion() != v {
+		t.Fatalf("stale push moved version to %d", e.PlacementVersion())
+	}
+	ahead := PlacementPush{Version: v + 5, Doc: cur.Doc}
+	if err := postJSON(ctx, http.DefaultClient, e.URL()+"/admin/placement", ahead, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.PlacementVersion() != v+5 {
+		t.Fatalf("version %d after push v%d", e.PlacementVersion(), v+5)
+	}
+}

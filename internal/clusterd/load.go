@@ -1,0 +1,381 @@
+package clusterd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpcdn"
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// LoadConfig parameterizes a load-generation run against a deployed
+// cluster.
+type LoadConfig struct {
+	// ControlURL is the control plane's base URL; the generator
+	// bootstraps its edge roster from GET /cluster/members.
+	ControlURL string
+	// Requests is the total request count across all workers.
+	Requests int
+	// Workers is the number of concurrent client workers, each with its
+	// own deterministic request stream and latency histogram (0 = 4).
+	Workers int
+	// Seed derives the per-worker request streams (worker w uses
+	// Seed+1000+w), independent of the scenario seed.
+	Seed uint64
+	// FaultEdge, when >= 0, injects FaultMode into that edge's fault
+	// injector once the global request counter passes FaultAt, and
+	// clears it after ClearAt — the chaos drill: kill an edge mid-run
+	// and require zero lost requests.
+	FaultEdge int
+	FaultMode string
+	FaultAt   int
+	ClearAt   int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// LatencySummary is the merged latency view in milliseconds.
+type LatencySummary struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// FaultSummary records the chaos drill a run performed.
+type FaultSummary struct {
+	Edge    int    `json:"edge"`
+	Mode    string `json:"mode"`
+	At      int    `json:"at"`
+	ClearAt int    `json:"clear_at"`
+}
+
+// LoadResult is the measured outcome of a load run — the schema of
+// BENCH_cluster.json.
+type LoadResult struct {
+	Params    Params  `json:"params"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// Steered counts requests that failed on their nearest edge and
+	// succeeded on a failover edge.
+	Steered    int64            `json:"steered"`
+	DurationMs float64          `json:"duration_ms"`
+	ReqPerSec  float64          `json:"req_per_sec"`
+	Latency    LatencySummary   `json:"latency_ms"`
+	BySource   map[string]int64 `json:"by_source"`
+	Workers    int              `json:"workers"`
+	Edges      int              `json:"edges"`
+	Fault      *FaultSummary    `json:"fault,omitempty"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+}
+
+// WaitMembers polls GET /cluster/members until every expected edge and
+// the origin have registered, or ctx expires.
+func WaitMembers(ctx context.Context, client *http.Client, controlURL string) (MembersPage, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	var last error
+	for {
+		var m MembersPage
+		err := getJSON(ctx, client, controlURL+"/cluster/members", &m)
+		if err == nil && len(m.Edges) == m.Expected && m.OriginURL != "" {
+			return m, nil
+		}
+		if err != nil {
+			last = err
+		} else {
+			last = fmt.Errorf("cluster not ready: %d/%d edges, origin %q", len(m.Edges), m.Expected, m.OriginURL)
+		}
+		select {
+		case <-ctx.Done():
+			return MembersPage{}, fmt.Errorf("clusterd: waiting for members: %w (last: %v)", ctx.Err(), last)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// loadWorker is one client's slice of the run.
+type loadWorker struct {
+	hist    *obs.Histogram
+	max     float64
+	by      map[string]int64
+	errs    int64
+	steered int64
+}
+
+// RunLoad drives Requests Zipf-popular requests at the cluster behind
+// ControlURL from Workers concurrent clients over persistent
+// connections, optionally running the chaos drill, and returns the
+// merged measurements. Each request goes to the edge the workload model
+// says the client is nearest to; on failure the client steers to the
+// remaining edges cheapest-first, so a single faulted edge costs
+// latency, not availability.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("clusterd: %d requests", cfg.Requests)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Workers > cfg.Requests {
+		cfg.Workers = cfg.Requests
+	}
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * cfg.Workers,
+			MaxIdleConnsPerHost: cfg.Workers,
+			IdleConnTimeout:     30 * time.Second,
+		},
+	}
+	members, err := WaitMembers(ctx, client, cfg.ControlURL)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := members.Params.Build()
+	if err != nil {
+		return nil, err
+	}
+	edgeURL := make([]string, sc.Sys.N())
+	for _, m := range members.Edges {
+		if m.ID >= 0 && m.ID < len(edgeURL) {
+			edgeURL[m.ID] = m.URL
+		}
+	}
+	// fallback[i] is every other edge ordered by cost from edge i, the
+	// same cheapest-first discipline the simulator's failover uses.
+	fallback := make([][]int, sc.Sys.N())
+	for i := range fallback {
+		for k := 0; k < sc.Sys.N(); k++ {
+			if k != i {
+				fallback[i] = append(fallback[i], k)
+			}
+		}
+		fi := fallback[i]
+		sort.Slice(fi, func(a, b int) bool {
+			return sc.Sys.CostServer[i][fi[a]] < sc.Sys.CostServer[i][fi[b]]
+		})
+	}
+
+	var fault *FaultSummary
+	if cfg.FaultEdge >= 0 && cfg.FaultMode != "" {
+		if cfg.FaultEdge >= len(edgeURL) {
+			return nil, fmt.Errorf("clusterd: fault edge %d out of range", cfg.FaultEdge)
+		}
+		fault = &FaultSummary{Edge: cfg.FaultEdge, Mode: cfg.FaultMode, At: cfg.FaultAt, ClearAt: cfg.ClearAt}
+	}
+
+	// 50µs .. ~6.5s in ms, fine enough that p99 interpolation is tight
+	// at loopback latencies.
+	bounds := obs.ExponentialBuckets(0.05, 1.35, 40)
+	workers := make([]*loadWorker, cfg.Workers)
+	var seq atomic.Int64 // global request ordinal, drives the fault schedule
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		lw := &loadWorker{hist: obs.NewHistogram(bounds), by: make(map[string]int64)}
+		workers[w] = lw
+		n := cfg.Requests / cfg.Workers
+		if w < cfg.Requests%cfg.Workers {
+			n++
+		}
+		stream := workload.NewStream(sc.Work, xrand.New(cfg.Seed+1000+uint64(w)))
+		wg.Add(1)
+		go func(lw *loadWorker, stream *workload.Stream, n int) {
+			defer wg.Done()
+			for r := 0; r < n; r++ {
+				if ctx.Err() != nil {
+					lw.errs += int64(n - r)
+					return
+				}
+				ordinal := int(seq.Add(1))
+				if fault != nil {
+					if ordinal == fault.At {
+						setFault(ctx, client, edgeURL[fault.Edge], fault.Mode)
+						if cfg.Logf != nil {
+							cfg.Logf("load: request %d: injected %s into edge %d", ordinal, fault.Mode, fault.Edge)
+						}
+					} else if ordinal == fault.ClearAt {
+						setFault(ctx, client, edgeURL[fault.Edge], "off")
+						if cfg.Logf != nil {
+							cfg.Logf("load: request %d: cleared fault on edge %d", ordinal, fault.Edge)
+						}
+					}
+				}
+				req := stream.Next()
+				lw.do(ctx, client, sc.Sys.N(), edgeURL, fallback, req)
+			}
+		}(lw, stream, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{
+		Params:    members.Params,
+		Workers:   cfg.Workers,
+		Edges:     len(members.Edges),
+		Fault:     fault,
+		BySource:  make(map[string]int64),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	merged := make([]int64, len(bounds)+1)
+	var count int64
+	for _, lw := range workers {
+		res.Errors += lw.errs
+		res.Steered += lw.steered
+		for src, n := range lw.by {
+			res.BySource[src] += n
+		}
+		for i, c := range lw.hist.BucketCounts() {
+			merged[i] += c
+		}
+		count += lw.hist.Count()
+		if lw.max > res.Latency.Max {
+			res.Latency.Max = lw.max
+		}
+	}
+	res.Requests = int64(cfg.Requests)
+	res.ErrorRate = float64(res.Errors) / float64(res.Requests)
+	res.DurationMs = float64(elapsed.Nanoseconds()) / 1e6
+	res.ReqPerSec = float64(res.Requests) / elapsed.Seconds()
+	res.Latency.P50 = quantileFromBuckets(bounds, merged, count, 0.50)
+	res.Latency.P95 = quantileFromBuckets(bounds, merged, count, 0.95)
+	res.Latency.P99 = quantileFromBuckets(bounds, merged, count, 0.99)
+	return res, nil
+}
+
+// do issues one request, steering across edges cheapest-first until one
+// answers. The full attempt chain is timed as one client-visible
+// latency observation.
+func (lw *loadWorker) do(ctx context.Context, client *http.Client, n int, edgeURL []string, fallback [][]int, req workload.Request) {
+	primary := req.Server
+	if primary < 0 || primary >= n {
+		primary = 0
+	}
+	t0 := time.Now()
+	src, err := fetchObject(ctx, client, edgeURL[primary], req.Site, req.Object)
+	if err != nil {
+		ok := false
+		for _, k := range fallback[primary] {
+			if edgeURL[k] == "" {
+				continue
+			}
+			if src, err = fetchObject(ctx, client, edgeURL[k], req.Site, req.Object); err == nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			lw.errs++
+			return
+		}
+		lw.steered++
+	}
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	lw.hist.Observe(ms)
+	if ms > lw.max {
+		lw.max = ms
+	}
+	lw.by[src]++
+}
+
+// fetchObject GETs one object from one edge and verifies the payload
+// against the deterministic pattern for the version the ETag declares.
+func fetchObject(ctx context.Context, client *http.Client, edgeURL string, site, object int) (source string, err error) {
+	if edgeURL == "" {
+		return "", fmt.Errorf("clusterd: no url for edge")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, edgeURL+httpcdn.ObjectPath(site, object), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", req.URL, resp.Status)
+	}
+	version := httpcdn.VersionFromETag(resp.Header.Get("Etag"))
+	if !httpcdn.VerifyBody(body, site, object, version) {
+		return "", fmt.Errorf("GET %s: corrupt payload (%d bytes)", req.URL, len(body))
+	}
+	return resp.Header.Get("X-Cdn-Source"), nil
+}
+
+// setFault POSTs a fault-injector mode change; best-effort (the drill's
+// assertions live in the measurements, not here).
+func setFault(ctx context.Context, client *http.Client, edgeURL, mode string) {
+	fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, edgeURL+"/admin/fault?mode="+mode, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// quantileFromBuckets is obs.Histogram.Quantile over merged bucket
+// counts: linear interpolation within the bucket containing the target
+// rank, overflow clamped to the highest finite bound.
+func quantileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range bounds {
+		n := float64(counts[i])
+		if cum+n >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			return lo + (bounds[i]-lo)*(rank-cum)/n
+		}
+		cum += n
+	}
+	return bounds[len(bounds)-1]
+}
+
+// WriteReport writes the result as indented JSON to path ("-" for
+// stdout).
+func WriteReport(path string, res *LoadResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,248 @@
+package clusterd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/httpcdn"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/serverutil"
+)
+
+// OriginConfig parameterizes a standalone origin component.
+type OriginConfig struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// MaxObjectBytes caps synthetic payload sizes (0 = 64 KiB, the
+	// httpcdn default).
+	MaxObjectBytes int64
+	// Metrics receives the origin's serve counters; nil builds a
+	// private registry (still served at /metrics).
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Origin is one process serving the primary copy of every site. Unlike
+// the in-process httpcdn cluster — one httptest server per site — the
+// standalone deployment runs a single origin process multiplexing all
+// sites by URL path, which is what the path scheme /obj/{site}/{object}
+// already encodes.
+type Origin struct {
+	params Params
+	cfg    OriginConfig
+	sc     *scenario.Scenario
+	inj    *fault.Injector
+	srv    *serverutil.Server
+	reg    *obs.Registry
+
+	verMu    sync.Mutex
+	versions map[cache.Key]int
+
+	served      *obs.Counter
+	notModified *obs.Counter
+}
+
+// StartOrigin builds the scenario from params and serves it. Always
+// Shutdown a started origin.
+func StartOrigin(params Params, cfg OriginConfig) (*Origin, error) {
+	sc, err := params.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxObjectBytes <= 0 {
+		cfg.MaxObjectBytes = 64 << 10
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	o := &Origin{
+		params:   params,
+		cfg:      cfg,
+		sc:       sc,
+		inj:      fault.NewInjector(),
+		reg:      reg,
+		versions: make(map[cache.Key]int),
+		served: reg.Counter("cdn_origin_requests_total",
+			"Requests served by the origin.", nil),
+		notModified: reg.Counter("cdn_origin_not_modified_total",
+			"Conditional GETs answered 304.", nil),
+	}
+
+	// /admin/fault and /admin/modify stay outside the injector wrap:
+	// a blackholed origin must still accept the call that clears the
+	// fault. Everything a peer or prober touches goes through it.
+	served := http.NewServeMux()
+	served.HandleFunc("/obj/", o.serveObject)
+	served.HandleFunc("/admin/ping", servePing)
+
+	mux := serverutil.DebugMux(reg)
+	mux.Handle("/obj/", o.inj.Wrap(served))
+	mux.Handle("/admin/ping", o.inj.Wrap(served))
+	mux.HandleFunc("/admin/fault", serveFault(o.inj))
+	mux.HandleFunc("/admin/modify", o.serveModify)
+
+	srv, err := serverutil.Start(serverutil.Config{Addr: cfg.Addr, Handler: mux, Logf: cfg.Logf})
+	if err != nil {
+		return nil, err
+	}
+	o.srv = srv
+	return o, nil
+}
+
+// URL returns the origin's base URL.
+func (o *Origin) URL() string { return o.srv.URL() }
+
+// Injector returns the origin's fault injector (the in-process chaos
+// hook; remote drivers use POST /admin/fault).
+func (o *Origin) Injector() *fault.Injector { return o.inj }
+
+// Registry returns the origin's metrics registry.
+func (o *Origin) Registry() *obs.Registry { return o.reg }
+
+// Shutdown drains in-flight requests and stops the server.
+func (o *Origin) Shutdown(ctx context.Context) error { return o.srv.Shutdown(ctx) }
+
+// Register announces the origin to the control plane.
+func (o *Origin) Register(ctx context.Context, client *http.Client, controlURL string) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return postJSON(ctx, client, controlURL+"/cluster/register",
+		RegisterRequest{Kind: "origin", ID: -1, URL: o.URL()}, nil)
+}
+
+// ModifyObject bumps an object's version, changing its payload and
+// invalidating the ETag every cached copy carries.
+func (o *Origin) ModifyObject(site, object int) {
+	o.verMu.Lock()
+	defer o.verMu.Unlock()
+	o.versions[cache.Key{Site: site, Object: object}]++
+}
+
+func (o *Origin) version(site, object int) int {
+	o.verMu.Lock()
+	defer o.verMu.Unlock()
+	return o.versions[cache.Key{Site: site, Object: object}]
+}
+
+// serveObject answers GET /obj/{site}/{object}, honoring conditional
+// GETs the way httpcdn's per-site origins do.
+func (o *Origin) serveObject(w http.ResponseWriter, r *http.Request) {
+	site, object, err := parseObjectPath(o.sc, r.URL.Path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	o.served.Inc()
+	version := o.version(site, object)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == httpcdn.ETagFor(site, object, version) {
+		o.notModified.Inc()
+		w.Header().Set("Etag", httpcdn.ETagFor(site, object, version))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeObject(w, o.sc, site, object, version, o.cfg.MaxObjectBytes, httpcdn.SourceOrigin)
+}
+
+// serveModify answers POST /admin/modify?site=&object=.
+func (o *Origin) serveModify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	site, err1 := strconv.Atoi(r.URL.Query().Get("site"))
+	object, err2 := strconv.Atoi(r.URL.Query().Get("object"))
+	if err1 != nil || err2 != nil || site < 0 || site >= o.sc.Sys.M() {
+		http.Error(w, "bad site/object", http.StatusBadRequest)
+		return
+	}
+	o.ModifyObject(site, object)
+	fmt.Fprintf(w, "site %d object %d now version %d\n", site, object, o.version(site, object))
+}
+
+// parseObjectPath extracts (site, object) from /obj/{site}/{object} and
+// validates both against the scenario's catalog.
+func parseObjectPath(sc *scenario.Scenario, path string) (site, object int, err error) {
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(parts) != 3 || parts[0] != "obj" {
+		return 0, 0, fmt.Errorf("clusterd: bad path %q", path)
+	}
+	site, err = strconv.Atoi(parts[1])
+	if err != nil || site < 0 || site >= sc.Sys.M() {
+		return 0, 0, fmt.Errorf("clusterd: bad site in %q", path)
+	}
+	object, err = strconv.Atoi(parts[2])
+	if err != nil || object < 1 || object > len(sc.Work.Sites[site].Objects) {
+		return 0, 0, fmt.Errorf("clusterd: bad object in %q", path)
+	}
+	return site, object, nil
+}
+
+// objectSize is the served payload size for (site, object), capped.
+func objectSize(sc *scenario.Scenario, site, object int, maxBytes int64) int64 {
+	sz := sc.Work.Size(site, object)
+	if sz > maxBytes {
+		sz = maxBytes
+	}
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
+
+// writeObject streams the deterministic payload with the standard CDN
+// response headers.
+func writeObject(w http.ResponseWriter, sc *scenario.Scenario, site, object, version int, maxBytes int64, source string) {
+	size := objectSize(sc, site, object, maxBytes)
+	w.Header().Set("X-Cdn-Source", source)
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("Etag", httpcdn.ETagFor(site, object, version))
+	w.WriteHeader(http.StatusOK)
+	httpcdn.WritePattern(w, site, object, version, size)
+}
+
+// servePing answers the control plane's active health probe. It runs
+// behind the fault injector on purpose: an injected fault makes probes
+// fail, which is how a "killed" component shows up as ejected.
+func servePing(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// serveFault handles POST /admin/fault?mode=error&latency=200ms — the
+// remote chaos hook. It lives outside the injector wrap so a faulted
+// component can always be restored.
+func serveFault(inj *fault.Injector) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		mode, ok := fault.ParseMode(r.URL.Query().Get("mode"))
+		if !ok {
+			http.Error(w, "bad mode (want off, error, latency or blackhole)", http.StatusBadRequest)
+			return
+		}
+		var latency time.Duration
+		if s := r.URL.Query().Get("latency"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil {
+				http.Error(w, "bad latency", http.StatusBadRequest)
+				return
+			}
+			latency = d
+		}
+		inj.Set(mode, latency)
+		fmt.Fprintf(w, "fault %s\n", mode)
+	}
+}

@@ -65,6 +65,20 @@ const (
 	DefaultWarmMaxRounds = 32
 )
 
+// DemandSource is the estimator-shaped dependency the controller
+// reconciles against. *Estimator is the single-process implementation;
+// *ShardedEstimator (the control-plane binary's consistent-hash-sharded
+// variant) is the other. Roll closes the counting window once per
+// reconcile round; Demand returns the normalized estimate.
+type DemandSource interface {
+	Roll() int64
+	Demand() (demand [][]float64, ok bool)
+	Observed() int64
+	ServerRates() []float64
+	SiteRates() []float64
+	WindowTotals() []int64
+}
+
 // HealthView is the failure signal a deployment exposes to the
 // controller: which edge servers are currently ejected by the passive
 // health tracker. httpcdn.Cluster satisfies it structurally, so neither
@@ -90,6 +104,10 @@ type Config struct {
 	// controller build one (EstimatorConfig defaults) — reachable via
 	// Estimator() for wiring into a request tap.
 	Estimator *Estimator
+	// Source, when non-nil, replaces Estimator entirely with an
+	// arbitrary DemandSource (the sharded estimator in cdncontrol).
+	// Estimator() returns nil in that case.
+	Source DemandSource
 	// Interval is the Run loop's reconcile cadence. Non-positive means
 	// no periodic rounds: Run still serves Kick-triggered ones.
 	Interval time.Duration
@@ -212,9 +230,12 @@ type Status struct {
 
 // Controller closes the estimation → placement → swap loop.
 type Controller struct {
-	cfg  Config
-	est  *Estimator
-	kick chan struct{}
+	cfg Config
+	est DemandSource
+	// estConcrete is est when it is a plain *Estimator (the Estimator()
+	// accessor's return; nil when cfg.Source supplied something else).
+	estConcrete *Estimator
+	kick        chan struct{}
 
 	mu            sync.Mutex
 	round         int64
@@ -270,17 +291,27 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.WarmMaxRounds == 0 {
 		cfg.WarmMaxRounds = DefaultWarmMaxRounds
 	}
-	est := cfg.Estimator
-	if est == nil {
-		var err error
-		est, err = NewEstimator(EstimatorConfig{Servers: cfg.Base.N(), Sites: cfg.Base.M()})
-		if err != nil {
-			return nil, err
+	var est DemandSource
+	concrete := cfg.Estimator
+	if cfg.Source != nil {
+		if concrete != nil {
+			return nil, fmt.Errorf("control: both Estimator and Source set")
 		}
+		est = cfg.Source
+	} else {
+		if concrete == nil {
+			var err error
+			concrete, err = NewEstimator(EstimatorConfig{Servers: cfg.Base.N(), Sites: cfg.Base.M()})
+			if err != nil {
+				return nil, err
+			}
+		}
+		est = concrete
 	}
 	c := &Controller{
 		cfg:           cfg,
 		est:           est,
+		estConcrete:   concrete,
 		kick:          make(chan struct{}, 1),
 		cooldownUntil: make([]int64, cfg.Base.M()),
 		counts:        make(map[Outcome]int64),
@@ -317,8 +348,10 @@ func New(cfg Config) (*Controller, error) {
 }
 
 // Estimator returns the estimator feeding this controller; wire its
-// Observe into the deployment's request tap.
-func (c *Controller) Estimator() *Estimator { return c.est }
+// Observe into the deployment's request tap. It returns nil when the
+// controller was built on a custom Config.Source — feed that source
+// directly instead.
+func (c *Controller) Estimator() *Estimator { return c.estConcrete }
 
 // Run reconciles on cfg.Interval — and immediately on every Kick —
 // until ctx is cancelled. With a non-positive interval the loop is

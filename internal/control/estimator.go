@@ -174,6 +174,23 @@ func (e *Estimator) Demand() (demand [][]float64, ok bool) {
 	return demand, true
 }
 
+// RateMatrix returns a copy of the raw (unnormalized) EWMA rate matrix,
+// requests/window per (server, site) cell. The sharded estimator
+// aggregates shard-local matrices through this accessor: per-shard
+// Demand() values normalize over the shard's own keys only and cannot
+// be summed, while raw rates can.
+func (e *Estimator) RateMatrix() [][]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][]float64, e.n)
+	for i := 0; i < e.n; i++ {
+		row := make([]float64, e.m)
+		copy(row, e.rates[i*e.m:(i+1)*e.m])
+		out[i] = row
+	}
+	return out
+}
+
 // ServerRates returns each server's EWMA requests/window — the per-edge
 // rate view Status exposes.
 func (e *Estimator) ServerRates() []float64 {

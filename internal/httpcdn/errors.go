@@ -30,13 +30,13 @@ var (
 	ErrCorruptPayload = errors.New("httpcdn: corrupted payload")
 )
 
-// errorHeader carries the failure class from edge.handle to the client,
+// ErrorHeader carries the failure class from edge.handle to the client,
 // so Cluster.Fetch can rewrap the matching sentinel on its side of the
 // wire.
-const errorHeader = "X-Cdn-Error"
+const ErrorHeader = "X-Cdn-Error"
 
-// errorClass maps a serving-path error to its wire class.
-func errorClass(err error) string {
+// ErrorClass maps a serving-path error to its wire class.
+func ErrorClass(err error) string {
 	switch {
 	case errors.Is(err, ErrEdgeTimeout):
 		return "timeout"
@@ -51,9 +51,9 @@ func errorClass(err error) string {
 	}
 }
 
-// classError is errorClass's inverse: the sentinel for a wire class, or
+// ClassError is ErrorClass's inverse: the sentinel for a wire class, or
 // nil for unknown classes.
-func classError(class string) error {
+func ClassError(class string) error {
 	switch class {
 	case "timeout":
 		return ErrEdgeTimeout

@@ -29,8 +29,8 @@ type RetryPolicy struct {
 	Jitter float64
 }
 
-// withDefaults fills unset fields.
-func (p RetryPolicy) withDefaults() RetryPolicy {
+// WithDefaults fills unset fields.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
 	if p.Attempts <= 0 {
 		p.Attempts = 3
 	}
@@ -49,12 +49,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff is the sleep before attempt number attempt (1-based count of
+// Backoff is the sleep before attempt number attempt (1-based count of
 // failures so far): BaseBackoff·2^(attempt-1) capped at MaxBackoff,
 // jittered ±Jitter. Jitter is the one intentionally nondeterministic
 // number in the package — it desynchronizes real retries and never
 // affects results, only timing.
-func (p RetryPolicy) backoff(attempt int) time.Duration {
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	d := p.BaseBackoff << (attempt - 1)
 	if d > p.MaxBackoff || d <= 0 {
 		d = p.MaxBackoff
@@ -63,14 +63,14 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * j)
 }
 
-// tracker is the passive health state of one upstream component. It is
+// Tracker is the passive health state of one upstream component. It is
 // driven entirely by fetch outcomes — no active pinger — through the
 // classic consecutive-failure ejection / half-open probe state machine:
 //
 //	healthy --(FailThreshold consecutive failures)--> ejected
 //	ejected --(EjectFor elapsed)--> half-open: exactly one probe passes
 //	probe success --> healthy (readmitted); probe failure --> ejected again
-type tracker struct {
+type Tracker struct {
 	mu      sync.Mutex
 	fails   int
 	ejected bool
@@ -83,20 +83,29 @@ type tracker struct {
 	ejectCtr, readmitCtr *obs.Counter
 }
 
-// candidate reports whether the component may be offered traffic now:
+// Instrument attaches ejection/readmission counters to the tracker
+// (internal/clusterd wires its standalone components here; the
+// in-process Cluster sets the fields directly at Start).
+func (t *Tracker) Instrument(ejections, readmissions *obs.Counter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ejectCtr, t.readmitCtr = ejections, readmissions
+}
+
+// Candidate reports whether the component may be offered traffic now:
 // healthy, or ejected with the half-open window open and no probe in
 // flight. It consumes nothing — selection may consider a component and
 // then not fetch from it.
-func (t *tracker) candidate(now time.Time) bool {
+func (t *Tracker) Candidate(now time.Time) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return !t.ejected || (!t.probing && !now.Before(t.until))
 }
 
-// acquireProbe gates the actual fetch: healthy components always pass;
+// AcquireProbe gates the actual fetch: healthy components always pass;
 // an ejected one passes exactly once per half-open window (the probe),
 // and concurrent fetches see false until that probe's outcome lands.
-func (t *tracker) acquireProbe(now time.Time) bool {
+func (t *Tracker) AcquireProbe(now time.Time) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.ejected {
@@ -109,8 +118,8 @@ func (t *tracker) acquireProbe(now time.Time) bool {
 	return true
 }
 
-// success records a successful fetch, readmitting an ejected component.
-func (t *tracker) success() {
+// Success records a successful fetch, readmitting an ejected component.
+func (t *Tracker) Success() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.fails = 0
@@ -123,10 +132,10 @@ func (t *tracker) success() {
 	}
 }
 
-// failure records a failed fetch; it ejects after threshold consecutive
+// Failure records a failed fetch; it ejects after threshold consecutive
 // failures and re-ejects on a failed half-open probe. It reports whether
 // this call flipped the component from healthy to ejected.
-func (t *tracker) failure(threshold int, ejectFor time.Duration, now time.Time) bool {
+func (t *Tracker) Failure(threshold int, ejectFor time.Duration, now time.Time) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.fails++
@@ -149,8 +158,8 @@ func (t *tracker) failure(threshold int, ejectFor time.Duration, now time.Time) 
 	return true
 }
 
-// snapshot renders the state for HealthReport.
-func (t *tracker) snapshot(kind string, id int, now time.Time) HealthStatus {
+// Snapshot renders the state for HealthReport.
+func (t *Tracker) Snapshot(kind string, id int, now time.Time) HealthStatus {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := HealthStatus{
@@ -172,10 +181,10 @@ func (t *tracker) snapshot(kind string, id int, now time.Time) HealthStatus {
 	return s
 }
 
-// isEjected reports the raw ejected flag (half-open still counts as
+// IsEjected reports the raw ejected flag (half-open still counts as
 // ejected until a probe succeeds) — the view the control plane uses to
 // exclude a server from placement.
-func (t *tracker) isEjected() bool {
+func (t *Tracker) IsEjected() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.ejected
@@ -205,10 +214,10 @@ func (c *Cluster) Health() HealthReport {
 	now := time.Now()
 	var rep HealthReport
 	for i, t := range c.edgeHealth {
-		rep.Edges = append(rep.Edges, t.snapshot("edge", i, now))
+		rep.Edges = append(rep.Edges, t.Snapshot("edge", i, now))
 	}
 	for j, t := range c.originHealth {
-		rep.Origins = append(rep.Origins, t.snapshot("origin", j, now))
+		rep.Origins = append(rep.Origins, t.Snapshot("origin", j, now))
 	}
 	return rep
 }
@@ -220,7 +229,7 @@ func (c *Cluster) Health() HealthReport {
 func (c *Cluster) EjectedEdges() []int {
 	var out []int
 	for i, t := range c.edgeHealth {
-		if t.isEjected() {
+		if t.IsEjected() {
 			out = append(out, i)
 		}
 	}
@@ -244,16 +253,16 @@ func (c *Cluster) HealthHandler() http.Handler {
 
 // observe feeds one fetch outcome into a component's tracker and fires
 // the health-change hook on state transitions.
-func (c *Cluster) observe(t *tracker, kind string, id int, err error) {
+func (c *Cluster) observe(t *Tracker, kind string, id int, err error) {
 	if err == nil {
-		wasEjected := t.isEjected()
-		t.success()
+		wasEjected := t.IsEjected()
+		t.Success()
 		if wasEjected && c.cfg.OnHealthChange != nil {
 			c.cfg.OnHealthChange(kind, id, false)
 		}
 		return
 	}
-	if t.failure(c.cfg.FailThreshold, c.cfg.EjectFor, time.Now()) {
+	if t.Failure(c.cfg.FailThreshold, c.cfg.EjectFor, time.Now()) {
 		if c.cfg.OnHealthChange != nil {
 			c.cfg.OnHealthChange(kind, id, true)
 		}

@@ -12,75 +12,75 @@ import (
 )
 
 func TestTrackerStateMachine(t *testing.T) {
-	tr := &tracker{}
+	tr := &Tracker{}
 	now := time.Now()
 	const threshold = 3
 	const ejectFor = 50 * time.Millisecond
 
-	if !tr.candidate(now) || !tr.acquireProbe(now) {
+	if !tr.Candidate(now) || !tr.AcquireProbe(now) {
 		t.Fatal("fresh tracker not available")
 	}
 	// Failures below the threshold keep it healthy.
 	for i := 0; i < threshold-1; i++ {
-		if tr.failure(threshold, ejectFor, now) {
+		if tr.Failure(threshold, ejectFor, now) {
 			t.Fatal("ejected before threshold")
 		}
 	}
-	if !tr.candidate(now) {
+	if !tr.Candidate(now) {
 		t.Fatal("sub-threshold failures ejected the component")
 	}
 	// A success resets the streak.
-	tr.success()
+	tr.Success()
 	for i := 0; i < threshold-1; i++ {
-		tr.failure(threshold, ejectFor, now)
+		tr.Failure(threshold, ejectFor, now)
 	}
-	if tr.isEjected() {
+	if tr.IsEjected() {
 		t.Fatal("streak not reset by success")
 	}
 	// The threshold-th consecutive failure flips it.
-	if !tr.failure(threshold, ejectFor, now) {
+	if !tr.Failure(threshold, ejectFor, now) {
 		t.Fatal("threshold failure did not report the flip")
 	}
-	if !tr.isEjected() || tr.candidate(now) {
+	if !tr.IsEjected() || tr.Candidate(now) {
 		t.Fatal("ejected component still offered traffic")
 	}
-	if tr.acquireProbe(now) {
+	if tr.AcquireProbe(now) {
 		t.Fatal("probe granted before the eject window elapsed")
 	}
 
 	// Half-open: after EjectFor, exactly one probe passes.
 	later := now.Add(ejectFor)
-	if !tr.candidate(later) {
+	if !tr.Candidate(later) {
 		t.Fatal("half-open component not offered as candidate")
 	}
-	if !tr.acquireProbe(later) {
+	if !tr.AcquireProbe(later) {
 		t.Fatal("first probe denied")
 	}
-	if tr.acquireProbe(later) {
+	if tr.AcquireProbe(later) {
 		t.Fatal("second concurrent probe granted")
 	}
-	if tr.candidate(later) {
+	if tr.Candidate(later) {
 		t.Fatal("candidate while a probe is in flight")
 	}
 	// Failed probe: re-ejected, window extended.
-	tr.failure(threshold, ejectFor, later)
-	if tr.acquireProbe(later.Add(ejectFor / 2)) {
+	tr.Failure(threshold, ejectFor, later)
+	if tr.AcquireProbe(later.Add(ejectFor / 2)) {
 		t.Fatal("probe granted inside the extended window")
 	}
 	// Successful probe after the next window readmits.
 	again := later.Add(2 * ejectFor)
-	if !tr.acquireProbe(again) {
+	if !tr.AcquireProbe(again) {
 		t.Fatal("second-window probe denied")
 	}
-	tr.success()
-	if tr.isEjected() || !tr.candidate(again) {
+	tr.Success()
+	if tr.IsEjected() || !tr.Candidate(again) {
 		t.Fatal("successful probe did not readmit")
 	}
 	if tr.ejections != 1 || tr.readmissions != 1 {
 		t.Fatalf("counters: %d ejections, %d readmissions", tr.ejections, tr.readmissions)
 	}
 
-	s := tr.snapshot("edge", 0, again)
+	s := tr.Snapshot("edge", 0, again)
 	if s.State != "healthy" || s.Ejections != 1 || s.Readmissions != 1 {
 		t.Fatalf("snapshot %+v", s)
 	}
@@ -254,12 +254,12 @@ func TestHealthHandlerAndEjectedEdges(t *testing.T) {
 }
 
 func TestRetryPolicyBackoff(t *testing.T) {
-	p := RetryPolicy{}.withDefaults()
+	p := RetryPolicy{}.WithDefaults()
 	if p.Attempts != 3 || p.Timeout != 2*time.Second {
 		t.Fatalf("defaults %+v", p)
 	}
 	for attempt := 1; attempt < 10; attempt++ {
-		d := p.backoff(attempt)
+		d := p.Backoff(attempt)
 		lo := time.Duration(float64(p.MaxBackoff) * (1 + p.Jitter))
 		if d <= 0 || d > lo {
 			t.Fatalf("backoff(%d) = %v out of range", attempt, d)

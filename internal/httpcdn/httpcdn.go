@@ -50,8 +50,8 @@ const (
 	SourceOrigin  = obs.SourceOrigin
 )
 
-// internalHeader marks edge-to-edge fetches to prevent recursion.
-const internalHeader = "X-Cdn-Internal"
+// InternalHeader marks edge-to-edge fetches to prevent recursion.
+const InternalHeader = "X-Cdn-Internal"
 
 // Config controls a cluster.
 type Config struct {
@@ -130,8 +130,8 @@ type Cluster struct {
 	// edgeHealth / originHealth are the passive per-component health
 	// trackers; edgeInj / originInj the always-present fault injectors
 	// wrapped around each server's handler (pass-through until Set).
-	edgeHealth   []*tracker
-	originHealth []*tracker
+	edgeHealth   []*Tracker
+	originHealth []*Tracker
 	edgeInj      []*fault.Injector
 	originInj    []*fault.Injector
 
@@ -160,8 +160,8 @@ func (c *Cluster) ModifyObject(site, object int) {
 	c.versions[cache.Key{Site: site, Object: object}]++
 }
 
-// etagFor is the strong validator origins attach and edges echo back.
-func etagFor(site, object, version int) string {
+// ETagFor is the strong validator origins attach and edges echo back.
+func ETagFor(site, object, version int) string {
 	return fmt.Sprintf("%q", fmt.Sprintf("/obj/%d/%d@%d", site, object, version))
 }
 
@@ -225,7 +225,7 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 	if cfg.MaxObjectBytes <= 0 {
 		cfg.MaxObjectBytes = 64 << 10
 	}
-	cfg.Retry = cfg.Retry.withDefaults()
+	cfg.Retry = cfg.Retry.WithDefaults()
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 3
 	}
@@ -241,7 +241,7 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 	c.pl.Store(p)
 	for j := 0; j < sc.Sys.M(); j++ {
 		site := j
-		t := &tracker{}
+		t := &Tracker{}
 		inj := fault.NewInjector()
 		if reg := cfg.Metrics; reg != nil {
 			l := obs.Labels{"kind": "origin", "id": strconv.Itoa(j)}
@@ -252,7 +252,7 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 			reg.GaugeFunc("cdn_health_ejected",
 				"1 while the component is ejected from redirection.", l,
 				func() float64 {
-					if t.isEjected() {
+					if t.IsEjected() {
 						return 1
 					}
 					return 0
@@ -291,7 +291,7 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 			e.fails = reg.Counter("cdn_edge_errors_total",
 				"Requests an edge failed to serve.", edgeLabel)
 		}
-		t := &tracker{}
+		t := &Tracker{}
 		if reg := cfg.Metrics; reg != nil {
 			l := obs.Labels{"kind": "edge", "id": strconv.Itoa(i)}
 			t.ejectCtr = reg.Counter("cdn_health_ejections_total",
@@ -301,7 +301,7 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 			reg.GaugeFunc("cdn_health_ejected",
 				"1 while the component is ejected from redirection.", l,
 				func() float64 {
-					if t.isEjected() {
+					if t.IsEjected() {
 						return 1
 					}
 					return 0
@@ -403,8 +403,8 @@ func (c *Cluster) EdgeStats(i int) EdgeStats {
 	return e.stats
 }
 
-// objectPath builds the canonical object URL path.
-func objectPath(site, object int) string {
+// ObjectPath builds the canonical object URL path.
+func ObjectPath(site, object int) string {
 	return fmt.Sprintf("/obj/%d/%d", site, object)
 }
 
@@ -443,13 +443,13 @@ func (c *Cluster) writeBody(w http.ResponseWriter, site, object, version int, so
 	size := c.objectSize(site, object)
 	w.Header().Set("X-Cdn-Source", source)
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
-	w.Header().Set("Etag", etagFor(site, object, version))
+	w.Header().Set("Etag", ETagFor(site, object, version))
 	w.WriteHeader(http.StatusOK)
-	writePattern(w, site, object, version, size)
+	WritePattern(w, site, object, version, size)
 }
 
-// writePattern emits the deterministic byte pattern of an object version.
-func writePattern(w io.Writer, site, object, version int, size int64) {
+// WritePattern emits the deterministic byte pattern of an object version.
+func WritePattern(w io.Writer, site, object, version int, size int64) {
 	var chunk [4096]byte
 	seed := byte(site*31 + object*7 + version*13)
 	for i := range chunk {
@@ -479,9 +479,9 @@ func VerifyBody(body []byte, site, object, version int) bool {
 	return true
 }
 
-// versionFromETag parses the version out of an Etag header produced by
+// VersionFromETag parses the version out of an Etag header produced by
 // etagFor; it returns 0 for unrecognized tags.
-func versionFromETag(etag string) int {
+func VersionFromETag(etag string) int {
 	at := strings.LastIndexByte(etag, '@')
 	if at < 0 {
 		return 0
@@ -507,19 +507,19 @@ func (c *Cluster) serveOrigin(site int, w http.ResponseWriter, r *http.Request) 
 	}
 	// An incoming Traceparent stitches the origin's work into the
 	// caller's trace (the parent is the edge's upstream-attempt span).
-	var sp *span
+	var sp *Span
 	if trace, parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
 		sp = c.startSpan(obs.SpanOrigin, trace, parent, site, site, object)
 	}
-	defer sp.end()
+	defer sp.End()
 	version := c.version(site, object)
-	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etagFor(site, object, version) {
-		sp.attr("status", "304")
-		w.Header().Set("Etag", etagFor(site, object, version))
+	if inm := r.Header.Get("If-None-Match"); inm != "" && inm == ETagFor(site, object, version) {
+		sp.Attr("status", "304")
+		w.Header().Set("Etag", ETagFor(site, object, version))
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	sp.attr("status", "200")
+	sp.Attr("status", "200")
 	c.writeBody(w, site, object, version, SourceOrigin)
 }
 
@@ -537,7 +537,7 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if tap := c.cfg.RequestTap; tap != nil && r.Header.Get(internalHeader) == "" {
+	if tap := c.cfg.RequestTap; tap != nil && r.Header.Get(InternalHeader) == "" {
 		tap(e.id, site)
 	}
 	// Root span for this edge's work. An internal edge-to-edge fetch
@@ -548,17 +548,17 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	sp := c.startSpan(obs.SpanServe, trace, parent, e.id, site, object)
 	source, hops, ok := e.handle(w, r, site, object, sp)
 	if !ok {
-		sp.attr("outcome", "error")
-		sp.end()
+		sp.Attr("outcome", "error")
+		sp.End()
 		if e.fails != nil {
 			e.fails.Inc()
 		}
 		return
 	}
-	sp.attr("source", source)
-	sp.attrFloat("hops", hops)
-	sp.attr("outcome", "ok")
-	sp.end()
+	sp.Attr("source", source)
+	sp.AttrFloat("hops", hops)
+	sp.Attr("outcome", "ok")
+	sp.End()
 	latencyMs := float64(time.Since(start)) / float64(time.Millisecond)
 	if e.served != nil {
 		e.served[source].Inc()
@@ -580,7 +580,7 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 // handle serves one parsed request: replica, then cache, then fetch.
 // It reports where the response came from and the redirection hops
 // paid; ok = false means an error response was written instead.
-func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int, sp *span) (source string, hops float64, ok bool) {
+func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int, sp *Span) (source string, hops float64, ok bool) {
 	c := e.cluster
 	// One placement snapshot per request: the control plane may swap
 	// the live placement at any moment, and routing a single request
@@ -640,27 +640,27 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int, 
 	// ejected peers are skipped at selection time, and when the chosen
 	// source fails anyway (after its retries) the fetch fails over to
 	// the next candidate instead of surfacing the error.
-	internal := r.Header.Get(internalHeader) != ""
-	hsp := sp.child(obs.SpanHealth)
+	internal := r.Header.Get(InternalHeader) != ""
+	hsp := sp.Child(obs.SpanHealth)
 	candidates, skipped := c.upstreams(pl, e.id, site, internal)
-	hsp.attrInt("candidates", len(candidates))
-	hsp.attrInt("skipped_ejected", skipped)
-	hsp.end()
+	hsp.AttrInt("candidates", len(candidates))
+	hsp.AttrInt("skipped_ejected", skipped)
+	hsp.End()
 	var body []byte
 	var etag string
 	var ferr error
 	var used upstream
 	for hop, u := range candidates {
-		fsp := sp.child(obs.SpanFailover)
-		fsp.attrInt("hop", hop)
-		fsp.attrTarget(u.kind, u.id)
-		fsp.attrFloat("cost_hops", u.hops)
+		fsp := sp.Child(obs.SpanFailover)
+		fsp.AttrInt("hop", hop)
+		fsp.AttrTarget(u.kind, u.id)
+		fsp.AttrFloat("cost_hops", u.hops)
 		if c.cfg.PerHopDelay > 0 {
 			time.Sleep(time.Duration(u.hops * float64(c.cfg.PerHopDelay)))
 		}
-		body, etag, ferr = c.fetchWithRetry(r.Context(), u, objectPath(site, object), fsp)
-		fsp.attrOutcome(ferr)
-		fsp.end()
+		body, etag, ferr = c.fetchWithRetry(r.Context(), u, ObjectPath(site, object), fsp)
+		fsp.AttrOutcome(ferr)
+		fsp.End()
 		if ferr == nil {
 			used = u
 			break
@@ -671,7 +671,7 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int, 
 		if errors.Is(ferr, ErrEdgeTimeout) {
 			status = http.StatusGatewayTimeout
 		}
-		w.Header().Set(errorHeader, errorClass(ferr))
+		w.Header().Set(ErrorHeader, ErrorClass(ferr))
 		http.Error(w, ferr.Error(), status)
 		return source, hops, false
 	}
@@ -683,7 +683,7 @@ func (e *edge) handle(w http.ResponseWriter, r *http.Request, site, object int, 
 	e.mu.Lock()
 	e.cache.Put(key, int64(len(body)))
 	if e.cache.Contains(key) {
-		e.cachedVer[key] = versionFromETag(etag)
+		e.cachedVer[key] = VersionFromETag(etag)
 	}
 	if len(e.cachedVer) > 2*e.cache.Len()+64 {
 		for k := range e.cachedVer {
@@ -718,7 +718,7 @@ type upstream struct {
 }
 
 // trackerFor maps an upstream to its health tracker.
-func (c *Cluster) trackerFor(u upstream) *tracker {
+func (c *Cluster) trackerFor(u upstream) *Tracker {
 	if u.kind == "edge" {
 		return c.edgeHealth[u.id]
 	}
@@ -746,7 +746,7 @@ func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) (
 		if k == from || !pl.Has(k, site) {
 			continue
 		}
-		if !c.edgeHealth[k].candidate(now) {
+		if !c.edgeHealth[k].Candidate(now) {
 			skipped++
 			continue
 		}
@@ -758,7 +758,7 @@ func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) (
 		return []upstream{orig}, skipped
 	}
 	peer := upstream{kind: "edge", id: best, url: c.edges[best].srv.URL, hops: bestCost}
-	if orig.hops < peer.hops && c.originHealth[site].candidate(now) {
+	if orig.hops < peer.hops && c.originHealth[site].Candidate(now) {
 		return []upstream{orig, peer}, skipped
 	}
 	return []upstream{peer, orig}, skipped
@@ -769,10 +769,10 @@ func (c *Cluster) upstreams(pl *core.Placement, from, site int, internal bool) (
 // them. The overall outcome — success, or failure after the last
 // attempt — is fed to u's health tracker; an ejected upstream is only
 // contacted under its half-open probe token.
-func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string, sp *span) (body []byte, etag string, err error) {
+func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string, sp *Span) (body []byte, etag string, err error) {
 	t := c.trackerFor(u)
-	if !t.acquireProbe(time.Now()) {
-		sp.attr("gated", "ejected")
+	if !t.AcquireProbe(time.Now()) {
+		sp.Attr("gated", "ejected")
 		down := error(ErrOriginDown)
 		if u.kind == "edge" {
 			down = ErrPeerDown
@@ -781,22 +781,22 @@ func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string, s
 	}
 	p := c.cfg.Retry
 	for attempt := 1; ; attempt++ {
-		usp := sp.child(obs.SpanUpstream)
-		usp.attrInt("attempt", attempt)
-		usp.attrTarget(u.kind, u.id)
+		usp := sp.Child(obs.SpanUpstream)
+		usp.AttrInt("attempt", attempt)
+		usp.AttrTarget(u.kind, u.id)
 		body, etag, err = c.fetchOnce(ctx, u.url+path, usp)
-		usp.attrOutcome(err)
-		usp.end()
+		usp.AttrOutcome(err)
+		usp.End()
 		if err == nil || attempt >= p.Attempts || ctx.Err() != nil {
 			break
 		}
-		rsp := sp.child(obs.SpanRetry)
-		rsp.attrInt("after_attempt", attempt)
+		rsp := sp.Child(obs.SpanRetry)
+		rsp.AttrInt("after_attempt", attempt)
 		select {
-		case <-time.After(p.backoff(attempt)):
+		case <-time.After(p.Backoff(attempt)):
 		case <-ctx.Done():
 		}
-		rsp.end()
+		rsp.End()
 	}
 	if err != nil && !errors.Is(err, ErrEdgeTimeout) && !errors.Is(err, ErrUpstreamStatus) {
 		down := error(ErrOriginDown)
@@ -812,15 +812,15 @@ func (c *Cluster) fetchWithRetry(ctx context.Context, u upstream, path string, s
 // fetchOnce performs one upstream attempt under the per-attempt timeout.
 // sp (the attempt's upstream span) is propagated via the Traceparent
 // header so the remote server's spans nest under this attempt.
-func (c *Cluster) fetchOnce(ctx context.Context, url string, sp *span) ([]byte, string, error) {
+func (c *Cluster) fetchOnce(ctx context.Context, url string, sp *Span) ([]byte, string, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Retry.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, "", err
 	}
-	req.Header.Set(internalHeader, "1")
-	if hdr := sp.header(); hdr != "" {
+	req.Header.Set(InternalHeader, "1")
+	if hdr := sp.Header(); hdr != "" {
 		req.Header.Set(obs.TraceparentHeader, hdr)
 	}
 	resp, err := c.client.Do(req)
@@ -848,31 +848,31 @@ func (c *Cluster) fetchOnce(ctx context.Context, url string, sp *span) ([]byte, 
 // It returns (fresh, newVersion, ok): fresh means the cached version is
 // still current (304); otherwise newVersion is the origin's current
 // version. ok=false means the origin could not be reached.
-func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int, sp *span) (fresh bool, newVersion int, ok bool) {
+func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int, sp *Span) (fresh bool, newVersion int, ok bool) {
 	c := e.cluster
 	e.mu.Lock()
 	e.stats.Revalidations++
 	e.mu.Unlock()
-	usp := sp.child(obs.SpanUpstream)
-	usp.attr("revalidate", "1")
-	usp.attrTarget("origin", site)
-	defer usp.end()
+	usp := sp.Child(obs.SpanUpstream)
+	usp.Attr("revalidate", "1")
+	usp.AttrTarget("origin", site)
+	defer usp.End()
 	// A revalidation round-trip runs under the same per-attempt timeout
 	// as a fetch, so a hung origin cannot stall cache hits forever.
 	rctx, cancel := context.WithTimeout(r.Context(), c.cfg.Retry.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
-		c.origins[site].URL+objectPath(site, object), nil)
+		c.origins[site].URL+ObjectPath(site, object), nil)
 	if err != nil {
 		return false, 0, false
 	}
-	req.Header.Set("If-None-Match", etagFor(site, object, cachedVersion))
-	if hdr := usp.header(); hdr != "" {
+	req.Header.Set("If-None-Match", ETagFor(site, object, cachedVersion))
+	if hdr := usp.Header(); hdr != "" {
 		req.Header.Set(obs.TraceparentHeader, hdr)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		usp.attr("outcome", "error:unreachable")
+		usp.Attr("outcome", "error:unreachable")
 		return false, 0, false
 	}
 	defer resp.Body.Close()
@@ -881,17 +881,17 @@ func (e *edge) revalidate(r *http.Request, site, object, cachedVersion int, sp *
 		e.mu.Lock()
 		e.stats.NotModified++
 		e.mu.Unlock()
-		usp.attr("outcome", "304")
+		usp.Attr("outcome", "304")
 		return true, cachedVersion, true
 	case http.StatusOK:
 		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			usp.attr("outcome", "error:body")
+			usp.Attr("outcome", "error:body")
 			return false, 0, false
 		}
-		usp.attr("outcome", "200")
-		return false, versionFromETag(resp.Header.Get("Etag")), true
+		usp.Attr("outcome", "200")
+		return false, VersionFromETag(resp.Header.Get("Etag")), true
 	default:
-		usp.attr("outcome", "error:status")
+		usp.Attr("outcome", "error:status")
 		return false, 0, false
 	}
 }
@@ -920,7 +920,7 @@ func (c *Cluster) Fetch(ctx context.Context, firstHop, site, object int) (FetchR
 	start := time.Now()
 	health := c.edgeHealth[firstHop]
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.EdgeURL(firstHop)+objectPath(site, object), nil)
+		c.EdgeURL(firstHop)+ObjectPath(site, object), nil)
 	if err != nil {
 		return FetchResult{}, err
 	}
@@ -942,7 +942,7 @@ func (c *Cluster) Fetch(ctx context.Context, firstHop, site, object int) (FetchR
 		return FetchResult{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		if sentinel := classError(resp.Header.Get(errorHeader)); sentinel != nil {
+		if sentinel := ClassError(resp.Header.Get(ErrorHeader)); sentinel != nil {
 			// The edge is alive and reported an upstream failure; that
 			// is not evidence against the edge itself.
 			return FetchResult{}, fmt.Errorf("%w: status %d", sentinel, resp.StatusCode)
@@ -951,9 +951,9 @@ func (c *Cluster) Fetch(ctx context.Context, firstHop, site, object int) (FetchR
 		c.observe(health, "edge", firstHop, err)
 		return FetchResult{}, err
 	}
-	version := versionFromETag(resp.Header.Get("Etag"))
+	version := VersionFromETag(resp.Header.Get("Etag"))
 	if !VerifyBody(body, site, object, version) {
-		err = fmt.Errorf("%w: %s", ErrCorruptPayload, objectPath(site, object))
+		err = fmt.Errorf("%w: %s", ErrCorruptPayload, ObjectPath(site, object))
 		c.observe(health, "edge", firstHop, err)
 		return FetchResult{}, err
 	}

@@ -133,7 +133,7 @@ func TestPayloadDeterministic(t *testing.T) {
 
 func TestVerifyBody(t *testing.T) {
 	var buf bytes.Buffer
-	writePattern(&buf, 2, 7, 0, 10000)
+	WritePattern(&buf, 2, 7, 0, 10000)
 	if !VerifyBody(buf.Bytes(), 2, 7, 0) {
 		t.Fatal("pattern does not verify")
 	}
@@ -151,13 +151,13 @@ func TestVerifyBody(t *testing.T) {
 }
 
 func TestVersionFromETag(t *testing.T) {
-	if got := versionFromETag(etagFor(3, 9, 42)); got != 42 {
+	if got := VersionFromETag(ETagFor(3, 9, 42)); got != 42 {
 		t.Fatalf("parsed version %d, want 42", got)
 	}
-	if got := versionFromETag(`"no-version-here"`); got != 0 {
+	if got := VersionFromETag(`"no-version-here"`); got != 0 {
 		t.Fatalf("garbage etag parsed to %d", got)
 	}
-	if got := versionFromETag(""); got != 0 {
+	if got := VersionFromETag(""); got != 0 {
 		t.Fatalf("empty etag parsed to %d", got)
 	}
 }

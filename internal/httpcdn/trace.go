@@ -7,12 +7,14 @@ import (
 	"repro/internal/obs"
 )
 
-// span is the cluster-side handle for one obs.Span under construction.
+// Span is the serving-side handle for one obs.Span under construction.
 // Every method is nil-safe and the constructors return nil when span
 // tracing is disabled, so the serving path carries unconditional span
 // calls at the cost of a pointer check — no allocation, no formatting —
-// when tracing is off.
-type span struct {
+// when tracing is off. It is exported so the standalone cluster
+// binaries (internal/clusterd) emit the same span schema as the
+// in-process Cluster.
+type Span struct {
 	t     *obs.Tracer
 	start time.Time
 	s     obs.Span
@@ -22,16 +24,29 @@ type span struct {
 // (trace, parent) pair — typically parsed from an incoming Traceparent
 // header — attaches the span to the caller's trace so multi-hop requests
 // stitch into one tree.
-func (c *Cluster) startSpan(kind, trace, parent string, component, site, object int) *span {
+func (c *Cluster) startSpan(kind, trace, parent string, component, site, object int) *Span {
 	if !c.cfg.TraceSpans || c.cfg.Tracer == nil {
+		return nil
+	}
+	return NewSpan(c.cfg.Tracer, kind, trace, parent, component, site, object)
+}
+
+// NewSpan opens a span on tracer t. A nil tracer returns a nil span (and
+// every Span method on nil is a no-op), so callers thread one
+// unconditional span pipeline whether tracing is on or off. An empty
+// trace starts a new trace; a non-empty (trace, parent) pair — typically
+// parsed from an incoming Traceparent header — attaches the span to the
+// caller's trace so multi-hop requests stitch into one tree.
+func NewSpan(t *obs.Tracer, kind, trace, parent string, component, site, object int) *Span {
+	if t == nil {
 		return nil
 	}
 	if trace == "" {
 		trace = obs.NewTraceID()
 	}
 	now := time.Now()
-	return &span{
-		t:     c.cfg.Tracer,
+	return &Span{
+		t:     t,
 		start: now,
 		s: obs.Span{
 			Trace: trace, Span: obs.NewSpanID(), Parent: parent,
@@ -41,13 +56,13 @@ func (c *Cluster) startSpan(kind, trace, parent string, component, site, object 
 	}
 }
 
-// child opens a sub-span of sp with the same trace and request identity.
-func (sp *span) child(kind string) *span {
+// Child opens a sub-span of sp with the same trace and request identity.
+func (sp *Span) Child(kind string) *Span {
 	if sp == nil {
 		return nil
 	}
 	now := time.Now()
-	return &span{
+	return &Span{
 		t:     sp.t,
 		start: now,
 		s: obs.Span{
@@ -58,8 +73,8 @@ func (sp *span) child(kind string) *span {
 	}
 }
 
-// attr records one key/value pair on the span.
-func (sp *span) attr(key, value string) {
+// Attr records one key/value pair on the span.
+func (sp *Span) Attr(key, value string) {
 	if sp == nil {
 		return
 	}
@@ -69,53 +84,53 @@ func (sp *span) attr(key, value string) {
 	sp.s.Attrs[key] = value
 }
 
-// attrInt records an integer attribute; the formatting happens after the
+// AttrInt records an integer attribute; the formatting happens after the
 // nil check so disabled tracing pays nothing.
-func (sp *span) attrInt(key string, value int) {
+func (sp *Span) AttrInt(key string, value int) {
 	if sp == nil {
 		return
 	}
-	sp.attr(key, strconv.Itoa(value))
+	sp.Attr(key, strconv.Itoa(value))
 }
 
-// attrTarget records the "kind:id" of an upstream component.
-func (sp *span) attrTarget(kind string, id int) {
+// AttrTarget records the "kind:id" of an upstream component.
+func (sp *Span) AttrTarget(kind string, id int) {
 	if sp == nil {
 		return
 	}
-	sp.attr("target", kind+":"+strconv.Itoa(id))
+	sp.Attr("target", kind+":"+strconv.Itoa(id))
 }
 
-// attrFloat records a float attribute with short formatting.
-func (sp *span) attrFloat(key string, value float64) {
+// AttrFloat records a float attribute with short formatting.
+func (sp *Span) AttrFloat(key string, value float64) {
 	if sp == nil {
 		return
 	}
-	sp.attr(key, strconv.FormatFloat(value, 'g', -1, 64))
+	sp.Attr(key, strconv.FormatFloat(value, 'g', -1, 64))
 }
 
-// attrOutcome records "ok" or the error's wire class.
-func (sp *span) attrOutcome(err error) {
+// AttrOutcome records "ok" or the error's wire class.
+func (sp *Span) AttrOutcome(err error) {
 	if sp == nil {
 		return
 	}
 	if err == nil {
-		sp.attr("outcome", "ok")
+		sp.Attr("outcome", "ok")
 	} else {
-		sp.attr("outcome", "error:"+errorClass(err))
+		sp.Attr("outcome", "error:"+ErrorClass(err))
 	}
 }
 
-// header renders the Traceparent value linking downstream work to sp.
-func (sp *span) header() string {
+// Header renders the Traceparent value linking downstream work to sp.
+func (sp *Span) Header() string {
 	if sp == nil {
 		return ""
 	}
 	return obs.Traceparent(sp.s.Trace, sp.s.Span)
 }
 
-// end stamps the duration and emits the span.
-func (sp *span) end() {
+// End stamps the duration and emits the span.
+func (sp *Span) End() {
 	if sp == nil {
 		return
 	}
