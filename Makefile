@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos cluster-smoke bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx fmt vet lint
+.PHONY: all build test check race chaos cluster-smoke bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx bench-models bench-models-check fmt vet lint
 
 all: build test
 
@@ -102,3 +102,19 @@ bench-scale-check: bench-scale-smoke
 # exact lazy baseline) plus the cold/warm incremental-reconcile pair.
 bench-approx:
 	$(GO) run ./cmd/benchjson -suite approx -factors 1,4 -out BENCH_approx.json
+
+# bench-models regenerates BENCH_models.json: a cold hybrid placement
+# solve timed under each analytical hit-ratio model (eq1, che,
+# closedform, random) on a large per-site catalog, with speedup and
+# final-cost delta against the eq1 baseline. Budget ~1 minute (the Che
+# fixed point dominates).
+bench-models:
+	$(GO) run ./cmd/benchjson -suite models -out BENCH_models.json
+
+# bench-models-check runs the models suite into a fresh file and gates
+# it against the committed BENCH_models.json: any model row more than
+# 15% slower fails, unless the hardware context differs (cross-machine
+# timings downgrade the gate to a warning).
+bench-models-check:
+	$(GO) run ./cmd/benchjson -suite models -out BENCH_models_smoke.json
+	$(GO) run ./cmd/benchjson -compare BENCH_models.json -fail-above 15 BENCH_models_smoke.json

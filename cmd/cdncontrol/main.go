@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/clusterd"
+	"repro/internal/lrumodel"
 )
 
 func main() {
@@ -46,9 +47,14 @@ func main() {
 	flag.Float64Var(&cfg.Hysteresis, "hysteresis", 0, "reconcile hysteresis (<0 disables)")
 	flag.IntVar(&cfg.CooldownRounds, "cooldown", 0, "reconcile cooldown rounds (<0 disables)")
 	flag.Float64Var(&cfg.Epsilon, "epsilon", 0, "ε for the approximate placement engine (0 = exact)")
+	flag.StringVar(&cfg.Model, "model", "", "analytical hit-ratio model placement optimizes with: eq1 (default), che, closedform or random")
 	quiet := flag.Bool("quiet", false, "suppress log output")
 	flag.Parse()
 
+	if _, err := lrumodel.ParseModelKind(cfg.Model); err != nil {
+		fmt.Fprintln(os.Stderr, "cdncontrol: -model:", err)
+		os.Exit(2)
+	}
 	cfg.Addr = *addr
 	if !*quiet {
 		logger := log.New(os.Stderr, "cdncontrol: ", log.LstdFlags|log.Lmsgprefix)

@@ -114,6 +114,9 @@ func status(client *http.Client, addr string, raw bool, out io.Writer) error {
 	fmt.Fprintf(out, "rounds     %d (applied %d, skipped %d, noop %d, no-signal %d)\n",
 		st.Rounds, st.Applied, st.Skipped, st.Noops, st.NoSignal)
 	fmt.Fprintf(out, "observed   %d requests\n", st.Observed)
+	if st.Model != "" {
+		fmt.Fprintf(out, "model      %s\n", st.Model)
+	}
 	fmt.Fprintf(out, "replicas   %d\n", st.Replicas)
 	for i, sites := range st.Placement {
 		fmt.Fprintf(out, "  edge %d: %v\n", i, sites)
@@ -156,6 +159,9 @@ func reconcile(client *http.Client, addr string, raw bool, out io.Writer) error 
 		rep.OldCost, rep.NewCost, rep.NetBenefit)
 	if rep.Engine != "" {
 		fmt.Fprintf(out, "  engine     %s (%.1f ms placement)\n", rep.Engine, rep.PlacementMs)
+	}
+	if rep.Model != "" {
+		fmt.Fprintf(out, "  model      %s\n", rep.Model)
 	}
 	if len(rep.Excluded) > 0 {
 		fmt.Fprintf(out, "  excluded   unhealthy edges %v\n", rep.Excluded)

@@ -58,6 +58,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/fault"
 	"repro/internal/httpcdn"
+	"repro/internal/lrumodel"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/scenario"
@@ -73,6 +74,7 @@ type options struct {
 	hopDelay     time.Duration
 	capacity     float64
 	edges        int
+	model        string
 	metricsAddr  string
 	tracePath    string
 	linger       time.Duration
@@ -96,6 +98,7 @@ func main() {
 	flag.DurationVar(&opt.hopDelay, "hopdelay", time.Millisecond, "artificial delay per topology hop")
 	flag.Float64Var(&opt.capacity, "capacity", 0.15, "per-edge storage as a fraction of total content bytes")
 	flag.IntVar(&opt.edges, "edges", 6, "number of CDN edge servers")
+	flag.StringVar(&opt.model, "model", "", "analytical hit-ratio model placement and the control loop optimize with: eq1 (default), che, closedform or random")
 	flag.StringVar(&opt.metricsAddr, "metrics", "", "serve /metrics, /debug/vars, /debug/pprof/ and /debug/control on this address (e.g. 127.0.0.1:0)")
 	flag.StringVar(&opt.tracePath, "trace", "", "write a JSONL event+span trace to this file (analyze with cdntrace)")
 	flag.DurationVar(&opt.linger, "linger", 0, "keep the metrics endpoint up this long after the run (requires -metrics)")
@@ -121,6 +124,10 @@ func main() {
 }
 
 func run(ctx context.Context, opt options) error {
+	modelKind, err := lrumodel.ParseModelKind(opt.model)
+	if err != nil {
+		return fmt.Errorf("-model: %w", err)
+	}
 	w := workload.DefaultConfig()
 	w.Servers = opt.edges
 	w.LowSites, w.MediumSites, w.HighSites = 2, 4, 2
@@ -144,6 +151,7 @@ func run(ctx context.Context, opt options) error {
 	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
 		Specs:          sc.Work.Specs(),
 		AvgObjectBytes: sc.Work.AvgObjectBytes,
+		Model:          string(modelKind),
 	})
 	if err != nil {
 		return err
@@ -182,8 +190,8 @@ func run(ctx context.Context, opt options) error {
 
 	fmt.Printf("starting %d origin + %d edge HTTP servers on loopback\n",
 		sc.Sys.M(), sc.Sys.N())
-	fmt.Printf("hybrid placement: %d replicas, predicted cost %.3f hops/request\n\n",
-		res.Placement.Replicas(), res.PredictedCost)
+	fmt.Printf("hybrid placement (%s model): %d replicas, predicted cost %.3f hops/request\n\n",
+		modelKind, res.Placement.Replicas(), res.PredictedCost)
 
 	// The controller is created after the cluster (it needs the running
 	// cluster as target and health view), so the health callback reaches
@@ -246,6 +254,7 @@ func run(ctx context.Context, opt options) error {
 			Base:               sc.Sys,
 			Specs:              sc.Work.Specs(),
 			AvgObjectBytes:     sc.Work.AvgObjectBytes,
+			Model:              string(modelKind),
 			Target:             cl,
 			Estimator:          est,
 			Health:             cl,

@@ -32,6 +32,7 @@ import (
 	"runtime/pprof"
 
 	"repro"
+	"repro/internal/lrumodel"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func realMain() int {
 		warmup   = flag.Int("warmup", 0, "override the cache warm-up request count")
 		objects  = flag.Int("objects", 0, "override L, the objects per site")
 		theta    = flag.Float64("theta", 0, "override the Zipf parameter θ")
+		model    = flag.String("model", "", "analytical hit-ratio model the hybrid placement optimizes with: eq1 (default), che, closedform or random")
 		plot     = flag.Bool("plot", false, "render CDF panels as ASCII charts instead of tables")
 		tracePth = flag.String("trace", "", "write a per-request JSONL trace of one hybrid run to this file and print a metrics snapshot (skips -figure)")
 		par      = flag.Int("parallelism", 0, "simulator worker count (0 = all cores, 1 = sequential); results are identical at any value")
@@ -107,6 +109,11 @@ func realMain() int {
 	if *theta > 0 {
 		opts.Base.Workload.Theta = *theta
 	}
+	if _, err := lrumodel.ParseModelKind(*model); err != nil {
+		fmt.Fprintln(os.Stderr, "cdnsim: -model:", err)
+		return 1
+	}
+	opts.Model = *model
 
 	// Ctrl-C cancels the run between request batches instead of killing
 	// the process mid-figure (profiles still get written).
@@ -210,6 +217,11 @@ func run(ctx context.Context, figure string, opts repro.Options) error {
 			return err
 		}
 		fmt.Println(repro.FormatModelCompareRows(rows))
+		policy, err := repro.ModelPolicyComparison(ctx, opts, []float64{0.02, 0.05, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatPolicyModelRows(policy))
 		robust, err := repro.ModelRobustness(ctx, opts, []float64{0, 0.2, 0.4, 0.6})
 		if err != nil {
 			return err

@@ -29,7 +29,10 @@ func runTraced(ctx context.Context, opts repro.Options, path string) error {
 	if err != nil {
 		return err
 	}
-	res, err := repro.Place(sc, repro.PlacementConfig{Strategy: repro.StrategyHybrid})
+	res, err := repro.Place(sc, repro.PlacementConfig{
+		Strategy: repro.StrategyHybrid,
+		Model:    opts.Model,
+	})
 	if err != nil {
 		return err
 	}
@@ -54,9 +57,12 @@ func runTraced(ctx context.Context, opts repro.Options, path string) error {
 	fmt.Printf("measured: mean %.1f ms, %.3f hops/request, local %.1f%%, aggregate hit ratio %.3f\n\n",
 		m.MeanRTMs, m.MeanHops, 100*m.LocalFraction(), m.HitRatio())
 
-	fmt.Println("per-edge cache hit ratio, measured vs LRU-model prediction:")
+	fmt.Println("per-edge cache hit ratio, measured vs model prediction:")
 	fmt.Println("edge   lookups   measured  predicted       err")
-	predicted := predictedHitRatios(sc, res.Placement)
+	predicted, err := predictedHitRatios(sc, res.Placement, opts.Model)
+	if err != nil {
+		return err
+	}
 	for i := 0; i < sc.Sys.N(); i++ {
 		fmt.Printf("%4d  %8d     %6.3f     %6.3f   %+7.3f\n",
 			i, m.PerServerLookups[i], m.PerServerHitRatio[i], predicted[i],
@@ -66,16 +72,25 @@ func runTraced(ctx context.Context, opts repro.Options, path string) error {
 	return reg.WritePrometheus(os.Stdout)
 }
 
-// predictedHitRatios evaluates the paper's LRU model per server: each
-// server's expected hit ratio over its cacheable, non-replicated
-// traffic given its placement's free cache bytes — directly comparable
-// to sim.Metrics.PerServerHitRatio.
-func predictedHitRatios(sc *repro.Scenario, p *repro.Placement) []float64 {
+// predictedHitRatios evaluates the selected analytical model per
+// server: each server's expected hit ratio over its cacheable,
+// non-replicated traffic given its placement's free cache bytes —
+// directly comparable to sim.Metrics.PerServerHitRatio.
+func predictedHitRatios(sc *repro.Scenario, p *repro.Placement, model string) ([]float64, error) {
 	specs := sc.Work.Specs()
 	n := sc.Sys.N()
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		pred := lrumodel.NewPredictor(specs, sc.Sys.Demand[i], sc.Work.AvgObjectBytes, sc.Sys.Capacity[i])
+		pred, err := lrumodel.New(lrumodel.ModelConfig{
+			Kind:           lrumodel.ModelKind(model),
+			Specs:          specs,
+			Weights:        sc.Sys.Demand[i],
+			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			MaxCacheBytes:  sc.Sys.Capacity[i],
+		})
+		if err != nil {
+			return nil, err
+		}
 		visible := make([]bool, sc.Sys.M())
 		for j := range visible {
 			visible[j] = !p.Has(i, j)
@@ -97,5 +112,5 @@ func predictedHitRatios(sc *repro.Scenario, p *repro.Placement) []float64 {
 			out[i] = num / den
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,11 +1,16 @@
-// Command lrufit validates the analytical LRU hit-ratio model (§3.2)
-// against a real LRU cache driven by an IRM request stream, sweeping the
-// cache size — the stand-alone counterpart of Figure 6.
+// Command lrufit validates an analytical hit-ratio model against a real
+// cache driven by an IRM request stream, sweeping the cache size — the
+// stand-alone counterpart of Figure 6. The -model flag selects which
+// model to validate (eq1, che, closedform or random); the simulated
+// cache's replacement policy follows the model (LRU for the LRU models,
+// the random-replacement variant for the RANDOM/FIFO model).
 //
 // Usage:
 //
 //	lrufit                          # one Zipf(1.0) site of 2000 objects
 //	lrufit -sites 4 -theta 0.8 -objects 1000 -requests 2000000
+//	lrufit -model closedform        # Laoutaris closed form vs LRU
+//	lrufit -model random            # RANDOM/FIFO model vs random cache
 package main
 
 import (
@@ -27,10 +32,16 @@ func main() {
 		theta    = flag.Float64("theta", 1.0, "Zipf parameter θ")
 		requests = flag.Int("requests", 1000000, "simulated requests per cache size")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		model    = flag.String("model", "", "analytical model to validate: eq1 (default), che, closedform or random")
 	)
 	flag.Parse()
 	if *sites < 1 || *objects < 1 || *requests < 1 {
 		fmt.Fprintln(os.Stderr, "lrufit: sites, objects and requests must be positive")
+		os.Exit(1)
+	}
+	kind, err := lrumodel.ParseModelKind(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrufit: -model:", err)
 		os.Exit(1)
 	}
 
@@ -41,10 +52,24 @@ func main() {
 		weights[j] = float64(uint(1) << uint(*sites-1-j)) // 2^k popularity ladder
 	}
 	totalObjects := *sites * *objects
-	pred := lrumodel.NewPredictor(specs, weights, 1, int64(totalObjects))
+	pred, err := lrumodel.New(lrumodel.ModelConfig{
+		Kind:           kind,
+		Specs:          specs,
+		Weights:        weights,
+		AvgObjectBytes: 1,
+		MaxCacheBytes:  int64(totalObjects),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrufit:", err)
+		os.Exit(1)
+	}
+	policy := cache.PolicyLRU
+	if kind == lrumodel.ModelRandom {
+		policy = cache.PolicyRandom
+	}
 
-	fmt.Printf("LRU model vs simulation — %d site(s), L=%d, θ=%.2f, %d requests/point\n\n",
-		*sites, *objects, *theta, *requests)
+	fmt.Printf("%s model vs simulated %s cache — %d site(s), L=%d, θ=%.2f, %d requests/point\n\n",
+		kind, policy, *sites, *objects, *theta, *requests)
 	fmt.Printf("%10s %12s %12s %10s\n", "slots B", "predicted", "simulated", "err")
 
 	worst := 0.0
@@ -54,7 +79,7 @@ func main() {
 			continue
 		}
 		predicted := pred.OverallHitRatio(b)
-		simulated := simulate(specs, weights, int(b), *requests, xrand.New(*seed))
+		simulated := simulate(policy, specs, weights, int(b), *requests, xrand.New(*seed))
 		err := predicted - simulated
 		if math.Abs(err) > math.Abs(worst) {
 			worst = err
@@ -64,10 +89,11 @@ func main() {
 	fmt.Printf("\nworst absolute error: %.4f (the paper reports < 7%% overall)\n", math.Abs(worst))
 }
 
-// simulate drives a real LRU with unit-size objects under the independent
-// reference model and returns the overall hit ratio after a 20% warm-up.
-func simulate(specs []lrumodel.SiteSpec, weights []float64, slots, requests int, r *xrand.Source) float64 {
-	c := cache.NewLRU(int64(slots))
+// simulate drives a real cache of the given policy with unit-size
+// objects under the independent reference model and returns the overall
+// hit ratio after a 20% warm-up.
+func simulate(policy cache.Policy, specs []lrumodel.SiteSpec, weights []float64, slots, requests int, r *xrand.Source) float64 {
+	c := cache.New(policy, int64(slots))
 	zipfs := make([]*stats.Zipf, len(specs))
 	for j, s := range specs {
 		zipfs[j] = stats.NewZipf(s.Objects, s.Theta)

@@ -1,6 +1,10 @@
 package cache
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"repro/internal/xrand"
+)
 
 // FIFO is a byte-capacity first-in-first-out cache: eviction order is
 // insertion order and hits do not refresh position. Included as an
@@ -364,6 +368,124 @@ func (c *DelayedLRU) Stats() Stats {
 	return s
 }
 
+// Random is a byte-capacity random-replacement cache: eviction picks a
+// uniformly random resident object. Under the independent reference
+// model its hit ratio matches FIFO's (Gelenbe 1973), which is what the
+// analytical RANDOM/FIFO model in internal/lrumodel predicts; this
+// variant grounds that claim in simulation. Victim selection draws from
+// a deterministic xrand stream, so runs are reproducible for a fixed
+// seed.
+type Random struct {
+	capacity int64
+	used     int64
+	index    map[Key]int // key -> position in entries
+	entries  []randEntry
+	rng      *xrand.Source
+	stats    Stats
+}
+
+type randEntry struct {
+	key  Key
+	size int64
+}
+
+var _ Cache = (*Random)(nil)
+
+// NewRandom returns a random-replacement cache bounded to capacity
+// bytes, drawing victims from a stream seeded with seed.
+func NewRandom(capacity int64, seed uint64) *Random {
+	return &Random{
+		capacity: capacity,
+		index:    make(map[Key]int),
+		rng:      xrand.New(seed),
+	}
+}
+
+// Get implements Cache. Hits do not change replacement state.
+func (c *Random) Get(k Key) bool {
+	if _, ok := c.index[k]; ok {
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Put implements Cache.
+func (c *Random) Put(k Key, size int64) {
+	validateSize(size)
+	if i, ok := c.index[k]; ok {
+		c.used += size - c.entries[i].size
+		c.entries[i].size = size
+		c.evictUntilFits()
+		return
+	}
+	if size > c.capacity {
+		c.stats.Rejections++
+		return
+	}
+	c.index[k] = len(c.entries)
+	c.entries = append(c.entries, randEntry{key: k, size: size})
+	c.used += size
+	c.stats.Insertions++
+	c.evictUntilFits()
+}
+
+func (c *Random) evictUntilFits() {
+	for c.used > c.capacity && len(c.entries) > 0 {
+		c.removeAt(c.rng.Intn(len(c.entries)))
+		c.stats.Evictions++
+	}
+}
+
+// removeAt swap-removes entry i, keeping the index map consistent.
+func (c *Random) removeAt(i int) {
+	e := c.entries[i]
+	last := len(c.entries) - 1
+	c.entries[i] = c.entries[last]
+	c.index[c.entries[i].key] = i
+	c.entries = c.entries[:last]
+	delete(c.index, e.key)
+	c.used -= e.size
+}
+
+// Contains implements Cache.
+func (c *Random) Contains(k Key) bool { _, ok := c.index[k]; return ok }
+
+// Remove implements Cache.
+func (c *Random) Remove(k Key) {
+	if i, ok := c.index[k]; ok {
+		c.removeAt(i)
+	}
+}
+
+// Len implements Cache.
+func (c *Random) Len() int { return len(c.entries) }
+
+// Used implements Cache.
+func (c *Random) Used() int64 { return c.used }
+
+// Capacity implements Cache.
+func (c *Random) Capacity() int64 { return c.capacity }
+
+// Resize implements Cache.
+func (c *Random) Resize(capacity int64) {
+	c.capacity = capacity
+	c.evictUntilFits()
+}
+
+// Clear implements Cache. The victim stream is not reset, so a cleared
+// cache continues its deterministic sequence.
+func (c *Random) Clear() {
+	c.index = make(map[Key]int)
+	c.entries = nil
+	c.used = 0
+	c.stats = Stats{}
+}
+
+// Stats implements Cache.
+func (c *Random) Stats() Stats { return c.stats }
+
 // Policy names a cache replacement policy for configuration surfaces.
 type Policy string
 
@@ -373,11 +495,13 @@ const (
 	PolicyFIFO       Policy = "fifo"
 	PolicyLFU        Policy = "lfu"
 	PolicyDelayedLRU Policy = "delayed-lru"
+	PolicyRandom     Policy = "random"
 )
 
 // New constructs a cache of the given policy and byte capacity. The
 // delayed-LRU admission threshold is fixed at 2, the value [15] reports
-// as near-optimal.
+// as near-optimal; the random policy's victim stream is seeded with the
+// policy name so repeated runs are identical.
 func New(p Policy, capacity int64) Cache {
 	switch p {
 	case PolicyFIFO:
@@ -386,6 +510,8 @@ func New(p Policy, capacity int64) Cache {
 		return NewLFU(capacity)
 	case PolicyDelayedLRU:
 		return NewDelayedLRU(capacity, 2)
+	case PolicyRandom:
+		return NewRandom(capacity, xrand.Mix(0, string(PolicyRandom)))
 	default:
 		return NewLRU(capacity)
 	}

@@ -53,6 +53,9 @@ type ControlConfig struct {
 	Hysteresis     float64
 	CooldownRounds int
 	Epsilon        float64
+	// Model selects the analytical hit-ratio model for the initial
+	// placement and every reconcile ("" = eq1).
+	Model string
 	// Metrics receives the control_* and cluster series; nil builds a
 	// private registry.
 	Metrics *obs.Registry
@@ -131,6 +134,7 @@ func StartControl(params Params, cfg ControlConfig) (*ControlPlane, error) {
 	res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
 		Specs:          sc.Work.Specs(),
 		AvgObjectBytes: sc.Work.AvgObjectBytes,
+		Model:          cfg.Model,
 	})
 	if err != nil {
 		return nil, err
@@ -180,6 +184,7 @@ func StartControl(params Params, cfg ControlConfig) (*ControlPlane, error) {
 		Base:           sc.Sys,
 		Specs:          sc.Work.Specs(),
 		AvgObjectBytes: sc.Work.AvgObjectBytes,
+		Model:          cfg.Model,
 		Target:         cp.target,
 		Source:         est,
 		Health:         cp,

@@ -74,6 +74,10 @@ type ReconcileRecord struct {
 	// Engine labels the placement engine the round ran: "warm" for an
 	// incremental repair, "lazy"/"approx"/"scan" for a cold solve.
 	Engine string `json:"engine,omitempty"`
+	// Model is the hit-ratio model the round's proposal and cost
+	// probes were evaluated under ("eq1", "che", "closedform",
+	// "random").
+	Model string `json:"model,omitempty"`
 	// PlacementMs is the optimizer's wall time within the round — the
 	// number the warm-vs-cold speedup claims are audited against.
 	PlacementMs float64 `json:"placement_ms"`

@@ -93,11 +93,16 @@ type Config struct {
 	// its demand matrix is never read — estimated demand replaces it on
 	// every reconcile (core.System.WithDemand).
 	Base *core.System
-	// Specs and AvgObjectBytes feed placement.Hybrid's analytical LRU
+	// Specs and AvgObjectBytes feed placement.Hybrid's analytical cache
 	// model; both are demand-independent, so they stay valid as the
 	// estimate evolves.
 	Specs          []lrumodel.SiteSpec
 	AvgObjectBytes float64
+	// Model selects the analytical hit-ratio model every proposal and
+	// cost probe is evaluated under ("eq1", "che", "closedform",
+	// "random"; empty = eq1). Validated by New; the normalized name is
+	// surfaced in Status, Report and the reconcile audit ring.
+	Model string
 	// Target is the deployment to re-place.
 	Target Target
 	// Estimator supplies the demand estimate. Leave nil to have the
@@ -197,8 +202,10 @@ type Report struct {
 	// a site cool-down or by capacity after partial application.
 	CreatesDeferred int `json:"creates_deferred"`
 	// Engine labels the placement engine the round ran ("warm" for an
-	// incremental repair); PlacementMs is the optimizer's wall time.
+	// incremental repair); Model the hit-ratio model the proposal and
+	// cost probes used; PlacementMs is the optimizer's wall time.
 	Engine      string  `json:"engine,omitempty"`
+	Model       string  `json:"model,omitempty"`
 	PlacementMs float64 `json:"placement_ms"`
 	// Excluded lists the edges the health view reported ejected, which
 	// this round's proposal therefore placed nothing on.
@@ -214,6 +221,9 @@ type Status struct {
 	NoSignal int64 `json:"no_signal"`
 	Replicas int   `json:"replicas"`
 	Observed int64 `json:"observed_requests"`
+	// Model is the configured hit-ratio model (normalized; "eq1" when
+	// the config left it empty).
+	Model string `json:"model,omitempty"`
 	// Placement lists the sites replicated at each server, the live
 	// routing state.
 	Placement [][]int `json:"placement"`
@@ -255,6 +265,12 @@ type Controller struct {
 	auditLog  []ReconcileRecord
 	auditNext int
 
+	// costShared memoizes hit-ratio grid evaluations across the
+	// PredictCost probes of every reconcile round (the controller
+	// prices two placements per non-noop round; without it each probe
+	// re-memoized from scratch).
+	costShared *lrumodel.SharedTable
+
 	// metric handles, nil when cfg.Metrics is unset
 	reconciles map[Outcome]*obs.Counter
 	created    *obs.Counter
@@ -279,6 +295,11 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.AvgObjectBytes <= 0 {
 		return nil, fmt.Errorf("control: AvgObjectBytes = %v", cfg.AvgObjectBytes)
 	}
+	kind, err := lrumodel.ParseModelKind(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Model = string(kind) // normalize "" to "eq1" for display
 	if cfg.Hysteresis == 0 {
 		cfg.Hysteresis = DefaultHysteresis
 	}
@@ -315,6 +336,7 @@ func New(cfg Config) (*Controller, error) {
 		kick:          make(chan struct{}, 1),
 		cooldownUntil: make([]int64, cfg.Base.M()),
 		counts:        make(map[Outcome]int64),
+		costShared:    lrumodel.NewSharedTable(),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		c.reconciles = make(map[Outcome]*obs.Counter)
@@ -413,6 +435,7 @@ func (c *Controller) Reconcile() (*Report, error) {
 		Round:          c.round,
 		When:           start.UTC().Format(time.RFC3339Nano),
 		WindowRequests: rep.WindowRequests,
+		Model:          c.cfg.Model,
 	}
 
 	demand, ok := c.est.Demand()
@@ -481,8 +504,25 @@ func (c *Controller) Reconcile() (*Report, error) {
 		c.round--
 		return nil, err
 	}
-	rep.OldCost = placement.PredictCost(curOn, c.cfg.Specs, c.cfg.AvgObjectBytes)
-	rep.NewCost = placement.PredictCost(next, c.cfg.Specs, c.cfg.AvgObjectBytes)
+	// Both probes share the controller's persistent memo table (and
+	// each other's grid points): pricing a candidate placement costs
+	// only the grid points no earlier round has evaluated.
+	costOpts := placement.CostOptions{
+		Specs:          c.cfg.Specs,
+		AvgObjectBytes: c.cfg.AvgObjectBytes,
+		Model:          c.cfg.Model,
+		Shared:         c.costShared,
+	}
+	rep.OldCost, err = placement.PredictCostOpts(curOn, costOpts)
+	if err != nil {
+		c.round--
+		return nil, err
+	}
+	rep.NewCost, err = placement.PredictCostOpts(next, costOpts)
+	if err != nil {
+		c.round--
+		return nil, err
+	}
 	rep.NetBenefit = rep.OldCost - rep.NewCost
 	if c.cfg.TransferWeight > 0 {
 		rep.NetBenefit -= c.cfg.TransferWeight * diff.TransferGBHops
@@ -524,6 +564,7 @@ func (c *Controller) propose(view *core.System, rec *ReconcileRecord) (*placemen
 	hcfg := placement.HybridConfig{
 		Specs:          c.cfg.Specs,
 		AvgObjectBytes: c.cfg.AvgObjectBytes,
+		Model:          c.cfg.Model,
 		Parallelism:    c.cfg.Parallelism,
 		Epsilon:        c.cfg.Epsilon,
 		Explain: func(e placement.ExplainStep) {
@@ -590,6 +631,7 @@ func (c *Controller) propose(view *core.System, rec *ReconcileRecord) (*placemen
 func (c *Controller) finish(rep *Report, rec ReconcileRecord, start time.Time, o Outcome) *Report {
 	rep.Outcome = o
 	rep.Engine = rec.Engine
+	rep.Model = rec.Model
 	rep.PlacementMs = rec.PlacementMs
 	c.last = rep
 	c.counts[o]++
@@ -696,6 +738,7 @@ func (c *Controller) Status() Status {
 		NoSignal:     c.counts[OutcomeNoSignal],
 		Replicas:     p.Replicas(),
 		Observed:     c.est.Observed(),
+		Model:        c.cfg.Model,
 		Placement:    sites,
 		Last:         c.last,
 		Pending:      c.pending,

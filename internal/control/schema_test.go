@@ -73,8 +73,16 @@ func TestControlStatusSchema(t *testing.T) {
 	status := getJSON(t, srv.URL+"/debug/control")
 	checkKeys(t, "/debug/control", status,
 		[]string{"rounds", "applied", "skipped", "noops", "no_signal", "replicas",
-			"observed_requests", "placement", "edge_rates", "site_rates", "window_totals", "last"},
+			"observed_requests", "placement", "edge_rates", "site_rates", "window_totals",
+			"last", "model"},
 		[]string{"pending"})
+	var model string
+	if err := json.Unmarshal(status["model"], &model); err != nil {
+		t.Fatal(err)
+	}
+	if model != "eq1" {
+		t.Errorf("status model = %q, want the normalized default %q", model, "eq1")
+	}
 
 	var last map[string]json.RawMessage
 	if err := json.Unmarshal(status["last"], &last); err != nil {
@@ -83,7 +91,7 @@ func TestControlStatusSchema(t *testing.T) {
 	checkKeys(t, "/debug/control last report", last,
 		[]string{"round", "outcome", "window_requests", "old_cost", "new_cost",
 			"net_benefit", "diff", "creates_deferred", "placement_ms"},
-		[]string{"excluded", "engine"})
+		[]string{"excluded", "engine", "model"})
 
 	var diff map[string]json.RawMessage
 	if err := json.Unmarshal(last["diff"], &diff); err != nil {
@@ -119,7 +127,7 @@ func TestControlAuditSchema(t *testing.T) {
 			"window_requests", "old_cost", "new_cost", "net_benefit", "transfer_gb_hops",
 			"hysteresis_bar", "proposed", "created", "engine_steps", "creates_deferred",
 			"placement_ms"},
-		[]string{"dropped", "frozen_sites", "excluded_edges", "engine", "epsilon", "warm"})
+		[]string{"dropped", "frozen_sites", "excluded_edges", "engine", "model", "epsilon", "warm"})
 
 	var warm map[string]json.RawMessage
 	if err := json.Unmarshal(records[0]["warm"], &warm); err != nil {
@@ -149,7 +157,7 @@ func TestControlAuditSchema(t *testing.T) {
 	}
 	checkKeys(t, "audit engine step", steps[0],
 		[]string{"iter", "server", "site", "benefit", "predicted_cost"},
-		[]string{"heap_pops", "stale_reevals", "superseded", "infeasible", "engine",
+		[]string{"heap_pops", "stale_reevals", "superseded", "infeasible", "engine", "model",
 			"rows_deferred", "rows_caught_up", "drift_accepts", "drift_budget_used"})
 }
 

@@ -90,7 +90,7 @@ func ThetaSweep(ctx context.Context, opts Options, thetas []float64) ([]ThetaRow
 			{&row.AdHoc20, MechAdHoc20},
 			{&row.AdHoc80, MechAdHoc80},
 		} {
-			p, useCache, _, err := buildPlacement(sc, mc.mech)
+			p, useCache, _, err := buildPlacement(sc, mc.mech, opts.Model)
 			if err != nil {
 				return err
 			}

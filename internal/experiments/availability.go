@@ -44,7 +44,7 @@ func AvailabilityComparison(ctx context.Context, opts Options, originFailures []
 	rows := make([]AvailabilityRow, len(jobs))
 	err = parallelFor(len(jobs), func(ji int) error {
 		jb := jobs[ji]
-		p, useCache, _, err := buildPlacement(sc, jb.mech)
+		p, useCache, _, err := buildPlacement(sc, jb.mech, opts.Model)
 		if err != nil {
 			return err
 		}

@@ -76,7 +76,7 @@ func ChurnComparison(ctx context.Context, opts Options, cfg ChurnConfig) ([]Chur
 	rows := make([]ChurnRow, len(mechs))
 	err = parallelFor(len(mechs), func(mi int) error {
 		mech := mechs[mi]
-		p, useCache, _, err := buildPlacement(sc, mech)
+		p, useCache, _, err := buildPlacement(sc, mech, opts.Model)
 		if err != nil {
 			return err
 		}

@@ -69,6 +69,10 @@ type Options struct {
 	GridSteps int
 	// TraceSeed drives request sampling (identical across mechanisms).
 	TraceSeed uint64
+	// Model selects the analytical hit-ratio model the hybrid placement
+	// optimizes with ("eq1", "che", "closedform", "random"); empty means
+	// eq1, the paper's own model.
+	Model string
 }
 
 // DefaultOptions reproduces the paper's scale: 50 servers, 20 sites,
@@ -126,8 +130,9 @@ type Panel struct {
 }
 
 // buildPlacement constructs the placement for a mechanism on a scenario,
-// and reports whether the simulator should enable caches.
-func buildPlacement(sc *scenario.Scenario, mech Mechanism) (*core.Placement, bool, float64, error) {
+// and reports whether the simulator should enable caches. model selects
+// the hybrid's analytical hit-ratio model (empty = eq1).
+func buildPlacement(sc *scenario.Scenario, mech Mechanism, model string) (*core.Placement, bool, float64, error) {
 	switch mech {
 	case MechReplication:
 		res := placement.GreedyGlobal(sc.Sys)
@@ -139,6 +144,7 @@ func buildPlacement(sc *scenario.Scenario, mech Mechanism) (*core.Placement, boo
 		res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
 			Specs:          sc.Work.Specs(),
 			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			Model:          model,
 		})
 		if err != nil {
 			return nil, false, 0, err
@@ -176,7 +182,7 @@ func runPanel(ctx context.Context, opts Options, id, title string, capacityFrac,
 	// run them in parallel on identical trace seeds.
 	err = parallelFor(len(mechs), func(mi int) error {
 		mech := mechs[mi]
-		p, useCache, predicted, err := buildPlacement(sc, mech)
+		p, useCache, predicted, err := buildPlacement(sc, mech, opts.Model)
 		if err != nil {
 			return err
 		}
@@ -288,6 +294,7 @@ func Figure6(ctx context.Context, opts Options) ([]Fig6Row, error) {
 		res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
 			Specs:          sc.Work.Specs(),
 			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			Model:          opts.Model,
 		})
 		if err != nil {
 			return err

@@ -237,7 +237,7 @@ func TestUnknownMechanism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := buildPlacement(sc, Mechanism("bogus")); err == nil {
+	if _, _, _, err := buildPlacement(sc, Mechanism("bogus"), ""); err == nil {
 		t.Fatal("unknown mechanism accepted")
 	}
 }

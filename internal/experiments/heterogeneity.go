@@ -55,7 +55,7 @@ func HeterogeneityComparison(ctx context.Context, opts Options, spreads []float6
 			{&row.CachingMs, MechCaching},
 			{&row.HybridMs, MechHybrid},
 		} {
-			p, useCache, _, err := buildPlacement(sc, mc.mech)
+			p, useCache, _, err := buildPlacement(sc, mc.mech, opts.Model)
 			if err != nil {
 				return err
 			}

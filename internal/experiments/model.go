@@ -17,44 +17,73 @@ import (
 
 // ModelCompareRow is one cache size of the model-comparison sweep.
 type ModelCompareRow struct {
-	Slots  int
-	PaperH float64 // Equations (1)+(2)
-	CheH   float64 // Che's characteristic-time approximation
-	SimH   float64 // trace-driven LRU ground truth
+	Slots   int
+	PaperH  float64 // Equations (1)+(2)
+	CheH    float64 // Che's characteristic-time approximation
+	ClosedH float64 // Laoutaris closed-form evaluation
+	SimH    float64 // trace-driven LRU ground truth
 }
 
-// ModelComparison sweeps a single shared LRU cache over sizes and
-// compares the paper's analytical hit ratio (Equations 1 and 2) and
-// Che's characteristic-time approximation against a trace-driven
-// simulation — a model ablation the paper does not run. The workload is
-// the configured site mix collapsed onto one cache with unit-size
-// objects, the setting in which both models are defined.
-func ModelComparison(ctx context.Context, opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
+// modelSweepInputs collapses the configured site mix onto one shared
+// cache with unit-size objects, the setting in which the analytical
+// models are defined.
+func modelSweepInputs(opts Options) ([]lrumodel.SiteSpec, []float64, int, error) {
 	wcfg := opts.Base.Workload
 	w, err := workload.Generate(wcfg, xrand.New(opts.Base.Seed))
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	specs := w.Specs()
 	weights := make([]float64, len(w.Sites))
 	for j, s := range w.Sites {
 		weights[j] = s.Weight
 	}
-	totalObjects := wcfg.Sites() * wcfg.ObjectsPerSite
-	pred := lrumodel.NewPredictor(specs, weights, 1, int64(totalObjects))
+	return specs, weights, wcfg.Sites() * wcfg.ObjectsPerSite, nil
+}
 
+// ModelComparison sweeps a single shared LRU cache over sizes and
+// compares the analytical hit-ratio models — the paper's Equations (1)
+// and (2), Che's characteristic-time approximation and the Laoutaris
+// closed form — against a trace-driven simulation, a model ablation the
+// paper does not run.
+func ModelComparison(ctx context.Context, opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
+	specs, weights, totalObjects, err := modelSweepInputs(opts)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []lrumodel.ModelKind{lrumodel.ModelEq1, lrumodel.ModelChe, lrumodel.ModelClosedForm}
+	models := make([]lrumodel.Model, len(kinds))
+	for ki, kind := range kinds {
+		models[ki], err = lrumodel.New(lrumodel.ModelConfig{
+			Kind:           kind,
+			Specs:          specs,
+			Weights:        weights,
+			AvgObjectBytes: 1,
+			MaxCacheBytes:  int64(totalObjects),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Models are not safe for concurrent use (private memo maps), so the
+	// analytical columns fill sequentially; only the simulations fan out.
 	rows := make([]ModelCompareRow, len(slotFracs))
-	err = parallelFor(len(slotFracs), func(fi int) error {
+	for fi := range slotFracs {
 		slots := int(slotFracs[fi] * float64(totalObjects))
 		if slots < 1 {
 			slots = 1
 		}
 		rows[fi] = ModelCompareRow{
-			Slots:  slots,
-			PaperH: pred.OverallHitRatio(int64(slots)),
-			CheH:   pred.CheOverallHitRatio(int64(slots)),
-			SimH:   simulateSharedLRU(specs, weights, slots, 800000, xrand.New(opts.TraceSeed+uint64(fi))),
+			Slots:   slots,
+			PaperH:  models[0].OverallHitRatio(int64(slots)),
+			CheH:    models[1].OverallHitRatio(int64(slots)),
+			ClosedH: models[2].OverallHitRatio(int64(slots)),
 		}
+	}
+	err = parallelFor(len(slotFracs), func(fi int) error {
+		rows[fi].SimH = simulateShared(cache.PolicyLRU, specs, weights, rows[fi].Slots, 800000,
+			xrand.New(opts.TraceSeed+uint64(fi)))
 		return nil
 	})
 	if err != nil {
@@ -63,10 +92,11 @@ func ModelComparison(ctx context.Context, opts Options, slotFracs []float64) ([]
 	return rows, nil
 }
 
-// simulateSharedLRU measures the overall hit ratio of one LRU cache fed
-// by the IRM mixture of all sites (unit-size objects).
-func simulateSharedLRU(specs []lrumodel.SiteSpec, weights []float64, slots, requests int, r *xrand.Source) float64 {
-	c := cache.NewLRU(int64(slots))
+// simulateShared measures the overall hit ratio of one cache of the
+// given replacement policy fed by the IRM mixture of all sites
+// (unit-size objects).
+func simulateShared(policy cache.Policy, specs []lrumodel.SiteSpec, weights []float64, slots, requests int, r *xrand.Source) float64 {
+	c := cache.New(policy, int64(slots))
 	zipfs := make([]*stats.Zipf, len(specs))
 	for j, s := range specs {
 		zipfs[j] = stats.NewZipf(s.Objects, s.Theta)
@@ -107,11 +137,79 @@ func simulateSharedLRU(specs []lrumodel.SiteSpec, weights []float64, slots, requ
 // FormatModelCompareRows renders the model-comparison sweep.
 func FormatModelCompareRows(rows []ModelCompareRow) string {
 	var b strings.Builder
-	b.WriteString("Model ablation — paper Eq.(1)+(2) vs Che approximation vs simulated LRU\n")
-	b.WriteString("slots B     paper-h      che-h      sim-h   paper-err    che-err\n")
+	b.WriteString("Model ablation — Eq.(1)+(2) vs Che vs closed form vs simulated LRU\n")
+	b.WriteString("slots B     paper-h      che-h   closed-h      sim-h   paper-err    che-err  closed-err\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-9d %9.4f %10.4f %10.4f %+11.4f %+10.4f\n",
-			r.Slots, r.PaperH, r.CheH, r.SimH, r.PaperH-r.SimH, r.CheH-r.SimH)
+		fmt.Fprintf(&b, "%-9d %9.4f %10.4f %10.4f %10.4f %+11.4f %+10.4f %+11.4f\n",
+			r.Slots, r.PaperH, r.CheH, r.ClosedH, r.SimH,
+			r.PaperH-r.SimH, r.CheH-r.SimH, r.ClosedH-r.SimH)
+	}
+	return b.String()
+}
+
+// PolicyModelRow is one (policy, cache size) cell of the
+// non-LRU-policy validation sweep: the analytical RANDOM/FIFO model's
+// prediction against a trace-driven simulation of the real cache
+// variant.
+type PolicyModelRow struct {
+	Policy cache.Policy
+	Slots  int
+	ModelH float64 // analytical RANDOM/FIFO model (Gelenbe/Gallo)
+	SimH   float64 // trace-driven ground truth for this policy
+}
+
+// ModelPolicyComparison validates the analytical RANDOM/FIFO model
+// against the real FIFO and RANDOM cache variants on the same shared
+// IRM mixture ModelComparison uses. Under IRM both policies share one
+// analytical hit ratio (q·T/(1+q·T)), so one model column serves both
+// simulated policies — the table shows how tight that claim is.
+func ModelPolicyComparison(ctx context.Context, opts Options, slotFracs []float64) ([]PolicyModelRow, error) {
+	specs, weights, totalObjects, err := modelSweepInputs(opts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := lrumodel.New(lrumodel.ModelConfig{
+		Kind:           lrumodel.ModelRandom,
+		Specs:          specs,
+		Weights:        weights,
+		AvgObjectBytes: 1,
+		MaxCacheBytes:  int64(totalObjects),
+	})
+	if err != nil {
+		return nil, err
+	}
+	policies := []cache.Policy{cache.PolicyFIFO, cache.PolicyRandom}
+	rows := make([]PolicyModelRow, len(policies)*len(slotFracs))
+	for ri := range rows {
+		slots := int(slotFracs[ri%len(slotFracs)] * float64(totalObjects))
+		if slots < 1 {
+			slots = 1
+		}
+		rows[ri] = PolicyModelRow{
+			Policy: policies[ri/len(slotFracs)],
+			Slots:  slots,
+			ModelH: model.OverallHitRatio(int64(slots)),
+		}
+	}
+	err = parallelFor(len(rows), func(ri int) error {
+		rows[ri].SimH = simulateShared(rows[ri].Policy, specs, weights, rows[ri].Slots, 800000,
+			xrand.New(opts.TraceSeed+uint64(ri)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatPolicyModelRows renders the RANDOM/FIFO validation sweep.
+func FormatPolicyModelRows(rows []PolicyModelRow) string {
+	var b strings.Builder
+	b.WriteString("RANDOM/FIFO model — analytical q·T/(1+q·T) vs simulated cache variants\n")
+	b.WriteString("policy    slots B    model-h      sim-h        err\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-9d %9.4f %10.4f %+10.4f\n",
+			r.Policy, r.Slots, r.ModelH, r.SimH, r.ModelH-r.SimH)
 	}
 	return b.String()
 }
@@ -148,6 +246,7 @@ func ModelRobustness(ctx context.Context, opts Options, probs []float64) ([]Robu
 		res, err := placement.Hybrid(sc.Sys, placement.HybridConfig{
 			Specs:          sc.Work.Specs(),
 			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			Model:          opts.Model,
 		})
 		if err != nil {
 			return err

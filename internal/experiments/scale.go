@@ -79,7 +79,7 @@ func ScaleComparison(ctx context.Context, opts Options, factors []int) ([]ScaleR
 
 		simCfg := opts.Sim
 		for _, mech := range []Mechanism{MechReplication, MechCaching} {
-			p, useCache, _, err := buildPlacement(sc, mech)
+			p, useCache, _, err := buildPlacement(sc, mech, opts.Model)
 			if err != nil {
 				return nil, fmt.Errorf("scale ×%d: %w", f, err)
 			}

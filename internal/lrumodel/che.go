@@ -21,6 +21,18 @@ import "math"
 // 1 − (1 − p_k)^T_C — structurally the paper's Equation (1) with T_C in
 // place of the Equation (2) K.
 
+// cheLaw plugs Che's approximation into the Predictor machinery as a
+// selectable ModelKind: KForB memoizes the bisection per B, and the
+// grid evaluation reuses the Equation (1) structural form with T_C in
+// place of K. The standalone Che* methods below remain unmemoized for
+// the validation tooling.
+type cheLaw struct{}
+
+func (cheLaw) charTime(p *Predictor, B int) float64 { return p.CheK(B) }
+func (cheLaw) siteHit(p *Predictor, j int, pSite, K float64) float64 {
+	return hitRatioExact(pSite, p.zipfs[j], K)
+}
+
 // CheK computes the characteristic time T_C for the predictor's merged
 // object population and a cache of B slots, by bisection on the
 // monotone occupancy function. It returns +Inf when B covers every

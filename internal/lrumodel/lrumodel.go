@@ -63,13 +63,21 @@ const DefaultKStep = 5.0
 // paper's pre-computation "granularity of p ... set to 10^-5".
 const DefaultPStep = 1e-5
 
-// Predictor predicts per-site LRU hit ratios at a single CDN server.
+// Predictor predicts per-site cache hit ratios at a single CDN server.
 // It is built from the full site catalog and the server's (fixed) site
 // popularity vector; only the cache size varies across queries, which is
 // exactly how the hybrid placement algorithm uses it.
 //
+// One Predictor type backs every ModelKind: the kind's law supplies the
+// characteristic-time and hit-ratio mathematics, while the quantized
+// memo grid, the frozen popularity prefix and the shared table are
+// common machinery. Build one with New; the zero-value kind is eq1.
+//
 // A Predictor is not safe for concurrent use.
 type Predictor struct {
+	kind ModelKind
+	law  law
+
 	specs  []SiteSpec
 	pops   []float64 // p_j: normalized site popularity, frozen
 	zipfs  []*stats.Zipf
@@ -92,6 +100,31 @@ type hKey struct {
 	site int
 	pq   int64 // quantized effective popularity bucket
 	kq   int64 // quantized K bucket; -1 encodes K = +Inf
+}
+
+// law is the pluggable replacement-policy mathematics behind a
+// Predictor: how the characteristic time follows from the slot count,
+// and how the per-site hit ratio is evaluated at one quantized
+// (popularity, characteristic-time) grid point. Everything else — the
+// B/K guards, the λ adjustment, the conditional renormalization, the
+// private and shared memo tables — is shared across laws.
+type law interface {
+	// charTime returns the characteristic time for B slots. Callers
+	// have already handled B ≤ 0 and the everything-fits regime.
+	charTime(p *Predictor, B int) float64
+	// siteHit returns the un-λ-adjusted hit ratio of site j when the
+	// site's effective popularity is pSite and the characteristic time
+	// is K (possibly +Inf).
+	siteHit(p *Predictor, j int, pSite, K float64) float64
+}
+
+// eq1Law is the paper's own model: Equation (2) for K and Equation (1)
+// for the hit ratio. It is the byte-identical default.
+type eq1Law struct{}
+
+func (eq1Law) charTime(p *Predictor, B int) float64 { return kApprox(B, p.TopMass(B)) }
+func (eq1Law) siteHit(p *Predictor, j int, pSite, K float64) float64 {
+	return hitRatioExact(pSite, p.zipfs[j], K)
 }
 
 // SharedTable memoizes Equation (1) evaluations on the quantized
@@ -117,6 +150,7 @@ type SharedTable struct {
 }
 
 type sharedKey struct {
+	kind       ModelKind
 	rankOffset int
 	objects    int
 	theta      float64
@@ -174,13 +208,17 @@ func (t *SharedTable) store(k sharedKey, h float64) {
 	t.mu.Unlock()
 }
 
-// NewPredictor builds a predictor for one server.
+// NewPredictor builds an eq1 predictor for one server.
 //
 // weights[j] is the server's request rate for site j (any positive scale;
 // normalized internally — the paper's p_j = r_j/Σ r_k). avgObjBytes is ō.
 // maxCacheBytes bounds the cache sizes that will ever be queried (the
 // server's total storage capacity); the frozen popularity prefix is
 // computed up to the corresponding B.
+//
+// Deprecated: use New with a ModelConfig, which selects among all
+// ModelKinds and reports invalid input as an error. This wrapper keeps
+// the original panic-on-bad-input contract.
 func NewPredictor(specs []SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64) *Predictor {
 	return NewPredictorShared(specs, weights, avgObjBytes, maxCacheBytes, nil)
 }
@@ -190,14 +228,28 @@ func NewPredictor(specs []SiteSpec, weights []float64, avgObjBytes float64, maxC
 // the same site catalog semantics (the table is keyed by Zipf shape, so
 // mismatched catalogs merely waste entries, they cannot corrupt
 // results). A nil table reproduces NewPredictor.
+//
+// Deprecated: use New with a ModelConfig carrying the Shared table.
 func NewPredictorShared(specs []SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64, shared *SharedTable) *Predictor {
+	p, err := newPredictor(ModelEq1, specs, weights, avgObjBytes, maxCacheBytes, shared)
+	if err != nil {
+		panic(err.Error())
+	}
+	return p
+}
+
+// newPredictor is the common constructor behind New and the deprecated
+// wrappers. kind must already be validated.
+func newPredictor(kind ModelKind, specs []SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64, shared *SharedTable) (*Predictor, error) {
 	if len(specs) != len(weights) {
-		panic(fmt.Sprintf("lrumodel: %d specs but %d weights", len(specs), len(weights)))
+		return nil, fmt.Errorf("lrumodel: %d specs but %d weights", len(specs), len(weights))
 	}
 	if avgObjBytes <= 0 {
-		panic(fmt.Sprintf("lrumodel: avgObjBytes = %v", avgObjBytes))
+		return nil, fmt.Errorf("lrumodel: avgObjBytes = %v", avgObjBytes)
 	}
 	p := &Predictor{
+		kind:   kind,
+		law:    lawFor(kind),
 		specs:  specs,
 		avgObj: avgObjBytes,
 		kStep:  DefaultKStep,
@@ -212,7 +264,7 @@ func NewPredictorShared(specs []SiteSpec, weights []float64, avgObjBytes float64
 	total := 0.0
 	for j, w := range weights {
 		if w < 0 {
-			panic(fmt.Sprintf("lrumodel: negative weight %v for site %d", w, j))
+			return nil, fmt.Errorf("lrumodel: negative weight %v for site %d", w, j)
 		}
 		total += w
 	}
@@ -225,18 +277,26 @@ func NewPredictorShared(specs []SiteSpec, weights []float64, avgObjBytes float64
 	p.zipfs = make([]*stats.Zipf, len(specs))
 	for j, s := range specs {
 		if s.Objects < 1 {
-			panic(fmt.Sprintf("lrumodel: site %d has %d objects", j, s.Objects))
+			return nil, fmt.Errorf("lrumodel: site %d has %d objects", j, s.Objects)
 		}
 		if s.Lambda < 0 || s.Lambda > 1 {
-			panic(fmt.Sprintf("lrumodel: site %d has lambda %v", j, s.Lambda))
+			return nil, fmt.Errorf("lrumodel: site %d has lambda %v", j, s.Lambda)
 		}
 		if s.RankOffset < 0 {
-			panic(fmt.Sprintf("lrumodel: site %d has rank offset %d", j, s.RankOffset))
+			return nil, fmt.Errorf("lrumodel: site %d has rank offset %d", j, s.RankOffset)
 		}
 		p.zipfs[j] = stats.NewZipfRange(s.RankOffset+1, s.Objects, s.Theta)
 	}
 	p.buildPrefix(p.B(maxCacheBytes))
-	return p
+	return p, nil
+}
+
+// Kind identifies the model law behind this predictor.
+func (p *Predictor) Kind() ModelKind {
+	if p.kind == "" {
+		return ModelEq1
+	}
+	return p.kind
 }
 
 // buildPrefix merges the per-site object popularity lists (each sorted
@@ -300,9 +360,10 @@ func (p *Predictor) TopMass(B int) float64 {
 	return p.prefix[B]
 }
 
-// K evaluates Equation (2) for the cache size in bytes. It returns 0 for
-// an empty cache and +Inf when every object fits (the cache never
-// evicts). Results are memoized per B.
+// K evaluates the model's characteristic time for the cache size in
+// bytes — Equation (2) for eq1, Che's T_C, the RANDOM/FIFO T, or the
+// closed-form K. It returns 0 for an empty cache and +Inf when every
+// object fits (the cache never evicts). Results are memoized per B.
 func (p *Predictor) K(cacheBytes int64) float64 {
 	return p.KForB(p.B(cacheBytes))
 }
@@ -318,7 +379,7 @@ func (p *Predictor) KForB(B int) float64 {
 	if k, ok := p.kmemo[B]; ok {
 		return k
 	}
-	k := kApprox(B, p.TopMass(B))
+	k := p.law.charTime(p, B)
 	p.kmemo[B] = k
 	return k
 }
@@ -392,7 +453,7 @@ func (p *Predictor) siteHitRatioK(j int, visibleMass float64, K float64) float64
 	var sk sharedKey
 	if p.shared != nil {
 		s := p.specs[j]
-		sk = sharedKey{rankOffset: s.RankOffset, objects: s.Objects, theta: s.Theta, pq: key.pq, kq: key.kq}
+		sk = sharedKey{kind: p.Kind(), rankOffset: s.RankOffset, objects: s.Objects, theta: s.Theta, pq: key.pq, kq: key.kq}
 		if h, ok := p.shared.lookup(sk); ok {
 			p.hmemo[key] = h
 			return h * (1 - p.specs[j].Lambda)
@@ -404,7 +465,7 @@ func (p *Predictor) siteHitRatioK(j int, visibleMass float64, K float64) float64
 	if key.kq >= 0 {
 		kEff = float64(key.kq) * p.kStep
 	}
-	h := hitRatioExact(float64(key.pq)*p.pStep, p.zipfs[j], kEff)
+	h := p.law.siteHit(p, j, float64(key.pq)*p.pStep, kEff)
 	p.hmemo[key] = h
 	if p.shared != nil {
 		p.shared.store(sk, h)

@@ -1,0 +1,154 @@
+package lrumodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseModelKind(t *testing.T) {
+	if k, err := ParseModelKind(""); err != nil || k != ModelEq1 {
+		t.Fatalf("ParseModelKind(\"\") = %v, %v; want eq1 default", k, err)
+	}
+	for _, kind := range ModelKinds() {
+		k, err := ParseModelKind(string(kind))
+		if err != nil || k != kind {
+			t.Fatalf("ParseModelKind(%q) = %v, %v", kind, k, err)
+		}
+	}
+	_, err := ParseModelKind("lfu")
+	if err == nil {
+		t.Fatal("ParseModelKind(\"lfu\") succeeded")
+	}
+	// CLIs surface this message verbatim from flag validation: it must
+	// name the offender and list every valid kind.
+	for _, want := range []string{`"lfu"`, "eq1", "che", "closedform", "random"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	specs, w := singleSite(100, 1.0, 0)
+	good := ModelConfig{Specs: specs, Weights: w, AvgObjectBytes: 1, MaxCacheBytes: 100}
+
+	bad := good
+	bad.Kind = "bogus"
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted an unknown kind")
+	}
+
+	// Unlike the deprecated panicking constructors, New reports invalid
+	// site specs as an error.
+	bad = good
+	bad.Specs = nil
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted empty specs")
+	}
+	bad = good
+	bad.AvgObjectBytes = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("New accepted ō = 0")
+	}
+}
+
+func TestModelKindRoundTrip(t *testing.T) {
+	specs, w := singleSite(100, 1.0, 0)
+	for _, kind := range ModelKinds() {
+		m, err := New(ModelConfig{Kind: kind, Specs: specs, Weights: w,
+			AvgObjectBytes: 1, MaxCacheBytes: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Kind() != kind {
+			t.Fatalf("Kind() = %v, want %v", m.Kind(), kind)
+		}
+	}
+}
+
+// TestDeprecatedConstructorsMatchNew pins the compatibility contract:
+// the deprecated panicking constructors are thin wrappers over the eq1
+// kind, bit-identical to New on every surface the placement uses.
+func TestDeprecatedConstructorsMatchNew(t *testing.T) {
+	specs := []SiteSpec{
+		{Objects: 300, Theta: 1.0},
+		{Objects: 500, Theta: 0.8, Lambda: 0.2},
+	}
+	w := []float64{3, 1}
+	old := NewPredictor(specs, w, 1, 800)
+	m, err := New(ModelConfig{Specs: specs, Weights: w, AvgObjectBytes: 1, MaxCacheBytes: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != ModelEq1 {
+		t.Fatalf("zero Kind resolved to %v, want eq1", m.Kind())
+	}
+	for _, c := range []int64{0, 40, 100, 400, 799} {
+		for j := range specs {
+			if a, b := old.SiteHitRatio(j, c), m.SiteHitRatio(j, c); a != b {
+				t.Fatalf("site %d cache %d: deprecated %v != New %v", j, c, a, b)
+			}
+		}
+		if a, b := old.OverallHitRatio(c), m.OverallHitRatio(c); a != b {
+			t.Fatalf("cache %d: overall %v != %v", c, a, b)
+		}
+	}
+}
+
+// TestSharedTableIsolatesKinds: models of different kinds can attach
+// the same SharedTable without cross-contaminating each other, because
+// entries are keyed by kind. Each shared model must agree exactly with
+// a private-table model of the same kind.
+func TestSharedTableIsolatesKinds(t *testing.T) {
+	specs, w := singleSite(2000, 1.0, 0)
+	table := NewSharedTable()
+	for _, c := range []int64{100, 400, 1000} {
+		for _, kind := range ModelKinds() {
+			shared, err := New(ModelConfig{Kind: kind, Specs: specs, Weights: w,
+				AvgObjectBytes: 1, MaxCacheBytes: 2000, Shared: table})
+			if err != nil {
+				t.Fatal(err)
+			}
+			private, err := New(ModelConfig{Kind: kind, Specs: specs, Weights: w,
+				AvgObjectBytes: 1, MaxCacheBytes: 2000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := shared.SiteHitRatio(0, c), private.SiteHitRatio(0, c); a != b {
+				t.Fatalf("%s cache %d: shared %v != private %v", kind, c, a, b)
+			}
+		}
+	}
+	if st := table.Stats(); st.Entries == 0 {
+		t.Fatal("shared table recorded no entries")
+	}
+}
+
+// TestModelsOrderedBySkewSensitivity spot-checks the cross-model
+// ordering at one operating point: all four kinds must produce a
+// plausible hit ratio (0 < h < 1) for a mid-size cache, and eq1 must
+// stay within a few points of closedform while che/random are free to
+// differ (they model different mathematics/policies).
+func TestModelsOrderedBySkewSensitivity(t *testing.T) {
+	specs, w := singleSite(1000, 1.0, 0)
+	h := map[ModelKind]float64{}
+	for _, kind := range ModelKinds() {
+		m, err := New(ModelConfig{Kind: kind, Specs: specs, Weights: w,
+			AvgObjectBytes: 1, MaxCacheBytes: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := m.OverallHitRatio(150)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("%s: hit ratio %v out of (0,1)", kind, v)
+		}
+		h[kind] = v
+	}
+	if d := math.Abs(h[ModelEq1] - h[ModelClosedForm]); d > 0.005 {
+		t.Fatalf("eq1 %v vs closedform %v differ by %v", h[ModelEq1], h[ModelClosedForm], d)
+	}
+	if h[ModelRandom] > h[ModelChe]+0.01 {
+		t.Fatalf("random %v above Che LRU %v", h[ModelRandom], h[ModelChe])
+	}
+}

@@ -763,7 +763,7 @@ func hybridHeapRun(st *hybridState, eps float64) *Result {
 				Benefit: bestB, PredictedCost: step.PredictedCost,
 				HeapPops: pops, StaleReevals: stale,
 				Superseded: superseded, Infeasible: infeasible,
-				Engine:       st.engineLabel,
+				Engine: st.engineLabel, Model: string(st.model),
 				RowsDeferred: deferred, RowsCaughtUp: caughtUp,
 				CellsVerified: verifiedN,
 				DriftAccepts:  driftAccepts, DriftBudgetUsed: used,

@@ -30,6 +30,10 @@ type ExplainStep struct {
 	// Engine labels the selection engine that produced the step:
 	// "scan", "lazy", "approx" or "warm" (incremental repair).
 	Engine string `json:"engine,omitempty"`
+	// Model labels the analytical hit-ratio model the benefit terms
+	// were evaluated under ("eq1", "che", "closedform", "random";
+	// empty for the model-free greedy engines).
+	Model string `json:"model,omitempty"`
 	// RowsDeferred counts row re-evaluations the approximate engine
 	// deferred since the previous step (ε > 0 only); each deferral
 	// grows the row's drift bound instead of paying the re-evaluation.

@@ -58,7 +58,8 @@ const (
 // (and seeded by a cold run through it); treat it as opaque.
 type WarmState struct {
 	placement *core.Placement
-	preds     []*lrumodel.Predictor
+	model     lrumodel.ModelKind
+	preds     []lrumodel.Model
 	shared    *lrumodel.SharedTable
 	h         [][]float64
 	visMass   []float64
@@ -76,6 +77,16 @@ type WarmState struct {
 // Steps returns the full replica-creation recipe of the warm solution
 // (all rounds' steps, in order).
 func (w *WarmState) Steps() []Step { return w.steps }
+
+// Shared returns the cross-round hit-ratio table (nil before any heap
+// run). Callers can pass it to PredictCostOpts so repeated cost probes
+// reuse the solver's memoized grid points.
+func (w *WarmState) Shared() *lrumodel.SharedTable {
+	if w == nil {
+		return nil
+	}
+	return w.shared
+}
 
 // SharedStats exposes the cross-round hit-ratio table's traffic.
 func (w *WarmState) SharedStats() lrumodel.SharedTableStats {
@@ -119,7 +130,7 @@ type IncrementalStats struct {
 	// false means a cold solve ran (Reason says why).
 	Warm bool `json:"warm"`
 	// Reason labels a cold run: "cold-start", "topology-changed",
-	// "drift-too-large". Empty on warm rounds.
+	// "drift-too-large", "model-changed". Empty on warm rounds.
 	Reason string `json:"reason,omitempty"`
 	// DirtyRows / TotalRows is the measured drift extent; MaxRowDrift
 	// is the largest relative L1 row drift observed.
@@ -197,12 +208,19 @@ func Incremental(prev *WarmState, sys *core.System, cfg IncrementalConfig) (*Res
 	n := sys.N()
 	stats := IncrementalStats{TotalRows: n}
 
+	kind, err := lrumodel.ParseModelKind(cfg.Model)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+
 	cold := func(reason string) (*Result, *WarmState, IncrementalStats, error) {
 		stats.Warm = false
 		stats.Reason = reason
 		var shared *lrumodel.SharedTable
 		if prev != nil {
 			shared = prev.shared // grid points survive even a cold fallback
+			// (entries are keyed by model kind, so this is safe across
+			// a model change too)
 		}
 		res, warm, err := hybridColdCaptured(sys, cfg.HybridConfig, shared)
 		if err != nil {
@@ -218,6 +236,12 @@ func Incremental(prev *WarmState, sys *core.System, cfg IncrementalConfig) (*Res
 	}
 	if !sameTopology(prev.sys, sys) {
 		return cold("topology-changed")
+	}
+	if prev.model != kind {
+		// The carried-over benefit matrices, hit ratios and the greedy
+		// placement itself were all derived under a different model;
+		// none of it is valid warm-start state.
+		return cold("model-changed")
 	}
 
 	// Measure per-row drift against the snapshot the kept model state
@@ -252,6 +276,7 @@ func Incremental(prev *WarmState, sys *core.System, cfg IncrementalConfig) (*Res
 		sys:         sys,
 		cfg:         cfg.HybridConfig,
 		p:           p,
+		model:       kind,
 		preds:       prev.preds,
 		shared:      prev.shared,
 		h:           prev.h,
@@ -276,7 +301,7 @@ func Incremental(prev *WarmState, sys *core.System, cfg IncrementalConfig) (*Res
 	m := st.m
 	fanOutRows(n, st.workers, func(i int) {
 		if dirty[i] {
-			st.preds[i] = lrumodel.NewPredictorShared(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], st.shared)
+			st.preds[i] = mustModel(kind, cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], st.shared)
 			vm := 1.0
 			visible := make([]bool, m) // per-row: rows fan out concurrently
 			for j := 0; j < m; j++ {
@@ -324,13 +349,31 @@ func hybridColdCaptured(sys *core.System, cfg HybridConfig, shared *lrumodel.Sha
 		// state constructor made a fresh one).
 		st.shared = shared
 		for i := 0; i < st.n; i++ {
-			st.preds[i] = lrumodel.NewPredictorShared(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], shared)
+			st.preds[i] = mustModel(st.model, cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], shared)
 		}
 	}
 	st.captureWarm = true
 	st.prepareCold()
 	res := hybridHeapRun(st, maxf(cfg.Epsilon, 0))
 	return res, captureWarmState(st, res, nil, nil), nil
+}
+
+// mustModel builds a model for one server row, panicking on invalid
+// input — the warm paths only rebuild rows for configurations a cold
+// run has already validated, so an error here is a programming bug.
+func mustModel(kind lrumodel.ModelKind, specs []lrumodel.SiteSpec, weights []float64, avgObjBytes float64, maxCacheBytes int64, shared *lrumodel.SharedTable) lrumodel.Model {
+	m, err := lrumodel.New(lrumodel.ModelConfig{
+		Kind:           kind,
+		Specs:          specs,
+		Weights:        weights,
+		AvgObjectBytes: avgObjBytes,
+		MaxCacheBytes:  maxCacheBytes,
+		Shared:         shared,
+	})
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
 }
 
 // captureWarmState snapshots the finished run's solver state (the run
@@ -351,6 +394,7 @@ func captureWarmState(st *hybridState, res *Result, prevDemand [][]float64, rebu
 	}
 	return &WarmState{
 		placement: st.p,
+		model:     st.model,
 		preds:     st.preds,
 		shared:    st.shared,
 		h:         st.h,

@@ -15,11 +15,11 @@ import (
 func hybridReference(sys *core.System, specs []lrumodel.SiteSpec, avgObj float64) []Step {
 	n, m := sys.N(), sys.M()
 	p := core.NewPlacement(sys)
-	preds := make([]*lrumodel.Predictor, n)
+	preds := make([]lrumodel.Model, n)
 	h := make([][]float64, n)
 	visMass := make([]float64, n)
 	for i := 0; i < n; i++ {
-		preds[i] = lrumodel.NewPredictor(specs, sys.Demand[i], avgObj, sys.Capacity[i])
+		preds[i] = mustModel(lrumodel.ModelEq1, specs, sys.Demand[i], avgObj, sys.Capacity[i], nil)
 		h[i] = preds[i].HitRatios(p.Free(i))
 		visMass[i] = 1
 	}

@@ -1,0 +1,234 @@
+package placement
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/lrumodel"
+	"repro/internal/xrand"
+)
+
+// TestHybridEmptyModelIsEq1ByteIdentical pins the redesign's
+// compatibility contract: HybridConfig.Model = "" and "eq1" run the
+// same engine state and produce identical step sequences and costs.
+func TestHybridEmptyModelIsEq1ByteIdentical(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(31), 10, 8, 0.2)
+	base := HybridConfig{Specs: specs, AvgObjectBytes: 1}
+	def, err := Hybrid(sys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq1Cfg := base
+	eq1Cfg.Model = "eq1"
+	eq1, err := Hybrid(sys, eq1Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Steps) != len(eq1.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(def.Steps), len(eq1.Steps))
+	}
+	for i := range def.Steps {
+		if def.Steps[i] != eq1.Steps[i] {
+			t.Fatalf("step %d differs: %+v vs %+v", i, def.Steps[i], eq1.Steps[i])
+		}
+	}
+	if def.PredictedCost != eq1.PredictedCost {
+		t.Fatalf("costs differ: %v vs %v", def.PredictedCost, eq1.PredictedCost)
+	}
+}
+
+func TestHybridRejectsUnknownModel(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(5), 6, 5, 0.2)
+	_, err := Hybrid(sys, HybridConfig{Specs: specs, AvgObjectBytes: 1, Model: "lfu"})
+	if err == nil {
+		t.Fatal("Hybrid accepted an unknown model")
+	}
+	for _, want := range []string{`"lfu"`, "eq1", "closedform"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestHybridClosedFormTracksEq1Cost is the acceptance bound for the
+// fast model: optimizing under closedform must land within 1% of the
+// eq1 engine's final predicted cost (both evaluated under eq1, so the
+// comparison is apples to apples).
+func TestHybridClosedFormTracksEq1Cost(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		sys, specs := randomSystem(xrand.New(seed), 10, 8, 0.2)
+		base := HybridConfig{Specs: specs, AvgObjectBytes: 1}
+		eq1, err := Hybrid(sys, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfCfg := base
+		cfCfg.Model = "closedform"
+		cf, err := Hybrid(sys, cfCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Price the closedform-optimized placement under eq1.
+		cfCost, err := PredictCostOpts(cf.Placement, CostOptions{Specs: specs, AvgObjectBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq1Cost, err := PredictCostOpts(eq1.Placement, CostOptions{Specs: specs, AvgObjectBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq1Cost <= 0 {
+			t.Fatalf("seed %d: eq1 cost %v", seed, eq1Cost)
+		}
+		if rel := (cfCost - eq1Cost) / eq1Cost; rel > 0.01 {
+			t.Errorf("seed %d: closedform placement costs %.5f vs eq1's %.5f (+%.3f%%)",
+				seed, cfCost, eq1Cost, 100*rel)
+		}
+	}
+}
+
+// TestHybridEveryModelProducesValidPlacement: all four kinds drive the
+// engine to a feasible, cost-improving placement.
+func TestHybridEveryModelProducesValidPlacement(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(13), 8, 6, 0.2)
+	noneCost := PredictCost(None(sys).Placement, specs, 1)
+	for _, kind := range lrumodel.ModelKinds() {
+		res, err := Hybrid(sys, HybridConfig{Specs: specs, AvgObjectBytes: 1, Model: string(kind)})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(res.Steps) == 0 {
+			t.Errorf("%s: no replicas placed", kind)
+		}
+		cost, err := PredictCostOpts(res.Placement, CostOptions{Specs: specs, AvgObjectBytes: 1, Model: string(kind)})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if cost > noneCost+1e-9 {
+			t.Errorf("%s: placement cost %v above pure caching %v", kind, cost, noneCost)
+		}
+	}
+}
+
+// TestPredictCostOptsMatchesPredictCost: the options entry point under
+// defaults is the legacy fixed-signature function, exactly.
+func TestPredictCostOptsMatchesPredictCost(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(3), 8, 6, 0.2)
+	res, err := Hybrid(sys, HybridConfig{Specs: specs, AvgObjectBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictCost(res.Placement, specs, 1)
+	got, err := PredictCostOpts(res.Placement, CostOptions{Specs: specs, AvgObjectBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("PredictCostOpts %v != PredictCost %v", got, want)
+	}
+}
+
+// TestPredictCostOptsSharedTableReuse: repeated probes through one
+// SharedTable return identical costs and actually hit the table the
+// second time around — the controller's per-round double pricing no
+// longer re-memoizes Equation (1) from scratch.
+func TestPredictCostOptsSharedTableReuse(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(17), 8, 6, 0.2)
+	res, err := Hybrid(sys, HybridConfig{Specs: specs, AvgObjectBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := PredictCostOpts(res.Placement, CostOptions{Specs: specs, AvgObjectBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := lrumodel.NewSharedTable()
+	opts := CostOptions{Specs: specs, AvgObjectBytes: 1, Shared: table}
+	first, err := PredictCostOpts(res.Placement, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfterFirst := table.Stats().Hits
+	second, err := PredictCostOpts(res.Placement, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != fresh || second != fresh {
+		t.Fatalf("shared-table costs %v, %v != fresh %v", first, second, fresh)
+	}
+	if table.Stats().Hits <= hitsAfterFirst {
+		t.Fatal("second probe did not hit the shared table")
+	}
+}
+
+// TestIncrementalModelChangeForcesCold: a warm state built under one
+// model cannot be repaired under another — the memoized hit-ratio
+// surfaces differ — so the reconcile must fall back cold with the
+// "model-changed" reason.
+func TestIncrementalModelChangeForcesCold(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(23), 8, 6, 0.2)
+	cfg := IncrementalConfig{HybridConfig: HybridConfig{Specs: specs, AvgObjectBytes: 1}}
+	_, state, _, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := cfg
+	changed.Model = "closedform"
+	_, state2, stats, err := Incremental(state, sys, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm {
+		t.Fatal("reconcile stayed warm across a model change")
+	}
+	if stats.Reason != "model-changed" {
+		t.Fatalf("cold reason %q, want \"model-changed\"", stats.Reason)
+	}
+	// Same model again: warm repair works on the rebuilt state.
+	_, _, stats2, err := Incremental(state2, sys, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.Warm {
+		t.Fatalf("second round under the new model fell back cold (%s)", stats2.Reason)
+	}
+	// "" and "eq1" are the same model: no spurious cold fallback.
+	_, state3, _, err := Incremental(nil, sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq1 := cfg
+	eq1.Model = "eq1"
+	_, _, stats3, err := Incremental(state3, sys, eq1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats3.Warm {
+		t.Fatalf("\"\" -> \"eq1\" forced a cold run (%s)", stats3.Reason)
+	}
+}
+
+// TestHybridModelCostMonotonicity is a sanity guard on the cross-model
+// deltas BENCH_models.json reports: the relative final-cost difference
+// between closedform and eq1 stays tiny, while che and random may
+// differ but remain the same order of magnitude.
+func TestHybridModelCostMonotonicity(t *testing.T) {
+	sys, specs := randomSystem(xrand.New(29), 10, 8, 0.2)
+	costs := map[string]float64{}
+	for _, kind := range lrumodel.ModelKinds() {
+		res, err := Hybrid(sys, HybridConfig{Specs: specs, AvgObjectBytes: 1, Model: string(kind)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[string(kind)] = res.PredictedCost
+	}
+	if rel := math.Abs(costs["closedform"]-costs["eq1"]) / costs["eq1"]; rel > 0.01 {
+		t.Errorf("closedform predicted cost drifted %.3f%% from eq1", 100*rel)
+	}
+	for kind, c := range costs {
+		if rel := math.Abs(c-costs["eq1"]) / costs["eq1"]; rel > 0.5 {
+			t.Errorf("%s predicted cost %.5f implausibly far from eq1's %.5f", kind, c, costs["eq1"])
+		}
+	}
+}

@@ -300,10 +300,16 @@ func updatePenalty(sys *core.System, updateRates []float64, i, j int) float64 {
 // HybridConfig parameterizes the hybrid algorithm.
 type HybridConfig struct {
 	// Specs carries the object-level statistics of every site for the
-	// analytical LRU model (λ included).
+	// analytical cache model (λ included).
 	Specs []lrumodel.SiteSpec
 	// AvgObjectBytes is ō, used to convert cache bytes to LRU slots.
 	AvgObjectBytes float64
+	// Model selects the analytical hit-ratio model the benefit terms
+	// are evaluated under: "eq1" (the paper's Equations (1)/(2), the
+	// default), "che", "closedform" or "random" (for FIFO/RANDOM
+	// fleets) — see lrumodel.ModelKinds. Empty means eq1, which is
+	// byte-identical to the pre-interface engine.
+	Model string
 	// Observer, if non-nil, is invoked after every replica creation;
 	// used by the step-by-step example and by tests.
 	Observer func(Step)
@@ -413,13 +419,14 @@ func Hybrid(sys *core.System, cfg HybridConfig) (*Result, error) {
 }
 
 // hybridState is the shared setup of the two hybrid engines: the
-// placement under construction, one predictor per server and the current
+// placement under construction, one model per server and the current
 // per-server hit ratios and visible cache mass (lines 1–5 of Figure 2).
 type hybridState struct {
 	sys     *core.System
 	cfg     HybridConfig
 	p       *core.Placement
-	preds   []*lrumodel.Predictor
+	model   lrumodel.ModelKind
+	preds   []lrumodel.Model
 	shared  *lrumodel.SharedTable
 	h       [][]float64
 	visMass []float64
@@ -468,10 +475,15 @@ func newHybridState(sys *core.System, cfg HybridConfig) (*hybridState, error) {
 	if cfg.UpdateRates != nil && len(cfg.UpdateRates) != m {
 		return nil, fmt.Errorf("placement: %d update rates for %d sites", len(cfg.UpdateRates), m)
 	}
+	kind, err := lrumodel.ParseModelKind(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
 	st := &hybridState{
 		sys:     sys,
 		cfg:     cfg,
 		p:       core.NewPlacement(sys),
+		model:   kind,
 		workers: normWorkers(cfg.Parallelism, n),
 		n:       n,
 		m:       m,
@@ -479,28 +491,38 @@ func newHybridState(sys *core.System, cfg HybridConfig) (*hybridState, error) {
 	st.engine = cfg.resolveEngine(n, m)
 	st.engineLabel = st.engine.String()
 
-	// Lines 1–5: build one predictor per server and the initial hit
+	// Lines 1–5: build one model per server and the initial hit
 	// ratios with the whole capacity as cache. visMass tracks the
 	// summed popularity of the sites still traversing each server's
 	// cache; replicating a site removes its traffic from the cache and
 	// "the popularity of the rest of the objects is increased
 	// accordingly" (§4).
-	st.preds = make([]*lrumodel.Predictor, n)
+	st.preds = make([]lrumodel.Model, n)
 	st.h = make([][]float64, n)
 	st.visMass = make([]float64, n)
 	// The lazy engine shares one hit-ratio table across all N
 	// predictors: the memoized Equation (1) values depend only on the
-	// quantized (p, K) grid point and the site's Zipf shape, so servers
-	// reuse each other's entries bit for bit instead of each paying the
-	// O(L) evaluation. The Scan reference engine keeps the seed's
-	// per-predictor memos — it is the baseline the speedups are
-	// measured against, and the bit-identicality tests double as an
-	// end-to-end proof that sharing changes no values.
+	// quantized (p, K) grid point, the site's Zipf shape and the model
+	// kind, so servers reuse each other's entries bit for bit instead
+	// of each paying the O(L) evaluation. The Scan reference engine
+	// keeps the seed's per-predictor memos — it is the baseline the
+	// speedups are measured against, and the bit-identicality tests
+	// double as an end-to-end proof that sharing changes no values.
 	if !cfg.Scan {
 		st.shared = lrumodel.NewSharedTable()
 	}
 	for i := 0; i < n; i++ {
-		st.preds[i] = lrumodel.NewPredictorShared(cfg.Specs, sys.Demand[i], cfg.AvgObjectBytes, sys.Capacity[i], st.shared)
+		st.preds[i], err = lrumodel.New(lrumodel.ModelConfig{
+			Kind:           kind,
+			Specs:          cfg.Specs,
+			Weights:        sys.Demand[i],
+			AvgObjectBytes: cfg.AvgObjectBytes,
+			MaxCacheBytes:  sys.Capacity[i],
+			Shared:         st.shared,
+		})
+		if err != nil {
+			return nil, err
+		}
 		st.h[i] = st.preds[i].HitRatios(st.p.Free(i))
 		st.visMass[i] = 1
 	}
@@ -660,7 +682,7 @@ func hybridScan(st *hybridState) *Result {
 			cfg.Explain(ExplainStep{
 				Iter: len(res.Steps) - 1, Server: bestI, Site: bestJ,
 				Benefit: bestB, PredictedCost: step.PredictedCost,
-				Engine: EngineScan.String(),
+				Engine: EngineScan.String(), Model: string(st.model),
 			})
 		}
 	}
@@ -679,7 +701,7 @@ func hybridObjective(p *core.Placement, hitFn core.HitRatioFunc, updateRates []f
 }
 
 // hybridBenefit evaluates lines 9–17 of Figure 2 for candidate (i, j).
-func hybridBenefit(sys *core.System, p *core.Placement, preds []*lrumodel.Predictor, h [][]float64, visMass []float64, i, j int) float64 {
+func hybridBenefit(sys *core.System, p *core.Placement, preds []lrumodel.Model, h [][]float64, visMass []float64, i, j int) float64 {
 	// Line 9: local benefit — the cache was already absorbing h of the
 	// redirected requests.
 	b := (1 - h[i][j]) * sys.Demand[i][j] * p.NearestCost(i, j)
@@ -804,15 +826,50 @@ func sortSitesByDemand(demand []float64) []int {
 	return order
 }
 
-// PredictCost evaluates the objective D of any placement under the
-// analytical cache model, with each server's free space as its cache.
-// This is the "Predicted" series of Figure 6.
-func PredictCost(p *core.Placement, specs []lrumodel.SiteSpec, avgObjectBytes float64) float64 {
+// CostOptions parameterizes PredictCostOpts.
+type CostOptions struct {
+	// Specs carries the object-level statistics of every site.
+	Specs []lrumodel.SiteSpec
+	// AvgObjectBytes is ō, used to convert cache bytes to slots.
+	AvgObjectBytes float64
+	// Model selects the hit-ratio model ("" = eq1), as in
+	// HybridConfig.Model.
+	Model string
+	// Shared, if non-nil, memoizes grid evaluations across calls:
+	// repeated cost probes (the controller prices every candidate
+	// placement twice per round) reuse each other's Equation (1) work
+	// instead of re-memoizing from scratch. A WarmState's table (see
+	// WarmState.Shared) or any long-lived table works; nil builds a
+	// fresh private one per call.
+	Shared *lrumodel.SharedTable
+}
+
+// PredictCostOpts evaluates the objective D of any placement under the
+// selected analytical cache model, with each server's free space as
+// its cache. This is the "Predicted" series of Figure 6.
+func PredictCostOpts(p *core.Placement, opts CostOptions) (float64, error) {
+	kind, err := lrumodel.ParseModelKind(opts.Model)
+	if err != nil {
+		return 0, err
+	}
 	sys := p.System()
 	total := 0.0
-	shared := lrumodel.NewSharedTable()
+	shared := opts.Shared
+	if shared == nil {
+		shared = lrumodel.NewSharedTable()
+	}
 	for i := 0; i < sys.N(); i++ {
-		pred := lrumodel.NewPredictorShared(specs, sys.Demand[i], avgObjectBytes, sys.Capacity[i], shared)
+		pred, err := lrumodel.New(lrumodel.ModelConfig{
+			Kind:           kind,
+			Specs:          opts.Specs,
+			Weights:        sys.Demand[i],
+			AvgObjectBytes: opts.AvgObjectBytes,
+			MaxCacheBytes:  sys.Capacity[i],
+			Shared:         shared,
+		})
+		if err != nil {
+			return 0, err
+		}
 		visible := make([]bool, sys.M())
 		for j := range visible {
 			visible[j] = !p.Has(i, j)
@@ -825,6 +882,17 @@ func PredictCost(p *core.Placement, specs []lrumodel.SiteSpec, avgObjectBytes fl
 			}
 			total += (1 - h[j]) * sys.Demand[i][j] * c
 		}
+	}
+	return total, nil
+}
+
+// PredictCost is PredictCostOpts under the default eq1 model with a
+// fresh memo table — the original fixed-signature entry point. It
+// panics on invalid specs, as the predictor constructor always did.
+func PredictCost(p *core.Placement, specs []lrumodel.SiteSpec, avgObjectBytes float64) float64 {
+	total, err := PredictCostOpts(p, CostOptions{Specs: specs, AvgObjectBytes: avgObjectBytes})
+	if err != nil {
+		panic(err.Error())
 	}
 	return total
 }

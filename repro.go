@@ -134,6 +134,10 @@ type PlacementConfig struct {
 	// CacheFrac is the cache share for StrategyAdHoc (ignored
 	// otherwise).
 	CacheFrac float64
+	// Model selects the analytical hit-ratio model the hybrid optimizes
+	// with ("eq1", "che", "closedform", "random"); empty means eq1, the
+	// paper's own model (StrategyHybrid only; ignored by the others).
+	Model string
 	// Observer, when non-nil, is invoked after every replica creation —
 	// the iteration-by-iteration view of the placement loop
 	// (StrategyHybrid only; ignored by the others).
@@ -153,6 +157,7 @@ func Place(sc *Scenario, cfg PlacementConfig) (*PlacementResult, error) {
 		return placement.Hybrid(sc.Sys, placement.HybridConfig{
 			Specs:          sc.Work.Specs(),
 			AvgObjectBytes: sc.Work.AvgObjectBytes,
+			Model:          cfg.Model,
 			Observer:       cfg.Observer,
 			Parallelism:    cfg.Parallelism,
 		})
@@ -300,19 +305,54 @@ func SimulateTrace(ctx context.Context, sc *Scenario, p *Placement, cfg SimConfi
 	return sim.RunSource(ctx, sc, p, cfg, tr)
 }
 
-// The analytical LRU model (§3.2), usable stand-alone: SiteSpec describes
-// a site's object statistics and LRUPredictor predicts per-site hit
-// ratios at one server for any cache size.
+// The analytical hit-ratio models (§3.2 and beyond), usable stand-alone:
+// SiteSpec describes a site's object statistics and HitModel predicts
+// per-site hit ratios at one server for any cache size under the
+// selected model kind.
 type (
 	SiteSpec     = lrumodel.SiteSpec
 	LRUPredictor = lrumodel.Predictor
+	// HitModel is the pluggable hit-ratio surface the placement stack
+	// consumes (eq1, che, closedform or random behind one interface).
+	HitModel = lrumodel.Model
+	// HitModelConfig configures NewHitModel.
+	HitModelConfig = lrumodel.ModelConfig
 )
+
+// NewHitModel builds an analytical hit-ratio model for one server under
+// the selected kind; invalid configuration (including an unknown model
+// name) is reported as an error listing the valid names.
+func NewHitModel(cfg HitModelConfig) (HitModel, error) { return lrumodel.New(cfg) }
+
+// HitModelNames lists the valid model names for flag validation and
+// help text.
+func HitModelNames() []string {
+	kinds := lrumodel.ModelKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return names
+}
 
 // NewLRUPredictor builds the §3.2 model for one server: weights[j] is the
 // server's request rate for site j, avgObjectBytes is ō, and
 // maxCacheBytes bounds the cache sizes that will be queried.
+//
+// Deprecated: use NewHitModel, which selects among all model kinds and
+// reports invalid input as an error. This wrapper keeps the original
+// panic-on-bad-input contract.
 func NewLRUPredictor(specs []SiteSpec, weights []float64, avgObjectBytes float64, maxCacheBytes int64) *LRUPredictor {
-	return lrumodel.NewPredictor(specs, weights, avgObjectBytes, maxCacheBytes)
+	m, err := NewHitModel(HitModelConfig{
+		Specs:          specs,
+		Weights:        weights,
+		AvgObjectBytes: avgObjectBytes,
+		MaxCacheBytes:  maxCacheBytes,
+	})
+	if err != nil {
+		panic(err.Error())
+	}
+	return m.(*lrumodel.Predictor)
 }
 
 // Ablation rows (beyond the paper; see DESIGN.md §5).
@@ -476,17 +516,26 @@ func KMedianQuality(ctx context.Context, opts Options, ks []int) ([]KMedianRow, 
 func FormatRedirectRows(rows []RedirectRow) string { return experiments.FormatRedirectRows(rows) }
 func FormatKMedianRows(rows []KMedianRow) string   { return experiments.FormatKMedianRows(rows) }
 
-// Model-science experiment rows: the Eq.(1)/(2)-vs-Che ablation and the
-// IRM-assumption stress test.
+// Model-science experiment rows: the Eq.(1)/(2)-vs-Che-vs-closed-form
+// ablation, the RANDOM/FIFO policy validation and the IRM-assumption
+// stress test.
 type (
 	ModelCompareRow = experiments.ModelCompareRow
+	PolicyModelRow  = experiments.PolicyModelRow
 	RobustnessRow   = experiments.RobustnessRow
 )
 
-// ModelComparison sweeps cache sizes and compares the paper's model and
-// Che's approximation against a simulated LRU.
+// ModelComparison sweeps cache sizes and compares the paper's model,
+// Che's approximation and the Laoutaris closed form against a simulated
+// LRU.
 func ModelComparison(ctx context.Context, opts Options, slotFracs []float64) ([]ModelCompareRow, error) {
 	return experiments.ModelComparison(ctx, opts, slotFracs)
+}
+
+// ModelPolicyComparison validates the analytical RANDOM/FIFO model
+// against the simulated FIFO and RANDOM cache variants.
+func ModelPolicyComparison(ctx context.Context, opts Options, slotFracs []float64) ([]PolicyModelRow, error) {
+	return experiments.ModelPolicyComparison(ctx, opts, slotFracs)
 }
 
 // ModelRobustness measures prediction error as the workload gains
@@ -495,9 +544,15 @@ func ModelRobustness(ctx context.Context, opts Options, probs []float64) ([]Robu
 	return experiments.ModelRobustness(ctx, opts, probs)
 }
 
-// FormatModelCompareRows and FormatRobustnessRows render those sweeps.
+// FormatModelCompareRows, FormatPolicyModelRows and FormatRobustnessRows
+// render those sweeps.
 func FormatModelCompareRows(rows []ModelCompareRow) string {
 	return experiments.FormatModelCompareRows(rows)
+}
+
+// FormatPolicyModelRows renders the RANDOM/FIFO validation sweep.
+func FormatPolicyModelRows(rows []PolicyModelRow) string {
+	return experiments.FormatPolicyModelRows(rows)
 }
 
 // FormatRobustnessRows renders the IRM stress test.
