@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos cluster-smoke bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx bench-models bench-models-check fmt vet lint
+.PHONY: all build test check race chaos cluster-smoke bench bench-json bench-scale bench-scale-smoke bench-scale-check bench-approx bench-models bench-models-check bench-dynamic fmt vet lint
 
 all: build test
 
@@ -110,6 +110,13 @@ bench-approx:
 # fixed point dominates).
 bench-models:
 	$(GO) run ./cmd/benchjson -suite models -out BENCH_models.json
+
+# bench-dynamic regenerates BENCH_dynamic.json: simulator throughput
+# against a frozen hybrid placement while the catalog churns at
+# per-site perish rates {0, 5e-05, 2.5e-04}, with each run's
+# stale-placement fraction.
+bench-dynamic:
+	$(GO) run ./cmd/benchjson -suite dynamic -out BENCH_dynamic.json
 
 # bench-models-check runs the models suite into a fresh file and gates
 # it against the committed BENCH_models.json: any model row more than

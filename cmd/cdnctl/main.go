@@ -118,6 +118,10 @@ func status(client *http.Client, addr string, raw bool, out io.Writer) error {
 		fmt.Fprintf(out, "model      %s\n", st.Model)
 	}
 	fmt.Fprintf(out, "replicas   %d\n", st.Replicas)
+	if st.ChurnRate > 0 || st.StalePlacementFrac > 0 {
+		fmt.Fprintf(out, "churn      rate %.4f births+deaths/site/window, %.1f%% of replicated sites stale\n",
+			st.ChurnRate, 100*st.StalePlacementFrac)
+	}
 	for i, sites := range st.Placement {
 		fmt.Fprintf(out, "  edge %d: %v\n", i, sites)
 	}

@@ -89,6 +89,7 @@ type options struct {
 	faultLatency time.Duration
 	faultFrom    int
 	faultTo      int
+	churn        float64
 }
 
 func main() {
@@ -113,6 +114,7 @@ func main() {
 	flag.DurationVar(&opt.faultLatency, "fault-latency", 200*time.Millisecond, "added delay per request in latency mode")
 	flag.IntVar(&opt.faultFrom, "fault-from", 0, "client request index at which the fault starts")
 	flag.IntVar(&opt.faultTo, "fault-to", 0, "client request index at which the fault clears (0 = never)")
+	flag.Float64Var(&opt.churn, "churn", 0, "per-live-site perish probability per request: clients draw from a churning catalog, and requests for perished sites become client-side 404s (0 = static catalog)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -127,6 +129,9 @@ func run(ctx context.Context, opt options) error {
 	modelKind, err := lrumodel.ParseModelKind(opt.model)
 	if err != nil {
 		return fmt.Errorf("-model: %w", err)
+	}
+	if opt.churn < 0 {
+		return fmt.Errorf("-churn %v: perish rate must be >= 0", opt.churn)
 	}
 	w := workload.DefaultConfig()
 	w.Servers = opt.edges
@@ -359,7 +364,28 @@ func run(ctx context.Context, opt options) error {
 	}
 
 	fmt.Printf("\nissuing %d client requests...\n", opt.requests)
-	stream := sc.Stream(xrand.New(opt.seed + 1000))
+	// With -churn the clients draw from a churning catalog: sites
+	// publish and perish as the load runs. The HTTP cluster's catalog is
+	// static, so a request for a perished site is resolved client-side —
+	// the link is dead, the client sees a 404 and moves on.
+	var nextReq func() workload.Request
+	var dynStream *workload.DynamicStream
+	if opt.churn > 0 {
+		dynStream, err = workload.NewDynamicStream(sc.Work, workload.DynamicConfig{
+			PublishRate: opt.churn * float64(sc.Sys.M()),
+			PerishRate:  opt.churn,
+		}, xrand.New(opt.seed+1000))
+		if err != nil {
+			return fmt.Errorf("-churn: %w", err)
+		}
+		nextReq = dynStream.Next
+		fmt.Printf("catalog churn: perish rate %v per live site per request\n", opt.churn)
+	} else {
+		stream := sc.Stream(xrand.New(opt.seed + 1000))
+		nextReq = stream.Next
+	}
+	staleLinks := reg.Counter("cdnd_client_stale_links_total",
+		"Client requests for perished sites, answered 404 without a fetch.", nil)
 	start := time.Now()
 	issued := 0
 	for k := 0; k < opt.requests; k++ {
@@ -375,7 +401,12 @@ func run(ctx context.Context, opt options) error {
 			fmt.Printf("fault: cleared on edges %v\n", faultEdges)
 			setFault(fault.ModeOff)
 		}
-		req := stream.Next()
+		req := nextReq()
+		if req.Perished {
+			staleLinks.Inc()
+			issued++
+			continue
+		}
 		hop := pickHop(req.Server, -1)
 		if hop != req.Server {
 			steered.Inc()
@@ -419,6 +450,10 @@ func run(ctx context.Context, opt options) error {
 	fmt.Printf("\n%d requests in %v (%.0f req/s), %d failed, %d steered around unhealthy edges\n",
 		issued, elapsed.Round(time.Millisecond),
 		float64(issued)/elapsed.Seconds(), failed.Value(), steered.Value())
+	if dynStream != nil {
+		fmt.Printf("catalog churn: %d sites published, %d perished, %d stale-link 404s\n",
+			dynStream.Publishes(), dynStream.Perishes(), staleLinks.Value())
+	}
 	fmt.Println("source      count  share     p50ms    p95ms    p99ms")
 	var total int64
 	for _, src := range obs.Sources {

@@ -44,6 +44,7 @@ func main() {
 	flag.StringVar(&cfg.FaultMode, "fault-mode", "error", "fault mode: error, latency or blackhole")
 	flag.IntVar(&cfg.FaultAt, "fault-at", 0, "request index at which the fault is injected")
 	flag.IntVar(&cfg.ClearAt, "clear-at", 0, "request index at which the fault clears")
+	flag.Float64Var(&cfg.StaleLinkFrac, "stale-links", 0, "fraction of requests aimed at out-of-catalog sites (must 404; counted in not_found)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
@@ -78,8 +79,8 @@ func run(ctx context.Context, wait time.Duration, out string, cfg clusterd.LoadC
 		return err
 	}
 	if cfg.Logf != nil {
-		cfg.Logf("%d requests in %.0f ms: %.0f req/s, p50 %.2f ms, p99 %.2f ms, %d errors, %d steered",
-			res.Requests, res.DurationMs, res.ReqPerSec, res.Latency.P50, res.Latency.P99, res.Errors, res.Steered)
+		cfg.Logf("%d requests in %.0f ms: %.0f req/s, p50 %.2f ms, p99 %.2f ms, %d errors, %d steered, %d stale 404s",
+			res.Requests, res.DurationMs, res.ReqPerSec, res.Latency.P50, res.Latency.P99, res.Errors, res.Steered, res.NotFound)
 	}
 	if res.Errors > 0 {
 		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Requests)

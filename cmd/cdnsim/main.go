@@ -43,7 +43,7 @@ func main() {
 // defers run before os.Exit.
 func realMain() int {
 	var (
-		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds, scale or all (scale sweeps ×1..×10 paper size and is not part of all)")
+		figure   = flag.String("figure", "all", "which output to regenerate: 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, dynamic, redirection, kmedian, model, updates, heterogeneity, seeds, scale or all (scale sweeps ×1..×10 paper size and is not part of all)")
 		quick    = flag.Bool("quick", false, "use the reduced-scale configuration (fast smoke run)")
 		seed     = flag.Uint64("seed", 1, "scenario seed (topology, workload, placement)")
 		trace    = flag.Uint64("traceseed", 99, "request-trace seed")
@@ -257,6 +257,13 @@ func run(ctx context.Context, figure string, opts repro.Options) error {
 		}
 		fmt.Println(repro.FormatDriftRows(rows, cfg))
 		return nil
+	case "dynamic":
+		rows, err := repro.DynamicComparison(ctx, opts, repro.DefaultDynamicCatalogOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Println(repro.FormatDynamicRows(rows))
+		return nil
 	case "ablations":
 		policy, err := repro.CachePolicyAblation(ctx, opts)
 		if err != nil {
@@ -293,13 +300,13 @@ func run(ctx context.Context, figure string, opts repro.Options) error {
 		fmt.Println(repro.FormatScaleRows(rows))
 		return nil
 	case "all":
-		for _, f := range []string{"3", "4", "5", "6", "summary", "ablations", "clusters", "consistency", "availability", "churn", "drift", "redirection", "kmedian", "model", "updates", "heterogeneity"} {
+		for _, f := range []string{"3", "4", "5", "6", "summary", "ablations", "clusters", "consistency", "availability", "churn", "drift", "dynamic", "redirection", "kmedian", "model", "updates", "heterogeneity"} {
 			if err := run(ctx, f, opts); err != nil {
 				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, redirection, kmedian, model, updates, heterogeneity, seeds, scale or all)", figure)
+		return fmt.Errorf("unknown -figure %q (want 3, 4, 5, 6, summary, ablations, clusters, consistency, availability, churn, drift, dynamic, redirection, kmedian, model, updates, heterogeneity, seeds, scale or all)", figure)
 	}
 }

@@ -101,6 +101,7 @@ type Edge struct {
 
 	served              map[string]*obs.Counter
 	hits, misses, fails *obs.Counter
+	notFound            *obs.Counter
 	reports, reportErrs *obs.Counter
 	pulls, swaps        *obs.Counter
 }
@@ -171,6 +172,7 @@ func StartEdge(params Params, cfg EdgeConfig) (*Edge, error) {
 	e.hits = reg.Counter("cdn_edge_cache_hits_total", "Cache hits at an edge.", edgeLabel)
 	e.misses = reg.Counter("cdn_edge_cache_misses_total", "Cache misses at an edge.", edgeLabel)
 	e.fails = reg.Counter("cdn_edge_errors_total", "Requests an edge failed to serve.", edgeLabel)
+	e.notFound = reg.Counter("cdn_edge_notfound_total", "Requests for sites or objects outside the catalog (404s).", edgeLabel)
 	e.reports = reg.Counter("cdn_edge_reports_total", "Demand report batches flushed.", edgeLabel)
 	e.reportErrs = reg.Counter("cdn_edge_report_errors_total", "Demand report batches that failed.", edgeLabel)
 	e.pulls = reg.Counter("cdn_edge_placement_pulls_total", "Placements pulled after a stale report reply.", edgeLabel)
@@ -400,8 +402,11 @@ func (e *Edge) knownVersion(key cache.Key) int {
 func (e *Edge) serve(w http.ResponseWriter, r *http.Request) {
 	site, object, err := parseObjectPath(e.sc, r.URL.Path)
 	if err != nil {
+		// A path outside the catalog is a client-side 404 (stale link,
+		// perished site), not an edge failure — keep it out of the
+		// error counter so alerts on cdn_edge_errors_total stay honest.
 		http.NotFound(w, r)
-		e.fails.Inc()
+		e.notFound.Inc()
 		return
 	}
 	internal := r.Header.Get(httpcdn.InternalHeader) != ""

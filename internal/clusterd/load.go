@@ -41,6 +41,11 @@ type LoadConfig struct {
 	FaultMode string
 	FaultAt   int
 	ClearAt   int
+	// StaleLinkFrac, in [0,1), aims that fraction of requests at sites
+	// outside the catalog — the stale-link traffic a churning catalog
+	// produces after sites perish. These must come back as clean 404s
+	// (counted in LoadResult.NotFound), never as errors.
+	StaleLinkFrac float64
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -70,7 +75,10 @@ type LoadResult struct {
 	ErrorRate float64 `json:"error_rate"`
 	// Steered counts requests that failed on their nearest edge and
 	// succeeded on a failover edge.
-	Steered    int64            `json:"steered"`
+	Steered int64 `json:"steered"`
+	// NotFound counts deliberate stale-link requests (StaleLinkFrac)
+	// that the edge answered 404, as it should.
+	NotFound   int64            `json:"not_found,omitempty"`
 	DurationMs float64          `json:"duration_ms"`
 	ReqPerSec  float64          `json:"req_per_sec"`
 	Latency    LatencySummary   `json:"latency_ms"`
@@ -112,11 +120,12 @@ func WaitMembers(ctx context.Context, client *http.Client, controlURL string) (M
 
 // loadWorker is one client's slice of the run.
 type loadWorker struct {
-	hist    *obs.Histogram
-	max     float64
-	by      map[string]int64
-	errs    int64
-	steered int64
+	hist     *obs.Histogram
+	max      float64
+	by       map[string]int64
+	errs     int64
+	steered  int64
+	notFound int64
 }
 
 // RunLoad drives Requests Zipf-popular requests at the cluster behind
@@ -129,6 +138,9 @@ type loadWorker struct {
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	if cfg.Requests <= 0 {
 		return nil, fmt.Errorf("clusterd: %d requests", cfg.Requests)
+	}
+	if cfg.StaleLinkFrac < 0 || cfg.StaleLinkFrac >= 1 {
+		return nil, fmt.Errorf("clusterd: stale-link fraction %v outside [0,1)", cfg.StaleLinkFrac)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -196,6 +208,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 			n++
 		}
 		stream := workload.NewStream(sc.Work, xrand.New(cfg.Seed+1000+uint64(w)))
+		// staleRNG drives the stale-link coin flips, split off so the
+		// object stream stays identical whether or not they are enabled.
+		staleRNG := xrand.New(cfg.Seed + 2000 + uint64(w))
 		wg.Add(1)
 		go func(lw *loadWorker, stream *workload.Stream, n int) {
 			defer wg.Done()
@@ -219,6 +234,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					}
 				}
 				req := stream.Next()
+				if cfg.StaleLinkFrac > 0 && staleRNG.Float64() < cfg.StaleLinkFrac {
+					// A stale link: same client, but the site has left
+					// the catalog. The edge must answer 404.
+					lw.doStale(ctx, client, sc.Sys.N(), sc.Sys.M(), edgeURL, req)
+					continue
+				}
 				lw.do(ctx, client, sc.Sys.N(), edgeURL, fallback, req)
 			}
 		}(lw, stream, n)
@@ -242,6 +263,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	for _, lw := range workers {
 		res.Errors += lw.errs
 		res.Steered += lw.steered
+		res.NotFound += lw.notFound
 		for src, n := range lw.by {
 			res.BySource[src] += n
 		}
@@ -296,6 +318,45 @@ func (lw *loadWorker) do(ctx context.Context, client *http.Client, n int, edgeUR
 		lw.max = ms
 	}
 	lw.by[src]++
+}
+
+// doStale issues one request for a site outside the catalog and
+// requires a 404 — anything else (a 200 for a nonexistent site, a
+// transport failure) is an error. The round trip is timed like any
+// other request: stale links cost clients real latency.
+func (lw *loadWorker) doStale(ctx context.Context, client *http.Client, n, m int, edgeURL []string, req workload.Request) {
+	primary := req.Server
+	if primary < 0 || primary >= n {
+		primary = 0
+	}
+	if edgeURL[primary] == "" {
+		lw.errs++
+		return
+	}
+	t0 := time.Now()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		edgeURL[primary]+httpcdn.ObjectPath(m+req.Site, req.Object), nil)
+	if err != nil {
+		lw.errs++
+		return
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		lw.errs++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		lw.errs++
+		return
+	}
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	lw.hist.Observe(ms)
+	if ms > lw.max {
+		lw.max = ms
+	}
+	lw.notFound++
 }
 
 // fetchObject GETs one object from one edge and verifies the payload

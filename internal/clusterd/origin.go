@@ -49,6 +49,7 @@ type Origin struct {
 
 	served      *obs.Counter
 	notModified *obs.Counter
+	notFound    *obs.Counter
 }
 
 // StartOrigin builds the scenario from params and serves it. Always
@@ -76,6 +77,8 @@ func StartOrigin(params Params, cfg OriginConfig) (*Origin, error) {
 			"Requests served by the origin.", nil),
 		notModified: reg.Counter("cdn_origin_not_modified_total",
 			"Conditional GETs answered 304.", nil),
+		notFound: reg.Counter("cdn_origin_notfound_total",
+			"Requests for sites or objects outside the catalog (404s).", nil),
 	}
 
 	// /admin/fault and /admin/modify stay outside the injector wrap:
@@ -141,6 +144,7 @@ func (o *Origin) serveObject(w http.ResponseWriter, r *http.Request) {
 	site, object, err := parseObjectPath(o.sc, r.URL.Path)
 	if err != nil {
 		http.NotFound(w, r)
+		o.notFound.Inc()
 		return
 	}
 	o.served.Inc()

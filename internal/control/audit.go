@@ -84,6 +84,14 @@ type ReconcileRecord struct {
 	// Epsilon is the approximate engine's configured drift budget
 	// (0 = exact).
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// StalePlacementFrac is the fraction of replicated sites whose
+	// demand had been quiet for a full churn window when the round
+	// started; ChurnRate the demand source's per-window site turnover
+	// fraction. ChurnForced marks a round the churn signal pushed past
+	// the hysteresis bar (see Config.ChurnKick).
+	StalePlacementFrac float64 `json:"stale_placement_frac"`
+	ChurnRate          float64 `json:"churn_rate"`
+	ChurnForced        bool    `json:"churn_forced,omitempty"`
 	// Warm details the warm-start decision: dirty-row counts, measured
 	// drift, fallback reason. Nil when warm start is disabled.
 	Warm *placement.IncrementalStats `json:"warm,omitempty"`
@@ -139,6 +147,10 @@ func (c *Controller) Audit() []ReconcileRecord {
 func (rec *ReconcileRecord) verdict(o Outcome) string {
 	switch o {
 	case OutcomeApplied:
+		if rec.ChurnForced {
+			return fmt.Sprintf("applied: catalog churn %.3f forced the plan past the hysteresis bar %.4f (net benefit %.4f, +%d/-%d replicas, %.3f GB·hops transfer)",
+				rec.ChurnRate, rec.HysteresisBar, rec.NetBenefit, len(rec.Created), len(rec.Dropped), rec.TransferGBHops)
+		}
 		return fmt.Sprintf("applied: net benefit %.4f cleared the hysteresis bar %.4f (+%d/-%d replicas, %.3f GB·hops transfer)",
 			rec.NetBenefit, rec.HysteresisBar, len(rec.Created), len(rec.Dropped), rec.TransferGBHops)
 	case OutcomeSkipped:

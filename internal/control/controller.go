@@ -137,6 +137,14 @@ type Config struct {
 	// benefit. 0 selects DefaultTransferWeight; negative disables
 	// transfer pricing.
 	TransferWeight float64
+	// ChurnKick, when > 0, lets the catalog-churn signal force a
+	// positive-benefit plan past the hysteresis bar: a round whose
+	// demand source reports a site churn rate at or above this fraction
+	// applies any plan with net benefit > 0, bar or no bar. Under a
+	// dynamic catalog the placement staleness the churn causes is real
+	// drift, not estimate noise — the thing hysteresis exists to damp.
+	// 0 disables (the static-catalog behavior).
+	ChurnKick float64
 	// Parallelism is passed through to placement.Hybrid's benefit
 	// matrix fan-out (0 = GOMAXPROCS).
 	Parallelism int
@@ -236,6 +244,14 @@ type Status struct {
 	EdgeRates    []float64 `json:"edge_rates"`
 	SiteRates    []float64 `json:"site_rates"`
 	WindowTotals []int64   `json:"window_totals"`
+	// StalePlacementFrac is the fraction of replicated sites whose
+	// demand has been quiet for a full churn window — placement capacity
+	// pinned to content the catalog has likely withdrawn. ChurnRate is
+	// the demand source's per-window site birth+death fraction. Both are
+	// zero when the source does not implement ChurnSource or has too
+	// little roll history.
+	StalePlacementFrac float64 `json:"stale_placement_frac"`
+	ChurnRate          float64 `json:"churn_rate"`
 }
 
 // Controller closes the estimation → placement → swap loop.
@@ -443,6 +459,16 @@ func (c *Controller) Reconcile() (*Report, error) {
 		return c.finish(rep, rec, start, OutcomeNoSignal), nil
 	}
 	rec.DemandHash = demandHash(demand)
+	// Catalog-churn signal: how fast sites are being born and dying in
+	// the demand source's view, and what fraction of the live placement
+	// is pinned to sites that have gone quiet.
+	if cs, ok := c.est.(ChurnSource); ok {
+		st := cs.SiteChurn()
+		rec.ChurnRate = st.Rate
+		if ages := cs.SiteAges(); ages != nil {
+			rec.StalePlacementFrac = stalePlacementFrac(c.cfg.Target.Placement(), ages, st.Window)
+		}
+	}
 	sys, err := c.cfg.Base.WithDemand(demand)
 	if err != nil {
 		c.round--
@@ -531,8 +557,16 @@ func (c *Controller) Reconcile() (*Report, error) {
 		rec.HysteresisBar = c.cfg.Hysteresis * rep.OldCost
 	}
 	if c.cfg.Hysteresis > 0 && rep.NetBenefit < rec.HysteresisBar {
-		c.pending = &diff
-		return c.finish(rep, rec, start, OutcomeSkipped), nil
+		// Churn override: when the catalog is turning over fast enough,
+		// the staleness behind this plan is real drift rather than the
+		// estimate noise hysteresis exists to damp — apply any plan that
+		// is an improvement at all.
+		if c.cfg.ChurnKick > 0 && rec.ChurnRate >= c.cfg.ChurnKick && rep.NetBenefit > 0 {
+			rec.ChurnForced = true
+		} else {
+			c.pending = &diff
+			return c.finish(rep, rec, start, OutcomeSkipped), nil
+		}
 	}
 
 	if err := c.cfg.Target.SwapPlacement(next); err != nil {
@@ -730,20 +764,60 @@ func (c *Controller) Status() Status {
 			}
 		}
 	}
-	return Status{
-		Rounds:       c.round,
-		Applied:      c.counts[OutcomeApplied],
-		Skipped:      c.counts[OutcomeSkipped],
-		Noops:        c.counts[OutcomeNoop],
-		NoSignal:     c.counts[OutcomeNoSignal],
-		Replicas:     p.Replicas(),
-		Observed:     c.est.Observed(),
-		Model:        c.cfg.Model,
-		Placement:    sites,
-		Last:         c.last,
-		Pending:      c.pending,
-		EdgeRates:    c.est.ServerRates(),
-		SiteRates:    c.est.SiteRates(),
-		WindowTotals: c.est.WindowTotals(),
+	var churnRate, staleFrac float64
+	if cs, ok := c.est.(ChurnSource); ok {
+		st := cs.SiteChurn()
+		churnRate = st.Rate
+		if ages := cs.SiteAges(); ages != nil {
+			staleFrac = stalePlacementFrac(p, ages, st.Window)
+		}
 	}
+	return Status{
+		Rounds:             c.round,
+		Applied:            c.counts[OutcomeApplied],
+		Skipped:            c.counts[OutcomeSkipped],
+		Noops:              c.counts[OutcomeNoop],
+		NoSignal:           c.counts[OutcomeNoSignal],
+		Replicas:           p.Replicas(),
+		Observed:           c.est.Observed(),
+		Model:              c.cfg.Model,
+		Placement:          sites,
+		Last:               c.last,
+		Pending:            c.pending,
+		EdgeRates:          c.est.ServerRates(),
+		SiteRates:          c.est.SiteRates(),
+		WindowTotals:       c.est.WindowTotals(),
+		StalePlacementFrac: staleFrac,
+		ChurnRate:          churnRate,
+	}
+}
+
+// stalePlacementFrac is the staleness metric: of the sites holding at
+// least one replica in p, the fraction whose demand has been quiet (or
+// never observed) for at least window closed rolls. Those replicas pin
+// storage and placement decisions to content the catalog has likely
+// withdrawn — the dead weight a dynamic catalog accumulates.
+func stalePlacementFrac(p *core.Placement, ages []int64, window int) float64 {
+	n, m := p.System().N(), p.System().M()
+	replicated, stale := 0, 0
+	for j := 0; j < m; j++ {
+		has := false
+		for i := 0; i < n; i++ {
+			if p.Has(i, j) {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		replicated++
+		if j >= len(ages) || ages[j] < 0 || ages[j] >= int64(window) {
+			stale++
+		}
+	}
+	if replicated == 0 {
+		return 0
+	}
+	return float64(stale) / float64(replicated)
 }

@@ -49,7 +49,44 @@ type EstimatorConfig struct {
 const (
 	DefaultAlpha   = 0.5
 	DefaultWindows = 8
+	// DefaultChurnWindow is how many recent rolls the churn signal looks
+	// at: a site first seen inside the window is a birth, a site seen
+	// before but quiet for the whole window is a death.
+	DefaultChurnWindow = 4
 )
+
+// ChurnStats is the per-site catalog-activity signal a demand source
+// derives from its roll history. Under a dynamic catalog (see
+// workload.DynamicStream) sites appear and fall silent; the controller
+// uses the rate to decide when placement staleness outweighs estimate
+// noise.
+type ChurnStats struct {
+	// Births counts sites whose first-ever traffic arrived within the
+	// last Window rolls; Deaths counts sites seen before the window with
+	// no traffic inside it; Active counts sites with any traffic inside
+	// it.
+	Births, Deaths, Active int
+	// Rate is (Births+Deaths) / sites ever seen — the per-window catalog
+	// turnover fraction. Zero until more than Window rolls of history
+	// exist (a cold estimator sees every site as newborn).
+	Rate float64
+	// Window is the roll horizon the stats were computed over.
+	Window int
+}
+
+// ChurnSource is the optional interface a DemandSource implements when
+// it tracks per-site activity history. Both *Estimator and
+// *ShardedEstimator implement it; the controller type-asserts and
+// degrades gracefully when the source does not.
+type ChurnSource interface {
+	// SiteChurn computes birth/death stats over the default churn
+	// window.
+	SiteChurn() ChurnStats
+	// SiteAges returns, per site, the number of closed rolls since the
+	// site last had traffic: 0 = active in the latest window, -1 = never
+	// seen.
+	SiteAges() []int64
+}
 
 // Estimator estimates the per-server × per-site request-rate matrix
 // r_j^(i) from a live request stream. Observe is lock-free (one atomic
@@ -67,6 +104,11 @@ type Estimator struct {
 	window  []int64   // ring of recent window totals
 	rolls   int64     // completed Roll calls
 	rateSum float64   // Σ rates, maintained at roll time
+	// firstSeen/lastSeen record, per site, the 1-based roll index of the
+	// first and most recent window with any traffic (0 = never) — the
+	// birth/last-seen tracking behind the churn signal.
+	firstSeen, lastSeen []int64
+	siteTot             []int64 // per-roll scratch, reused
 }
 
 // NewEstimator builds an estimator for an N-server, M-site deployment.
@@ -89,12 +131,15 @@ func NewEstimator(cfg EstimatorConfig) (*Estimator, error) {
 		windows = DefaultWindows
 	}
 	return &Estimator{
-		n:      cfg.Servers,
-		m:      cfg.Sites,
-		alpha:  alpha,
-		counts: make([]atomic.Int64, cfg.Servers*cfg.Sites),
-		rates:  make([]float64, cfg.Servers*cfg.Sites),
-		window: make([]int64, 0, windows),
+		n:         cfg.Servers,
+		m:         cfg.Sites,
+		alpha:     alpha,
+		counts:    make([]atomic.Int64, cfg.Servers*cfg.Sites),
+		rates:     make([]float64, cfg.Servers*cfg.Sites),
+		window:    make([]int64, 0, windows),
+		firstSeen: make([]int64, cfg.Sites),
+		lastSeen:  make([]int64, cfg.Sites),
+		siteTot:   make([]int64, cfg.Sites),
 	}, nil
 }
 
@@ -124,9 +169,13 @@ func (e *Estimator) Roll() int64 {
 	var total int64
 	sum := 0.0
 	first := e.rolls == 0
+	for j := range e.siteTot {
+		e.siteTot[j] = 0
+	}
 	for c := range e.counts {
 		v := e.counts[c].Swap(0)
 		total += v
+		e.siteTot[c%e.m] += v
 		if first {
 			e.rates[c] = float64(v)
 		} else {
@@ -136,6 +185,14 @@ func (e *Estimator) Roll() int64 {
 	}
 	e.rateSum = sum
 	e.rolls++
+	for j, v := range e.siteTot {
+		if v > 0 {
+			if e.firstSeen[j] == 0 {
+				e.firstSeen[j] = e.rolls
+			}
+			e.lastSeen[j] = e.rolls
+		}
+	}
 	if cap(e.window) > 0 {
 		if len(e.window) == cap(e.window) {
 			copy(e.window, e.window[1:])
@@ -224,4 +281,89 @@ func (e *Estimator) WindowTotals() []int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]int64(nil), e.window...)
+}
+
+// SiteChurn implements ChurnSource: birth/death stats over the default
+// churn window.
+func (e *Estimator) SiteChurn() ChurnStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return churnStats(e.firstSeen, e.lastSeen, e.rolls)
+}
+
+// SiteAges implements ChurnSource: rolls since each site's last traffic
+// (0 = active in the latest window, -1 = never seen). It returns nil
+// until more than one churn window of roll history exists — a cold
+// estimator cannot distinguish a dead site from one it has not watched
+// long enough.
+func (e *Estimator) SiteAges() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return siteAges(e.lastSeen, e.rolls)
+}
+
+// churnStats derives ChurnStats from first/last-seen roll indices; also
+// the aggregation kernel of the sharded estimator.
+func churnStats(first, last []int64, rolls int64) ChurnStats {
+	st := ChurnStats{Window: DefaultChurnWindow}
+	if rolls <= DefaultChurnWindow {
+		// Cold start: with less history than one window, every site
+		// looks newborn; report zero churn rather than an artifact.
+		return st
+	}
+	// Genesis is the roll traffic first arrived anywhere. An estimator
+	// that rolled while the system idled (cluster booting, load not
+	// started) would otherwise count the whole catalog as newborn once
+	// the window slides past the idle prefix — the clock that matters
+	// is rolls since first traffic, not rolls since construction.
+	genesis := int64(0)
+	for _, f := range first {
+		if f > 0 && (genesis == 0 || f < genesis) {
+			genesis = f
+		}
+	}
+	if genesis == 0 || rolls-genesis <= DefaultChurnWindow {
+		return st
+	}
+	horizon := rolls - DefaultChurnWindow
+	ever := 0
+	for j := range first {
+		if first[j] == 0 {
+			continue
+		}
+		ever++
+		switch {
+		case last[j] > horizon:
+			st.Active++
+			if first[j] > horizon {
+				st.Births++
+			}
+		case last[j] > horizon-DefaultChurnWindow:
+			// Went quiet within the previous window: a recent death.
+			// Sites dead longer than that stop counting toward the rate
+			// (they are stale placement, not ongoing churn).
+			st.Deaths++
+		}
+	}
+	if ever > 0 {
+		st.Rate = float64(st.Births+st.Deaths) / float64(ever)
+	}
+	return st
+}
+
+// siteAges converts last-seen roll indices into ages relative to rolls;
+// nil during the cold-start window (see Estimator.SiteAges).
+func siteAges(last []int64, rolls int64) []int64 {
+	if rolls <= DefaultChurnWindow {
+		return nil
+	}
+	out := make([]int64, len(last))
+	for j, l := range last {
+		if l == 0 {
+			out[j] = -1
+			continue
+		}
+		out[j] = rolls - l
+	}
+	return out
 }

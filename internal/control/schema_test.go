@@ -74,7 +74,7 @@ func TestControlStatusSchema(t *testing.T) {
 	checkKeys(t, "/debug/control", status,
 		[]string{"rounds", "applied", "skipped", "noops", "no_signal", "replicas",
 			"observed_requests", "placement", "edge_rates", "site_rates", "window_totals",
-			"last", "model"},
+			"last", "model", "stale_placement_frac", "churn_rate"},
 		[]string{"pending"})
 	var model string
 	if err := json.Unmarshal(status["model"], &model); err != nil {
@@ -126,8 +126,9 @@ func TestControlAuditSchema(t *testing.T) {
 		[]string{"round", "when", "duration_ms", "outcome", "verdict", "demand_hash",
 			"window_requests", "old_cost", "new_cost", "net_benefit", "transfer_gb_hops",
 			"hysteresis_bar", "proposed", "created", "engine_steps", "creates_deferred",
-			"placement_ms"},
-		[]string{"dropped", "frozen_sites", "excluded_edges", "engine", "model", "epsilon", "warm"})
+			"placement_ms", "stale_placement_frac", "churn_rate"},
+		[]string{"dropped", "frozen_sites", "excluded_edges", "engine", "model", "epsilon",
+			"warm", "churn_forced"})
 
 	var warm map[string]json.RawMessage
 	if err := json.Unmarshal(records[0]["warm"], &warm); err != nil {

@@ -222,6 +222,44 @@ func (s *ShardedEstimator) WindowTotals() []int64 {
 	return out
 }
 
+// SiteChurn implements ChurnSource: the shard-local first/last-seen
+// vectors merge by min/max (a site's traffic may land on any shard
+// depending on which edges issued it; the earliest first-seen and the
+// latest last-seen are the global truth), and every shard rolls in the
+// same Roll call, so any shard's roll count is the global one.
+func (s *ShardedEstimator) SiteChurn() ChurnStats {
+	first, last, rolls := s.mergeSeen()
+	return churnStats(first, last, rolls)
+}
+
+// SiteAges implements ChurnSource.
+func (s *ShardedEstimator) SiteAges() []int64 {
+	_, last, rolls := s.mergeSeen()
+	return siteAges(last, rolls)
+}
+
+// mergeSeen aggregates the shards' per-site seen history.
+func (s *ShardedEstimator) mergeSeen() (first, last []int64, rolls int64) {
+	first = make([]int64, s.m)
+	last = make([]int64, s.m)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.rolls > rolls {
+			rolls = sh.rolls
+		}
+		for j := 0; j < s.m; j++ {
+			if f := sh.firstSeen[j]; f > 0 && (first[j] == 0 || f < first[j]) {
+				first[j] = f
+			}
+			if l := sh.lastSeen[j]; l > last[j] {
+				last[j] = l
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first, last, rolls
+}
+
 // ShardStatus is one shard's view for the /debug/control/shards page.
 type ShardStatus struct {
 	Shard int `json:"shard"`

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestDynamicComparisonQuick(t *testing.T) {
+	opts := QuickOptions()
+	opts.Sim.Requests = 20000
+	opts.Sim.Warmup = 10000
+	dyn := DefaultDynamicOptions()
+	dyn.ChurnRates = []float64{0.0005}
+	dyn.ReconcileEvery = 6000
+
+	rows, err := DynamicComparison(context.Background(), opts, dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMechs := []Mechanism{MechCaching, MechReplication, MechHybrid, MechControlled}
+	if len(rows) != 2*len(wantMechs) {
+		t.Fatalf("%d rows, want %d (static + 1 churn rate, 4 mechanisms)", len(rows), 2*len(wantMechs))
+	}
+	for k, r := range rows {
+		if r.Mechanism != wantMechs[k%len(wantMechs)] {
+			t.Fatalf("row %d mechanism %q, want %q", k, r.Mechanism, wantMechs[k%len(wantMechs)])
+		}
+		if r.MeanRTMs <= 0 {
+			t.Fatalf("row %d (%s churn %v): MeanRTMs = %v", k, r.Mechanism, r.ChurnRate, r.MeanRTMs)
+		}
+		if k < len(wantMechs) {
+			// Static catalog: no churn artifacts of any kind.
+			if r.ChurnRate != 0 || r.Turnover != 0 || r.PerishedPct != 0 ||
+				r.StaleRedirectPct != 0 || r.StalePlacementPct != 0 {
+				t.Fatalf("static row %d has churn artifacts: %+v", k, r)
+			}
+		} else {
+			if r.ChurnRate != 0.0005 {
+				t.Fatalf("row %d churn rate %v, want 0.0005", k, r.ChurnRate)
+			}
+			if r.Turnover == 0 {
+				t.Fatalf("row %d (%s): no catalog turnover at churn 0.0005", k, r.Mechanism)
+			}
+		}
+		if r.Mechanism == MechControlled {
+			if want := int64((opts.Sim.Warmup + opts.Sim.Requests) / dyn.ReconcileEvery); r.Reconciles != want {
+				t.Fatalf("controlled row %d ran %d reconciles, want %d", k, r.Reconciles, want)
+			}
+		} else if r.Reconciles != 0 || r.Applied != 0 {
+			t.Fatalf("row %d (%s) reports reconciles without a controller", k, r.Mechanism)
+		}
+	}
+	// The frozen hybrid's placement must look stale under churn while the
+	// same run's caching row (no replicas) reports zero staleness.
+	var hybridChurn, cachingChurn *DynamicRow
+	for k := range rows {
+		r := &rows[k]
+		if r.ChurnRate > 0 {
+			switch r.Mechanism {
+			case MechHybrid:
+				hybridChurn = r
+			case MechCaching:
+				cachingChurn = r
+			}
+		}
+	}
+	if hybridChurn.StalePlacementPct == 0 {
+		t.Error("frozen hybrid placement shows zero staleness under heavy churn")
+	}
+	if cachingChurn.StalePlacementPct != 0 {
+		t.Errorf("pure caching (no replicas) shows %v%% stale placement", cachingChurn.StalePlacementPct)
+	}
+
+	out := FormatDynamicRows(rows)
+	if out == "" {
+		t.Fatal("empty formatted table")
+	}
+}

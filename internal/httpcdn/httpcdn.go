@@ -182,6 +182,7 @@ type edge struct {
 	// recording never takes e.mu.
 	served              map[string]*obs.Counter // per source
 	hits, misses, fails *obs.Counter
+	notFound            *obs.Counter
 }
 
 // EdgeStats counts one edge's serves by source.
@@ -190,6 +191,9 @@ type EdgeStats struct {
 	// Revalidations counts conditional GETs sent on cache hits
 	// (RevalidateOnHit); NotModified counts the 304 replies among them.
 	Revalidations, NotModified int64
+	// NotFound counts requests for paths outside the catalog (stale
+	// links to perished sites); they are 404s, not edge failures.
+	NotFound int64
 }
 
 // CacheLookups returns the edge's cache lookups: hits plus the fetches
@@ -290,6 +294,8 @@ func Start(sc *scenario.Scenario, p *core.Placement, cfg Config) (*Cluster, erro
 				"Cache misses at an edge.", edgeLabel)
 			e.fails = reg.Counter("cdn_edge_errors_total",
 				"Requests an edge failed to serve.", edgeLabel)
+			e.notFound = reg.Counter("cdn_edge_notfound_total",
+				"Requests for sites or objects outside the catalog (404s).", edgeLabel)
 		}
 		t := &Tracker{}
 		if reg := cfg.Metrics; reg != nil {
@@ -531,9 +537,14 @@ func (e *edge) serve(w http.ResponseWriter, r *http.Request) {
 	c := e.cluster
 	site, object, err := c.parsePath(r.URL.Path)
 	if err != nil {
+		// Out-of-catalog path: a client-side 404 (stale link, perished
+		// site), not an edge failure.
 		http.NotFound(w, r)
-		if e.fails != nil {
-			e.fails.Inc()
+		e.mu.Lock()
+		e.stats.NotFound++
+		e.mu.Unlock()
+		if e.notFound != nil {
+			e.notFound.Inc()
 		}
 		return
 	}

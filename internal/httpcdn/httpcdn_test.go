@@ -225,7 +225,8 @@ func TestConsistencyOverHTTP(t *testing.T) {
 
 func TestBadPaths(t *testing.T) {
 	_, _, cl := startHybridCluster(t)
-	for _, path := range []string{"/", "/obj", "/obj/0", "/obj/99/1", "/obj/0/0", "/obj/0/9999", "/obj/x/y"} {
+	paths := []string{"/", "/obj", "/obj/0", "/obj/99/1", "/obj/0/0", "/obj/0/9999", "/obj/x/y"}
+	for _, path := range paths {
 		resp, err := cl.client.Get(cl.EdgeURL(0) + path)
 		if err != nil {
 			t.Fatal(err)
@@ -234,6 +235,16 @@ func TestBadPaths(t *testing.T) {
 		if resp.StatusCode == 200 {
 			t.Errorf("path %q served OK", path)
 		}
+	}
+	// Out-of-catalog paths are 404s, not edge failures: they must land
+	// in the dedicated NotFound stat and leave the serve attribution
+	// untouched.
+	st := cl.EdgeStats(0)
+	if st.NotFound != int64(len(paths)) {
+		t.Errorf("EdgeStats.NotFound = %d, want %d", st.NotFound, len(paths))
+	}
+	if got := st.Replica + st.CacheHit + st.PeerFetch + st.OriginFetch; got != 0 {
+		t.Errorf("bad paths leaked into serve attribution: %+v", st)
 	}
 }
 

@@ -199,6 +199,9 @@ func RunSourceParallel(ctx context.Context, sc *scenario.Scenario, p *core.Place
 		m.Bypass += sh.m.Bypass
 		m.RemoteServer += sh.m.RemoteServer
 		m.OriginFetch += sh.m.OriginFetch
+		m.Perished += sh.m.Perished
+		m.StaleReplica += sh.m.StaleReplica
+		m.UnknownSite += sh.m.UnknownSite
 		for i := 0; i < n; i++ {
 			m.PerServerHits[i] += sh.m.PerServerHits[i]
 			m.PerServerLookups[i] += sh.m.PerServerLookups[i]

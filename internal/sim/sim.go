@@ -85,6 +85,15 @@ type Config struct {
 	// histogram (publishing after the run keeps the hot loop free of
 	// registry lookups).
 	Metrics *obs.Registry
+	// PlacedGeneration, when non-nil, is the catalog generation whose
+	// content each placement column's replicas hold (dynamic-catalog
+	// runs; see workload.DynamicStream). A request whose Generation
+	// exceeds its column's placed generation cannot be served by
+	// replicas or remote servers — they hold a perished predecessor's
+	// bytes — and is redirected to the origin, counted in
+	// Metrics.StaleReplica. Nil means generation 0 everywhere: the
+	// static catalog.
+	PlacedGeneration []int
 }
 
 // DefaultConfig returns the paper's latency parameters with a
@@ -149,6 +158,16 @@ type Metrics struct {
 	// reconciled against the LRU model's predictions (and published to
 	// an obs.Registry).
 	PerServerHits, PerServerLookups []int64
+	// Dynamic-catalog outcomes (zero on static runs). Perished counts
+	// requests for withdrawn content: a 404 answered by the origin,
+	// never cached and never attributed to the cache or replica
+	// counters. StaleReplica counts requests redirected to the origin
+	// because every replica of their column holds an older catalog
+	// generation (placement dead weight). UnknownSite counts requests
+	// whose site index is outside the catalog entirely (stale client,
+	// corrupt trace): answered 404 at the first hop without indexing
+	// into placement or size tables.
+	Perished, StaleReplica, UnknownSite int64
 }
 
 // LocalFraction is the share of measured requests satisfied at the
@@ -187,6 +206,15 @@ type Source interface {
 type streamSource struct{ s *workload.Stream }
 
 func (ss streamSource) Next() (workload.Request, bool) { return ss.s.Next(), true }
+
+// EndlessSource adapts any endless request stream — workload.Stream,
+// workload.DynamicStream — to Source (ok is always true).
+type EndlessSource struct {
+	S interface{ Next() workload.Request }
+}
+
+// Next implements Source.
+func (e EndlessSource) Next() (workload.Request, bool) { return e.S.Next(), true }
 
 // cancelEvery is how often the request loops poll ctx between batches:
 // frequent enough that cancellation lands within microseconds at any
@@ -266,14 +294,46 @@ func newShard(sc *scenario.Scenario, p *core.Placement, cfg *Config, owns func(i
 func (s *shard) step(req workload.Request, measured bool) (hops float64, source string) {
 	i, j := req.Server, req.Site
 	p, m := s.p, s.m
+	// A dynamic catalog (or a corrupt trace) can reference a site the
+	// scenario does not know: answer the 404 at the first hop instead
+	// of panicking on the placement and size lookups.
+	if j < 0 || j >= len(s.sc.Work.Sites) {
+		if measured {
+			m.UnknownSite++
+			source = obs.SourceOrigin
+		}
+		return 0, source
+	}
+	if req.Perished {
+		// Withdrawn content: only the origin can answer — with a 404 —
+		// so the request pays the full origin trip and bypasses the
+		// cache (negative responses are not cached).
+		if measured {
+			m.Perished++
+			m.OriginFetch++
+			source = obs.SourceOrigin
+		}
+		return s.sc.Sys.CostOrigin[i][j], source
+	}
 	// col is the placement column owning this request: the site
 	// itself, or its popularity cluster under UnitOf.
 	col := j
 	if s.cfg.UnitOf != nil {
 		col = s.cfg.UnitOf(j, req.Object)
 	}
+	// A stale column's replicas — local and remote alike — hold a
+	// perished generation's bytes and cannot serve this request; only
+	// the generation-keyed cache or the origin can.
+	stale := false
+	if req.Generation > 0 {
+		gen := 0
+		if s.cfg.PlacedGeneration != nil {
+			gen = s.cfg.PlacedGeneration[col]
+		}
+		stale = req.Generation > gen
+	}
 	switch {
-	case p.Has(i, col):
+	case p.Has(i, col) && !stale:
 		// Served by the local replica. Replicas are always
 		// consistent (§5.2), so even stale/uncacheable
 		// requests stay local.
@@ -284,13 +344,26 @@ func (s *shard) step(req workload.Request, measured bool) (hops float64, source 
 		}
 	case s.caches != nil && !req.Cacheable:
 		// λ fraction: travels to SN, bypasses the cache.
+		if stale {
+			hops = s.sc.Sys.CostOrigin[i][j]
+			if measured {
+				m.Bypass++
+				m.StaleReplica++
+				m.OriginFetch++
+				source = obs.SourceOrigin
+			}
+			break
+		}
 		hops = p.NearestCost(i, col)
 		if measured {
 			m.Bypass++
 			source = m.countRemote(p, i, col)
 		}
 	case s.caches != nil:
-		key := cache.Key{Site: j, Object: req.Object}
+		// The generation is folded into the cache key's high bits so a
+		// republished site's fresh objects never alias its
+		// predecessor's cached bytes (64-bit int assumed, as elsewhere).
+		key := cache.Key{Site: j, Object: req.Object + req.Generation<<32}
 		if s.caches[i].Get(key) {
 			hops = 0
 			if measured {
@@ -300,16 +373,38 @@ func (s *shard) step(req workload.Request, measured bool) (hops float64, source 
 				source = obs.SourceCache
 			}
 		} else {
-			hops = p.NearestCost(i, col)
+			if stale {
+				hops = s.sc.Sys.CostOrigin[i][j]
+			} else {
+				hops = p.NearestCost(i, col)
+			}
 			s.caches[i].Put(key, s.sc.Work.Size(j, req.Object))
 			if measured {
 				m.CacheMisses++
 				m.PerServerLookups[i]++
-				source = m.countRemote(p, i, col)
+				if stale {
+					m.StaleReplica++
+					m.OriginFetch++
+					source = obs.SourceOrigin
+				} else {
+					source = m.countRemote(p, i, col)
+				}
 			}
 		}
 	default:
 		// Pure replication: no cache, straight to SN.
+		if stale {
+			hops = s.sc.Sys.CostOrigin[i][j]
+			if measured {
+				if !req.Cacheable {
+					m.Bypass++
+				}
+				m.StaleReplica++
+				m.OriginFetch++
+				source = obs.SourceOrigin
+			}
+			break
+		}
 		hops = p.NearestCost(i, col)
 		if measured {
 			if !req.Cacheable {

@@ -313,11 +313,26 @@ func (w *Workload) SiteBytes() []int64 {
 // client population behind Server, for object Object (1-based popularity
 // rank) of site Site. Cacheable is false for the λ fraction of requests
 // that return uncacheable or stale documents.
+//
+// Generation and Perished only vary under a dynamic catalog (see
+// DynamicStream): Generation counts how many times the site slot has
+// been republished with fresh content, and Perished marks the residual
+// stale-link traffic that keeps arriving after the slot's current
+// content has been withdrawn. The static Stream always emits generation
+// 0, live — the zero values.
 type Request struct {
 	Server    int
 	Site      int
 	Object    int
 	Cacheable bool
+	// Generation is the catalog generation of the site's content this
+	// request asks for; replicas placed for an older generation cannot
+	// serve it.
+	Generation int
+	// Perished marks a request for content that has been withdrawn from
+	// the catalog (a stale link): only the origin can answer it, with a
+	// 404-equivalent response.
+	Perished bool
 }
 
 // Size returns the object's byte size.

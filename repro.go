@@ -493,6 +493,38 @@ func FormatDriftRows(rows []DriftRow, cfg DriftConfig) string {
 	return experiments.FormatDriftRows(rows, cfg)
 }
 
+// Dynamic-catalog experiment types: publish/perish churn, flash crowds
+// and segment chains over a fixed slot space (internal/workload's
+// DynamicStream), compared across mechanisms including the
+// staleness-aware control plane.
+type (
+	DynamicRow            = experiments.DynamicRow
+	DynamicCatalogOptions = experiments.DynamicOptions
+	// DynamicWorkloadConfig parameterizes the churning stream itself,
+	// for driving the simulator or daemons directly.
+	DynamicWorkloadConfig = workload.DynamicConfig
+)
+
+// MechControlled is the online control plane over a churning catalog
+// (the fourth mechanism of the dynamic-catalog comparison).
+const MechControlled = experiments.MechControlled
+
+// DefaultDynamicCatalogOptions returns the default churn sweep (three
+// rates, flash crowds and segment chains on).
+func DefaultDynamicCatalogOptions() DynamicCatalogOptions {
+	return experiments.DefaultDynamicOptions()
+}
+
+// DynamicComparison runs caching, replication, hybrid and
+// controlled-hybrid on the static catalog and at each churn rate, on
+// identical stream seeds.
+func DynamicComparison(ctx context.Context, opts Options, dyn DynamicCatalogOptions) ([]DynamicRow, error) {
+	return experiments.DynamicComparison(ctx, opts, dyn)
+}
+
+// FormatDynamicRows renders the dynamic-catalog comparison.
+func FormatDynamicRows(rows []DynamicRow) string { return experiments.FormatDynamicRows(rows) }
+
 // Redirection-policy and k-median quality experiment rows (§2.2's other
 // design axes, grounded).
 type (
